@@ -1,0 +1,44 @@
+//! Results common to all baseline runs.
+
+use aegaeon_metrics::{attainment, AttainmentReport, RequestOutcome};
+use aegaeon_sim::SimTime;
+use aegaeon_workload::SloSpec;
+
+/// Outcome of a baseline serving run.
+#[derive(Debug)]
+pub struct BaselineResult {
+    /// Per-request outcomes.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Workload horizon (attainment cutoff).
+    pub horizon: SimTime,
+    /// When the run ended.
+    pub end_time: SimTime,
+    /// Requests completed.
+    pub completed: usize,
+    /// Requests in the trace.
+    pub total_requests: usize,
+    /// Requests that could never be served (MuxServe's unplaced models).
+    pub rejected: usize,
+    /// Model switches performed.
+    pub switches: u64,
+    /// Compute-busy seconds per GPU.
+    pub gpu_busy: Vec<f64>,
+    /// Periodic samples of cumulative per-GPU compute-busy seconds.
+    pub util_samples: Vec<(SimTime, Vec<f64>)>,
+}
+
+impl BaselineResult {
+    /// Token-level SLO attainment under `slo`.
+    pub fn attainment(&self, slo: SloSpec) -> AttainmentReport {
+        attainment(&self.outcomes, slo, self.horizon)
+    }
+
+    /// Mean GPU compute utilization.
+    pub fn mean_gpu_utilization(&self) -> f64 {
+        if self.gpu_busy.is_empty() || self.end_time == SimTime::ZERO {
+            return 0.0;
+        }
+        self.gpu_busy.iter().sum::<f64>()
+            / (self.gpu_busy.len() as f64 * self.end_time.as_secs_f64())
+    }
+}

@@ -1,0 +1,90 @@
+//! Ablations of the design constants the paper fixes by grid search or
+//! experience, validating its robustness claims:
+//!
+//! * `QMAX = 4 s` (§4.3: "we find Aegaeon to be robust under alternative
+//!   settings");
+//! * `MAX_GPSIZE = 8` (§4.2: "larger values behave identically ... smaller
+//!   values can still cause excessive scaling under high load");
+//! * the 6 prefill / 10 decoding split (§7.2);
+//! * the unified-cache slab size (§5.2: "customizable with the slab size",
+//!   trading fragmentation against management overhead).
+
+use aegaeon::{AegaeonConfig, ServingSystem};
+use aegaeon_bench::{banner, dump_json, market_models, uniform_trace, HORIZON_SECS, SEED};
+use aegaeon_metrics::report::table;
+use aegaeon_workload::{LengthDist, SloSpec};
+
+fn run_with(mutate: impl FnOnce(&mut AegaeonConfig), models: usize, rps: f64) -> (f64, f64, f64) {
+    let m = market_models(models);
+    let trace = uniform_trace(models, rps, HORIZON_SECS, SEED, LengthDist::sharegpt());
+    let mut cfg = AegaeonConfig::paper_testbed();
+    mutate(&mut cfg);
+    let r = ServingSystem::run(&cfg, &m, &trace);
+    let att = r.attainment(SloSpec::paper_default()).ratio();
+    let scale_mean = r.scale_latencies.iter().sum::<f64>() / r.scale_latencies.len().max(1) as f64;
+    let frag = r.frag_rows.last().map(|x| x.fragmentation).unwrap_or(0.0);
+    (att, scale_mean, frag)
+}
+
+fn main() {
+    banner("ablation_design", "design-choice ablations (§4.2, §4.3, §5.2, §7.2)");
+    let mut json = serde_json::Map::new();
+
+    // --- QMAX -------------------------------------------------------------
+    println!("\nQMAX (decoding quota cap), 60 models @ RPS 0.1:");
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for qmax in [1.0, 2.0, 4.0, 6.0, 8.0] {
+        let (att, _, _) = run_with(|c| c.qmax = qmax, 60, 0.1);
+        rows.push(vec![format!("{qmax}s"), format!("{:.1}%", att * 100.0)]);
+        series.push(serde_json::json!({"qmax": qmax, "attainment": att}));
+    }
+    print!("{}", table(&["QMAX", "attainment"], &rows));
+    println!("paper: QMAX = 4 s, robust under alternative settings");
+    json.insert("qmax".into(), serde_json::json!(series));
+
+    // --- MAX_GPSIZE --------------------------------------------------------
+    println!("\nMAX_GPSIZE (prefill group cap), 48 models @ RPS 0.3:");
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for g in [1u32, 2, 4, 8, 16] {
+        let (att, _, _) = run_with(|c| c.max_gpsize = g, 48, 0.3);
+        rows.push(vec![format!("{g}"), format!("{:.1}%", att * 100.0)]);
+        series.push(serde_json::json!({"max_gpsize": g, "attainment": att}));
+    }
+    print!("{}", table(&["MAX_GPSIZE", "attainment"], &rows));
+    println!("paper: 8 via grid search; small caps over-scale under load, large ones behave alike");
+    json.insert("max_gpsize".into(), serde_json::json!(series));
+
+    // --- prefill/decode split ----------------------------------------------
+    println!("\nprefill:decoding split of 16 GPUs, 60 models @ RPS 0.1:");
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for p in [2usize, 4, 6, 8, 10] {
+        let (att, _, _) = run_with(|c| c.prefill_instances = p, 60, 0.1);
+        rows.push(vec![format!("{p}:{}", 16 - p), format!("{:.1}%", att * 100.0)]);
+        series.push(serde_json::json!({"prefill": p, "attainment": att}));
+    }
+    print!("{}", table(&["split", "attainment"], &rows));
+    println!("paper: 6:10 for all end-to-end experiments");
+    json.insert("split".into(), serde_json::json!(series));
+
+    // --- slab size -----------------------------------------------------------
+    println!("\nunified-cache slab size, 48 models @ RPS 0.15:");
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for mb in [32u64, 64, 128, 256, 512] {
+        let (att, _, frag) = run_with(|c| c.slab_bytes = mb << 20, 48, 0.15);
+        rows.push(vec![
+            format!("{mb} MB"),
+            format!("{:.1}%", att * 100.0),
+            format!("{:.1}%", frag * 100.0),
+        ]);
+        series.push(serde_json::json!({"slab_mb": mb, "attainment": att, "fragmentation": frag}));
+    }
+    print!("{}", table(&["slab", "attainment", "CPU-cache frag"], &rows));
+    println!("paper: slab size balances management overhead against fragmentation");
+    json.insert("slab".into(), serde_json::json!(series));
+
+    dump_json("ablation_design", &serde_json::Value::Object(json));
+}

@@ -1,0 +1,44 @@
+//! Figure 7: engine (re)initialization latency breakdown, before and after
+//! the §5.1 component-reuse optimization (13B model, TP = 2).
+
+use aegaeon_bench::{banner, dump_json};
+use aegaeon_engine::{scale_up_plan, AutoscaleOpts, InitCosts, ScaleCost};
+use aegaeon_metrics::report::table;
+
+fn main() {
+    banner("fig07_init_breakdown", "Figure 7 (initialization breakdown)");
+    let costs = InitCosts::paper_default();
+    let shard_13b: u64 = 13_000_000_000; // one TP=2 shard of a 26 GB model
+    let pcie = 32e9;
+    let dev_copy = 1.675e12;
+
+    let mut json = Vec::new();
+    for (label, opts) in [
+        ("before (T0: full reinit)", AutoscaleOpts::t0()),
+        ("after (T1: component reuse)", AutoscaleOpts::t1()),
+        ("after (T2: + explicit memory)", AutoscaleOpts::t2()),
+    ] {
+        let plan = scale_up_plan(&opts, &costs, shard_13b, false, true, 5e9);
+        let mut rows = Vec::new();
+        for st in &plan.stages {
+            let secs = match st.cost {
+                ScaleCost::Fixed(d) => d.as_secs_f64(),
+                ScaleCost::HostLoad { bytes, efficiency } => bytes as f64 / (pcie * efficiency),
+                ScaleCost::DeviceCopy { bytes } => bytes as f64 / dev_copy,
+            };
+            rows.push(vec![st.kind.label().to_string(), format!("{secs:.2}s")]);
+        }
+        let total = plan.estimate_secs(pcie, dev_copy);
+        rows.push(vec!["TOTAL".into(), format!("{total:.2}s")]);
+        println!("\n{label}:");
+        print!("{}", table(&["stage", "latency"], &rows));
+        json.push(serde_json::json!({ "config": label, "total_secs": total }));
+    }
+    println!("\n(T0's total includes the 2.5 s scale-down GC pass; the");
+    println!(" initialization stages alone sum to 26.9 s, matching the paper)");
+    println!("\npaper: unoptimized initialization up to 26.9 s for a 13B model;");
+    println!("       naive loading achieves 2.83 GB/s (4.6 s per shard);");
+    println!("       component reuse removes over 80% of auto-scaling latency;");
+    println!("       optimized loading lands under one second.");
+    dump_json("fig07_init_breakdown", &serde_json::json!(json));
+}

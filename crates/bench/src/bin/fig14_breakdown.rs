@@ -1,0 +1,38 @@
+//! Figure 14: request latency breakdown across setups.
+//!
+//! For each `#models × RPS` setup, the share of total request time spent in
+//! prefill waiting/execution, decoding waiting/execution, and the KV-cache
+//! control/data overhead terms.
+
+use aegaeon_bench::{banner, dump_json, market_models, run_aegaeon, uniform_trace, HORIZON_SECS, SEED};
+use aegaeon_metrics::report::table;
+use aegaeon_metrics::Stage;
+use aegaeon_workload::LengthDist;
+
+fn main() {
+    banner("fig14_breakdown", "Figure 14 (latency breakdown)");
+    let setups = [(16usize, 0.1f64), (32, 0.1), (64, 0.1), (16, 0.5), (32, 0.5)];
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (n, rps) in setups {
+        let models = market_models(n);
+        let trace = uniform_trace(n, rps, HORIZON_SECS, SEED + n as u64, LengthDist::sharegpt());
+        let r = run_aegaeon(&models, &trace);
+        let f = r.breakdown.fractions();
+        let mut row = vec![format!("{n}x{rps}")];
+        row.extend(f.iter().map(|x| format!("{:.1}%", x * 100.0)));
+        rows.push(row);
+        json.push(serde_json::json!({
+            "setup": format!("{n}x{rps}"),
+            "fractions": Stage::ALL.iter().zip(f).map(|(s, x)| (s.label(), x)).collect::<Vec<_>>(),
+        }));
+    }
+    let mut headers = vec!["setup"];
+    headers.extend(Stage::ALL.iter().map(|s| s.label()));
+    print!("{}", table(&headers, &rows));
+    println!("\npaper observations to check:");
+    println!("  (i)  prefill waiting stays controlled as aggregate rate rises");
+    println!("  (ii) decoding waiting dominates but is spread across execution");
+    println!("       without violating SLOs; KV overheads are negligible");
+    dump_json("fig14_breakdown", &serde_json::json!(json));
+}

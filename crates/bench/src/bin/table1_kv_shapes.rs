@@ -1,0 +1,38 @@
+//! Table 1: KV-cache shape and per-token size for market models.
+
+use aegaeon_bench::{banner, dump_json};
+use aegaeon_metrics::report::table;
+use aegaeon_model::Zoo;
+
+fn main() {
+    banner("table1_kv_shapes", "Table 1 (KV cache shapes/sizes in vLLM)");
+    let zoo = Zoo::standard();
+    let expected_kb = [512u64, 128, 800, 2560];
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (spec, want) in zoo.table1().iter().zip(expected_kb) {
+        let kb = spec.kv_bytes_per_token() / 1024;
+        rows.push(vec![
+            spec.name.clone(),
+            spec.kv_shape().to_string(),
+            format!("{kb} KB"),
+            format!("{want} KB"),
+            if kb == want { "match".into() } else { "MISMATCH".into() },
+        ]);
+        json.push(serde_json::json!({
+            "model": spec.name,
+            "shape": spec.kv_shape().as_tuple(),
+            "kb_per_token": kb,
+            "paper_kb_per_token": want,
+        }));
+    }
+    print!(
+        "{}",
+        table(
+            &["Model", "KV Cache Shape", "KV Size (ours)", "KV Size (paper)", ""],
+            &rows
+        )
+    );
+    println!("\n(per token, 16-bit precision; shape = (layers, 2, kv_heads, head_dim))");
+    dump_json("table1_kv_shapes", &serde_json::json!(json));
+}

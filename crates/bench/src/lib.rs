@@ -1,0 +1,184 @@
+//! Shared experiment harness: standard workloads, system runners and
+//! reporting for the figure/table regeneration binaries.
+//!
+//! Every binary under `src/bin/` regenerates one table or figure of the
+//! paper; it prints the series the paper plots and writes a JSON copy under
+//! `target/experiments/` so EXPERIMENTS.md stays regenerable.
+
+use aegaeon::{AegaeonConfig, RunResult, ServingSystem};
+use aegaeon_baselines::engine_loop::WorldConfig;
+use aegaeon_baselines::{BaselineResult, MuxServe, ServerlessLlm, SllmConfig};
+use aegaeon_metrics::AttainmentReport;
+use aegaeon_model::{ModelSpec, Zoo};
+use aegaeon_sim::{SimRng, SimTime};
+use aegaeon_workload::{LengthDist, SloSpec, Trace, TraceBuilder};
+
+/// Standard measurement horizon for the end-to-end sweeps, seconds.
+pub const HORIZON_SECS: f64 = 400.0;
+
+/// Base seed for all experiments (vary per point for independence).
+pub const SEED: u64 = 20250713;
+
+/// `n` distinct market-band (6–14B) serving targets.
+pub fn market_models(n: usize) -> Vec<ModelSpec> {
+    let zoo = Zoo::standard();
+    Zoo::replicate(&zoo.market_band(), n)
+}
+
+/// A uniform-rate multi-model trace (the §7.2 synthesis).
+pub fn uniform_trace(
+    n_models: usize,
+    rate: f64,
+    secs: f64,
+    seed: u64,
+    dataset: LengthDist,
+) -> Trace {
+    let mut rng = SimRng::seed_from_u64(seed);
+    TraceBuilder::new(SimTime::from_secs_f64(secs), dataset)
+        .uniform_models(&mut rng, n_models as u32, rate)
+        .build(&mut rng)
+}
+
+/// Which serving system to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum System {
+    /// Aegaeon (token-level auto-scaling, T3).
+    Aegaeon,
+    /// ServerlessLLM (request-level auto-scaling).
+    ServerlessLlm,
+    /// ServerlessLLM+ (oracle SJF queue).
+    ServerlessLlmPlus,
+    /// MuxServe (static spatial multiplexing).
+    MuxServe,
+}
+
+impl System {
+    /// Paper display name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            System::Aegaeon => "Aegaeon",
+            System::ServerlessLlm => "ServerlessLLM",
+            System::ServerlessLlmPlus => "ServerlessLLM+",
+            System::MuxServe => "MuxServe",
+        }
+    }
+
+    /// The four systems in the paper's legend order.
+    pub const ALL: [System; 4] = [
+        System::Aegaeon,
+        System::ServerlessLlm,
+        System::ServerlessLlmPlus,
+        System::MuxServe,
+    ];
+}
+
+/// Attainment of `sys` on the paper testbed for `models`/`trace`.
+pub fn run_system(
+    sys: System,
+    models: &[ModelSpec],
+    trace: &Trace,
+    slo: SloSpec,
+    per_model_rate: f64,
+) -> AttainmentReport {
+    let cluster = aegaeon_gpu::ClusterSpec::paper_testbed();
+    match sys {
+        System::Aegaeon => {
+            let mut cfg = AegaeonConfig::paper_testbed();
+            // The scheduler's quota equations take the target TBT `d` as an
+            // input (§4.3); deployments configure it from their SLO.
+            cfg.target_tbt = slo.tbt.as_secs_f64();
+            ServingSystem::run(&cfg, models, trace).attainment(slo)
+        }
+        System::ServerlessLlm => {
+            let cfg = SllmConfig::new(cluster);
+            ServerlessLlm::run(&cfg, models, trace).attainment(slo)
+        }
+        System::ServerlessLlmPlus => {
+            let cfg = SllmConfig::plus(cluster);
+            ServerlessLlm::run(&cfg, models, trace).attainment(slo)
+        }
+        System::MuxServe => {
+            let cfg = WorldConfig::sllm_default(cluster);
+            let rates = vec![per_model_rate; models.len()];
+            MuxServe::run(&cfg, models, &rates, trace).attainment(slo)
+        }
+    }
+}
+
+/// A full Aegaeon run on the paper testbed (detailed metrics).
+pub fn run_aegaeon(models: &[ModelSpec], trace: &Trace) -> RunResult {
+    ServingSystem::run(&AegaeonConfig::paper_testbed(), models, trace)
+}
+
+/// A full ServerlessLLM run on the paper testbed.
+pub fn run_sllm(models: &[ModelSpec], trace: &Trace) -> BaselineResult {
+    let cfg = SllmConfig::new(aegaeon_gpu::ClusterSpec::paper_testbed());
+    ServerlessLlm::run(&cfg, models, trace)
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(id: &str, paper: &str) {
+    println!("==============================================================");
+    println!("{id}  —  reproduces {paper}");
+    println!("==============================================================");
+}
+
+/// Writes machine-readable results next to the printed table.
+pub fn dump_json(name: &str, value: &serde_json::Value) {
+    let dir = std::path::Path::new("target/experiments");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(s) = serde_json::to_string_pretty(value) {
+        let _ = std::fs::write(&path, s);
+        println!("[json] {}", path.display());
+    }
+}
+
+/// Formats an attainment sweep as the paper's "(load, attainment%)" series
+/// and reports the max load meeting the 90% requirement (the figures'
+/// vertical lines).
+pub fn print_sweep(title: &str, xlabel: &str, series: &[(String, Vec<(f64, f64)>)]) {
+    println!("\n{title}");
+    let mut headers = vec![xlabel.to_string()];
+    headers.extend(series.iter().map(|(n, _)| n.clone()));
+    let n_points = series[0].1.len();
+    let mut rows = Vec::new();
+    for i in 0..n_points {
+        let mut row = vec![format!("{}", series[0].1[i].0)];
+        for (_, pts) in series {
+            row.push(format!("{:.1}%", pts[i].1 * 100.0));
+        }
+        rows.push(row);
+    }
+    let hdr: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print!("{}", aegaeon_metrics::report::table(&hdr, &rows));
+    for (name, pts) in series {
+        match aegaeon_metrics::max_load_meeting(pts, 0.9) {
+            Some(x) => println!("  {name}: max {xlabel} at >=90% SLO ~= {x:.1}"),
+            None => println!("  {name}: never reaches 90%"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn market_models_are_distinct() {
+        let m = market_models(12);
+        assert_eq!(m.len(), 12);
+        let mut names: Vec<&str> = m.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn uniform_trace_rate() {
+        let t = uniform_trace(4, 0.1, 500.0, 1, LengthDist::sharegpt());
+        assert!((t.aggregate_rate() - 0.4).abs() < 0.1);
+    }
+}

@@ -1,0 +1,222 @@
+//! Serving-system configuration.
+
+use aegaeon_engine::{AutoscaleOpts, InitCosts};
+use aegaeon_gpu::{ClusterSpec, GpuSpec, NodeSpec};
+use aegaeon_sim::SimDur;
+
+/// Configuration of an Aegaeon deployment.
+#[derive(Debug, Clone)]
+pub struct AegaeonConfig {
+    /// Cluster hardware.
+    pub cluster: ClusterSpec,
+    /// Tensor-parallel degree of every instance (1 in the main experiments,
+    /// 4 in the large-model study).
+    pub tp: u32,
+    /// Number of instances dedicated to prefill; the rest decode (§4.1).
+    pub prefill_instances: usize,
+    /// §5 optimization flags (T0–T3).
+    pub opts: AutoscaleOpts,
+    /// Engine component-initialization costs (Figure 7).
+    pub init_costs: InitCosts,
+    /// Maximum accumulative group size in Algorithm 1.
+    pub max_gpsize: u32,
+    /// Maximum decoding quota in Equation (3), seconds.
+    pub qmax: f64,
+    /// Target TBT used by the decoding quota computation, seconds. (The SLO
+    /// itself is applied at metric time; the scheduler needs `d` online.)
+    pub target_tbt: f64,
+    /// Proxy dispatch latency (metadata sync via the shared store).
+    pub proxy_latency: SimDur,
+    /// Per-request control-plane overhead charged per KV swap (index
+    /// tracking, CUDA event manipulation) — Figure 14's "control overhead".
+    pub control_overhead_per_swap: SimDur,
+    /// Eq. (4) switch-estimate correction factor β (×`size/bw`).
+    pub beta: f64,
+    /// Host Model Cache capacity per node.
+    pub model_cache_bytes: u64,
+    /// Unified CPU KV cache capacity per node.
+    pub cpu_kv_bytes: u64,
+    /// Slab size of the unified KV caches.
+    pub slab_bytes: u64,
+    /// Tokens per KV block.
+    pub block_tokens: u32,
+    /// Remote registry bandwidth for model-cache misses, bytes/s.
+    pub remote_bw: f64,
+    /// Fraction of VRAM the engine manages (rest left to the tensor lib).
+    pub vram_usable: f64,
+    /// Move-list reclamation daemon period.
+    pub daemon_period: SimDur,
+    /// Statistics sampling period (fragmentation, utilization).
+    pub sample_period: SimDur,
+    /// Extra simulated time after the last arrival before the run is cut.
+    pub drain_window: SimDur,
+    /// RNG seed.
+    pub seed: u64,
+    /// Record a schedule trace (timeline figures).
+    pub trace_schedule: bool,
+    /// Expected decode tokens used for batch-size headroom when the oracle
+    /// output length is unknown (Aegaeon never reads the oracle).
+    pub expected_output_tokens: u32,
+    /// Keep preempted batches' KV resident on the GPU when the unified
+    /// cache has headroom, instead of always offloading at turn end (an
+    /// extension beyond the paper's offload-on-preemption; saves PCIe
+    /// traffic at the cost of VRAM pressure).
+    pub kv_residency: bool,
+    /// Resident weight slots per instance (§8 future work: "Aegaeon can
+    /// potentially incorporate multiplexing by dynamically switching
+    /// colocated models"). With 2+ slots, switching among colocated models
+    /// is free and the spare slot doubles as the prefetch target; VRAM for
+    /// KV shrinks accordingly. Falls back to 1 when models do not fit.
+    pub weight_slots: u32,
+    /// Injected instance failures: `(time_secs, kind, index)` — the Fig. 5
+    /// fault-tolerance path (proxy status sync + request recovery).
+    pub failures: Vec<(f64, crate::events::InstKind, u32)>,
+    /// Delay before the proxy's status sync notices a dead instance and
+    /// recovers its requests (heartbeat period).
+    pub failover_latency: SimDur,
+}
+
+impl AegaeonConfig {
+    /// The paper's main testbed (§7.1/§7.2): 2 nodes × 8 H800, TP = 1,
+    /// 6 prefill + 10 decoding instances, full optimizations.
+    pub fn paper_testbed() -> AegaeonConfig {
+        AegaeonConfig {
+            cluster: ClusterSpec::paper_testbed(),
+            tp: 1,
+            prefill_instances: 6,
+            opts: AutoscaleOpts::t3(),
+            init_costs: InitCosts::paper_default(),
+            max_gpsize: 8,
+            qmax: 4.0,
+            target_tbt: 0.1,
+            proxy_latency: SimDur::from_micros(500),
+            control_overhead_per_swap: SimDur::from_micros(300),
+            beta: 1.25,
+            model_cache_bytes: 1536 << 30,
+            cpu_kv_bytes: 320 << 30,
+            slab_bytes: 128 << 20,
+            block_tokens: 16,
+            remote_bw: 5e9,
+            vram_usable: 0.90,
+            daemon_period: SimDur::from_millis(50),
+            sample_period: SimDur::from_secs(1),
+            drain_window: SimDur::from_secs(240),
+            seed: 42,
+            trace_schedule: false,
+            expected_output_tokens: 256,
+            kv_residency: false,
+            weight_slots: 1,
+            failures: Vec::new(),
+            failover_latency: SimDur::from_secs(2),
+        }
+    }
+
+    /// A small testbed for tests/examples: one node with
+    /// `prefill + decode` H800 GPUs, TP = 1.
+    pub fn small_testbed(prefill: usize, decode: usize) -> AegaeonConfig {
+        let mut cfg = Self::paper_testbed();
+        cfg.cluster = ClusterSpec::homogeneous(
+            1,
+            NodeSpec {
+                gpus: (prefill + decode) as u32,
+                gpu: GpuSpec::h800(),
+                dram_bytes: 1 << 40,
+                nic_bw: 25e9,
+            },
+        );
+        cfg.prefill_instances = prefill;
+        cfg
+    }
+
+    /// The §7.4 lower-end testbed: one node with 4 A10 GPUs, 2 prefill +
+    /// 2 decoding instances, prefetching disabled (24 GB VRAM cannot hold
+    /// two models).
+    pub fn a10_testbed() -> AegaeonConfig {
+        let mut cfg = Self::paper_testbed();
+        cfg.cluster = ClusterSpec::homogeneous(
+            1,
+            NodeSpec {
+                gpus: 4,
+                gpu: GpuSpec::a10(),
+                dram_bytes: 512 << 30,
+                nic_bw: 25e9,
+            },
+        );
+        cfg.prefill_instances = 2;
+        cfg.opts.prefetch = false;
+        cfg
+    }
+
+    /// The §7.4 large-model testbed: one node with 8 H800, TP = 4 (one
+    /// prefill + one decoding instance).
+    pub fn tp4_testbed() -> AegaeonConfig {
+        let mut cfg = Self::paper_testbed();
+        cfg.cluster = ClusterSpec::homogeneous(1, NodeSpec::h800_node());
+        cfg.tp = 4;
+        cfg.prefill_instances = 1;
+        cfg
+    }
+
+    /// Number of serving instances (TP groups) in the cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (TP groups must not
+    /// straddle nodes; prefill instances must leave at least one decoder).
+    pub fn instance_count(&self) -> usize {
+        let mut total = 0usize;
+        for node in &self.cluster.nodes {
+            assert!(
+                node.gpus % self.tp == 0,
+                "TP groups must not straddle nodes"
+            );
+            total += (node.gpus / self.tp) as usize;
+        }
+        assert!(
+            self.prefill_instances < total,
+            "need at least one decoding instance ({} instances, {} prefill)",
+            total,
+            self.prefill_instances
+        );
+        total
+    }
+
+    /// Number of decoding instances.
+    pub fn decode_instances(&self) -> usize {
+        self.instance_count() - self.prefill_instances
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_splits_6_plus_10() {
+        let cfg = AegaeonConfig::paper_testbed();
+        assert_eq!(cfg.instance_count(), 16);
+        assert_eq!(cfg.decode_instances(), 10);
+    }
+
+    #[test]
+    fn tp4_testbed_has_two_instances() {
+        let cfg = AegaeonConfig::tp4_testbed();
+        assert_eq!(cfg.instance_count(), 2);
+        assert_eq!(cfg.decode_instances(), 1);
+    }
+
+    #[test]
+    fn a10_disables_prefetch() {
+        let cfg = AegaeonConfig::a10_testbed();
+        assert!(!cfg.opts.prefetch);
+        assert!(cfg.opts.fine_sync);
+    }
+
+    #[test]
+    #[should_panic(expected = "decoding instance")]
+    fn all_prefill_is_rejected() {
+        let mut cfg = AegaeonConfig::small_testbed(2, 2);
+        cfg.prefill_instances = 4;
+        let _ = cfg.instance_count();
+    }
+}

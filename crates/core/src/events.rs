@@ -1,0 +1,121 @@
+//! Top-level simulation events and fabric completion tags.
+
+use aegaeon_gpu::FabricEvent;
+use aegaeon_model::ModelId;
+use aegaeon_workload::RequestId;
+
+/// Which kind of instance a tag refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum InstKind {
+    /// A prefill instance.
+    Prefill,
+    /// A decoding instance.
+    Decode,
+}
+
+/// A reference to one serving instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstRef {
+    /// Prefill or decode.
+    pub kind: InstKind,
+    /// Index within its kind.
+    pub idx: u32,
+}
+
+impl InstRef {
+    /// A prefill instance reference.
+    pub fn prefill(idx: usize) -> InstRef {
+        InstRef {
+            kind: InstKind::Prefill,
+            idx: idx as u32,
+        }
+    }
+
+    /// A decoding instance reference.
+    pub fn decode(idx: usize) -> InstRef {
+        InstRef {
+            kind: InstKind::Decode,
+            idx: idx as u32,
+        }
+    }
+}
+
+/// Completion tags attached to fabric ops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tag {
+    /// One shard of a multi-GPU (TP) operation; the map in the system
+    /// counts parts down and then handles the inner tag.
+    Part(u64),
+    /// A prefill job finished.
+    PrefillDone {
+        /// Prefill instance.
+        inst: u32,
+        /// The request.
+        req: RequestId,
+    },
+    /// One auto-scaling stage finished.
+    ScaleStage {
+        /// The instance.
+        at: InstRef,
+        /// Scaling-sequence generation (guards staleness).
+        seq: u64,
+    },
+    /// A model prefetch landed in the VRAM prefetch region.
+    PrefetchDone {
+        /// The instance.
+        at: InstRef,
+        /// Prefetched model.
+        model: ModelId,
+        /// Prefetch-sequence generation.
+        seq: u64,
+    },
+    /// One decoding step finished.
+    DecodeStep {
+        /// Decoding instance.
+        inst: u32,
+        /// Turn generation (guards staleness).
+        turn: u64,
+    },
+    /// A request's KV cache finished swapping into a decoding instance.
+    KvIn {
+        /// Decoding instance.
+        inst: u32,
+        /// The request.
+        req: RequestId,
+        /// Turn generation it was issued for.
+        turn: u64,
+    },
+    /// A request's KV cache finished swapping out (accounting only; block
+    /// reclamation goes through move lists).
+    KvOut {
+        /// The request.
+        req: RequestId,
+    },
+    /// An intermediate hop (e.g. the NIC leg of a cross-node transfer)
+    /// requiring no action.
+    Noop,
+}
+
+/// Top-level simulation events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ev {
+    /// A GPU-fabric event (stream op done, link timer).
+    Fabric(FabricEvent),
+    /// Arrival of `trace.requests[idx]` at the proxy.
+    Arrive(u32),
+    /// A dispatched request reaches its prefill instance (after proxy
+    /// latency).
+    DispatchPrefill {
+        /// Request index in the trace.
+        idx: u32,
+    },
+    /// Move-list reclamation daemon tick.
+    Daemon,
+    /// Periodic statistics sample.
+    Sample,
+    /// An injected instance failure (index into the failure schedule).
+    Fail(u32),
+    /// The proxy's status sync has detected failure `idx` (one heartbeat
+    /// period later) and recovers the stranded requests.
+    Failover(u32),
+}

@@ -1,0 +1,282 @@
+//! Algorithm 1: grouped FCFS prefill-phase scheduling.
+//!
+//! Each prefill instance maintains a job queue of *groups*; a group holds up
+//! to `MAX_GPSIZE` requests of one model. An arriving job first tries to
+//! join an existing group anywhere in the pool (minimizing preemptive
+//! auto-scaling); otherwise a fresh group is appended to the least-loaded
+//! queue, where load is the estimated time to finish all pending groups —
+//! execution plus auto-scaling. Execution pops one request at a time from
+//! the *front* group (prefill batch size is one, §4.2), and group sizes are
+//! accumulative: serving a request does not free up its slot, which keeps
+//! the schedule close to FCFS.
+
+use std::collections::VecDeque;
+
+use aegaeon_model::ModelId;
+use aegaeon_workload::RequestId;
+
+/// A group of same-model prefill jobs.
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// The model all jobs in the group target.
+    pub model: ModelId,
+    /// Pending requests.
+    pub reqs: VecDeque<RequestId>,
+    /// Accumulative size (never decremented; caps admission).
+    pub accum: u32,
+}
+
+/// One prefill instance's job queue.
+#[derive(Debug, Clone, Default)]
+pub struct PrefillQueue {
+    groups: VecDeque<Group>,
+}
+
+impl PrefillQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tries to add `req` to an existing group of `model` with accumulative
+    /// size below `max_gpsize` (Algorithm 1, lines 6–8).
+    pub fn try_join(&mut self, model: ModelId, req: RequestId, max_gpsize: u32) -> bool {
+        for g in &mut self.groups {
+            if g.model == model && g.accum < max_gpsize {
+                g.reqs.push_back(req);
+                g.accum += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Appends a fresh group holding `req` (Algorithm 1, line 13).
+    pub fn push_group(&mut self, model: ModelId, req: RequestId) {
+        let mut reqs = VecDeque::new();
+        reqs.push_back(req);
+        self.groups.push_back(Group {
+            model,
+            reqs,
+            accum: 1,
+        });
+    }
+
+    /// Model of the front group, if any.
+    pub fn front_model(&self) -> Option<ModelId> {
+        self.groups.front().map(|g| g.model)
+    }
+
+    /// Model of the group *after* the front (the prefetch target).
+    pub fn next_model(&self) -> Option<ModelId> {
+        self.groups.get(1).map(|g| g.model)
+    }
+
+    /// Pops one request from the front group (Algorithm 1, line 15),
+    /// removing the group once drained.
+    pub fn pop_request(&mut self) -> Option<(ModelId, RequestId)> {
+        loop {
+            let front = self.groups.front_mut()?;
+            if let Some(r) = front.reqs.pop_front() {
+                let model = front.model;
+                if front.reqs.is_empty() {
+                    self.groups.pop_front();
+                }
+                return Some((model, r));
+            }
+            self.groups.pop_front();
+        }
+    }
+
+    /// Puts a request back at the head (GPU KV backpressure retry).
+    pub fn push_front(&mut self, model: ModelId, req: RequestId) {
+        match self.groups.front_mut() {
+            Some(g) if g.model == model => g.reqs.push_front(req),
+            _ => {
+                let mut reqs = VecDeque::new();
+                reqs.push_back(req);
+                self.groups.push_front(Group {
+                    model,
+                    reqs,
+                    accum: 1,
+                });
+            }
+        }
+    }
+
+    /// Total queued requests.
+    pub fn pending(&self) -> usize {
+        self.groups.iter().map(|g| g.reqs.len()).sum()
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// The queue's load (Algorithm 1, line 9): estimated seconds to finish
+    /// every pending group, counting execution (`exec_est` per request) and
+    /// one auto-scaling (`switch_est` per model) whenever consecutive groups
+    /// change models, starting from `current`.
+    pub fn load_estimate(
+        &self,
+        current: Option<ModelId>,
+        mut exec_est: impl FnMut(ModelId, RequestId) -> f64,
+        mut switch_est: impl FnMut(ModelId) -> f64,
+    ) -> f64 {
+        let mut load = 0.0;
+        let mut prev = current;
+        for g in &self.groups {
+            if prev != Some(g.model) {
+                load += switch_est(g.model);
+            }
+            prev = Some(g.model);
+            for &r in &g.reqs {
+                load += exec_est(g.model, r);
+            }
+        }
+        load
+    }
+
+    /// Iterates the groups (introspection/tests).
+    pub fn groups(&self) -> impl Iterator<Item = &Group> {
+        self.groups.iter()
+    }
+}
+
+/// Picks the prefill instance for a new request (Algorithm 1): join an
+/// existing group if possible, else the least-loaded queue gets a new group.
+/// Returns the chosen instance index.
+pub fn dispatch_prefill(
+    queues: &mut [PrefillQueue],
+    currents: &[Option<ModelId>],
+    model: ModelId,
+    req: RequestId,
+    max_gpsize: u32,
+    mut exec_est: impl FnMut(ModelId, RequestId) -> f64,
+    mut switch_est: impl FnMut(ModelId) -> f64,
+) -> usize {
+    // Lines 4–8: prioritize existing groups anywhere in the pool.
+    for (i, q) in queues.iter_mut().enumerate() {
+        if q.try_join(model, req, max_gpsize) {
+            return i;
+        }
+    }
+    // Lines 9–13: least-loaded queue gets a fresh group.
+    let mut best = 0usize;
+    let mut min_load = f64::INFINITY;
+    for (i, q) in queues.iter().enumerate() {
+        let load = q.load_estimate(currents[i], &mut exec_est, &mut switch_est);
+        if load < min_load {
+            min_load = load;
+            best = i;
+        }
+    }
+    queues[best].push_group(model, req);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rid(x: u64) -> RequestId {
+        RequestId(x)
+    }
+    fn mid(x: u32) -> ModelId {
+        ModelId(x)
+    }
+
+    #[test]
+    fn join_prefers_existing_group() {
+        let mut qs = vec![PrefillQueue::new(), PrefillQueue::new()];
+        let currents = vec![None, None];
+        let e = |_: ModelId, _: RequestId| 0.1;
+        let s = |_: ModelId| 1.0;
+        let i0 = dispatch_prefill(&mut qs, &currents, mid(0), rid(0), 8, e, s);
+        let i1 = dispatch_prefill(&mut qs, &currents, mid(0), rid(1), 8, e, s);
+        assert_eq!(i0, i1, "same-model jobs share a group");
+        assert_eq!(qs[i0].groups().count(), 1);
+        assert_eq!(qs[i0].pending(), 2);
+    }
+
+    #[test]
+    fn full_group_spills_to_least_loaded() {
+        let mut qs = vec![PrefillQueue::new(), PrefillQueue::new()];
+        let currents = vec![None, None];
+        let e = |_: ModelId, _: RequestId| 0.1;
+        let s = |_: ModelId| 1.0;
+        for k in 0..2 {
+            dispatch_prefill(&mut qs, &currents, mid(0), rid(k), 2, e, s);
+        }
+        // Group at capacity (2); the third same-model job must open a new
+        // group on the *other*, empty queue.
+        let i = dispatch_prefill(&mut qs, &currents, mid(0), rid(2), 2, e, s);
+        assert_eq!(qs[0].pending() + qs[1].pending(), 3);
+        assert_eq!(qs[i].groups().count(), 1);
+        assert_ne!(i, 0);
+    }
+
+    #[test]
+    fn accumulative_size_preserves_fcfs() {
+        let mut q = PrefillQueue::new();
+        assert!(!q.try_join(mid(0), rid(0), 8));
+        q.push_group(mid(0), rid(0));
+        assert!(q.try_join(mid(0), rid(1), 2));
+        // Serve one; accumulative size stays 2, so a third job may NOT join.
+        let (m, r) = q.pop_request().unwrap();
+        assert_eq!((m, r), (mid(0), rid(0)));
+        assert!(!q.try_join(mid(0), rid(2), 2));
+    }
+
+    #[test]
+    fn load_counts_switches_between_model_changes() {
+        let mut q = PrefillQueue::new();
+        q.push_group(mid(0), rid(0));
+        q.push_group(mid(1), rid(1));
+        q.push_group(mid(1), rid(2));
+        q.push_group(mid(0), rid(3));
+        // current = Some(0): switches at m1 and back at m0 → 2 switches.
+        let load = q.load_estimate(Some(mid(0)), |_, _| 0.5, |_| 10.0);
+        assert!((load - (4.0 * 0.5 + 2.0 * 10.0)).abs() < 1e-9, "load {load}");
+        // current = None: also pay the initial scale to m0.
+        let load2 = q.load_estimate(None, |_, _| 0.5, |_| 10.0);
+        assert!((load2 - (2.0 + 30.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pop_drains_groups_in_order() {
+        let mut q = PrefillQueue::new();
+        q.push_group(mid(0), rid(0));
+        q.try_join(mid(0), rid(1), 8);
+        q.push_group(mid(1), rid(2));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop_request()).collect();
+        assert_eq!(
+            order,
+            vec![(mid(0), rid(0)), (mid(0), rid(1)), (mid(1), rid(2))]
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn push_front_rejoins_front_group() {
+        let mut q = PrefillQueue::new();
+        q.push_group(mid(0), rid(0));
+        q.try_join(mid(0), rid(1), 8);
+        let (m, r) = q.pop_request().unwrap();
+        q.push_front(m, r);
+        assert_eq!(q.pop_request().unwrap(), (mid(0), rid(0)));
+        // A different model pushed to the front opens its own group.
+        q.push_front(mid(5), rid(9));
+        assert_eq!(q.front_model(), Some(mid(5)));
+    }
+
+    #[test]
+    fn next_model_is_the_prefetch_target() {
+        let mut q = PrefillQueue::new();
+        assert_eq!(q.next_model(), None);
+        q.push_group(mid(0), rid(0));
+        q.push_group(mid(3), rid(1));
+        assert_eq!(q.next_model(), Some(mid(3)));
+    }
+}

@@ -1,0 +1,192 @@
+//! The proxy layer's shared metadata store (Figure 5's "Status Sync").
+//!
+//! Aegaeon's proxy synchronizes request metadata and instance status with
+//! the serving instances through a shared in-memory store (Redis in the
+//! paper) "to ensure load balancing and fault tolerance". This module
+//! models that component: instances publish heartbeats and load hints; the
+//! proxy reads them with a small RPC latency and declares an instance dead
+//! after missing heartbeats.
+
+use std::collections::HashMap;
+
+use aegaeon_sim::{SimDur, SimTime};
+
+use crate::events::InstRef;
+
+/// Published status of one serving instance.
+#[derive(Debug, Clone, Copy)]
+pub struct InstanceStatus {
+    /// Last heartbeat instant.
+    pub last_heartbeat: SimTime,
+    /// Load hint the instance published (queue/work-list pressure).
+    pub load: f64,
+    /// Administratively marked dead (confirmed failure).
+    pub confirmed_dead: bool,
+}
+
+/// The shared metadata store.
+#[derive(Debug, Clone)]
+pub struct MetaStore {
+    rpc_latency: SimDur,
+    heartbeat_period: SimDur,
+    /// Heartbeats missed before an instance is presumed dead.
+    miss_threshold: u32,
+    status: HashMap<InstRef, InstanceStatus>,
+    reads: u64,
+    writes: u64,
+}
+
+impl MetaStore {
+    /// Creates a store; `rpc_latency` is charged per proxy access.
+    pub fn new(rpc_latency: SimDur, heartbeat_period: SimDur) -> MetaStore {
+        MetaStore {
+            rpc_latency,
+            heartbeat_period,
+            miss_threshold: 2,
+            status: HashMap::new(),
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Per-access RPC latency the proxy pays.
+    pub fn rpc_latency(&self) -> SimDur {
+        self.rpc_latency
+    }
+
+    /// Time from an instance dying to the proxy presuming it dead:
+    /// `miss_threshold` heartbeat periods plus one RPC.
+    pub fn detection_latency(&self) -> SimDur {
+        self.heartbeat_period * self.miss_threshold as u64 + self.rpc_latency
+    }
+
+    /// An instance publishes its heartbeat and load hint.
+    pub fn heartbeat(&mut self, inst: InstRef, now: SimTime, load: f64) {
+        self.writes += 1;
+        let e = self.status.entry(inst).or_insert(InstanceStatus {
+            last_heartbeat: now,
+            load,
+            confirmed_dead: false,
+        });
+        if !e.confirmed_dead {
+            e.last_heartbeat = now;
+            e.load = load;
+        }
+    }
+
+    /// Marks an instance dead administratively (failure confirmed).
+    pub fn confirm_dead(&mut self, inst: InstRef) {
+        self.writes += 1;
+        let e = self.status.entry(inst).or_insert(InstanceStatus {
+            last_heartbeat: SimTime::ZERO,
+            load: 0.0,
+            confirmed_dead: true,
+        });
+        e.confirmed_dead = true;
+    }
+
+    /// True if the proxy should treat the instance as dead at `now`:
+    /// confirmed, or silent for more than the miss threshold.
+    pub fn presumed_dead(&mut self, inst: InstRef, now: SimTime) -> bool {
+        self.reads += 1;
+        match self.status.get(&inst) {
+            None => false, // never registered: assume booting
+            Some(s) => {
+                s.confirmed_dead
+                    || now.saturating_since(s.last_heartbeat)
+                        > self.heartbeat_period * self.miss_threshold as u64
+            }
+        }
+    }
+
+    /// Load hint for an instance (`None` if unknown or dead).
+    pub fn load_hint(&mut self, inst: InstRef, now: SimTime) -> Option<f64> {
+        if self.presumed_dead(inst, now) {
+            return None;
+        }
+        self.reads += 1;
+        self.status.get(&inst).map(|s| s.load)
+    }
+
+    /// `(reads, writes)` access counters (Figure 14's control-plane cost).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.reads, self.writes)
+    }
+
+    /// Instances currently presumed alive at `now`.
+    pub fn alive(&mut self, now: SimTime) -> Vec<InstRef> {
+        let mut keys: Vec<InstRef> = self.status.keys().copied().collect();
+        keys.sort(); // deterministic order despite the hash map
+        keys.into_iter()
+            .filter(|&k| !self.presumed_dead(k, now))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    fn store() -> MetaStore {
+        MetaStore::new(SimDur::from_micros(500), SimDur::from_secs(1))
+    }
+
+    #[test]
+    fn fresh_heartbeats_keep_instances_alive() {
+        let mut m = store();
+        let a = InstRef::prefill(0);
+        m.heartbeat(a, secs(0.0), 1.0);
+        m.heartbeat(a, secs(1.0), 2.0);
+        assert!(!m.presumed_dead(a, secs(1.5)));
+        assert_eq!(m.load_hint(a, secs(1.5)), Some(2.0));
+    }
+
+    #[test]
+    fn silence_beyond_threshold_presumes_death() {
+        let mut m = store();
+        let a = InstRef::decode(3);
+        m.heartbeat(a, secs(0.0), 1.0);
+        assert!(!m.presumed_dead(a, secs(2.0)), "exactly at threshold");
+        assert!(m.presumed_dead(a, secs(2.1)));
+        assert_eq!(m.load_hint(a, secs(2.1)), None);
+    }
+
+    #[test]
+    fn confirmed_death_is_sticky() {
+        let mut m = store();
+        let a = InstRef::decode(0);
+        m.heartbeat(a, secs(0.0), 1.0);
+        m.confirm_dead(a);
+        // A late heartbeat from a zombie must not resurrect it.
+        m.heartbeat(a, secs(0.5), 1.0);
+        assert!(m.presumed_dead(a, secs(0.6)));
+    }
+
+    #[test]
+    fn detection_latency_is_two_periods_plus_rpc() {
+        let m = store();
+        let d = m.detection_latency().as_secs_f64();
+        assert!((d - 2.0005).abs() < 1e-9, "{d}");
+    }
+
+    #[test]
+    fn alive_lists_only_live_instances() {
+        let mut m = store();
+        let a = InstRef::prefill(0);
+        let b = InstRef::decode(1);
+        m.heartbeat(a, secs(10.0), 0.0);
+        m.heartbeat(b, secs(0.0), 0.0);
+        let alive = m.alive(secs(10.5));
+        assert_eq!(alive, vec![a]);
+    }
+
+    #[test]
+    fn unknown_instances_are_assumed_booting() {
+        let mut m = store();
+        assert!(!m.presumed_dead(InstRef::decode(9), secs(100.0)));
+    }
+}

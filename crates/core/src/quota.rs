@@ -1,0 +1,200 @@
+//! The decoding-phase quota equations (§4.3, Equations (2) and (3)).
+//!
+//! Each round, batch `i` receives a time quota
+//!
+//! ```text
+//! q_i = c / (n_i · (α − Σ_k 1/n_k))                         (2)
+//! α   = max( c / (min_k n_k · QMAX) + Σ_k 1/n_k , 0.5 )     (3)
+//! ```
+//!
+//! where `n_k = d / t_k` (tokens a batch may decode per deadline period),
+//! `c` is the summed auto-scaling overhead of the models in the work list
+//! and `QMAX` caps individual quotas. Executing batch `i` for `q_i` seconds
+//! yields an SLO attainment of `min(1, 1/α)` for the round (see the §4.3
+//! worked example, reproduced as a test below).
+
+/// Inputs to the quota computation for one round.
+#[derive(Debug, Clone)]
+pub struct QuotaInputs {
+    /// Per-batch estimated decode-step time `t_k`, seconds.
+    pub step_times: Vec<f64>,
+    /// Target TBT `d`, seconds.
+    pub tbt: f64,
+    /// Summed auto-scaling overhead `c` for the models in the list, seconds.
+    pub switch_total: f64,
+    /// Quota cap `QMAX`, seconds.
+    pub qmax: f64,
+}
+
+/// The computed round schedule.
+#[derive(Debug, Clone)]
+pub struct RoundQuotas {
+    /// Per-batch quotas `q_i`, seconds.
+    pub quotas: Vec<f64>,
+    /// The α of Equation (3).
+    pub alpha: f64,
+    /// Estimated SLO attainment of the round, `min(1, 1/α)`.
+    pub est_attainment: f64,
+}
+
+/// Evaluates Equations (2) and (3).
+///
+/// Degenerate cases: an empty work list yields no quotas; `c = 0` (a single
+/// resident model, nothing to switch) yields `q_i = QMAX` — decode freely
+/// and re-evaluate next round.
+///
+/// # Panics
+///
+/// Panics if any step time, the TBT or QMAX is not strictly positive.
+pub fn decode_quotas(inp: &QuotaInputs) -> RoundQuotas {
+    assert!(inp.tbt > 0.0 && inp.qmax > 0.0, "d and QMAX must be positive");
+    if inp.step_times.is_empty() {
+        return RoundQuotas {
+            quotas: Vec::new(),
+            alpha: 0.5,
+            est_attainment: 1.0,
+        };
+    }
+    let n: Vec<f64> = inp
+        .step_times
+        .iter()
+        .map(|&t| {
+            assert!(t > 0.0, "step time must be positive");
+            // A batch slower than its deadline can never meet TBT alone;
+            // floor n at 1 to keep the algebra sane (quota still assigned).
+            (inp.tbt / t).max(1.0)
+        })
+        .collect();
+    let inv_sum: f64 = n.iter().map(|x| 1.0 / x).sum();
+    let n_min = n.iter().cloned().fold(f64::INFINITY, f64::min);
+    let c = inp.switch_total.max(0.0);
+    if c == 0.0 {
+        // No switching pressure: Equation (2) degenerates (0/0); decode at
+        // the cap.
+        return RoundQuotas {
+            quotas: vec![inp.qmax; n.len()],
+            alpha: inv_sum.max(0.5),
+            est_attainment: (1.0 / inv_sum.max(0.5)).min(1.0),
+        };
+    }
+    let alpha = (c / (n_min * inp.qmax) + inv_sum).max(0.5);
+    let denom = alpha - inv_sum;
+    let quotas: Vec<f64> = n
+        .iter()
+        .map(|&ni| {
+            if denom <= 1e-12 {
+                inp.qmax
+            } else {
+                (c / (ni * denom)).min(inp.qmax * 4.0)
+            }
+        })
+        .collect();
+    RoundQuotas {
+        quotas,
+        alpha,
+        est_attainment: (1.0 / alpha).min(1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example() {
+        // §4.3: three batches, d = 0.1, t_i = 0.025, c = 3, QMAX = 3
+        // ⇒ n_i = 4, α = 1/4 + 3/4 = 1, q_i = 3 / (4 · (1 − 3/4)) = 3.
+        let r = decode_quotas(&QuotaInputs {
+            step_times: vec![0.025; 3],
+            tbt: 0.1,
+            switch_total: 3.0,
+            qmax: 3.0,
+        });
+        assert!((r.alpha - 1.0).abs() < 1e-9, "alpha {}", r.alpha);
+        for q in &r.quotas {
+            assert!((q - 3.0).abs() < 1e-9, "q {q}");
+        }
+        assert!((r.est_attainment - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn light_switching_hits_the_alpha_floor() {
+        // Small c: α floors at 0.5, quotas stay small and flexible.
+        let r = decode_quotas(&QuotaInputs {
+            step_times: vec![0.02, 0.02],
+            tbt: 0.1,
+            switch_total: 0.2,
+            qmax: 4.0,
+        });
+        assert!((r.alpha - 0.5).abs() < 1e-9);
+        // q = 0.2 / (5 · (0.5 − 0.4)) = 0.4.
+        for q in &r.quotas {
+            assert!((q - 0.4).abs() < 1e-9, "q {q}");
+        }
+        assert_eq!(r.est_attainment, 1.0);
+    }
+
+    #[test]
+    fn overload_degrades_estimated_attainment() {
+        // Many slow batches: α > 1 and estimated attainment < 1.
+        let r = decode_quotas(&QuotaInputs {
+            step_times: vec![0.05; 6],
+            tbt: 0.1,
+            switch_total: 6.0,
+            qmax: 4.0,
+        });
+        assert!(r.alpha > 1.0);
+        assert!(r.est_attainment < 1.0);
+        assert!(r.quotas.iter().all(|&q| q > 0.0));
+    }
+
+    #[test]
+    fn single_resident_model_decodes_at_cap() {
+        let r = decode_quotas(&QuotaInputs {
+            step_times: vec![0.03],
+            tbt: 0.1,
+            switch_total: 0.0,
+            qmax: 4.0,
+        });
+        assert_eq!(r.quotas, vec![4.0]);
+        assert_eq!(r.est_attainment, 1.0);
+    }
+
+    #[test]
+    fn empty_list_is_trivial() {
+        let r = decode_quotas(&QuotaInputs {
+            step_times: vec![],
+            tbt: 0.1,
+            switch_total: 1.0,
+            qmax: 4.0,
+        });
+        assert!(r.quotas.is_empty());
+    }
+
+    #[test]
+    fn slower_batches_get_larger_quotas() {
+        // Equation (2): q_i ∝ 1/n_i = t_i/d — a batch with slower steps
+        // needs more wall time per buffered token.
+        let r = decode_quotas(&QuotaInputs {
+            step_times: vec![0.02, 0.04],
+            tbt: 0.1,
+            switch_total: 2.0,
+            qmax: 8.0,
+        });
+        assert!(r.quotas[1] > r.quotas[0]);
+        let ratio = r.quotas[1] / r.quotas[0];
+        assert!((ratio - 2.0).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn step_time_beyond_deadline_is_floored() {
+        // t > d would make n < 1; the floor keeps quotas finite/positive.
+        let r = decode_quotas(&QuotaInputs {
+            step_times: vec![0.2],
+            tbt: 0.1,
+            switch_total: 1.0,
+            qmax: 4.0,
+        });
+        assert!(r.quotas[0] > 0.0 && r.quotas[0].is_finite());
+    }
+}

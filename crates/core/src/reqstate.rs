@@ -1,0 +1,144 @@
+//! Per-request runtime state.
+
+use aegaeon_gpu::EventId;
+use aegaeon_sim::SimTime;
+
+/// Where a request's KV cache currently lives. Block lists are tracked by
+/// the owning [`aegaeon_engine::KvCache`]; this is only the location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvPlace {
+    /// Not yet materialized (pre-prefill).
+    None,
+    /// On a prefill or decoding instance's GPU (possibly still in flight;
+    /// see [`ReqState::kv_ready`]).
+    Gpu,
+    /// In a node's unified CPU cache.
+    Cpu {
+        /// Node index.
+        node: u32,
+    },
+}
+
+/// Lifecycle phase of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Waiting for / undergoing prefill.
+    Prefill,
+    /// In a decoding work list.
+    Decode,
+    /// All tokens produced.
+    Done,
+}
+
+/// Mutable runtime state of one request.
+#[derive(Debug, Clone)]
+pub struct ReqState {
+    /// Prompt length.
+    pub input_tokens: u32,
+    /// Oracle output length (simulation termination only).
+    pub target_tokens: u32,
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// Output tokens produced so far.
+    pub produced: u32,
+    /// Generation instants (first token included).
+    pub token_times: Vec<SimTime>,
+    /// Current phase.
+    pub phase: Phase,
+    /// KV location.
+    pub kv: KvPlace,
+    /// Event guarding the latest swap-out of this request's KV (§5.3 rule
+    /// ❷: a swap-in must wait on it).
+    pub offload_event: Option<EventId>,
+    /// Set while the request's KV is present on the decoding GPU and ready
+    /// to decode.
+    pub kv_ready: bool,
+    /// Decoding instance the request is assigned to.
+    pub decode_inst: Option<u32>,
+    /// Instant prefill execution started (for breakdown accounting).
+    pub prefill_start: Option<SimTime>,
+    /// Instant prefill finished.
+    pub prefill_end: Option<SimTime>,
+    /// Accumulated decode execution seconds (steps it participated in).
+    pub decode_exec_secs: f64,
+    /// Accumulated explicit KV-transfer wait seconds (Figure 14 "data
+    /// overhead", Figure 15 right).
+    pub data_wait_secs: f64,
+    /// Accumulated control-plane overhead seconds.
+    pub control_secs: f64,
+    /// Number of KV swaps (in + out) this request underwent.
+    pub swaps: u32,
+    /// Instant the request was dispatched to its decoding instance.
+    pub decode_dispatch: Option<SimTime>,
+    /// Instant the last token was produced.
+    pub finished_at: Option<SimTime>,
+    /// Set when the swap-in for the current turn has been issued.
+    pub swapin_inflight: bool,
+}
+
+impl ReqState {
+    /// Fresh state for a request of `input_tokens`/`target_tokens` arriving
+    /// at `arrival`.
+    pub fn new(arrival: SimTime, input_tokens: u32, target_tokens: u32) -> ReqState {
+        ReqState {
+            input_tokens,
+            target_tokens,
+            arrival,
+            produced: 0,
+            token_times: Vec::new(),
+            phase: Phase::Prefill,
+            kv: KvPlace::None,
+            offload_event: None,
+            kv_ready: false,
+            decode_inst: None,
+            prefill_start: None,
+            prefill_end: None,
+            decode_exec_secs: 0.0,
+            data_wait_secs: 0.0,
+            control_secs: 0.0,
+            swaps: 0,
+            decode_dispatch: None,
+            finished_at: None,
+            swapin_inflight: false,
+        }
+    }
+
+    /// Context length (prompt plus produced tokens).
+    pub fn ctx_tokens(&self) -> u32 {
+        self.input_tokens + self.produced
+    }
+
+    /// True once all target tokens are out.
+    pub fn is_done(&self) -> bool {
+        self.produced >= self.target_tokens
+    }
+
+    /// Records a produced token at `t`.
+    pub fn push_token(&mut self, t: SimTime) {
+        self.produced += 1;
+        self.token_times.push(t);
+        if self.is_done() {
+            self.phase = Phase::Done;
+            self.finished_at = Some(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let mut r = ReqState::new(SimTime::ZERO, 100, 3);
+        assert_eq!(r.ctx_tokens(), 100);
+        r.push_token(SimTime::from_secs_f64(1.0));
+        assert_eq!(r.phase, Phase::Prefill, "phase advances externally");
+        r.push_token(SimTime::from_secs_f64(1.1));
+        r.push_token(SimTime::from_secs_f64(1.2));
+        assert!(r.is_done());
+        assert_eq!(r.phase, Phase::Done);
+        assert_eq!(r.ctx_tokens(), 103);
+        assert_eq!(r.finished_at, Some(SimTime::from_secs_f64(1.2)));
+    }
+}

@@ -1,0 +1,70 @@
+//! Run results and derived reports.
+
+use aegaeon_metrics::{attainment, AttainmentReport, BreakdownAcc, RequestOutcome};
+use aegaeon_mem::frag::FragRow;
+use aegaeon_sim::{SimTime, TraceLog};
+use aegaeon_workload::SloSpec;
+
+/// Everything a serving run produces.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Per-request outcomes (token timestamps).
+    pub outcomes: Vec<RequestOutcome>,
+    /// The workload horizon (attainment deadline cutoff).
+    pub horizon: SimTime,
+    /// Simulated instant the run ended.
+    pub end_time: SimTime,
+    /// Latency-stage breakdown (Figure 14).
+    pub breakdown: BreakdownAcc,
+    /// Preemptive auto-scaling latencies, seconds (Figure 15 left).
+    pub scale_latencies: Vec<f64>,
+    /// Per-request KV synchronization overhead, seconds (Figure 15 right).
+    pub kv_sync_per_request: Vec<f64>,
+    /// Unified CPU cache fragmentation rows (Figure 16).
+    pub frag_rows: Vec<FragRow>,
+    /// Compute-busy seconds per GPU.
+    pub gpu_busy: Vec<f64>,
+    /// Periodic samples of cumulative per-GPU compute-busy seconds.
+    pub util_samples: Vec<(SimTime, Vec<f64>)>,
+    /// Requests that finished.
+    pub completed: usize,
+    /// Requests in the trace.
+    pub total_requests: usize,
+    /// Models deployed.
+    pub model_count: usize,
+    /// Preemptive scale-ups performed.
+    pub scale_count: u64,
+    /// Scale-ups whose weights were already prefetched.
+    pub prefetch_hits: u64,
+    /// KV swaps performed (in + out).
+    pub swaps: u64,
+    /// Simulation events dispatched.
+    pub events: u64,
+    /// Schedule trace (when enabled).
+    pub schedule: TraceLog,
+}
+
+impl RunResult {
+    /// Token-level SLO attainment under `slo`.
+    pub fn attainment(&self, slo: SloSpec) -> AttainmentReport {
+        attainment(&self.outcomes, slo, self.horizon)
+    }
+
+    /// Mean GPU compute utilization over the run.
+    pub fn mean_gpu_utilization(&self) -> f64 {
+        if self.gpu_busy.is_empty() || self.end_time == SimTime::ZERO {
+            return 0.0;
+        }
+        let total: f64 = self.gpu_busy.iter().sum();
+        total / (self.gpu_busy.len() as f64 * self.end_time.as_secs_f64())
+    }
+
+    /// Fraction of scale-ups served from the prefetch region.
+    pub fn prefetch_hit_ratio(&self) -> f64 {
+        if self.scale_count == 0 {
+            0.0
+        } else {
+            self.prefetch_hits as f64 / self.scale_count as f64
+        }
+    }
+}

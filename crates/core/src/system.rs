@@ -1,0 +1,1821 @@
+//! The Aegaeon serving system: disaggregated instances, token-level
+//! scheduling and preemptive auto-scaling over the simulated cluster.
+//!
+//! One [`ServingSystem`] drives a whole run: requests arrive at the proxy,
+//! Algorithm 1 places their prefill, prefilled requests hand their KV cache
+//! to a decoding instance chosen per Algorithm 2, and every model switch
+//! goes through the §5 preemptive auto-scaling pipeline (stage plan on the
+//! default stream, prefetching on a separate stream, KV transfers on
+//! dedicated streams synchronized with CUDA-like events, move lists plus a
+//! reclamation daemon for §5.3 rule ❸).
+
+use std::collections::{HashMap, VecDeque};
+
+use aegaeon_engine::{scale_up_plan, KvCache, KvCacheConfig, ScaleCost};
+use aegaeon_engine::init::PIPELINED_LOAD_EFFICIENCY;
+use aegaeon_gpu::{
+    ClusterTopology, Completion, EventId, Fabric, GpuId, StreamOp,
+};
+use aegaeon_mem::{BlockRef, BumpBuffer, FragSampler, ModelCache, MoveList, ShapeKey};
+use aegaeon_metrics::{RequestOutcome, Stage};
+use aegaeon_model::ModelId;
+use aegaeon_sim::{EventQueue, Lift, SimDur, SimRng, SimTime, Timeline, TraceKind, TraceLog};
+use aegaeon_workload::{RequestId, Trace};
+
+use crate::config::AegaeonConfig;
+use crate::decode::{dispatch_decode, BatchId, WorkList};
+use crate::deploy::{build_deploys, ModelDeploy};
+use crate::events::{Ev, InstKind, InstRef, Tag};
+use crate::prefill::PrefillQueue;
+use crate::proxy::MetaStore;
+use crate::quota::{decode_quotas, QuotaInputs};
+use crate::reqstate::{KvPlace, Phase, ReqState};
+use crate::result::RunResult;
+
+/// Auto-scaling controller state shared by both instance kinds.
+#[derive(Debug)]
+struct Scaler {
+    current: Option<ModelId>,
+    warm: bool,
+    prefetched: Option<ModelId>,
+    prefetch_inflight: Option<(ModelId, Vec<EventId>)>,
+    scaling: Option<Scaling>,
+    scale_seq: u64,
+    prefetch_seq: u64,
+    /// Colocated resident models, LRU first (multi-slot extension; empty
+    /// when a single weight slot is configured).
+    resident: Vec<ModelId>,
+}
+
+#[derive(Debug)]
+struct Scaling {
+    target: ModelId,
+    started: SimTime,
+    remaining_ops: u32,
+    prefetch_hit: bool,
+    seq: u64,
+}
+
+impl Scaler {
+    fn new(warm: bool) -> Scaler {
+        Scaler {
+            current: None,
+            warm,
+            prefetched: None,
+            prefetch_inflight: None,
+            scaling: None,
+            scale_seq: 0,
+            prefetch_seq: 0,
+            resident: Vec::new(),
+        }
+    }
+}
+
+type ParkedBlocks = MoveList<(ShapeKey, Vec<BlockRef>), EventId>;
+
+#[derive(Debug)]
+struct PrefillInst {
+    gpus: Vec<GpuId>,
+    node: u32,
+    queue: PrefillQueue,
+    scaler: Scaler,
+    gpu_kv: KvCache,
+    parked: ParkedBlocks,
+    active: Option<RequestId>,
+    retry: bool,
+    vram: BumpBuffer,
+    weights_mark: Option<aegaeon_mem::BumpMark>,
+    dead: bool,
+}
+
+#[derive(Debug)]
+struct TurnState {
+    batch: BatchId,
+    gen: u64,
+    quota: f64,
+    decode_started: Option<SimTime>,
+    stepping: bool,
+    step_reqs: Vec<RequestId>,
+    step_dur: f64,
+    kv_stall_since: Option<SimTime>,
+}
+
+#[derive(Debug)]
+struct DecodeInst {
+    gpus: Vec<GpuId>,
+    node: u32,
+    work: WorkList,
+    scaler: Scaler,
+    gpu_kv: KvCache,
+    parked: ParkedBlocks,
+    round: VecDeque<BatchId>,
+    turn: Option<TurnState>,
+    turn_gen: u64,
+    dead: bool,
+}
+
+#[derive(Debug)]
+struct NodeState {
+    cpu_kv: KvCache,
+    cpu_parked: ParkedBlocks,
+    model_cache: ModelCache,
+    /// Requests whose prefill finished but whose KV offload could not yet
+    /// allocate CPU space (retried by the daemon).
+    offload_retry: Vec<(InstRef, RequestId)>,
+}
+
+/// The serving system (see module docs).
+pub struct ServingSystem {
+    cfg: AegaeonConfig,
+    fabric: Fabric<Tag>,
+    topo: ClusterTopology,
+    deploys: Vec<ModelDeploy>,
+    prefills: Vec<PrefillInst>,
+    decodes: Vec<DecodeInst>,
+    nodes: Vec<NodeState>,
+    reqs: Vec<ReqState>,
+    trace: Trace,
+    rng: SimRng,
+    ready: VecDeque<Completion<Tag>>,
+    multis: HashMap<u64, (u32, Tag)>,
+    next_multi: u64,
+    prefetch_enabled: bool,
+    weight_slots: u32,
+    instant_switches: u64,
+    meta: MetaStore,
+    // Metrics.
+    breakdown: aegaeon_metrics::BreakdownAcc,
+    scale_latencies: Vec<f64>,
+    frag: FragSampler,
+    util_samples: Vec<(SimTime, Vec<f64>)>,
+    schedule: TraceLog,
+    completed: usize,
+    arrivals_left: usize,
+    swaps: u64,
+    scale_count: u64,
+    prefetch_hits: u64,
+    ticks_live: bool,
+    hard_stop: SimTime,
+}
+
+type Q = EventQueue<Ev>;
+
+impl ServingSystem {
+    /// Runs a full serving simulation and returns its results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (e.g. a model's TP shard
+    /// does not fit in VRAM).
+    pub fn run(cfg: &AegaeonConfig, models: &[aegaeon_model::ModelSpec], trace: &Trace) -> RunResult {
+        let mut q: Q = EventQueue::new();
+        let mut sys = ServingSystem::new(cfg.clone(), models, trace.clone());
+        sys.start(&mut q);
+        let cap: u64 = 400_000_000;
+        while let Some((t, ev)) = q.pop() {
+            if t > sys.hard_stop || q.events_dispatched() > cap {
+                break;
+            }
+            sys.handle(ev, &mut q);
+        }
+        sys.finish(&q)
+    }
+
+    fn new(cfg: AegaeonConfig, models: &[aegaeon_model::ModelSpec], trace: Trace) -> ServingSystem {
+        let mut rng = SimRng::seed_from_u64(cfg.seed);
+        let mut fabric: Fabric<Tag> = Fabric::new();
+        let topo = ClusterTopology::build(&cfg.cluster, &mut fabric);
+        let gpu_spec = cfg.cluster.nodes[0].gpu.clone();
+        let deploys = build_deploys(models, &gpu_spec, cfg.tp, &mut rng);
+
+        let usable = (gpu_spec.vram_bytes as f64 * cfg.vram_usable) as u64;
+        let max_shard = deploys
+            .iter()
+            .map(|d| d.shard_bytes)
+            .max()
+            .expect("at least one model");
+        assert!(
+            max_shard + (2 << 30) <= usable,
+            "model shard ({max_shard} B) does not fit in usable VRAM ({usable} B); raise TP"
+        );
+        // Reserve a prefetch region only if a second model still leaves a
+        // workable KV region (the A10 case disables prefetching, §7.4).
+        let min_kv = 2u64 << 30;
+        // Multi-slot colocation (§8 extension): fall back to one slot when
+        // the requested number of shards cannot share VRAM.
+        let mut weight_slots = cfg.weight_slots.max(1);
+        while weight_slots > 1 && usable < max_shard * weight_slots as u64 + min_kv {
+            weight_slots -= 1;
+        }
+        // With 2+ slots the spare slot IS the prefetch target; a separate
+        // prefetch region only exists in the single-slot configuration.
+        let prefetch_enabled = cfg.opts.prefetch
+            && (weight_slots > 1 || usable >= max_shard * 2 + min_kv);
+        let prefetch_cap = if weight_slots == 1 && prefetch_enabled {
+            max_shard
+        } else {
+            0
+        };
+        let kv_cap = usable - max_shard * weight_slots as u64 - prefetch_cap;
+
+        let mk_gpu_kv = || {
+            let mut kv = KvCache::new(KvCacheConfig {
+                capacity_bytes: kv_cap,
+                slab_bytes: cfg.slab_bytes,
+                block_tokens: cfg.block_tokens,
+            });
+            for (i, d) in deploys.iter().enumerate() {
+                kv.register_model(ModelId(i as u32), &d.spec);
+            }
+            kv
+        };
+
+        // Instances: TP-sized groups of consecutive GPUs; the first
+        // `prefill_instances` groups prefill, the rest decode.
+        let n_inst = cfg.instance_count();
+        let mut groups: Vec<(Vec<GpuId>, u32)> = Vec::with_capacity(n_inst);
+        let mut gpu_iter = topo.gpu_ids().collect::<Vec<_>>().into_iter();
+        for _ in 0..n_inst {
+            let gpus: Vec<GpuId> = (&mut gpu_iter).take(cfg.tp as usize).collect();
+            let node = topo.gpu(gpus[0]).node.0;
+            groups.push((gpus, node));
+        }
+
+        let warm = cfg.opts.component_reuse;
+        let mut prefills = Vec::new();
+        let mut decodes = Vec::new();
+        for (i, (gpus, node)) in groups.into_iter().enumerate() {
+            if i < cfg.prefill_instances {
+                prefills.push(PrefillInst {
+                    gpus,
+                    node,
+                    queue: PrefillQueue::new(),
+                    scaler: Scaler::new(warm),
+                    gpu_kv: mk_gpu_kv(),
+                    parked: MoveList::new(),
+                    active: None,
+                    retry: false,
+                    vram: BumpBuffer::new(max_shard + prefetch_cap),
+                    weights_mark: None,
+                    dead: false,
+                });
+            } else {
+                decodes.push(DecodeInst {
+                    gpus,
+                    node,
+                    work: WorkList::new(),
+                    scaler: Scaler::new(warm),
+                    gpu_kv: mk_gpu_kv(),
+                    parked: MoveList::new(),
+                    round: VecDeque::new(),
+                    turn: None,
+                    turn_gen: 0,
+                    dead: false,
+                });
+            }
+        }
+
+        // Node state: CPU caches pre-warmed with as many checkpoints as fit.
+        let mut nodes = Vec::new();
+        for _ in 0..topo.node_count() {
+            let mut cpu_kv = KvCache::new(KvCacheConfig {
+                capacity_bytes: cfg.cpu_kv_bytes,
+                slab_bytes: cfg.slab_bytes,
+                block_tokens: cfg.block_tokens,
+            });
+            let mut model_cache = ModelCache::new(cfg.model_cache_bytes);
+            for (i, d) in deploys.iter().enumerate() {
+                cpu_kv.register_model(ModelId(i as u32), &d.spec);
+                let _ = model_cache.insert(i as u32, d.spec.weight_bytes());
+            }
+            nodes.push(NodeState {
+                cpu_kv,
+                cpu_parked: MoveList::new(),
+                model_cache,
+                offload_retry: Vec::new(),
+            });
+        }
+
+        let reqs = trace
+            .requests
+            .iter()
+            .map(|r| ReqState::new(r.arrival(), r.input_tokens, r.output_tokens))
+            .collect();
+        let arrivals_left = trace.len();
+        let hard_stop = trace.horizon + cfg.drain_window;
+        let schedule = if cfg.trace_schedule {
+            TraceLog::enabled()
+        } else {
+            TraceLog::disabled()
+        };
+        let meta = MetaStore::new(cfg.proxy_latency, cfg.failover_latency / 2);
+        ServingSystem {
+            cfg,
+            fabric,
+            topo,
+            deploys,
+            prefills,
+            decodes,
+            nodes,
+            reqs,
+            trace,
+            rng,
+            ready: VecDeque::new(),
+            multis: HashMap::new(),
+            next_multi: 0,
+            prefetch_enabled,
+            weight_slots,
+            instant_switches: 0,
+            meta,
+            breakdown: aegaeon_metrics::BreakdownAcc::new(),
+            scale_latencies: Vec::new(),
+            frag: FragSampler::new(),
+            util_samples: Vec::new(),
+            schedule,
+            completed: 0,
+            arrivals_left,
+            swaps: 0,
+            scale_count: 0,
+            prefetch_hits: 0,
+            ticks_live: false,
+            hard_stop,
+        }
+    }
+
+    fn start(&mut self, q: &mut Q) {
+        for (i, r) in self.trace.requests.iter().enumerate() {
+            q.schedule_at(r.arrival(), Ev::Arrive(i as u32));
+        }
+        for (i, (secs, _, _)) in self.cfg.failures.clone().iter().enumerate() {
+            q.schedule_at(SimTime::from_secs_f64(*secs), Ev::Fail(i as u32));
+        }
+        self.ensure_ticks(q);
+    }
+
+    fn live(&self) -> bool {
+        self.arrivals_left > 0 || self.completed < self.trace.len()
+    }
+
+    fn ensure_ticks(&mut self, q: &mut Q) {
+        if !self.ticks_live && self.live() {
+            self.ticks_live = true;
+            q.schedule_after(self.cfg.daemon_period, Ev::Daemon);
+            q.schedule_after(self.cfg.sample_period, Ev::Sample);
+        }
+    }
+
+    fn handle(&mut self, ev: Ev, q: &mut Q) {
+        match ev {
+            Ev::Fabric(fe) => {
+                let cs = self.fabric.advance(fe, &mut Lift::new(q, Ev::Fabric));
+                self.ready.extend(cs);
+            }
+            Ev::Arrive(idx) => {
+                self.arrivals_left -= 1;
+                q.schedule_after(self.cfg.proxy_latency, Ev::DispatchPrefill { idx });
+                self.ensure_ticks(q);
+            }
+            Ev::DispatchPrefill { idx } => self.dispatch_prefill_req(idx as usize, q),
+            Ev::Daemon => {
+                self.daemon(q);
+                if self.live() {
+                    q.schedule_after(self.cfg.daemon_period, Ev::Daemon);
+                } else {
+                    self.ticks_live = false;
+                }
+            }
+            Ev::Sample => {
+                self.sample(q);
+                if self.live() {
+                    q.schedule_after(self.cfg.sample_period, Ev::Sample);
+                } else {
+                    self.ticks_live = false;
+                }
+            }
+            Ev::Fail(i) => self.on_fail(i as usize, q),
+            Ev::Failover(i) => self.on_failover(i as usize, q),
+        }
+        self.drain(q);
+    }
+
+    fn drain(&mut self, q: &mut Q) {
+        while let Some(c) = self.ready.pop_front() {
+            if let Completion::Op { tag, .. } = c {
+                self.on_tag(tag, q);
+            }
+        }
+    }
+
+    fn submit(&mut self, stream: aegaeon_gpu::StreamId, op: StreamOp<Tag>, q: &mut Q) {
+        let cs = self.fabric.submit(stream, op, &mut Lift::new(q, Ev::Fabric));
+        self.ready.extend(cs);
+    }
+
+    fn multi(&mut self, parts: u32, inner: Tag) -> Tag {
+        if parts <= 1 {
+            return inner;
+        }
+        let id = self.next_multi;
+        self.next_multi += 1;
+        self.multis.insert(id, (parts, inner));
+        Tag::Part(id)
+    }
+
+    fn inst_gpus(&self, at: InstRef) -> &[GpuId] {
+        match at.kind {
+            InstKind::Prefill => &self.prefills[at.idx as usize].gpus,
+            InstKind::Decode => &self.decodes[at.idx as usize].gpus,
+        }
+    }
+
+    fn inst_node(&self, at: InstRef) -> u32 {
+        match at.kind {
+            InstKind::Prefill => self.prefills[at.idx as usize].node,
+            InstKind::Decode => self.decodes[at.idx as usize].node,
+        }
+    }
+
+    fn scaler_mut(&mut self, at: InstRef) -> &mut Scaler {
+        match at.kind {
+            InstKind::Prefill => &mut self.prefills[at.idx as usize].scaler,
+            InstKind::Decode => &mut self.decodes[at.idx as usize].scaler,
+        }
+    }
+
+    fn scaler(&self, at: InstRef) -> &Scaler {
+        match at.kind {
+            InstKind::Prefill => &self.prefills[at.idx as usize].scaler,
+            InstKind::Decode => &self.decodes[at.idx as usize].scaler,
+        }
+    }
+
+    fn primary(&self, at: InstRef) -> GpuId {
+        self.inst_gpus(at)[0]
+    }
+
+    fn inst_dead(&self, at: InstRef) -> bool {
+        match at.kind {
+            InstKind::Prefill => self.prefills[at.idx as usize].dead,
+            InstKind::Decode => self.decodes[at.idx as usize].dead,
+        }
+    }
+
+    // ----- Fault tolerance (Fig. 5 status sync) -------------------------
+
+    /// An instance process dies: it stops serving instantly; the proxy
+    /// learns about it one heartbeat later (`Ev::Failover`).
+    fn on_fail(&mut self, i: usize, q: &mut Q) {
+        let (_, kind, idx) = self.cfg.failures[i];
+        match kind {
+            InstKind::Prefill => self.prefills[idx as usize].dead = true,
+            InstKind::Decode => self.decodes[idx as usize].dead = true,
+        }
+        // The store stops seeing heartbeats; the proxy presumes death after
+        // the detection window and recovers the stranded requests.
+        self.meta.confirm_dead(InstRef { kind, idx });
+        q.schedule_after(self.meta.detection_latency(), Ev::Failover(i as u32));
+    }
+
+    /// The proxy's status sync recovers every request stranded on the dead
+    /// instance: requests whose KV survives in the unified CPU cache are
+    /// re-dispatched to another decoding instance; requests whose GPU-side
+    /// state was lost are re-prefilled from their full context.
+    fn on_failover(&mut self, i: usize, q: &mut Q) {
+        let (_, kind, idx) = self.cfg.failures[i];
+        let mut stranded: Vec<RequestId> = Vec::new();
+        match kind {
+            InstKind::Prefill => {
+                let p = &mut self.prefills[idx as usize];
+                if let Some(r) = p.active.take() {
+                    stranded.push(r);
+                }
+                while let Some((_, r)) = p.queue.pop_request() {
+                    stranded.push(r);
+                }
+            }
+            InstKind::Decode => {
+                let d = &mut self.decodes[idx as usize];
+                d.turn = None;
+                d.round.clear();
+                for b in d.work.iter() {
+                    stranded.extend(b.reqs.iter().copied());
+                }
+                d.work = WorkList::new();
+            }
+        }
+        for req in stranded {
+            let rs = &mut self.reqs[req.0 as usize];
+            if rs.is_done() {
+                continue;
+            }
+            rs.kv_ready = false;
+            rs.swapin_inflight = false;
+            rs.decode_inst = None;
+            match rs.kv {
+                KvPlace::Cpu { .. } if rs.phase == Phase::Decode => {
+                    // KV survives in host memory: rejoin another decoder.
+                    self.dispatch_decode_req(req, q);
+                }
+                _ => {
+                    // GPU-side state lost: re-prefill the full context.
+                    rs.kv = KvPlace::None;
+                    rs.phase = Phase::Prefill;
+                    self.route_prefill(req, q);
+                }
+            }
+        }
+    }
+
+    /// Submits the same compute to every GPU of the instance; the inner tag
+    /// fires when all shards finish.
+    fn compute_all(&mut self, at: InstRef, dur: SimDur, inner: Tag, q: &mut Q) {
+        let gpus = self.inst_gpus(at).to_vec();
+        let tag = self.multi(gpus.len() as u32, inner);
+        for g in gpus {
+            let s = self.topo.gpu(g).default_stream;
+            self.submit(s, StreamOp::Compute { dur, tag: tag.clone() }, q);
+        }
+    }
+
+    // ----- Tag dispatch -------------------------------------------------
+
+    fn on_tag(&mut self, tag: Tag, q: &mut Q) {
+        match tag {
+            Tag::Part(id) => {
+                let done = {
+                    let e = self.multis.get_mut(&id).expect("live multi");
+                    e.0 -= 1;
+                    e.0 == 0
+                };
+                if done {
+                    let (_, inner) = self.multis.remove(&id).expect("live multi");
+                    self.on_tag(inner, q);
+                }
+            }
+            Tag::PrefillDone { inst, req } => self.on_prefill_done(inst as usize, req, q),
+            Tag::ScaleStage { at, seq } => self.on_scale_stage(at, seq, q),
+            Tag::PrefetchDone { at, model, seq } => self.on_prefetch_done(at, model, seq, q),
+            Tag::DecodeStep { inst, turn } => self.on_decode_step(inst as usize, turn, q),
+            Tag::KvIn { inst, req, turn } => self.on_kv_in(inst as usize, req, turn, q),
+            Tag::KvOut { .. } | Tag::Noop => {}
+        }
+    }
+
+    // ----- Prefill path -------------------------------------------------
+
+    fn dispatch_prefill_req(&mut self, idx: usize, q: &mut Q) {
+        let req = self.trace.requests[idx].id;
+        self.route_prefill(req, q);
+    }
+
+    /// Algorithm 1 placement for a (possibly re-prefilled) request.
+    fn route_prefill(&mut self, req: RequestId, q: &mut Q) {
+        let model = self.trace.requests[req.0 as usize].model;
+        let max_gpsize = self.cfg.max_gpsize;
+        // Algorithm 1 lines 4–8: join an existing group anywhere.
+        let mut placed: Option<usize> = None;
+        for (i, p) in self.prefills.iter_mut().enumerate() {
+            if !p.dead && p.queue.try_join(model, req, max_gpsize) {
+                placed = Some(i);
+                break;
+            }
+        }
+        let pi = if let Some(i) = placed {
+            i
+        } else {
+            // Lines 9–13: least-loaded queue gets a new group.
+            let (deploys, reqs, trace, cfg) = (&self.deploys, &self.reqs, &self.trace, &self.cfg);
+            let pcie = self.cfg.cluster.nodes[0].gpu.pcie_bw;
+            let est_exec = |m: ModelId, r: RequestId| {
+                let input = reqs
+                    .get(r.0 as usize)
+                    .map(|s| s.input_tokens)
+                    .unwrap_or_else(|| trace.requests[r.0 as usize].input_tokens);
+                deploys[m.0 as usize].fitted.estimate_prefill(&[input])
+            };
+            let est_switch =
+                |m: ModelId| deploys[m.0 as usize].est_switch_secs(pcie, cfg.beta);
+            let mut best = usize::MAX;
+            let mut min_load = f64::INFINITY;
+            for (i, p) in self.prefills.iter().enumerate() {
+                if p.dead {
+                    continue;
+                }
+                let load = p
+                    .queue
+                    .load_estimate(p.scaler.current, est_exec, est_switch);
+                if load < min_load {
+                    min_load = load;
+                    best = i;
+                }
+            }
+            assert!(best != usize::MAX, "every prefill instance has failed");
+            self.prefills[best].queue.push_group(model, req);
+            best
+        };
+        self.prefill_try_start(pi, q);
+    }
+
+    fn prefill_try_start(&mut self, pi: usize, q: &mut Q) {
+        if self.prefills[pi].dead || self.prefills[pi].active.is_some() {
+            return;
+        }
+        let Some(front_model) = self.prefills[pi].queue.front_model() else {
+            return;
+        };
+        let at = InstRef::prefill(pi);
+        let ready = self.ensure_model(at, front_model, q);
+        // Prefetch the next group's model while serving/scaling this one.
+        if let Some(nm) = self.prefills[pi].queue.next_model() {
+            if nm != front_model {
+                self.start_prefetch(at, nm, q);
+            }
+        }
+        if !ready {
+            return;
+        }
+        let (model, req) = self.prefills[pi]
+            .queue
+            .pop_request()
+            .expect("front model implies a pending request");
+        // Fresh requests prefill their prompt (+1 slot for the first
+        // token); failure-recovered requests rebuild their full context.
+        let fresh = self.reqs[req.0 as usize].produced == 0;
+        let ptokens = self.reqs[req.0 as usize].ctx_tokens() + u32::from(fresh);
+        if self.prefills[pi]
+            .gpu_kv
+            .alloc(req, model, ptokens)
+            .is_err()
+        {
+            // VRAM KV backpressure: requeue and retry after reclamation.
+            self.prefills[pi].queue.push_front(model, req);
+            self.prefills[pi].retry = true;
+            return;
+        }
+        let now = q.now();
+        {
+            let rs = &mut self.reqs[req.0 as usize];
+            rs.prefill_start = Some(now);
+        }
+        self.breakdown.add_secs(
+            Stage::PrefillWait,
+            now.saturating_since(self.reqs[req.0 as usize].arrival)
+                .as_secs_f64(),
+        );
+        let dur = self.deploys[model.0 as usize]
+            .perf
+            .prefill_secs(&[ptokens], &mut self.rng);
+        self.prefills[pi].active = Some(req);
+        self.compute_all(
+            at,
+            dur,
+            Tag::PrefillDone {
+                inst: pi as u32,
+                req,
+            },
+            q,
+        );
+    }
+
+    fn on_prefill_done(&mut self, pi: usize, req: RequestId, q: &mut Q) {
+        if self.prefills[pi].dead {
+            return; // completion from a failed instance
+        }
+        let now = q.now();
+        let model = self.trace.requests[req.0 as usize].model;
+        {
+            let rs = &mut self.reqs[req.0 as usize];
+            if rs.produced == 0 {
+                rs.push_token(now); // first token; re-prefills only rebuild KV
+            }
+            rs.prefill_end = Some(now);
+            rs.kv = KvPlace::Gpu;
+            rs.kv_ready = false;
+        }
+        let start = self.reqs[req.0 as usize]
+            .prefill_start
+            .expect("prefill started");
+        self.breakdown
+            .add_secs(Stage::PrefillExec, now.saturating_since(start).as_secs_f64());
+        if self.schedule.is_enabled() {
+            let lane = self.primary(InstRef::prefill(pi)).to_string();
+            self.schedule
+                .record(lane, start, now, TraceKind::Prefill, format!("P:{model}"));
+        }
+        self.prefills[pi].active = None;
+        // Offload the fresh KV to the unified CPU cache, then hand the
+        // request to a decoding instance (the swap-in will synchronize on
+        // the offload event, §5.3 rule ❷).
+        if self.issue_offload(InstRef::prefill(pi), req, q) {
+            self.dispatch_decode_req(req, q);
+        } else {
+            let node = self.prefills[pi].node as usize;
+            self.nodes[node]
+                .offload_retry
+                .push((InstRef::prefill(pi), req));
+        }
+        self.prefill_try_start(pi, q);
+    }
+
+    // ----- Decode path --------------------------------------------------
+
+    fn dispatch_decode_req(&mut self, req: RequestId, q: &mut Q) {
+        let model = self.trace.requests[req.0 as usize].model;
+        let expected_ctx = self.reqs[req.0 as usize].input_tokens
+            + self.cfg.expected_output_tokens;
+        let req_node = match self.reqs[req.0 as usize].kv {
+            KvPlace::Cpu { node } => node,
+            _ => self.prefills.first().map(|p| p.node).unwrap_or(0),
+        };
+        let (di, join) = {
+            let decodes = &self.decodes;
+            let alive: Vec<usize> = (0..decodes.len()).filter(|&i| !decodes[i].dead).collect();
+            assert!(!alive.is_empty(), "every decoding instance has failed");
+            let lists: Vec<&WorkList> = alive.iter().map(|&i| &decodes[i].work).collect();
+            let (k, join) = dispatch_decode(
+                &lists,
+                model,
+                |k, b| {
+                    let i = alive[k];
+                    let cap = decodes[i].gpu_kv.max_batch(model, expected_ctx);
+                    b.reqs.len() + 1 <= cap.max(1)
+                },
+                |k| decodes[alive[k]].node == req_node,
+            );
+            (alive[k], join)
+        };
+        let batch_id = match join {
+            Some(b) => {
+                self.decodes[di]
+                    .work
+                    .get_mut(b)
+                    .expect("joinable batch exists")
+                    .reqs
+                    .push(req);
+                b
+            }
+            None => {
+                let b = self.decodes[di].work.add_batch(model, req);
+                // A fresh batch joins the *current* round at its tail with a
+                // conservative quota, rather than stalling a whole round
+                // (the "longer stalls for new decode batches" §4.3 warns
+                // about). Its proper quota comes at the next round start.
+                let d = &mut self.decodes[di];
+                if d.turn.is_some() {
+                    let default_quota = d
+                        .work
+                        .iter()
+                        .map(|x| x.quota)
+                        .fold(0.0f64, f64::max)
+                        .max(self.cfg.qmax.min(1.0));
+                    d.work.get_mut(b).expect("fresh batch").quota = default_quota;
+                    d.round.push_back(b);
+                }
+                b
+            }
+        };
+        {
+            let rs = &mut self.reqs[req.0 as usize];
+            rs.decode_inst = Some(di as u32);
+            rs.decode_dispatch = Some(q.now());
+            rs.phase = Phase::Decode;
+        }
+        // If this batch is currently mid-turn, pull the request straight in.
+        let active_now = self.decodes[di]
+            .turn
+            .as_ref()
+            .is_some_and(|t| t.batch == batch_id);
+        if active_now {
+            self.issue_swap_in(di, req, q);
+            self.maybe_start_stepping(di, q);
+        }
+        self.decode_kick(di, q);
+    }
+
+    fn decode_kick(&mut self, di: usize, q: &mut Q) {
+        if self.decodes[di].dead {
+            return;
+        }
+        if self.decodes[di].turn.is_none() {
+            self.start_round(di, q);
+        }
+    }
+
+    fn start_round(&mut self, di: usize, q: &mut Q) {
+        let pcie = self.cfg.cluster.nodes[0].gpu.pcie_bw;
+        let (order, quotas) = {
+            let d = &mut self.decodes[di];
+            d.work.remove_empty();
+            if d.work.is_empty() {
+                d.turn = None;
+                return;
+            }
+            d.work.reorder_by_model();
+            // Equation (2)/(3) inputs from the *fitted* estimator.
+            let step_times: Vec<f64> = d
+                .work
+                .iter()
+                .map(|b| {
+                    let ctx: u64 = b
+                        .reqs
+                        .iter()
+                        .map(|r| self.reqs[r.0 as usize].ctx_tokens() as u64)
+                        .sum();
+                    self.deploys[b.model.0 as usize].fitted.estimate_decode(ctx)
+                })
+                .collect();
+            let distinct = d.work.distinct_models();
+            let switch_total: f64 = if distinct.len() == 1 && d.scaler.current == Some(distinct[0])
+            {
+                0.0
+            } else {
+                distinct
+                    .iter()
+                    .map(|m| {
+                        if d.scaler.resident.contains(m) {
+                            0.02 // colocated: activation only
+                        } else {
+                            self.deploys[m.0 as usize].est_switch_secs(pcie, self.cfg.beta)
+                        }
+                    })
+                    .sum()
+            };
+            let rq = decode_quotas(&QuotaInputs {
+                step_times,
+                tbt: self.cfg.target_tbt,
+                switch_total,
+                qmax: self.cfg.qmax,
+            });
+            (d.work.order(), rq.quotas)
+        };
+        {
+            let d = &mut self.decodes[di];
+            for (id, quota) in order.iter().zip(&quotas) {
+                if let Some(b) = d.work.get_mut(*id) {
+                    b.quota = *quota;
+                }
+            }
+            d.round = order.into_iter().collect();
+        }
+        self.begin_turn(di, q);
+    }
+
+    fn begin_turn(&mut self, di: usize, q: &mut Q) {
+        // Find the next non-empty batch in the round.
+        let (batch_id, model, quota, reqs) = loop {
+            let d = &mut self.decodes[di];
+            let Some(&front) = d.round.front() else {
+                self.start_round(di, q);
+                return;
+            };
+            match d.work.get(front) {
+                Some(b) if !b.reqs.is_empty() => {
+                    break (front, b.model, b.quota, b.reqs.clone());
+                }
+                _ => {
+                    d.round.pop_front();
+                }
+            }
+        };
+        let gen = {
+            let d = &mut self.decodes[di];
+            d.turn_gen += 1;
+            d.turn = Some(TurnState {
+                batch: batch_id,
+                gen: d.turn_gen,
+                quota,
+                decode_started: None,
+                stepping: false,
+                step_reqs: Vec::new(),
+                step_dur: 0.0,
+                kv_stall_since: None,
+            });
+            d.turn_gen
+        };
+        debug_assert!(gen > 0);
+        let at = InstRef::decode(di);
+        // Prefetch the next different model: look ahead in this round, and
+        // across the boundary into the (reordered) next round.
+        let next_model = self.decodes[di]
+            .round
+            .iter()
+            .skip(1)
+            .filter_map(|id| self.decodes[di].work.get(*id))
+            .map(|b| b.model)
+            .find(|&m| m != model)
+            .or_else(|| {
+                self.decodes[di]
+                    .work
+                    .iter()
+                    .map(|b| b.model)
+                    .find(|&m| m != model)
+            });
+        // Scale first (possibly consuming the prefetch region), then start
+        // prefetching the turn after — the §5.2 "may even start prefetching
+        // the next model" once the promotion copy finishes.
+        self.ensure_model(at, model, q);
+        if let Some(nm) = next_model {
+            self.start_prefetch(at, nm, q);
+        }
+        for req in reqs {
+            self.issue_swap_in(di, req, q);
+        }
+        self.maybe_start_stepping(di, q);
+    }
+
+    fn maybe_start_stepping(&mut self, di: usize, q: &mut Q) {
+        let now = q.now();
+        let at = InstRef::decode(di);
+        let Some(batch_model) = self.decodes[di]
+            .turn
+            .as_ref()
+            .and_then(|t| self.decodes[di].work.get(t.batch))
+            .map(|b| b.model)
+        else {
+            return;
+        };
+        let scaler_ready = self.scaler(at).current == Some(batch_model)
+            && self.scaler(at).scaling.is_none();
+        let d = &mut self.decodes[di];
+        let Some(turn) = d.turn.as_mut() else { return };
+        if turn.stepping {
+            return;
+        }
+        if !scaler_ready {
+            return;
+        }
+        let batch = d.work.get(turn.batch).expect("turn batch exists");
+        let total = batch.reqs.len();
+        let ready = batch
+            .reqs
+            .iter()
+            .filter(|r| self.reqs[r.0 as usize].kv_ready)
+            .count();
+        let need_all = !self.cfg.opts.fine_sync;
+        let can_start = if need_all { ready == total && total > 0 } else { ready > 0 };
+        if !can_start {
+            if turn.kv_stall_since.is_none() {
+                turn.kv_stall_since = Some(now);
+            }
+            return;
+        }
+        if let Some(s) = turn.kv_stall_since.take() {
+            let stall = now.saturating_since(s).as_secs_f64();
+            self.breakdown.add_secs(Stage::DataOverhead, stall);
+            for r in &batch.reqs.clone() {
+                let rs = &mut self.reqs[r.0 as usize];
+                if rs.kv_ready {
+                    rs.data_wait_secs += stall;
+                }
+            }
+        }
+        let t = self.decodes[di].turn.as_mut().expect("turn exists");
+        if t.decode_started.is_none() {
+            t.decode_started = Some(now);
+        }
+        t.stepping = true;
+        self.issue_step(di, q);
+    }
+
+    fn issue_step(&mut self, di: usize, q: &mut Q) {
+        let now = q.now();
+        let (batch_id, gen, quota, started) = {
+            let t = self.decodes[di].turn.as_ref().expect("stepping turn");
+            (
+                t.batch,
+                t.gen,
+                t.quota,
+                t.decode_started.expect("decoding started"),
+            )
+        };
+        let elapsed = now.saturating_since(started).as_secs_f64();
+        if elapsed >= quota {
+            self.end_turn(di, q);
+            return;
+        }
+        let (model, active): (ModelId, Vec<RequestId>) = {
+            let d = &self.decodes[di];
+            let b = d.work.get(batch_id).expect("turn batch exists");
+            (
+                b.model,
+                b.reqs
+                    .iter()
+                    .copied()
+                    .filter(|r| self.reqs[r.0 as usize].kv_ready && !self.reqs[r.0 as usize].is_done())
+                    .collect(),
+            )
+        };
+        if active.is_empty() {
+            let any_left = {
+                let d = &self.decodes[di];
+                !d.work.get(batch_id).expect("batch").reqs.is_empty()
+            };
+            let t = self.decodes[di].turn.as_mut().expect("turn");
+            t.stepping = false;
+            if any_left {
+                // Waiting on swap-ins; KvIn completions resume stepping.
+                t.kv_stall_since = Some(now);
+            } else {
+                self.end_turn(di, q);
+            }
+            return;
+        }
+        let ctx: u64 = active
+            .iter()
+            .map(|r| self.reqs[r.0 as usize].ctx_tokens() as u64)
+            .sum();
+        let dur = self.deploys[model.0 as usize]
+            .perf
+            .decode_secs(active.len(), ctx, &mut self.rng);
+        {
+            let t = self.decodes[di].turn.as_mut().expect("turn");
+            t.step_reqs = active;
+            t.step_dur = dur.as_secs_f64();
+        }
+        self.compute_all(
+            InstRef::decode(di),
+            dur,
+            Tag::DecodeStep {
+                inst: di as u32,
+                turn: gen,
+            },
+            q,
+        );
+    }
+
+    fn on_decode_step(&mut self, di: usize, gen: u64, q: &mut Q) {
+        if self.decodes[di].dead {
+            return;
+        }
+        let now = q.now();
+        let current_gen = self.decodes[di].turn.as_ref().map(|t| t.gen);
+        if current_gen != Some(gen) {
+            return; // stale step from an ended turn
+        }
+        let (step_reqs, dur) = {
+            let t = self.decodes[di].turn.as_ref().expect("turn");
+            (t.step_reqs.clone(), t.step_dur)
+        };
+        if self.schedule.is_enabled() {
+            let lane = self.primary(InstRef::decode(di)).to_string();
+            let model = self.trace.requests[step_reqs[0].0 as usize].model;
+            self.schedule.record(
+                lane,
+                now - SimDur::from_secs_f64(dur),
+                now,
+                TraceKind::Decode,
+                format!("D:{model}"),
+            );
+        }
+        self.breakdown
+            .add_secs(Stage::DecodeExec, dur * step_reqs.len() as f64);
+        let mut overflow = false;
+        for req in step_reqs {
+            let rs = &mut self.reqs[req.0 as usize];
+            rs.push_token(now);
+            rs.decode_exec_secs += dur;
+            let done = rs.is_done();
+            let ctx = rs.ctx_tokens();
+            if done {
+                self.decodes[di].gpu_kv.free(req);
+                self.reqs[req.0 as usize].kv = KvPlace::None;
+                self.reqs[req.0 as usize].kv_ready = false;
+                self.decodes[di].work.remove_request(req);
+                self.completed += 1;
+            } else if self.decodes[di].gpu_kv.extend(req, ctx).is_err() {
+                overflow = true;
+            }
+        }
+        if overflow {
+            // KV pool pressure: finish the turn to offload peers and let the
+            // daemon reclaim parked blocks.
+            self.end_turn(di, q);
+        } else {
+            self.issue_step(di, q);
+        }
+    }
+
+    fn end_turn(&mut self, di: usize, q: &mut Q) {
+        let Some(turn) = self.decodes[di].turn.take() else {
+            return;
+        };
+        let batch_id = turn.batch;
+        // A single-model work list never needs to offload: the same model
+        // decodes again next round. With the residency extension enabled,
+        // batches also stay resident while the unified GPU cache keeps
+        // ample headroom (> 2x this batch's footprint free).
+        let mut skip_offload = self.decodes[di].work.distinct_models().len() <= 1;
+        let reqs: Vec<RequestId> = self.decodes[di]
+            .work
+            .get(batch_id)
+            .map(|b| b.reqs.clone())
+            .unwrap_or_default();
+        if !skip_offload && self.cfg.kv_residency {
+            if let Some(b) = self.decodes[di].work.get(batch_id) {
+                let ctx: u64 = b
+                    .reqs
+                    .iter()
+                    .map(|r| self.reqs[r.0 as usize].ctx_tokens() as u64)
+                    .sum();
+                skip_offload =
+                    self.decodes[di].gpu_kv.token_capacity(b.model) > ctx * 2;
+            }
+        }
+        if !skip_offload {
+            for req in reqs {
+                if self.reqs[req.0 as usize].kv_ready {
+                    if !self.issue_offload(InstRef::decode(di), req, q) {
+                        // CPU cache pressure: leave resident; decode can
+                        // still proceed next time from VRAM.
+                    }
+                }
+            }
+        }
+        self.decodes[di].round.pop_front();
+        if self.decodes[di].round.is_empty() {
+            self.start_round(di, q);
+        } else {
+            self.begin_turn(di, q);
+        }
+    }
+
+    fn on_kv_in(&mut self, di: usize, req: RequestId, _turn: u64, q: &mut Q) {
+        if self.decodes[di].dead {
+            return;
+        }
+        {
+            let rs = &mut self.reqs[req.0 as usize];
+            rs.swapin_inflight = false;
+            rs.kv_ready = true;
+        }
+        self.maybe_start_stepping(di, q);
+    }
+
+    // ----- KV movement --------------------------------------------------
+
+    /// Starts offloading a request's GPU KV to its node's unified CPU
+    /// cache. Returns false if the CPU cache cannot hold it right now.
+    fn issue_offload(&mut self, at: InstRef, req: RequestId, q: &mut Q) -> bool {
+        let node = self.inst_node(at) as usize;
+        let model = self.trace.requests[req.0 as usize].model;
+        let ctx = self.reqs[req.0 as usize].ctx_tokens();
+        if self.nodes[node].cpu_kv.alloc(req, model, ctx).is_err() {
+            return false;
+        }
+        let kv_bytes = self.deploys[model.0 as usize].kv_token_bytes * ctx as u64;
+        let (shape, blocks) = match at.kind {
+            InstKind::Prefill => self.prefills[at.idx as usize].gpu_kv.take(req),
+            InstKind::Decode => self.decodes[at.idx as usize].gpu_kv.take(req),
+        };
+        let g = self.topo.gpu(self.primary(at)).clone();
+        let stream = if self.cfg.opts.fine_sync {
+            g.kv_out
+        } else {
+            g.default_stream
+        };
+        self.submit(
+            stream,
+            StreamOp::Copy {
+                link: g.d2h,
+                bytes: kv_bytes,
+                tag: Tag::KvOut { req },
+            },
+            q,
+        );
+        let (ev, cs) = self
+            .fabric
+            .record_event(stream, &mut Lift::new(q, Ev::Fabric));
+        self.ready.extend(cs);
+        match at.kind {
+            InstKind::Prefill => self.prefills[at.idx as usize]
+                .parked
+                .park(ev, vec![(shape, blocks)]),
+            InstKind::Decode => self.decodes[at.idx as usize]
+                .parked
+                .park(ev, vec![(shape, blocks)]),
+        }
+        {
+            let rs = &mut self.reqs[req.0 as usize];
+            rs.kv = KvPlace::Cpu { node: node as u32 };
+            rs.kv_ready = false;
+            rs.offload_event = Some(ev);
+            rs.swaps += 1;
+            rs.control_secs += self.cfg.control_overhead_per_swap.as_secs_f64();
+        }
+        self.breakdown.add_secs(
+            Stage::ControlOverhead,
+            self.cfg.control_overhead_per_swap.as_secs_f64(),
+        );
+        self.swaps += 1;
+        true
+    }
+
+    /// Starts swapping a request's KV from the CPU cache into decoding
+    /// instance `di`. No-op if it is already resident or in flight.
+    fn issue_swap_in(&mut self, di: usize, req: RequestId, q: &mut Q) {
+        let (src_node, ctx, model) = {
+            let rs = &self.reqs[req.0 as usize];
+            if rs.kv_ready || rs.swapin_inflight {
+                return;
+            }
+            let KvPlace::Cpu { node } = rs.kv else {
+                return;
+            };
+            (
+                node as usize,
+                rs.ctx_tokens(),
+                self.trace.requests[req.0 as usize].model,
+            )
+        };
+        if self.decodes[di].gpu_kv.alloc(req, model, ctx).is_err() {
+            // GPU KV pressure; the daemon retries after reclamation.
+            return;
+        }
+        let (shape, blocks) = self.nodes[src_node].cpu_kv.take(req);
+        let kv_bytes = self.deploys[model.0 as usize].kv_token_bytes * ctx as u64;
+        let g = self.topo.gpu(self.primary(InstRef::decode(di))).clone();
+        let stream = if self.cfg.opts.fine_sync {
+            g.kv_in
+        } else {
+            g.default_stream
+        };
+        let turn_gen = self.decodes[di].turn.as_ref().map(|t| t.gen).unwrap_or(0);
+        if let Some(ev) = self.reqs[req.0 as usize].offload_event {
+            // §5.3 rule ❷: wait for the offload writing these blocks.
+            let cs = self
+                .fabric
+                .wait_event(stream, ev, &mut Lift::new(q, Ev::Fabric));
+            self.ready.extend(cs);
+        }
+        if src_node as u32 != self.decodes[di].node {
+            let nic = self.topo.node(aegaeon_gpu::NodeId(src_node as u32)).nic_tx;
+            self.submit(
+                stream,
+                StreamOp::Copy {
+                    link: nic,
+                    bytes: kv_bytes,
+                    tag: Tag::Noop,
+                },
+                q,
+            );
+        }
+        self.submit(
+            stream,
+            StreamOp::Copy {
+                link: g.h2d,
+                bytes: kv_bytes,
+                tag: Tag::KvIn {
+                    inst: di as u32,
+                    req,
+                    turn: turn_gen,
+                },
+            },
+            q,
+        );
+        let (ev_in, cs) = self
+            .fabric
+            .record_event(stream, &mut Lift::new(q, Ev::Fabric));
+        self.ready.extend(cs);
+        // §5.3 rule ❸: the CPU blocks stay unsafe until the copy completes;
+        // the daemon reclaims them via the move list.
+        self.nodes[src_node]
+            .cpu_parked
+            .park(ev_in, vec![(shape, blocks)]);
+        {
+            let rs = &mut self.reqs[req.0 as usize];
+            rs.kv = KvPlace::Gpu;
+            rs.swapin_inflight = true;
+            rs.swaps += 1;
+            rs.control_secs += self.cfg.control_overhead_per_swap.as_secs_f64();
+        }
+        self.breakdown.add_secs(
+            Stage::ControlOverhead,
+            self.cfg.control_overhead_per_swap.as_secs_f64(),
+        );
+        self.swaps += 1;
+    }
+
+    // ----- Auto-scaling -------------------------------------------------
+
+    /// Ensures `target` is the instance's resident model. Returns true when
+    /// it already is (and no scaling is in progress).
+    fn ensure_model(&mut self, at: InstRef, target: ModelId, q: &mut Q) -> bool {
+        let s = self.scaler(at);
+        if s.current == Some(target) && s.scaling.is_none() {
+            return true;
+        }
+        if self.weight_slots > 1 && s.scaling.is_none() && s.resident.contains(&target) {
+            // Colocated model: activation is free (§8 multiplexing).
+            let sc = self.scaler_mut(at);
+            sc.resident.retain(|&m| m != target);
+            sc.resident.push(target); // most-recently-used at the back
+            sc.current = Some(target);
+            self.instant_switches += 1;
+            return true;
+        }
+        let s = self.scaler(at);
+        if s.scaling.is_some() {
+            // Either already scaling to `target`, or to a stale target; the
+            // completion handler re-evaluates what the instance needs.
+            return false;
+        }
+        self.start_scale(at, target, q);
+        false
+    }
+
+    fn start_scale(&mut self, at: InstRef, target: ModelId, q: &mut Q) {
+        let now = q.now();
+        let node = self.inst_node(at) as usize;
+        let deploy = &self.deploys[target.0 as usize];
+        let shard = deploy.shard_bytes;
+        let cached = self.nodes[node].model_cache.lookup(target.0);
+        if !cached {
+            let bytes = deploy.spec.weight_bytes();
+            // The fetch below brings it into the cache (LRU-evicting).
+            let _ = self.nodes[node].model_cache.insert(target.0, bytes);
+        }
+        let (prefetch_hit, wait_events) = {
+            let s = self.scaler_mut(at);
+            let hit = s.prefetched == Some(target);
+            let wait = match &s.prefetch_inflight {
+                Some((m, evs)) if *m == target => Some(evs.clone()),
+                _ => None,
+            };
+            (hit, wait)
+        };
+        let warm = self.scaler(at).warm;
+        let mut opts = self.cfg.opts;
+        opts.component_reuse = opts.component_reuse && warm;
+        let plan = scale_up_plan(
+            &opts,
+            &self.cfg.init_costs,
+            shard,
+            prefetch_hit || wait_events.is_some(),
+            cached,
+            self.cfg.remote_bw,
+        );
+        let gpus = self.inst_gpus(at).to_vec();
+        let seq = {
+            let s = self.scaler_mut(at);
+            s.scale_seq += 1;
+            s.scaling = Some(Scaling {
+                target,
+                started: now,
+                remaining_ops: (plan.stages.len() * gpus.len()) as u32,
+                prefetch_hit: prefetch_hit || wait_events.is_some(),
+                seq: s.scale_seq,
+            });
+            s.scale_seq
+        };
+        self.scale_count += 1;
+        for (gi, g) in gpus.iter().enumerate() {
+            let h = self.topo.gpu(*g).clone();
+            if let Some(evs) = &wait_events {
+                if let Some(ev) = evs.get(gi) {
+                    let cs = self
+                        .fabric
+                        .wait_event(h.default_stream, *ev, &mut Lift::new(q, Ev::Fabric));
+                    self.ready.extend(cs);
+                }
+            }
+            for st in &plan.stages {
+                let tag = Tag::ScaleStage { at, seq };
+                let op = match st.cost {
+                    ScaleCost::Fixed(d) => StreamOp::Compute { dur: d, tag },
+                    ScaleCost::HostLoad { bytes, efficiency } => StreamOp::Copy {
+                        link: h.h2d,
+                        bytes: (bytes as f64 / efficiency) as u64,
+                        tag,
+                    },
+                    ScaleCost::DeviceCopy { bytes } => StreamOp::Compute {
+                        dur: SimDur::from_secs_f64(
+                            bytes as f64 / h.spec.device_copy_bw(),
+                        ),
+                        tag,
+                    },
+                };
+                self.submit(h.default_stream, op, q);
+            }
+        }
+    }
+
+    fn on_scale_stage(&mut self, at: InstRef, seq: u64, q: &mut Q) {
+        if self.inst_dead(at) {
+            return;
+        }
+        let done = {
+            let s = self.scaler_mut(at);
+            match &mut s.scaling {
+                Some(sc) if sc.seq == seq => {
+                    sc.remaining_ops -= 1;
+                    sc.remaining_ops == 0
+                }
+                _ => return,
+            }
+        };
+        if !done {
+            return;
+        }
+        let now = q.now();
+        let (target, started, hit) = {
+            let s = self.scaler_mut(at);
+            let sc = s.scaling.take().expect("scaling in progress");
+            s.current = Some(sc.target);
+            s.warm = true;
+            if sc.prefetch_hit {
+                // Consume only the prefetch that fed this scale-up; an
+                // in-flight prefetch for a *different* model stays live.
+                if s.prefetched == Some(sc.target) {
+                    s.prefetched = None;
+                }
+                if matches!(&s.prefetch_inflight, Some((m, _)) if *m == sc.target) {
+                    s.prefetch_inflight = None;
+                }
+            }
+            (sc.target, sc.started, sc.prefetch_hit)
+        };
+        if hit {
+            self.prefetch_hits += 1;
+        }
+        if self.weight_slots > 1 {
+            let slots = self.weight_slots as usize;
+            let sc = self.scaler_mut(at);
+            sc.resident.retain(|&m| m != target);
+            sc.resident.push(target);
+            while sc.resident.len() > slots {
+                sc.resident.remove(0); // evict least recently used
+            }
+        }
+        self.scale_latencies
+            .push(now.saturating_since(started).as_secs_f64());
+        if self.schedule.is_enabled() {
+            let lane = self.primary(at).to_string();
+            self.schedule
+                .record(lane, started, now, TraceKind::Switch, format!("S:{target}"));
+        }
+        // Exercise the self-managed buffer bookkeeping on prefill
+        // instances (weights region reset + realloc, §5.2).
+        if at.kind == InstKind::Prefill {
+            let p = &mut self.prefills[at.idx as usize];
+            p.vram.reset();
+            let shard = self.deploys[target.0 as usize].shard_bytes;
+            let ext = p
+                .vram
+                .alloc(shard, 256)
+                .expect("weights region sized for the largest shard");
+            debug_assert_eq!(ext.offset, 0);
+            p.weights_mark = Some(p.vram.mark());
+        }
+        match at.kind {
+            InstKind::Prefill => self.prefill_try_start(at.idx as usize, q),
+            InstKind::Decode => {
+                let di = at.idx as usize;
+                // The turn may need a *different* model by now.
+                let needed = self.decodes[di]
+                    .turn
+                    .as_ref()
+                    .and_then(|t| self.decodes[di].work.get(t.batch))
+                    .map(|b| b.model);
+                match needed {
+                    Some(m) if m != target => {
+                        self.start_scale(at, m, q);
+                    }
+                    Some(_) => self.maybe_start_stepping(di, q),
+                    None => {}
+                }
+            }
+        }
+    }
+
+    fn start_prefetch(&mut self, at: InstRef, model: ModelId, q: &mut Q) {
+        if !self.prefetch_enabled {
+            return;
+        }
+        {
+            let s = self.scaler(at);
+            if s.prefetch_inflight.is_some()
+                || s.prefetched == Some(model)
+                || s.current == Some(model)
+            {
+                return;
+            }
+            if let Some(sc) = &s.scaling {
+                if sc.target == model {
+                    return;
+                }
+            }
+        }
+        let node = self.inst_node(at) as usize;
+        if !self.nodes[node].model_cache.contains(model.0) {
+            return; // prefetch only cache-resident checkpoints
+        }
+        self.nodes[node].model_cache.touch(model.0);
+        let shard = self.deploys[model.0 as usize].shard_bytes;
+        let seq = {
+            let s = self.scaler_mut(at);
+            s.prefetch_seq += 1;
+            s.prefetch_seq
+        };
+        let gpus = self.inst_gpus(at).to_vec();
+        let inner = Tag::PrefetchDone { at, model, seq };
+        let tag = self.multi(gpus.len() as u32, inner);
+        let mut events = Vec::with_capacity(gpus.len());
+        for g in gpus {
+            let h = self.topo.gpu(g).clone();
+            self.submit(
+                h.prefetch,
+                StreamOp::Copy {
+                    link: h.h2d,
+                    bytes: (shard as f64 / PIPELINED_LOAD_EFFICIENCY) as u64,
+                    tag: tag.clone(),
+                },
+                q,
+            );
+            let (ev, cs) = self
+                .fabric
+                .record_event(h.prefetch, &mut Lift::new(q, Ev::Fabric));
+            self.ready.extend(cs);
+            events.push(ev);
+        }
+        self.scaler_mut(at).prefetch_inflight = Some((model, events));
+    }
+
+    fn on_prefetch_done(&mut self, at: InstRef, model: ModelId, seq: u64, _q: &mut Q) {
+        let slots = self.weight_slots as usize;
+        let s = self.scaler_mut(at);
+        if s.prefetch_seq != seq {
+            return;
+        }
+        if let Some((m, _)) = &s.prefetch_inflight {
+            if *m == model {
+                s.prefetch_inflight = None;
+                if slots > 1 {
+                    // The spare slot now holds the model: fully resident,
+                    // activation will be free.
+                    s.resident.retain(|&x| x != model);
+                    // Evict a non-current resident if the slots are full.
+                    while s.resident.len() >= slots {
+                        let victim = s
+                            .resident
+                            .iter()
+                            .position(|&x| Some(x) != s.current)
+                            .unwrap_or(0);
+                        s.resident.remove(victim);
+                    }
+                    s.resident.push(model);
+                } else {
+                    s.prefetched = Some(model);
+                }
+            }
+        }
+    }
+
+    // ----- Housekeeping -------------------------------------------------
+
+    fn daemon(&mut self, q: &mut Q) {
+        // Reclaim GPU-side parked blocks (offload sources).
+        for pi in 0..self.prefills.len() {
+            let fabric = &self.fabric;
+            let freed = self.prefills[pi]
+                .parked
+                .reclaim(|ev| fabric.query_event(*ev));
+            for (shape, blocks) in freed {
+                self.prefills[pi].gpu_kv.free_blocks(shape, &blocks);
+            }
+            if self.prefills[pi].retry {
+                self.prefills[pi].retry = false;
+                self.prefill_try_start(pi, q);
+            }
+        }
+        for di in 0..self.decodes.len() {
+            let fabric = &self.fabric;
+            let freed = self.decodes[di]
+                .parked
+                .reclaim(|ev| fabric.query_event(*ev));
+            let reclaimed = !freed.is_empty();
+            for (shape, blocks) in freed {
+                self.decodes[di].gpu_kv.free_blocks(shape, &blocks);
+            }
+            if reclaimed {
+                // Retry swap-ins that failed on GPU KV pressure.
+                if let Some(t) = self.decodes[di].turn.as_ref() {
+                    let pending: Vec<RequestId> = self.decodes[di]
+                        .work
+                        .get(t.batch)
+                        .map(|b| {
+                            b.reqs
+                                .iter()
+                                .copied()
+                                .filter(|r| {
+                                    let rs = &self.reqs[r.0 as usize];
+                                    !rs.kv_ready && !rs.swapin_inflight
+                                })
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    for req in pending {
+                        self.issue_swap_in(di, req, q);
+                    }
+                    self.maybe_start_stepping(di, q);
+                }
+            }
+        }
+        // Reclaim CPU-side parked blocks and retry stalled offloads.
+        for ni in 0..self.nodes.len() {
+            let fabric = &self.fabric;
+            let freed = self.nodes[ni]
+                .cpu_parked
+                .reclaim(|ev| fabric.query_event(*ev));
+            for (shape, blocks) in freed {
+                self.nodes[ni].cpu_kv.free_blocks(shape, &blocks);
+            }
+            let retries = std::mem::take(&mut self.nodes[ni].offload_retry);
+            for (at, req) in retries {
+                if self.issue_offload(at, req, q) {
+                    self.dispatch_decode_req(req, q);
+                } else {
+                    self.nodes[ni].offload_retry.push((at, req));
+                }
+            }
+        }
+        self.drain(q);
+    }
+
+    fn sample(&mut self, q: &mut Q) {
+        let now = q.now();
+        // Instances publish heartbeats and load hints to the status store.
+        for pi in 0..self.prefills.len() {
+            if !self.prefills[pi].dead {
+                let load = self.prefills[pi].queue.pending() as f64;
+                self.meta.heartbeat(InstRef::prefill(pi), now, load);
+            }
+        }
+        for di in 0..self.decodes.len() {
+            if !self.decodes[di].dead {
+                let load = self.decodes[di].work.len() as f64;
+                self.meta.heartbeat(InstRef::decode(di), now, load);
+            }
+        }
+        // Combined CPU-cache usage across nodes (aligned shape order).
+        let mut combined = self.nodes[0].cpu_kv.usage();
+        for n in &self.nodes[1..] {
+            for (acc, u) in combined.iter_mut().zip(n.cpu_kv.usage()) {
+                acc.allocated_bytes += u.allocated_bytes;
+                acc.used_bytes += u.used_bytes;
+                acc.peak_allocated_bytes += u.peak_allocated_bytes;
+            }
+        }
+        self.frag
+            .sample(self.cfg.sample_period.as_secs_f64(), &combined);
+        let busy: Vec<f64> = self
+            .topo
+            .gpu_ids()
+            .map(|g| {
+                self.fabric
+                    .stream_compute_busy(self.topo.gpu(g).default_stream)
+                    .as_secs_f64()
+            })
+            .collect();
+        self.util_samples.push((now, busy));
+    }
+
+    fn finish(mut self, q: &Q) -> RunResult {
+        let outcomes: Vec<RequestOutcome> = self
+            .trace
+            .requests
+            .iter()
+            .map(|r| {
+                let rs = &self.reqs[r.id.0 as usize];
+                RequestOutcome {
+                    id: r.id,
+                    model: r.model,
+                    arrival: rs.arrival,
+                    token_times: rs.token_times.clone(),
+                    target_tokens: r.output_tokens,
+                }
+            })
+            .collect();
+        // Residual decode waiting per finished request.
+        let mut kv_sync = Vec::new();
+        for rs in &self.reqs {
+            kv_sync.push(rs.data_wait_secs + rs.control_secs);
+            if let (Some(d), Some(f)) = (rs.decode_dispatch, rs.finished_at) {
+                let total = f.saturating_since(d).as_secs_f64();
+                let wait =
+                    (total - rs.decode_exec_secs - rs.data_wait_secs).max(0.0);
+                self.breakdown.add_secs(Stage::DecodeWait, wait);
+            }
+        }
+        let gpu_busy: Vec<f64> = self
+            .topo
+            .gpu_ids()
+            .map(|g| {
+                self.fabric
+                    .stream_compute_busy(self.topo.gpu(g).default_stream)
+                    .as_secs_f64()
+            })
+            .collect();
+        RunResult {
+            outcomes,
+            horizon: self.trace.horizon,
+            end_time: q.now(),
+            breakdown: self.breakdown,
+            scale_latencies: self.scale_latencies,
+            kv_sync_per_request: kv_sync,
+            frag_rows: self.frag.report(),
+            gpu_busy,
+            util_samples: self.util_samples,
+            completed: self.completed,
+            total_requests: self.trace.len(),
+            model_count: self.deploys.len(),
+            scale_count: self.scale_count,
+            prefetch_hits: self.prefetch_hits,
+            swaps: self.swaps,
+            events: q.events_dispatched(),
+            schedule: self.schedule,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aegaeon_model::Zoo;
+    use aegaeon_workload::{LengthDist, SloSpec, TraceBuilder};
+
+    fn small_trace(n_models: u32, rate: f64, secs: f64, seed: u64) -> Trace {
+        let mut rng = SimRng::seed_from_u64(seed);
+        TraceBuilder::new(SimTime::from_secs_f64(secs), LengthDist::sharegpt())
+            .uniform_models(&mut rng, n_models, rate)
+            .build(&mut rng)
+    }
+
+    fn models(n: usize) -> Vec<aegaeon_model::ModelSpec> {
+        let zoo = Zoo::standard();
+        Zoo::replicate(&zoo.market_band(), n)
+    }
+
+    #[test]
+    fn single_model_light_load_attains_fully() {
+        let cfg = AegaeonConfig::small_testbed(1, 1);
+        let trace = small_trace(1, 0.2, 120.0, 1);
+        let r = ServingSystem::run(&cfg, &models(1), &trace);
+        assert_eq!(r.completed, r.total_requests, "all requests served");
+        let rep = r.attainment(SloSpec::paper_default());
+        assert!(rep.ratio() > 0.98, "attainment {}", rep.ratio());
+    }
+
+    #[test]
+    fn multi_model_pool_serves_more_models_than_gpus() {
+        let cfg = AegaeonConfig::small_testbed(2, 2);
+        let trace = small_trace(8, 0.05, 180.0, 2);
+        let r = ServingSystem::run(&cfg, &models(8), &trace);
+        assert!(
+            r.completed as f64 >= 0.95 * r.total_requests as f64,
+            "completed {}/{}",
+            r.completed,
+            r.total_requests
+        );
+        let rep = r.attainment(SloSpec::paper_default());
+        assert!(rep.ratio() > 0.7, "attainment {}", rep.ratio());
+        assert!(r.scale_count > 0, "pooling must actually switch models");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = AegaeonConfig::small_testbed(1, 1);
+        let trace = small_trace(3, 0.05, 60.0, 3);
+        let a = ServingSystem::run(&cfg, &models(3), &trace);
+        let b = ServingSystem::run(&cfg, &models(3), &trace);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.events, b.events);
+        let ta: Vec<_> = a.outcomes.iter().flat_map(|o| o.token_times.clone()).collect();
+        let tb: Vec<_> = b.outcomes.iter().flat_map(|o| o.token_times.clone()).collect();
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn t3_beats_t0_under_multi_model_load() {
+        let trace = small_trace(6, 0.08, 150.0, 4);
+        let mut cfg3 = AegaeonConfig::small_testbed(1, 2);
+        cfg3.opts = aegaeon_engine::AutoscaleOpts::t3();
+        let mut cfg0 = AegaeonConfig::small_testbed(1, 2);
+        cfg0.opts = aegaeon_engine::AutoscaleOpts::t0();
+        let r3 = ServingSystem::run(&cfg3, &models(6), &trace);
+        let r0 = ServingSystem::run(&cfg0, &models(6), &trace);
+        let a3 = r3.attainment(SloSpec::paper_default()).ratio();
+        let a0 = r0.attainment(SloSpec::paper_default()).ratio();
+        assert!(a3 > a0 + 0.1, "T3 {a3} vs T0 {a0}");
+    }
+
+    #[test]
+    fn scale_latencies_are_subsecond_with_t3() {
+        let cfg = AegaeonConfig::small_testbed(1, 2);
+        let trace = small_trace(6, 0.08, 120.0, 5);
+        let r = ServingSystem::run(&cfg, &models(6), &trace);
+        assert!(!r.scale_latencies.is_empty());
+        let mean: f64 =
+            r.scale_latencies.iter().sum::<f64>() / r.scale_latencies.len() as f64;
+        assert!(mean < 1.5, "mean scale latency {mean}s");
+    }
+}

@@ -1,0 +1,264 @@
+//! The Appendix A.2 analytical latency estimator.
+//!
+//! The paper predicts token-generation latency with
+//!
+//! ```text
+//! T_prefill = C1·(4·t·h² + 2·t·h·m) + C2·(3·h·t2 / b) + C3        (Eq. 5)
+//! T_decode  = C4·(4·h² + 2·h·m) + C5·3·h·t                        (Eq. 6)
+//! T_switch  = ModelSize / PCIeBandwidth · β                        (Eq. 4)
+//! ```
+//!
+//! with constants fitted from profiled data (reported R² > 0.9). We fit the
+//! same equations by linear least squares against samples drawn from the
+//! noisy ground-truth [`crate::PerfModel`]; the schedulers then use the
+//! *fitted* estimator, so they operate under realistic estimation error.
+
+use aegaeon_model::ModelSpec;
+use aegaeon_sim::SimRng;
+
+use crate::latency::PerfModel;
+
+/// FlashAttention kernel block size `b` entering Eq. 5.
+const FLASH_BLOCK: f64 = 128.0;
+
+/// A fitted instance of Equations (5) and (6) for one (GPU, model) pair.
+#[derive(Debug, Clone)]
+pub struct FittedModel {
+    /// `[C1, C2, C3]`.
+    pub prefill_c: [f64; 3],
+    /// `[C4, C5]`.
+    pub decode_c: [f64; 2],
+    /// Coefficient of determination of the prefill fit.
+    pub r2_prefill: f64,
+    /// Coefficient of determination of the decode fit.
+    pub r2_decode: f64,
+    h: f64,
+    m: f64,
+}
+
+impl FittedModel {
+    /// Estimated prefill time (seconds) for a batch of input lengths.
+    pub fn estimate_prefill(&self, lens: &[u32]) -> f64 {
+        let t: f64 = lens.iter().map(|&l| l as f64).sum();
+        let t2: f64 = lens.iter().map(|&l| (l as f64) * (l as f64)).sum();
+        let x1 = 4.0 * t * self.h * self.h + 2.0 * t * self.h * self.m;
+        let x2 = 3.0 * self.h * t2 / FLASH_BLOCK;
+        (self.prefill_c[0] * x1 + self.prefill_c[1] * x2 + self.prefill_c[2]).max(0.0)
+    }
+
+    /// Estimated decode-step time (seconds) for a batch whose context
+    /// lengths sum to `ctx_total` tokens.
+    pub fn estimate_decode(&self, ctx_total: u64) -> f64 {
+        let x1 = 4.0 * self.h * self.h + 2.0 * self.h * self.m;
+        let x2 = 3.0 * self.h * ctx_total as f64;
+        (self.decode_c[0] * x1 + self.decode_c[1] * x2).max(1e-6)
+    }
+}
+
+/// Solves the least-squares system `X·c ≈ y` for small `N` via normal
+/// equations and Gaussian elimination with partial pivoting.
+fn lstsq<const N: usize>(xs: &[[f64; N]], ys: &[f64]) -> [f64; N] {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= N, "need at least N samples");
+    // Normal equations: A = XᵀX, b = Xᵀy.
+    let mut a = [[0.0f64; N]; N];
+    let mut b = [0.0f64; N];
+    for (x, &y) in xs.iter().zip(ys) {
+        for i in 0..N {
+            b[i] += x[i] * y;
+            for j in 0..N {
+                a[i][j] += x[i] * x[j];
+            }
+        }
+    }
+    // Gaussian elimination with partial pivoting.
+    let mut idx: [usize; N] = std::array::from_fn(|i| i);
+    for col in 0..N {
+        let piv = (col..N)
+            .max_by(|&p, &q| {
+                a[idx[p]][col]
+                    .abs()
+                    .partial_cmp(&a[idx[q]][col].abs())
+                    .expect("finite")
+            })
+            .expect("non-empty");
+        idx.swap(col, piv);
+        let p = idx[col];
+        let d = a[p][col];
+        assert!(d.abs() > 1e-300, "singular normal matrix");
+        for r in col + 1..N {
+            let r_i = idx[r];
+            let f = a[r_i][col] / d;
+            for c in col..N {
+                a[r_i][c] -= f * a[p][c];
+            }
+            b[r_i] -= f * b[p];
+        }
+    }
+    let mut out = [0.0f64; N];
+    for col in (0..N).rev() {
+        let p = idx[col];
+        let mut acc = b[p];
+        for c in col + 1..N {
+            acc -= a[p][c] * out[c];
+        }
+        out[col] = acc / a[p][col];
+    }
+    out
+}
+
+fn r_squared(pred: &[f64], actual: &[f64]) -> f64 {
+    let mean = actual.iter().sum::<f64>() / actual.len() as f64;
+    let ss_tot: f64 = actual.iter().map(|y| (y - mean) * (y - mean)).sum();
+    let ss_res: f64 = pred
+        .iter()
+        .zip(actual)
+        .map(|(p, y)| (y - p) * (y - p))
+        .sum();
+    if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Profiles `perf` with synthetic sweeps and fits Equations (5)/(6).
+///
+/// Mirrors the offline profiling pass Aegaeon runs before serving (§5.1
+/// "performs relevant profiling … beforehand").
+pub fn fit_model(perf: &PerfModel, model: &ModelSpec, rng: &mut SimRng) -> FittedModel {
+    let h = model.hidden as f64;
+    let m = model.ffn as f64;
+
+    // Prefill sweep: single sequences and small batches of varying length.
+    let mut pxs: Vec<[f64; 3]> = Vec::new();
+    let mut pys: Vec<f64> = Vec::new();
+    let lens: [u32; 12] = [16, 32, 64, 128, 256, 384, 512, 768, 1024, 2048, 4096, 8192];
+    // Profilers average repeated measurements per point to suppress noise.
+    const REPS: usize = 10;
+    for &l in &lens {
+        for batch in [1usize, 2, 4] {
+            let ls: Vec<u32> = vec![l; batch];
+            let t: f64 = ls.iter().map(|&x| x as f64).sum();
+            let t2: f64 = ls.iter().map(|&x| (x as f64) * (x as f64)).sum();
+            pxs.push([
+                4.0 * t * h * h + 2.0 * t * h * m,
+                3.0 * h * t2 / FLASH_BLOCK,
+                1.0,
+            ]);
+            let y = (0..REPS)
+                .map(|_| perf.prefill_secs(&ls, rng).as_secs_f64())
+                .sum::<f64>()
+                / REPS as f64;
+            pys.push(y);
+        }
+    }
+    let prefill_c = lstsq::<3>(&pxs, &pys);
+
+    // Decode sweep: varying batch sizes and context lengths.
+    let mut dxs: Vec<[f64; 2]> = Vec::new();
+    let mut dys: Vec<f64> = Vec::new();
+    for batch in [1usize, 2, 4, 8, 16, 32, 64] {
+        for ctx in [64u64, 256, 512, 1024, 2048] {
+            let total = ctx * batch as u64;
+            dxs.push([4.0 * h * h + 2.0 * h * m, 3.0 * h * total as f64]);
+            let y = (0..REPS)
+                .map(|_| perf.decode_secs(batch, total, rng).as_secs_f64())
+                .sum::<f64>()
+                / REPS as f64;
+            dys.push(y);
+        }
+    }
+    let decode_c = lstsq::<2>(&dxs, &dys);
+
+    let fitted = FittedModel {
+        prefill_c,
+        decode_c,
+        r2_prefill: 0.0,
+        r2_decode: 0.0,
+        h,
+        m,
+    };
+    let ppred: Vec<f64> = pxs
+        .iter()
+        .map(|x| fitted.prefill_c[0] * x[0] + fitted.prefill_c[1] * x[1] + fitted.prefill_c[2])
+        .collect();
+    let dpred: Vec<f64> = dxs
+        .iter()
+        .map(|x| fitted.decode_c[0] * x[0] + fitted.decode_c[1] * x[1])
+        .collect();
+    FittedModel {
+        r2_prefill: r_squared(&ppred, &pys),
+        r2_decode: r_squared(&dpred, &dys),
+        ..fitted
+    }
+}
+
+/// Eq. 4: estimated model-switch (load) time.
+///
+/// The paper corrects `size/bandwidth` with a profiled constant β to account
+/// for PCIe inefficiencies; with our pipelined loader the effective factor
+/// is `1/efficiency`.
+pub fn estimate_switch_secs(bytes_per_gpu: u64, pcie_bw: f64, beta: f64) -> f64 {
+    bytes_per_gpu as f64 / pcie_bw * beta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aegaeon_gpu::GpuSpec;
+    use aegaeon_model::Zoo;
+
+    #[test]
+    fn lstsq_recovers_exact_coefficients() {
+        let xs: Vec<[f64; 2]> = (1..20).map(|i| [i as f64, 1.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x[0] + 7.0).collect();
+        let c = lstsq::<2>(&xs, &ys);
+        assert!((c[0] - 3.0).abs() < 1e-9);
+        assert!((c[1] - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_reaches_paper_r2_threshold() {
+        // Appendix A.2: "this modeling achieves an R-squared score of over
+        // 0.9 across all models in our evaluation".
+        let zoo = Zoo::standard();
+        let mut rng = SimRng::seed_from_u64(9);
+        for name in ["Qwen-7B", "InternLM2.5-7B", "LLaMA-13B", "Yi-6B", "Qwen-14B"] {
+            let spec = zoo.get(name).unwrap();
+            let perf = PerfModel::new(&GpuSpec::h800(), spec);
+            let fit = fit_model(&perf, spec, &mut rng);
+            assert!(fit.r2_prefill > 0.9, "{name} prefill R² {}", fit.r2_prefill);
+            assert!(fit.r2_decode > 0.9, "{name} decode R² {}", fit.r2_decode);
+        }
+    }
+
+    #[test]
+    fn estimates_track_ground_truth() {
+        let zoo = Zoo::standard();
+        let spec = zoo.get("LLaMA-13B").unwrap();
+        let perf = PerfModel::new(&GpuSpec::h800(), spec).without_noise();
+        let mut rng = SimRng::seed_from_u64(3);
+        let fit = fit_model(&perf, spec, &mut rng);
+        // Points not in the training sweep.
+        let est = fit.estimate_prefill(&[700]);
+        let truth = perf.prefill_mean_secs(&[700]);
+        assert!((est - truth).abs() / truth < 0.25, "est {est} truth {truth}");
+        let est_d = fit.estimate_decode(6 * 300);
+        let truth_d = perf.decode_mean_secs(6, 6 * 300);
+        assert!(
+            (est_d - truth_d).abs() / truth_d < 0.25,
+            "est {est_d} truth {truth_d}"
+        );
+    }
+
+    #[test]
+    fn switch_estimate_matches_paper_example() {
+        // §4.2: 13B FP16 via PCIe 4.0 takes at least 26GB/32GBps = 0.8125 s.
+        let t = estimate_switch_secs(26_000_000_000, 32e9, 1.0);
+        assert!((t - 0.8125).abs() < 1e-6);
+        // With the pipeline-efficiency correction (β = 1/0.8):
+        let t2 = estimate_switch_secs(26_000_000_000, 32e9, 1.25);
+        assert!(t2 > t && t2 < 1.1);
+    }
+}

@@ -1,0 +1,298 @@
+//! Paged KV cache over the slab-allocated unified cache.
+//!
+//! Both the per-GPU unified KV cache and the node-wide unified CPU cache
+//! (Figure 9) are instances of [`KvCache`]: a [`aegaeon_mem::SlabPool`]
+//! whose shape classes are KV-cache block shapes, plus per-request block
+//! lists. Models sharing a KV shape share slab pools, which is what keeps
+//! fragmentation proportional (Figure 16).
+
+use std::collections::HashMap;
+
+use aegaeon_mem::{BlockRef, ShapeKey, SlabPool, SlabPoolConfig};
+use aegaeon_mem::slab::{ShapeUsage, SlabExhausted};
+use aegaeon_model::{ModelId, ModelSpec};
+use aegaeon_workload::RequestId;
+
+/// Geometry of a KV cache region.
+#[derive(Debug, Clone, Copy)]
+pub struct KvCacheConfig {
+    /// Total bytes of the region.
+    pub capacity_bytes: u64,
+    /// Slab size (the §5.2 management/fragmentation knob).
+    pub slab_bytes: u64,
+    /// Tokens per block (PagedAttention-style paging).
+    pub block_tokens: u32,
+}
+
+impl KvCacheConfig {
+    /// Production-like defaults: 256 MB slabs, 16-token blocks.
+    pub fn with_capacity(capacity_bytes: u64) -> KvCacheConfig {
+        KvCacheConfig {
+            capacity_bytes,
+            slab_bytes: 256 << 20,
+            block_tokens: 16,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ReqKv {
+    shape: ShapeKey,
+    blocks: Vec<BlockRef>,
+    tokens: u32,
+}
+
+/// A multi-model paged KV cache.
+#[derive(Debug)]
+pub struct KvCache {
+    pool: SlabPool,
+    block_tokens: u32,
+    /// Shape key per distinct block byte size.
+    by_block_bytes: HashMap<u64, ShapeKey>,
+    /// Registered models → (shape, bytes per token per shard).
+    models: HashMap<ModelId, (ShapeKey, u64)>,
+    requests: HashMap<RequestId, ReqKv>,
+}
+
+impl KvCache {
+    /// Creates a cache with the given geometry.
+    pub fn new(cfg: KvCacheConfig) -> KvCache {
+        KvCache {
+            pool: SlabPool::new(SlabPoolConfig {
+                capacity_bytes: cfg.capacity_bytes,
+                slab_bytes: cfg.slab_bytes,
+            }),
+            block_tokens: cfg.block_tokens,
+            by_block_bytes: HashMap::new(),
+            models: HashMap::new(),
+            requests: HashMap::new(),
+        }
+    }
+
+    /// Registers a model; its KV shape becomes allocatable. Models with
+    /// identical per-token byte sizes share a shape class.
+    pub fn register_model(&mut self, id: ModelId, spec: &ModelSpec) {
+        let per_token = spec.kv_bytes_per_token_per_gpu();
+        let block_bytes = per_token * self.block_tokens as u64;
+        let pool = &mut self.pool;
+        let key = *self.by_block_bytes.entry(block_bytes).or_insert_with(|| {
+            pool.register_shape(spec.kv_shape().to_string(), block_bytes)
+        });
+        self.models.insert(id, (key, per_token));
+    }
+
+    fn blocks_for(&self, tokens: u32) -> usize {
+        tokens.div_ceil(self.block_tokens) as usize
+    }
+
+    /// Allocates KV space for `tokens` tokens of a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is unregistered or the request already has KV.
+    pub fn alloc(
+        &mut self,
+        req: RequestId,
+        model: ModelId,
+        tokens: u32,
+    ) -> Result<(), SlabExhausted> {
+        assert!(
+            !self.requests.contains_key(&req),
+            "request {req:?} already holds KV"
+        );
+        let (shape, _) = *self.models.get(&model).expect("model registered");
+        let blocks = self.pool.alloc(shape, self.blocks_for(tokens))?;
+        self.requests.insert(
+            req,
+            ReqKv {
+                shape,
+                blocks,
+                tokens,
+            },
+        );
+        Ok(())
+    }
+
+    /// Grows a request's KV to `new_tokens` total, allocating blocks as
+    /// needed. Returns the number of fresh blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request holds no KV or shrinks.
+    pub fn extend(&mut self, req: RequestId, new_tokens: u32) -> Result<usize, SlabExhausted> {
+        let r = self.requests.get(&req).expect("request holds KV");
+        assert!(new_tokens >= r.tokens, "KV cannot shrink");
+        let need = self.blocks_for(new_tokens);
+        let have = r.blocks.len();
+        let grow = need.saturating_sub(have);
+        if grow > 0 {
+            let shape = r.shape;
+            let fresh = self.pool.alloc(shape, grow)?;
+            let r = self.requests.get_mut(&req).expect("still present");
+            r.blocks.extend(fresh);
+            r.tokens = new_tokens;
+        } else {
+            self.requests.get_mut(&req).expect("still present").tokens = new_tokens;
+        }
+        Ok(grow)
+    }
+
+    /// Frees a request's KV back to the pool immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request holds no KV.
+    pub fn free(&mut self, req: RequestId) {
+        let r = self.requests.remove(&req).expect("request holds KV");
+        self.pool.free(r.shape, &r.blocks);
+    }
+
+    /// Removes a request's KV *without* freeing the blocks — the caller
+    /// parks them in a move list (§5.3 rule ❸) and frees them later via
+    /// [`Self::free_blocks`].
+    pub fn take(&mut self, req: RequestId) -> (ShapeKey, Vec<BlockRef>) {
+        let r = self.requests.remove(&req).expect("request holds KV");
+        (r.shape, r.blocks)
+    }
+
+    /// Frees blocks previously returned by [`Self::take`].
+    pub fn free_blocks(&mut self, shape: ShapeKey, blocks: &[BlockRef]) {
+        self.pool.free(shape, blocks);
+    }
+
+    /// KV bytes a request currently occupies.
+    pub fn bytes_of(&self, req: RequestId) -> u64 {
+        self.requests
+            .get(&req)
+            .map(|r| r.blocks.len() as u64 * self.pool.block_bytes(r.shape))
+            .unwrap_or(0)
+    }
+
+    /// True if the request holds KV here.
+    pub fn holds(&self, req: RequestId) -> bool {
+        self.requests.contains_key(&req)
+    }
+
+    /// Tokens currently stored for a request (0 if absent).
+    pub fn tokens_of(&self, req: RequestId) -> u32 {
+        self.requests.get(&req).map(|r| r.tokens).unwrap_or(0)
+    }
+
+    /// Tokens' worth of KV still allocatable for `model` right now.
+    pub fn token_capacity(&self, model: ModelId) -> u64 {
+        let (shape, _) = *self.models.get(&model).expect("model registered");
+        self.pool.available_blocks(shape) as u64 * self.block_tokens as u64
+    }
+
+    /// Maximum decode batch size for `model` given per-request context
+    /// `ctx_tokens` (the Algorithm 2 line-2 derivation).
+    pub fn max_batch(&self, model: ModelId, ctx_tokens: u32) -> usize {
+        let per_req = self.blocks_for(ctx_tokens).max(1);
+        let (shape, _) = *self.models.get(&model).expect("model registered");
+        // Include blocks already used here: capacity is a static property.
+        let total = self.pool.available_blocks(shape) + self.pool.used_blocks(shape) as usize;
+        total / per_req
+    }
+
+    /// Per-shape usage snapshot (feeds [`aegaeon_mem::FragSampler`]).
+    pub fn usage(&self) -> Vec<ShapeUsage> {
+        self.pool.usage()
+    }
+
+    /// Bytes per token per shard for a registered model.
+    pub fn bytes_per_token(&self, model: ModelId) -> u64 {
+        self.models.get(&model).expect("model registered").1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aegaeon_model::Zoo;
+
+    fn cache_with(models: &[(&str, u32)]) -> (KvCache, Vec<ModelId>) {
+        let zoo = Zoo::standard();
+        let mut c = KvCache::new(KvCacheConfig {
+            capacity_bytes: 8 << 30,
+            slab_bytes: 256 << 20,
+            block_tokens: 16,
+        });
+        let mut ids = Vec::new();
+        for (i, (name, tp)) in models.iter().enumerate() {
+            let spec = zoo.get(name).unwrap().with_tp(*tp);
+            let id = ModelId(i as u32);
+            c.register_model(id, &spec);
+            ids.push(id);
+        }
+        (c, ids)
+    }
+
+    #[test]
+    fn alloc_rounds_to_blocks() {
+        let (mut c, ids) = cache_with(&[("Qwen-7B", 1)]);
+        c.alloc(RequestId(1), ids[0], 33).unwrap();
+        // 33 tokens → 3 blocks × 16 tokens × 512 KB.
+        assert_eq!(c.bytes_of(RequestId(1)), 3 * 16 * 512 * 1024);
+        assert_eq!(c.tokens_of(RequestId(1)), 33);
+    }
+
+    #[test]
+    fn extend_allocates_only_on_block_boundaries() {
+        let (mut c, ids) = cache_with(&[("Qwen-7B", 1)]);
+        c.alloc(RequestId(1), ids[0], 16).unwrap();
+        assert_eq!(c.extend(RequestId(1), 17).unwrap(), 1);
+        for t in 18..=32 {
+            assert_eq!(c.extend(RequestId(1), t).unwrap(), 0);
+        }
+        assert_eq!(c.extend(RequestId(1), 33).unwrap(), 1);
+    }
+
+    #[test]
+    fn models_with_same_shape_share_pools() {
+        // Qwen-7B and Llama-2-7B share (32, 2, 32, 128).
+        let (mut c, ids) = cache_with(&[("Qwen-7B", 1), ("Llama-2-7B", 1)]);
+        c.alloc(RequestId(1), ids[0], 1600).unwrap();
+        let usage = c.usage();
+        assert_eq!(usage.len(), 1, "one shared shape class");
+        c.alloc(RequestId(2), ids[1], 1600).unwrap();
+        assert_eq!(c.usage().len(), 1);
+    }
+
+    #[test]
+    fn take_then_free_blocks_round_trips() {
+        let (mut c, ids) = cache_with(&[("LLaMA-13B", 1)]);
+        c.alloc(RequestId(1), ids[0], 160).unwrap();
+        let before = c.token_capacity(ids[0]);
+        let (shape, blocks) = c.take(RequestId(1));
+        assert!(!c.holds(RequestId(1)));
+        // Capacity unchanged while blocks are parked.
+        assert_eq!(c.token_capacity(ids[0]), before);
+        c.free_blocks(shape, &blocks);
+        assert!(c.token_capacity(ids[0]) > before);
+    }
+
+    #[test]
+    fn max_batch_derives_from_capacity() {
+        let (c, ids) = cache_with(&[("Qwen-7B", 1)]);
+        // 8 GiB at 512 KB/token = 16384 tokens; ctx 512 → 32 requests.
+        let mb = c.max_batch(ids[0], 512);
+        assert_eq!(mb, 32);
+    }
+
+    #[test]
+    fn exhaustion_is_reported() {
+        let (mut c, ids) = cache_with(&[("Qwen-72B", 1)]);
+        // 2560 KB/token: 8 GiB ≈ 3276 tokens.
+        let err = c.alloc(RequestId(1), ids[0], 10_000).unwrap_err();
+        assert!(err.requested > err.available);
+        assert!(!c.holds(RequestId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already holds")]
+    fn double_alloc_panics() {
+        let (mut c, ids) = cache_with(&[("Qwen-7B", 1)]);
+        c.alloc(RequestId(1), ids[0], 16).unwrap();
+        let _ = c.alloc(RequestId(1), ids[0], 16);
+    }
+}

@@ -1,0 +1,28 @@
+//! Simulated GPU fabric: devices, interconnect links, CUDA-like streams and
+//! events.
+//!
+//! Aegaeon's §5.3 optimizations are built directly on CUDA stream/event
+//! semantics (`cudaEventRecord`, `cudaEventQuery`, `cudaStreamWaitEvent`,
+//! `cudaIpcGetEventHandle`). This crate reproduces those semantics over the
+//! discrete-event kernel:
+//!
+//! * a [`Fabric`] owns links ([`aegaeon_sim::FairLink`]), streams and
+//!   events; streams execute FIFO queues of [`StreamOp`]s (compute, copies,
+//!   event records/waits);
+//! * `WaitEvent` parks a stream until the event fires, exactly like
+//!   `cudaStreamWaitEvent`; `query_event` is the non-blocking
+//!   `cudaEventQuery`; event ids are globally shareable (the moral
+//!   equivalent of IPC event handles);
+//! * copies contend on fair-share links, so overlapped KV transfers slow
+//!   each other down the way PCIe DMA does.
+//!
+//! Device specs ([`GpuSpec`]) carry the capacity/throughput numbers used by
+//! the engine's latency model; [`topology`] assembles multi-node clusters.
+
+pub mod device;
+pub mod fabric;
+pub mod topology;
+
+pub use device::GpuSpec;
+pub use fabric::{Completion, EventId, Fabric, FabricEvent, LinkId, StreamId, StreamOp};
+pub use topology::{ClusterSpec, ClusterTopology, GpuHandles, GpuId, NodeId, NodeSpec};

@@ -1,0 +1,61 @@
+//! Goodput extraction from attainment sweeps.
+//!
+//! Figures 11–13 mark, with vertical lines, "the maximum goodput while
+//! meeting the 90% overall SLO requirement": the largest load (model count
+//! or arrival rate) whose attainment is still at or above the threshold.
+
+/// The largest `x` at which the attainment curve is ≥ `threshold`, linearly
+/// interpolating between sweep points. The curve is `(load, attainment)`
+/// sorted by load. Returns `None` if even the lightest load misses the
+/// threshold.
+pub fn max_load_meeting(curve: &[(f64, f64)], threshold: f64) -> Option<f64> {
+    if curve.is_empty() || curve[0].1 < threshold {
+        return None;
+    }
+    let mut best = curve[0].0;
+    for w in curve.windows(2) {
+        let (x0, y0) = w[0];
+        let (x1, y1) = w[1];
+        if y1 >= threshold {
+            best = best.max(x1);
+        } else if y0 >= threshold && y1 < threshold && y0 != y1 {
+            // Linear interpolation of the crossing point.
+            let t = (y0 - threshold) / (y0 - y1);
+            best = best.max(x0 + t * (x1 - x0));
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_crossing() {
+        let curve = [(10.0, 1.0), (20.0, 0.95), (30.0, 0.85), (40.0, 0.5)];
+        let x = max_load_meeting(&curve, 0.9).unwrap();
+        assert!((x - 25.0).abs() < 1e-9, "x={x}");
+    }
+
+    #[test]
+    fn all_above_threshold_returns_last() {
+        let curve = [(10.0, 0.99), (20.0, 0.95)];
+        assert_eq!(max_load_meeting(&curve, 0.9), Some(20.0));
+    }
+
+    #[test]
+    fn none_if_first_point_fails() {
+        let curve = [(10.0, 0.5), (20.0, 0.4)];
+        assert_eq!(max_load_meeting(&curve, 0.9), None);
+    }
+
+    #[test]
+    fn recovers_after_dip_takes_furthest() {
+        // Non-monotone curves (noise) should still report the furthest
+        // point meeting the threshold.
+        let curve = [(10.0, 0.95), (20.0, 0.89), (30.0, 0.92), (40.0, 0.2)];
+        let x = max_load_meeting(&curve, 0.9).unwrap();
+        assert!(x > 30.0, "x={x}");
+    }
+}

@@ -1,0 +1,158 @@
+//! Request-level summary statistics derived from outcomes: TTFT/TBT
+//! percentiles, throughput and per-model tables — the operator-facing view
+//! a serving deployment reports next to raw SLO attainment.
+
+use aegaeon_sim::SimTime;
+use aegaeon_workload::SloSpec;
+
+use crate::cdf::Cdf;
+use crate::slo::{attainment, AttainmentReport, RequestOutcome};
+
+/// Aggregate latency/throughput summary of a run.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Requests observed.
+    pub requests: usize,
+    /// Requests that produced every target token.
+    pub finished: usize,
+    /// Output tokens produced.
+    pub tokens: u64,
+    /// Token throughput over the horizon, tokens/s.
+    pub token_rate: f64,
+    /// TTFT percentiles `(p50, p90, p99)`, seconds.
+    pub ttft: (f64, f64, f64),
+    /// Inter-token gap percentiles `(p50, p90, p99)`, seconds.
+    pub tbt: (f64, f64, f64),
+}
+
+fn pcts(c: &mut Cdf) -> (f64, f64, f64) {
+    if c.count() == 0 {
+        return (0.0, 0.0, 0.0);
+    }
+    (c.quantile(0.5), c.quantile(0.9), c.quantile(0.99))
+}
+
+/// Builds a [`Summary`] over `[0, horizon)`.
+pub fn summarize(outcomes: &[RequestOutcome], horizon: SimTime) -> Summary {
+    let mut ttft = Cdf::new();
+    let mut tbt = Cdf::new();
+    let mut tokens = 0u64;
+    let mut finished = 0usize;
+    for o in outcomes {
+        tokens += o.token_times.len() as u64;
+        if o.finished() {
+            finished += 1;
+        }
+        if let Some(t) = o.ttft() {
+            ttft.push(t);
+        }
+        for w in o.token_times.windows(2) {
+            tbt.push((w[1] - w[0]).as_secs_f64());
+        }
+    }
+    Summary {
+        requests: outcomes.len(),
+        finished,
+        tokens,
+        token_rate: tokens as f64 / horizon.as_secs_f64().max(1e-9),
+        ttft: pcts(&mut ttft),
+        tbt: pcts(&mut tbt),
+    }
+}
+
+/// One row of a per-model report.
+#[derive(Debug, Clone)]
+pub struct ModelRow {
+    /// Model index.
+    pub model: u32,
+    /// Attainment for that model's requests.
+    pub attainment: AttainmentReport,
+    /// Requests observed.
+    pub requests: usize,
+}
+
+/// Per-model attainment rows (sorted by worst attainment first), for spotting
+/// starved models in a pool.
+pub fn per_model_rows(
+    outcomes: &[RequestOutcome],
+    slo: SloSpec,
+    horizon: SimTime,
+    n_models: usize,
+) -> Vec<ModelRow> {
+    let mut rows: Vec<ModelRow> = (0..n_models)
+        .map(|m| {
+            let subset: Vec<RequestOutcome> = outcomes
+                .iter()
+                .filter(|o| o.model.0 as usize == m)
+                .cloned()
+                .collect();
+            ModelRow {
+                model: m as u32,
+                requests: subset.len(),
+                attainment: attainment(&subset, slo, horizon),
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        a.attainment
+            .ratio()
+            .partial_cmp(&b.attainment.ratio())
+            .expect("finite ratios")
+    });
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aegaeon_model::ModelId;
+    use aegaeon_sim::SimDur;
+    use aegaeon_workload::RequestId;
+
+    fn outcome(model: u32, start: f64, n: u32, gap: f64) -> RequestOutcome {
+        RequestOutcome {
+            id: RequestId(model as u64),
+            model: ModelId(model),
+            arrival: SimTime::ZERO,
+            token_times: (0..n)
+                .map(|i| SimTime::from_secs_f64(start + gap * i as f64))
+                .collect(),
+            target_tokens: n,
+        }
+    }
+
+    #[test]
+    fn summary_counts_and_percentiles() {
+        let o = vec![outcome(0, 1.0, 11, 0.05), outcome(1, 2.0, 21, 0.1)];
+        let s = summarize(&o, SimTime::from_secs_f64(10.0));
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.finished, 2);
+        assert_eq!(s.tokens, 32);
+        assert!((s.token_rate - 3.2).abs() < 1e-9);
+        // TTFTs are 1.0 and 2.0 → p50 = 1.5 by interpolation.
+        assert!((s.ttft.0 - 1.5).abs() < 1e-9);
+        // Gaps: ten of 0.05 and twenty of 0.1.
+        assert!(s.tbt.0 >= 0.05 && s.tbt.2 <= 0.1 + 1e-9);
+    }
+
+    #[test]
+    fn per_model_rows_sort_worst_first() {
+        let slo = SloSpec {
+            ttft: SimDur::from_secs(1),
+            tbt: SimDur::from_millis(100),
+        };
+        // Model 0 on time; model 1 hopelessly late.
+        let o = vec![outcome(0, 0.5, 5, 0.05), outcome(1, 50.0, 5, 0.05)];
+        let rows = per_model_rows(&o, slo, SimTime::from_secs_f64(100.0), 2);
+        assert_eq!(rows[0].model, 1);
+        assert!(rows[0].attainment.ratio() < rows[1].attainment.ratio());
+        assert_eq!(rows[1].attainment.ratio(), 1.0);
+    }
+
+    #[test]
+    fn empty_run_is_safe() {
+        let s = summarize(&[], SimTime::from_secs_f64(1.0));
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.ttft, (0.0, 0.0, 0.0));
+    }
+}

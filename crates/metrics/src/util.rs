@@ -1,0 +1,116 @@
+//! Time-bucketed accumulation for utilization timelines (Figure 18).
+
+use aegaeon_sim::{SimDur, SimTime};
+
+/// Accumulates a quantity (e.g. GPU busy seconds) into fixed-width time
+/// buckets; dividing by bucket width and capacity yields utilization.
+#[derive(Debug, Clone)]
+pub struct TimeBuckets {
+    width: SimDur,
+    totals: Vec<f64>,
+}
+
+impl TimeBuckets {
+    /// Creates buckets of `width` covering `[0, horizon)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new(width: SimDur, horizon: SimTime) -> Self {
+        assert!(!width.is_zero(), "bucket width must be positive");
+        let n = (horizon.as_nanos() + width.as_nanos() - 1) / width.as_nanos();
+        TimeBuckets {
+            width,
+            totals: vec![0.0; n as usize],
+        }
+    }
+
+    /// Adds `value`, spread uniformly over `[start, end)`, into the buckets
+    /// it overlaps. Intervals beyond the horizon are clipped.
+    pub fn add_interval(&mut self, start: SimTime, end: SimTime, value: f64) {
+        if end <= start || self.totals.is_empty() {
+            return;
+        }
+        let span = (end - start).as_secs_f64();
+        let w = self.width.as_nanos();
+        let mut cur = start.as_nanos();
+        let end_ns = end.as_nanos().min(self.totals.len() as u64 * w);
+        while cur < end_ns {
+            let b = (cur / w) as usize;
+            let bucket_end = (b as u64 + 1) * w;
+            let seg_end = bucket_end.min(end_ns);
+            let frac = (seg_end - cur) as f64 / 1e9 / span;
+            self.totals[b] += value * frac;
+            cur = seg_end;
+        }
+    }
+
+    /// Adds `value` entirely into the bucket containing `t`.
+    pub fn add_at(&mut self, t: SimTime, value: f64) {
+        let b = (t.as_nanos() / self.width.as_nanos()) as usize;
+        if let Some(x) = self.totals.get_mut(b) {
+            *x += value;
+        }
+    }
+
+    /// Bucket totals.
+    pub fn totals(&self) -> &[f64] {
+        &self.totals
+    }
+
+    /// Totals divided by `denom` (e.g. bucket-seconds × GPU count to get
+    /// average utilization).
+    pub fn normalized(&self, denom: f64) -> Vec<f64> {
+        self.totals.iter().map(|x| x / denom).collect()
+    }
+
+    /// Bucket width.
+    pub fn width(&self) -> SimDur {
+        self.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn interval_spreads_proportionally() {
+        let mut b = TimeBuckets::new(SimDur::from_secs(10), secs(30.0));
+        // 6 units over [5, 25): 5 s in bucket 0, 10 s in bucket 1, 5 s in bucket 2.
+        b.add_interval(secs(5.0), secs(25.0), 6.0);
+        let t = b.totals();
+        assert!((t[0] - 1.5).abs() < 1e-9);
+        assert!((t[1] - 3.0).abs() < 1e-9);
+        assert!((t[2] - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clipping_beyond_horizon() {
+        let mut b = TimeBuckets::new(SimDur::from_secs(10), secs(10.0));
+        b.add_interval(secs(5.0), secs(25.0), 4.0);
+        // Only [5, 10) lands: a quarter of the interval.
+        assert!((b.totals()[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_at_targets_one_bucket() {
+        let mut b = TimeBuckets::new(SimDur::from_secs(1), secs(5.0));
+        b.add_at(secs(3.5), 2.0);
+        assert_eq!(b.totals()[3], 2.0);
+        b.add_at(secs(99.0), 1.0); // out of range: ignored
+        assert!((b.totals().iter().sum::<f64>() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalization() {
+        let mut b = TimeBuckets::new(SimDur::from_secs(10), secs(10.0));
+        b.add_interval(secs(0.0), secs(5.0), 5.0);
+        let u = b.normalized(10.0);
+        assert!((u[0] - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,325 @@
+//! Fair-share bandwidth links.
+//!
+//! Models an interconnect channel (one direction of a PCIe link, an NVLink
+//! lane, a NIC) shared by concurrent transfers: `n` in-flight flows each
+//! progress at `bandwidth / n`. Rates only change when a flow starts,
+//! finishes or is cancelled, so settling progress at exactly those points
+//! makes the piecewise-constant model exact.
+//!
+//! The link is event-agnostic: after every mutation the owner must call
+//! [`FairLink::deadline`] and schedule a timer for the returned instant,
+//! tagging it with the returned generation. When the timer fires, the owner
+//! calls [`FairLink::expire`]; a stale generation is ignored.
+//!
+//! # Examples
+//!
+//! ```
+//! use aegaeon_sim::{FairLink, SimTime};
+//!
+//! let mut link = FairLink::new("pcie-h2d", 32e9); // 32 GB/s
+//! let t0 = SimTime::ZERO;
+//! let f = link.start_flow(t0, 32_000_000_000); // 32 GB
+//! let (eta, gen) = link.deadline(t0).unwrap();
+//! assert!((eta.as_secs_f64() - 1.0).abs() < 1e-6);
+//! let done = link.expire(eta, gen).unwrap();
+//! assert_eq!(done, vec![f]);
+//! ```
+
+use crate::stamp::Stamp;
+use crate::time::{SimDur, SimTime};
+
+/// Identifies one in-flight transfer on a [`FairLink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u64);
+
+#[derive(Debug)]
+struct Flow {
+    id: FlowId,
+    bytes_left: f64,
+}
+
+/// A full-speed, fair-share bandwidth channel.
+#[derive(Debug)]
+pub struct FairLink {
+    name: String,
+    bw: f64,
+    flows: Vec<Flow>,
+    last_settle: SimTime,
+    stamp: Stamp,
+    next_flow: u64,
+    delivered: f64,
+    busy: SimDur,
+}
+
+/// Sub-byte slack tolerated when deciding that a flow has completed.
+const EPS_BYTES: f64 = 1e-3;
+
+impl FairLink {
+    /// Creates a link with `bandwidth_bytes_per_sec` capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is not strictly positive.
+    pub fn new(name: impl Into<String>, bandwidth_bytes_per_sec: f64) -> Self {
+        assert!(
+            bandwidth_bytes_per_sec > 0.0,
+            "link bandwidth must be positive"
+        );
+        FairLink {
+            name: name.into(),
+            bw: bandwidth_bytes_per_sec,
+            flows: Vec::new(),
+            last_settle: SimTime::ZERO,
+            stamp: Stamp::new(),
+            next_flow: 0,
+            delivered: 0.0,
+            busy: SimDur::ZERO,
+        }
+    }
+
+    /// The link's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Nominal bandwidth in bytes per second.
+    pub fn bandwidth(&self) -> f64 {
+        self.bw
+    }
+
+    /// Number of in-flight flows.
+    pub fn in_flight(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Total bytes fully delivered so far.
+    pub fn bytes_delivered(&self) -> f64 {
+        self.delivered
+    }
+
+    /// Accumulated time during which at least one flow was active.
+    pub fn busy_time(&self) -> SimDur {
+        self.busy
+    }
+
+    /// Starts a transfer of `bytes` at time `now` and returns its id.
+    ///
+    /// The caller must refresh its completion timer via [`Self::deadline`].
+    pub fn start_flow(&mut self, now: SimTime, bytes: u64) -> FlowId {
+        self.settle(now);
+        let id = FlowId(self.next_flow);
+        self.next_flow += 1;
+        self.flows.push(Flow {
+            id,
+            bytes_left: (bytes.max(1)) as f64,
+        });
+        id
+    }
+
+    /// Aborts an in-flight transfer; returns true if it was present.
+    pub fn cancel_flow(&mut self, now: SimTime, id: FlowId) -> bool {
+        self.settle(now);
+        let before = self.flows.len();
+        self.flows.retain(|f| f.id != id);
+        self.flows.len() != before
+    }
+
+    /// Bytes still pending for `id`, if the flow is in flight.
+    pub fn bytes_remaining(&self, id: FlowId) -> Option<u64> {
+        self.flows
+            .iter()
+            .find(|f| f.id == id)
+            .map(|f| f.bytes_left.max(0.0).round() as u64)
+    }
+
+    /// The instant at which the earliest in-flight flow completes, plus the
+    /// generation with which the corresponding timer must be tagged.
+    ///
+    /// Every call invalidates previously issued generations, so only the
+    /// most recent timer is live.
+    pub fn deadline(&mut self, now: SimTime) -> Option<(SimTime, u64)> {
+        self.settle(now);
+        let gen = self.stamp.bump();
+        if self.flows.is_empty() {
+            return None;
+        }
+        let rate = self.bw / self.flows.len() as f64;
+        let min_left = self
+            .flows
+            .iter()
+            .map(|f| f.bytes_left)
+            .fold(f64::INFINITY, f64::min);
+        // Ceil to the next nanosecond so that `expire` always finds at least
+        // one flow at (or below) zero bytes, guaranteeing progress.
+        let dt_ns = ((min_left.max(0.0) / rate) * 1e9).ceil() as u64;
+        Some((now + SimDur::from_nanos(dt_ns), gen))
+    }
+
+    /// Handles a completion timer with generation `gen` firing at `now`.
+    ///
+    /// Returns `Some(flows that finished)` for a live timer; the caller must
+    /// then refresh its timer via [`Self::deadline`]. Returns `None` for a
+    /// stale generation, in which case the link is untouched and the caller
+    /// must *not* refresh (a live timer is already pending).
+    pub fn expire(&mut self, now: SimTime, gen: u64) -> Option<Vec<FlowId>> {
+        if !self.stamp.is_current(gen) {
+            return None;
+        }
+        self.settle(now);
+        let mut done = Vec::new();
+        self.flows.retain(|f| {
+            if f.bytes_left <= EPS_BYTES {
+                done.push(f.id);
+                false
+            } else {
+                true
+            }
+        });
+        Some(done)
+    }
+
+    /// Advances all in-flight flows to `now` at the current fair-share rate.
+    fn settle(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last_settle);
+        self.last_settle = self.last_settle.max(now);
+        if dt.is_zero() || self.flows.is_empty() {
+            return;
+        }
+        self.busy += dt;
+        let rate = self.bw / self.flows.len() as f64;
+        let progressed = rate * dt.as_secs_f64();
+        for f in &mut self.flows {
+            let p = progressed.min(f.bytes_left);
+            f.bytes_left -= p;
+            self.delivered += p;
+        }
+    }
+
+    /// The time a transfer of `bytes` would take if it were alone on the link.
+    pub fn solo_duration(&self, bytes: u64) -> SimDur {
+        SimDur::from_secs_f64(bytes as f64 / self.bw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(link: &mut FairLink, mut now: SimTime) -> Vec<(SimTime, FlowId)> {
+        let mut out = Vec::new();
+        while let Some((eta, gen)) = link.deadline(now) {
+            now = eta;
+            for id in link.expire(now, gen).expect("freshly issued generation") {
+                out.push((now, id));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn solo_flow_takes_bytes_over_bandwidth() {
+        let mut link = FairLink::new("l", 1e9);
+        let f = link.start_flow(SimTime::ZERO, 500_000_000);
+        let done = drain(&mut link, SimTime::ZERO);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].1, f);
+        assert!((done[0].0.as_secs_f64() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_equal_flows_share_fairly() {
+        let mut link = FairLink::new("l", 1e9);
+        link.start_flow(SimTime::ZERO, 1_000_000_000);
+        link.start_flow(SimTime::ZERO, 1_000_000_000);
+        let done = drain(&mut link, SimTime::ZERO);
+        // Each gets 0.5 GB/s, so both finish at t = 2 s.
+        assert_eq!(done.len(), 2);
+        for (t, _) in &done {
+            assert!((t.as_secs_f64() - 2.0).abs() < 1e-6, "finished at {t}");
+        }
+    }
+
+    #[test]
+    fn late_joiner_slows_first_flow() {
+        let mut link = FairLink::new("l", 1e9);
+        // Flow A: 1 GB at t=0. Alone until t=0.5 (0.5 GB done), then shares.
+        link.start_flow(SimTime::ZERO, 1_000_000_000);
+        let t_half = SimTime::from_secs_f64(0.5);
+        link.start_flow(t_half, 250_000_000);
+        // From t=0.5: A has 0.5 GB left at 0.5 GB/s; B has 0.25 GB at 0.5 GB/s.
+        // B finishes at t=1.0; then A has 0.25 GB left at full rate -> t=1.25.
+        let done = drain(&mut link, t_half);
+        assert_eq!(done.len(), 2);
+        assert!((done[0].0.as_secs_f64() - 1.0).abs() < 1e-6);
+        assert!((done[1].0.as_secs_f64() - 1.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cancel_removes_flow_and_speeds_up_rest() {
+        let mut link = FairLink::new("l", 1e9);
+        let a = link.start_flow(SimTime::ZERO, 1_000_000_000);
+        let _b = link.start_flow(SimTime::ZERO, 1_000_000_000);
+        let t = SimTime::from_secs_f64(0.5); // each has 0.75 GB left
+        assert!(link.cancel_flow(t, a));
+        assert!(!link.cancel_flow(t, a));
+        let done = drain(&mut link, t);
+        assert_eq!(done.len(), 1);
+        // b: 0.75 GB left at full 1 GB/s from t=0.5 -> 1.25 s.
+        assert!((done[0].0.as_secs_f64() - 1.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stale_generation_is_ignored() {
+        let mut link = FairLink::new("l", 1e9);
+        link.start_flow(SimTime::ZERO, 1_000_000_000);
+        let (eta1, gen1) = link.deadline(SimTime::ZERO).unwrap();
+        // A second flow invalidates the first timer.
+        link.start_flow(SimTime::from_secs_f64(0.1), 1_000_000_000);
+        let (_, _gen2) = link.deadline(SimTime::from_secs_f64(0.1)).unwrap();
+        assert_eq!(link.expire(eta1, gen1), None);
+        assert_eq!(link.in_flight(), 2);
+    }
+
+    #[test]
+    fn conservation_of_bytes() {
+        let mut link = FairLink::new("l", 7.5e8);
+        let mut now = SimTime::ZERO;
+        let mut total = 0u64;
+        for i in 0..20u64 {
+            let bytes = (i + 1) * 10_000_000;
+            total += bytes;
+            link.start_flow(now, bytes);
+            now = now + SimDur::from_millis(13);
+        }
+        let done = drain(&mut link, now);
+        assert_eq!(done.len(), 20);
+        assert!(
+            (link.bytes_delivered() - total as f64).abs() < 1.0,
+            "delivered {} expected {}",
+            link.bytes_delivered(),
+            total
+        );
+        // Total time must be at least total/bw.
+        let t_min = total as f64 / link.bandwidth();
+        let t_end = done.last().unwrap().0.as_secs_f64();
+        assert!(t_end >= t_min - 1e-6);
+    }
+
+    #[test]
+    fn busy_time_tracks_occupancy() {
+        let mut link = FairLink::new("l", 1e9);
+        link.start_flow(SimTime::ZERO, 1_000_000_000);
+        let done = drain(&mut link, SimTime::ZERO);
+        let end = done[0].0;
+        assert_eq!(link.busy_time().as_secs_f64(), end.as_secs_f64());
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_immediately() {
+        let mut link = FairLink::new("l", 1e9);
+        link.start_flow(SimTime::ZERO, 0);
+        let done = drain(&mut link, SimTime::ZERO);
+        assert_eq!(done.len(), 1);
+        assert!(done[0].0.as_secs_f64() < 1e-6);
+    }
+}

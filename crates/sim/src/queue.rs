@@ -1,0 +1,271 @@
+//! The event queue and the [`Timeline`] scheduling capability.
+//!
+//! A simulation is driven by draining an [`EventQueue<E>`]: the owner pops
+//! `(time, event)` pairs in nondecreasing time order and dispatches them on a
+//! top-level event enum. Sub-systems (the GPU fabric, inference engines, …)
+//! are written against the [`Timeline`] trait with their *own* event type and
+//! are embedded into the top-level enum through [`Lift`], which keeps every
+//! crate independently testable.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::marker::PhantomData;
+
+use crate::time::{SimDur, SimTime};
+
+/// The capability to read the clock and schedule future events of type `E`.
+pub trait Timeline<E> {
+    /// The current simulated instant.
+    fn now(&self) -> SimTime;
+
+    /// Schedules `ev` to fire at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error; implementations clamp to
+    /// `now()` so that causality is preserved, but debug builds assert.
+    fn schedule_at(&mut self, at: SimTime, ev: E);
+
+    /// Schedules `ev` to fire `d` after the current instant.
+    fn schedule_after(&mut self, d: SimDur, ev: E) {
+        let at = self.now() + d;
+        self.schedule_at(at, ev);
+    }
+}
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A monotonic event heap with stable FIFO ordering for simultaneous events.
+///
+/// # Examples
+///
+/// ```
+/// use aegaeon_sim::{EventQueue, SimDur, Timeline};
+///
+/// let mut q: EventQueue<&'static str> = EventQueue::new();
+/// q.schedule_after(SimDur::from_secs(2), "b");
+/// q.schedule_after(SimDur::from_secs(1), "a");
+/// assert_eq!(q.pop().map(|(_, e)| e), Some("a"));
+/// assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    seq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to it.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(s) = self.heap.pop()?;
+        debug_assert!(s.at >= self.now, "event heap went backwards in time");
+        self.now = s.at;
+        self.popped += 1;
+        Some((s.at, s.ev))
+    }
+
+    /// The time of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(s)| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events dispatched so far (for throughput reporting).
+    pub fn events_dispatched(&self) -> u64 {
+        self.popped
+    }
+}
+
+impl<E> Timeline<E> for EventQueue<E> {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn schedule_at(&mut self, at: SimTime, ev: E) {
+        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, ev }));
+    }
+}
+
+/// Adapter embedding a sub-system event type `Sub` into an outer timeline
+/// whose event type is `E`, via a mapping function.
+///
+/// # Examples
+///
+/// ```
+/// use aegaeon_sim::{EventQueue, Lift, SimDur, Timeline};
+///
+/// enum Top { Gpu(u32) }
+///
+/// fn gpu_subsystem(tl: &mut impl Timeline<u32>) {
+///     tl.schedule_after(SimDur::from_millis(1), 7);
+/// }
+///
+/// let mut q: EventQueue<Top> = EventQueue::new();
+/// gpu_subsystem(&mut Lift::new(&mut q, Top::Gpu));
+/// let (_, Top::Gpu(x)) = q.pop().unwrap();
+/// assert_eq!(x, 7);
+/// ```
+pub struct Lift<'a, T: ?Sized, F, E> {
+    inner: &'a mut T,
+    map: F,
+    _outer: PhantomData<fn(E)>,
+}
+
+impl<'a, T: ?Sized, F, E> Lift<'a, T, F, E> {
+    /// Wraps `inner`, translating scheduled sub-events through `map`.
+    pub fn new(inner: &'a mut T, map: F) -> Self {
+        Lift {
+            inner,
+            map,
+            _outer: PhantomData,
+        }
+    }
+}
+
+impl<Sub, E, T, F> Timeline<Sub> for Lift<'_, T, F, E>
+where
+    T: Timeline<E> + ?Sized,
+    F: Fn(Sub) -> E,
+{
+    fn now(&self) -> SimTime {
+        self.inner.now()
+    }
+
+    fn schedule_at(&mut self, at: SimTime, ev: Sub) {
+        self.inner.schedule_at(at, (self.map)(ev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs_f64(3.0), 3u32);
+        q.schedule_at(SimTime::from_secs_f64(1.0), 1);
+        q.schedule_at(SimTime::from_secs_f64(2.0), 2);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs_f64(1.0);
+        for i in 0..100u32 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_after(SimDur::from_secs(5), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs_f64(5.0));
+    }
+
+    #[test]
+    fn lift_translates_events() {
+        #[derive(Debug, PartialEq)]
+        enum Top {
+            A(u8),
+            B(char),
+        }
+        let mut q: EventQueue<Top> = EventQueue::new();
+        {
+            let mut la = Lift::new(&mut q, Top::A);
+            la.schedule_after(SimDur::from_secs(2), 9);
+        }
+        {
+            let mut lb = Lift::new(&mut q, Top::B);
+            lb.schedule_after(SimDur::from_secs(1), 'x');
+        }
+        assert_eq!(q.pop().unwrap().1, Top::B('x'));
+        assert_eq!(q.pop().unwrap().1, Top::A(9));
+    }
+
+    #[test]
+    fn nested_lifts_compose() {
+        #[derive(Debug, PartialEq)]
+        enum Top {
+            Mid(Mid),
+        }
+        #[derive(Debug, PartialEq)]
+        enum Mid {
+            Leaf(u32),
+        }
+        let mut q: EventQueue<Top> = EventQueue::new();
+        let mut mid = Lift::new(&mut q, Top::Mid);
+        let mut leaf = Lift::new(&mut mid, Mid::Leaf);
+        leaf.schedule_after(SimDur::ZERO, 42);
+        assert_eq!(q.pop().unwrap().1, Top::Mid(Mid::Leaf(42)));
+    }
+
+    #[test]
+    fn dispatch_counter_counts() {
+        let mut q = EventQueue::new();
+        for _ in 0..10 {
+            q.schedule_after(SimDur::ZERO, ());
+        }
+        while q.pop().is_some() {}
+        assert_eq!(q.events_dispatched(), 10);
+    }
+}

@@ -1,0 +1,180 @@
+//! Deterministic randomness for simulations.
+//!
+//! All stochastic inputs (arrival processes, request lengths, latency noise)
+//! draw from a [`SimRng`] seeded once per experiment; identical seeds yield
+//! identical traces, which an integration test asserts end to end.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Exp, LogNormal, Pareto};
+
+/// A seeded random source with the distributions the workloads need.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Splits off an independent generator (for per-component streams).
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from_u64(self.inner.gen())
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is meaningless");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Exponential sample with rate `lambda` (mean `1/lambda`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is not strictly positive.
+    pub fn exp(&mut self, lambda: f64) -> f64 {
+        Exp::new(lambda)
+            .expect("exp rate must be positive")
+            .sample(&mut self.inner)
+    }
+
+    /// Log-normal sample parameterized by the *target* mean and the sigma of
+    /// the underlying normal (a common fit for LLM request lengths).
+    pub fn lognormal_mean(&mut self, mean: f64, sigma: f64) -> f64 {
+        // E[LogNormal(mu, sigma)] = exp(mu + sigma^2/2)  =>  mu = ln(mean) - sigma^2/2.
+        let mu = mean.ln() - sigma * sigma / 2.0;
+        LogNormal::new(mu, sigma)
+            .expect("lognormal parameters must be finite")
+            .sample(&mut self.inner)
+    }
+
+    /// Pareto sample with scale `x_m` and shape `alpha` (popularity skew).
+    pub fn pareto(&mut self, x_m: f64, alpha: f64) -> f64 {
+        Pareto::new(x_m, alpha)
+            .expect("pareto parameters must be positive")
+            .sample(&mut self.inner)
+    }
+
+    /// Multiplicative noise factor `exp(N(0, sigma))`, used for latency jitter.
+    pub fn noise(&mut self, sigma: f64) -> f64 {
+        if sigma == 0.0 {
+            return 1.0;
+        }
+        LogNormal::new(0.0, sigma)
+            .expect("noise sigma must be finite")
+            .sample(&mut self.inner)
+    }
+
+    /// Picks an index according to `weights` (need not be normalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must sum to a positive value");
+        let mut x = self.inner.gen::<f64>() * total;
+        for (i, w) in weights.iter().enumerate() {
+            x -= w;
+            if x <= 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Access to the raw `rand` generator for anything not covered above.
+    pub fn raw(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut b = SimRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.f64(), b.f64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.f64() == b.f64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn exp_mean_is_one_over_lambda() {
+        let mut r = SimRng::seed_from_u64(42);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.exp(2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_hits_target_mean() {
+        let mut r = SimRng::seed_from_u64(42);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| r.lognormal_mean(300.0, 0.8)).sum::<f64>() / n as f64;
+        assert!((mean - 300.0).abs() / 300.0 < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = SimRng::seed_from_u64(9);
+        let w = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[r.weighted_index(&w)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn noise_with_zero_sigma_is_identity() {
+        let mut r = SimRng::seed_from_u64(3);
+        assert_eq!(r.noise(0.0), 1.0);
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut a = SimRng::seed_from_u64(5);
+        let mut c = a.fork();
+        // Consuming from the fork must not disturb the parent's determinism.
+        let mut b = SimRng::seed_from_u64(5);
+        let _ = b.fork();
+        let _: Vec<f64> = (0..10).map(|_| c.f64()).collect();
+        for _ in 0..10 {
+            assert_eq!(a.f64(), b.f64());
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Interval tracing for schedule timelines.
+//!
+//! The experiments for Figures 2 and 6 render Gantt-style schedules
+//! (prefill/decoding/switching intervals per GPU). Components record labeled
+//! intervals into a [`TraceLog`]; the bench harness renders them as ASCII
+//! timelines. Tracing is off by default and costs one branch when disabled.
+
+use crate::time::SimTime;
+
+/// Classifies an interval for rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// A prefill job.
+    Prefill,
+    /// One or more decoding steps.
+    Decode,
+    /// Auto-scaling work (model load, engine init, gc, …).
+    Switch,
+    /// KV cache transfer.
+    KvTransfer,
+    /// Queue waiting time.
+    Wait,
+    /// Anything else.
+    Other,
+}
+
+/// A labeled, half-open interval `[start, end)` on a named lane.
+#[derive(Debug, Clone)]
+pub struct TraceInterval {
+    /// Rendering lane, e.g. `"gpu0"`.
+    pub lane: String,
+    /// Interval start.
+    pub start: SimTime,
+    /// Interval end.
+    pub end: SimTime,
+    /// Category.
+    pub kind: TraceKind,
+    /// Short label, e.g. `"P:modelA"`.
+    pub label: String,
+}
+
+/// A collection of trace intervals.
+#[derive(Debug, Default)]
+pub struct TraceLog {
+    enabled: bool,
+    intervals: Vec<TraceInterval>,
+}
+
+impl TraceLog {
+    /// Creates a disabled log (records nothing).
+    pub fn disabled() -> Self {
+        TraceLog {
+            enabled: false,
+            intervals: Vec::new(),
+        }
+    }
+
+    /// Creates an enabled log.
+    pub fn enabled() -> Self {
+        TraceLog {
+            enabled: true,
+            intervals: Vec::new(),
+        }
+    }
+
+    /// True if recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an interval if enabled.
+    pub fn record(
+        &mut self,
+        lane: impl Into<String>,
+        start: SimTime,
+        end: SimTime,
+        kind: TraceKind,
+        label: impl Into<String>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        debug_assert!(end >= start, "trace interval with negative length");
+        self.intervals.push(TraceInterval {
+            lane: lane.into(),
+            start,
+            end,
+            kind,
+            label: label.into(),
+        });
+    }
+
+    /// All recorded intervals in recording order.
+    pub fn intervals(&self) -> &[TraceInterval] {
+        &self.intervals
+    }
+
+    /// Distinct lane names in first-appearance order.
+    pub fn lanes(&self) -> Vec<String> {
+        let mut lanes: Vec<String> = Vec::new();
+        for iv in &self.intervals {
+            if !lanes.contains(&iv.lane) {
+                lanes.push(iv.lane.clone());
+            }
+        }
+        lanes
+    }
+
+    /// Drops all recorded intervals.
+    pub fn clear(&mut self) {
+        self.intervals.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = TraceLog::disabled();
+        log.record(
+            "gpu0",
+            SimTime::ZERO,
+            SimTime::from_secs_f64(1.0),
+            TraceKind::Prefill,
+            "P1",
+        );
+        assert!(log.intervals().is_empty());
+    }
+
+    #[test]
+    fn enabled_log_preserves_order_and_lanes() {
+        let mut log = TraceLog::enabled();
+        let t1 = SimTime::from_secs_f64(1.0);
+        let t2 = SimTime::from_secs_f64(2.0);
+        log.record("gpu1", SimTime::ZERO, t1, TraceKind::Prefill, "P1");
+        log.record("gpu0", t1, t2, TraceKind::Decode, "D1");
+        log.record("gpu1", t1, t2, TraceKind::Switch, "S");
+        assert_eq!(log.intervals().len(), 3);
+        assert_eq!(log.lanes(), vec!["gpu1".to_string(), "gpu0".to_string()]);
+    }
+}

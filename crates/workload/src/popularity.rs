@@ -1,0 +1,96 @@
+//! Model popularity skew (Figure 1a).
+//!
+//! The production workload is heavily skewed: 94.1% of the 779 models
+//! receive only 1.35% of the 167.6M requests. A Zipf-like power law with a
+//! suitable exponent reproduces that head/tail split; [`head_share`]
+//! measures it so the Figure 1a harness can report the same statistic.
+
+/// Zipf weights `w_i ∝ (i+1)^-s` for `n` items, normalized to sum to 1.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    assert!(n > 0, "need at least one model");
+    let mut w: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-s)).collect();
+    let total: f64 = w.iter().sum();
+    for x in &mut w {
+        *x /= total;
+    }
+    w
+}
+
+/// Fraction of total weight held by the top `frac` of items (weights must be
+/// sorted descending, as [`zipf_weights`] returns them).
+pub fn head_share(weights: &[f64], frac: f64) -> f64 {
+    let k = ((weights.len() as f64 * frac).round() as usize).clamp(0, weights.len());
+    let head: f64 = weights[..k].iter().sum();
+    let total: f64 = weights.iter().sum();
+    if total == 0.0 {
+        0.0
+    } else {
+        head / total
+    }
+}
+
+/// The exponent calibrated so that 779 models reproduce the paper's split
+/// (top 5.9% of models ≈ 98.65% of requests).
+pub const MARKET_ZIPF_EXPONENT: f64 = 2.05;
+
+/// The CDF of request share versus model rank (both normalized to `[0,1]`),
+/// evaluated at `points` evenly spaced ranks — the Figure 1a curve.
+pub fn request_cdf(weights: &[f64], points: usize) -> Vec<(f64, f64)> {
+    let n = weights.len();
+    let total: f64 = weights.iter().sum();
+    let mut out = Vec::with_capacity(points);
+    let mut acc = 0.0;
+    let mut next_idx = 0usize;
+    for p in 1..=points {
+        let upto = (n * p) / points;
+        while next_idx < upto {
+            acc += weights[next_idx];
+            next_idx += 1;
+        }
+        out.push((upto as f64 / n as f64, acc / total));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_are_normalized_and_descending() {
+        let w = zipf_weights(100, 1.5);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(w.windows(2).all(|p| p[0] >= p[1]));
+    }
+
+    #[test]
+    fn market_exponent_reproduces_figure_1a_split() {
+        // Paper: 94.1% of 779 models receive 1.35% of requests, i.e. the
+        // head 5.9% receives 98.65%.
+        let w = zipf_weights(779, MARKET_ZIPF_EXPONENT);
+        let head = head_share(&w, 0.059);
+        assert!(
+            (head - 0.9865).abs() < 0.015,
+            "head share {head}, want ≈ 0.9865"
+        );
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let w = zipf_weights(779, MARKET_ZIPF_EXPONENT);
+        let cdf = request_cdf(&w, 50);
+        assert!(cdf.windows(2).all(|p| p[0].1 <= p[1].1));
+        let last = cdf.last().unwrap();
+        assert!((last.1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_weights_have_linear_head_share() {
+        let w = vec![0.25; 4];
+        assert!((head_share(&w, 0.5) - 0.5).abs() < 1e-9);
+    }
+}

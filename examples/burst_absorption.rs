@@ -1,0 +1,72 @@
+//! Burst absorption: a hot model whose traffic bursts past its provisioned
+//! share (Figure 1b), pooled with a sporadic tail of cold models.
+//!
+//! ```text
+//! cargo run --release -p aegaeon-bench --example burst_absorption
+//! ```
+
+use aegaeon::{AegaeonConfig, ServingSystem};
+use aegaeon_metrics::slo::attainment_per_model;
+use aegaeon_model::{ModelId, Zoo};
+use aegaeon_sim::{SimRng, SimTime};
+use aegaeon_workload::{BurstProcess, LengthDist, SloSpec, TraceBuilder};
+
+fn main() {
+    let zoo = Zoo::standard();
+    let n_cold = 11usize;
+    let models = Zoo::replicate(&zoo.market_band(), n_cold + 1);
+
+    // Model 0 is hot and bursty; the rest are a sporadic tail.
+    let burst = BurstProcess {
+        base_rate: 0.6,
+        burst_rate: 3.0,
+        mean_quiet: 60.0,
+        mean_burst: 15.0,
+    };
+    let mut rng = SimRng::seed_from_u64(33);
+    let horizon = SimTime::from_secs_f64(400.0);
+    let mut tb = TraceBuilder::new(horizon, LengthDist::sharegpt())
+        .bursty_model(&mut rng, ModelId(0), burst);
+    for m in 1..=n_cold {
+        tb = tb.poisson_model(&mut rng, ModelId(m as u32), 0.05);
+    }
+    let trace = tb.build(&mut rng);
+    println!(
+        "workload: hot model averaging {:.2} req/s with {:.1}x bursts + {} cold models at 0.05 req/s",
+        burst.mean_rate(),
+        burst.burst_rate / burst.base_rate,
+        n_cold
+    );
+    println!("total: {} requests over {:.0} s", trace.len(), horizon.as_secs_f64());
+
+    let mut cfg = AegaeonConfig::small_testbed(2, 4);
+    cfg.seed = 33;
+    let r = ServingSystem::run(&cfg, &models, &trace);
+    let slo = SloSpec::paper_default();
+    let per_model = attainment_per_model(&r.outcomes, slo, trace.horizon, models.len());
+    let overall = r.attainment(slo);
+
+    println!("\npooled on 6 GPUs (2 prefill + 4 decoding):");
+    println!("  overall attainment {:.1}%", overall.percent());
+    println!(
+        "  hot model          {:.1}% across {} requests",
+        per_model[0].percent(),
+        per_model[0].requests
+    );
+    let tail_ratio: f64 = per_model[1..]
+        .iter()
+        .map(|a| a.ratio())
+        .sum::<f64>()
+        / n_cold as f64;
+    println!("  cold tail (mean)   {:.1}%", tail_ratio * 100.0);
+    println!(
+        "  switches {}, prefetch hits {:.0}%, GPU util {:.1}%",
+        r.scale_count,
+        r.prefetch_hit_ratio() * 100.0,
+        r.mean_gpu_utilization() * 100.0
+    );
+    println!(
+        "\nthe burst borrows decoding turns from the idle tail's share instead of\n\
+         needing reserved burst capacity — the pooling win of §2.2."
+    );
+}

@@ -1,0 +1,57 @@
+//! Capacity planning walk-through: how many GPUs does a model mix need,
+//! dedicated versus pooled? (The §7.5 deployment calculation.)
+//!
+//! ```text
+//! cargo run --release -p aegaeon-bench --example capacity_planning
+//! ```
+
+use aegaeon::planner::{
+    aegaeon_pool_gpus, dedicated_gpus, instance_capacity_rps, ModelDemand, PlannerConfig,
+};
+use aegaeon_gpu::GpuSpec;
+use aegaeon_model::Zoo;
+
+fn main() {
+    let zoo = Zoo::standard();
+    let gpu = GpuSpec::h20();
+    let cfg = PlannerConfig::production_default();
+
+    // A small marketplace: a dozen 6–14B models with sporadic demand.
+    let bases = ["Yi-6B", "Qwen-7B", "InternLM2.5-7B", "Qwen-14B"];
+    let demands: Vec<ModelDemand> = (0..12)
+        .map(|i| ModelDemand {
+            spec: zoo.get(bases[i % bases.len()]).expect("zoo").clone(),
+            rate: [0.02, 0.05, 0.12, 0.30][i % 4],
+            mean_output: 250.0,
+            mean_input: 330.0,
+        })
+        .collect();
+
+    println!("demand profile on {}:", gpu.name);
+    for d in &demands {
+        println!(
+            "  {:16} {:>5.2} req/s (one dedicated instance sustains {:>5.2} req/s)",
+            d.spec.name,
+            d.rate,
+            instance_capacity_rps(&gpu, d, cfg.batch)
+        );
+    }
+    let agg: f64 = demands.iter().map(|d| d.rate).sum();
+    println!("  aggregate: {agg:.2} req/s across {} models", demands.len());
+
+    let before = dedicated_gpus(&gpu, &demands, &cfg);
+    let after = aegaeon_pool_gpus(&gpu, &demands, &cfg);
+    println!("\ndedicated (peak x{}, {}x redundancy): {before} GPUs", cfg.peak_factor, cfg.redundancy);
+    println!("Aegaeon pool (same redundancy):        {after} GPUs");
+    println!(
+        "saving: {:.0}%  —  {:.1} models per pooled GPU",
+        (1.0 - after as f64 / before as f64) * 100.0,
+        demands.len() as f64 / after as f64
+    );
+    println!(
+        "\nthe pool is sized by two constraints: aggregate token throughput and\n\
+         the active-model floor E[m] = sum(1 - exp(-lambda*T)) (Theorem 3.1),\n\
+         at ~{} concurrently active models per instance (§7.2).",
+        cfg.active_models_per_instance
+    );
+}

@@ -1,0 +1,66 @@
+//! Quickstart: pool eight models onto four GPUs and check SLO attainment.
+//!
+//! ```text
+//! cargo run --release -p aegaeon-bench --example quickstart
+//! ```
+
+use aegaeon::{AegaeonConfig, ServingSystem};
+use aegaeon_model::Zoo;
+use aegaeon_sim::{SimRng, SimTime};
+use aegaeon_workload::{LengthDist, SloSpec, TraceBuilder};
+
+fn main() {
+    // 1. Pick the models to serve: eight distinct 6–14B market models.
+    let zoo = Zoo::standard();
+    let models = Zoo::replicate(&zoo.market_band(), 8);
+    println!("serving {} models:", models.len());
+    for m in &models {
+        println!(
+            "  {:18} {:5.1} GB weights, {:4} KB KV/token",
+            m.name,
+            m.weight_bytes() as f64 / 1e9,
+            m.kv_bytes_per_token() / 1024
+        );
+    }
+
+    // 2. Synthesize a sporadic multi-model workload (Poisson per model).
+    let mut rng = SimRng::seed_from_u64(7);
+    let trace = TraceBuilder::new(SimTime::from_secs_f64(300.0), LengthDist::sharegpt())
+        .uniform_models(&mut rng, models.len() as u32, 0.08)
+        .build(&mut rng);
+    println!(
+        "\nworkload: {} requests over {:.0} s (aggregate {:.2} req/s)",
+        trace.len(),
+        trace.horizon.as_secs_f64(),
+        trace.aggregate_rate()
+    );
+
+    // 3. Configure a small pool: 1 prefill + 3 decoding H800 instances.
+    let mut cfg = AegaeonConfig::small_testbed(1, 3);
+    cfg.seed = 7;
+
+    // 4. Serve and report.
+    let result = ServingSystem::run(&cfg, &models, &trace);
+    let slo = SloSpec::paper_default();
+    let report = result.attainment(slo);
+    println!("\nresults:");
+    println!("  completed        {}/{}", result.completed, result.total_requests);
+    println!("  SLO attainment   {:.1}% (TTFT 10 s, TBT 100 ms)", report.percent());
+    println!("  mean TTFT        {:.2} s", report.ttft.mean());
+    println!("  model switches   {} (prefetch hits {:.0}%)",
+        result.scale_count, result.prefetch_hit_ratio() * 100.0);
+    println!("  KV swaps         {}", result.swaps);
+    println!(
+        "  GPU utilization  {:.1}% across {} GPUs (vs ~{:.1}% if dedicated)",
+        result.mean_gpu_utilization() * 100.0,
+        result.gpu_busy.len(),
+        result.mean_gpu_utilization() * 100.0 * result.gpu_busy.len() as f64
+            / models.len() as f64
+    );
+    println!(
+        "\n{} models on {} GPUs — {:.1} models per GPU.",
+        models.len(),
+        result.gpu_busy.len(),
+        models.len() as f64 / result.gpu_busy.len() as f64
+    );
+}

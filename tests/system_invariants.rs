@@ -1,0 +1,148 @@
+//! Whole-system invariants: memory accounting, scaling accounting and
+//! utilization bounds over full serving runs.
+
+use aegaeon::{AegaeonConfig, ServingSystem};
+use aegaeon_bench::{market_models, uniform_trace};
+use aegaeon_workload::{LengthDist, SloSpec};
+
+const SEED: u64 = 321;
+
+#[test]
+fn fragmentation_and_utilization_are_bounded() {
+    let models = market_models(24);
+    let trace = uniform_trace(24, 0.12, 250.0, SEED, LengthDist::sharegpt());
+    let cfg = AegaeonConfig::paper_testbed();
+    let r = ServingSystem::run(&cfg, &models, &trace);
+    let all = r.frag_rows.last().expect("All row");
+    assert!(
+        (0.0..=0.5).contains(&all.fragmentation),
+        "overall CPU-cache fragmentation {:.3}",
+        all.fragmentation
+    );
+    let util = r.mean_gpu_utilization();
+    assert!((0.0..=1.0).contains(&util), "utilization {util}");
+    for b in &r.gpu_busy {
+        assert!(
+            *b <= r.end_time.as_secs_f64() + 1e-6,
+            "busy time cannot exceed wall time"
+        );
+    }
+}
+
+#[test]
+fn scaling_books_balance() {
+    let models = market_models(16);
+    let trace = uniform_trace(16, 0.1, 200.0, SEED + 1, LengthDist::sharegpt());
+    let cfg = AegaeonConfig::paper_testbed();
+    let r = ServingSystem::run(&cfg, &models, &trace);
+    assert_eq!(
+        r.scale_latencies.len() as u64,
+        r.scale_count,
+        "every scale-up must record a latency"
+    );
+    assert!(r.prefetch_hits <= r.scale_count);
+    assert!(r.scale_latencies.iter().all(|&x| (0.0..60.0).contains(&x)));
+    // Each request swaps at least once (prefill offload) once decoded.
+    assert!(r.swaps as usize >= r.completed);
+}
+
+#[test]
+fn breakdown_covers_request_time() {
+    let models = market_models(16);
+    let trace = uniform_trace(16, 0.1, 200.0, SEED + 2, LengthDist::sharegpt());
+    let cfg = AegaeonConfig::paper_testbed();
+    let r = ServingSystem::run(&cfg, &models, &trace);
+    let f = r.breakdown.fractions();
+    let sum: f64 = f.iter().sum();
+    assert!((sum - 1.0).abs() < 1e-9, "fractions sum to 1, got {sum}");
+    assert!(f.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    // Prefill execution exists and decoding dominates execution time.
+    assert!(f[1] > 0.0 && f[3] > 0.0);
+}
+
+#[test]
+fn kv_sync_overhead_stays_sub_second() {
+    // §7.3: per-request KV management overhead below one second.
+    let models = market_models(32);
+    let trace = uniform_trace(32, 0.1, 250.0, SEED + 3, LengthDist::sharegpt());
+    let cfg = AegaeonConfig::paper_testbed();
+    let r = ServingSystem::run(&cfg, &models, &trace);
+    let over: usize = r
+        .kv_sync_per_request
+        .iter()
+        .filter(|&&x| x > 1.0)
+        .count();
+    assert!(
+        over * 50 < r.kv_sync_per_request.len(),
+        "more than 2% of requests exceed 1 s of KV overhead ({over})"
+    );
+}
+
+#[test]
+fn multislot_colocation_reduces_paid_scale_ups() {
+    // §8 extension: with two resident weight slots, switches among
+    // colocated models are free, so fewer full scale-ups are paid.
+    let models = market_models(48);
+    let trace = uniform_trace(48, 0.1, 250.0, SEED + 5, LengthDist::sharegpt());
+    let one = AegaeonConfig::paper_testbed();
+    let mut two = AegaeonConfig::paper_testbed();
+    two.weight_slots = 2;
+    let a = ServingSystem::run(&one, &models, &trace);
+    let b = ServingSystem::run(&two, &models, &trace);
+    assert!(
+        b.scale_count as f64 <= a.scale_count as f64 * 0.9,
+        "two slots must cut paid scale-ups: {} vs {}",
+        b.scale_count,
+        a.scale_count
+    );
+    let ra = a.attainment(SloSpec::paper_default()).ratio();
+    let rb = b.attainment(SloSpec::paper_default()).ratio();
+    assert!(rb > ra - 0.05, "colocation must not cost much attainment: {rb:.3} vs {ra:.3}");
+    // Determinism with slots enabled.
+    let b2 = ServingSystem::run(&two, &models, &trace);
+    assert_eq!(b.events, b2.events);
+}
+
+#[test]
+fn disabling_prefetch_costs_attainment_or_switch_latency() {
+    // Needs the rotation regime: enough models that decoding work lists
+    // hold several batches, so the scheduler knows a "next model".
+    let models = market_models(48);
+    let trace = uniform_trace(48, 0.12, 250.0, SEED + 4, LengthDist::sharegpt());
+    let with = AegaeonConfig::paper_testbed();
+    let mut without = AegaeonConfig::paper_testbed();
+    without.opts.prefetch = false;
+    let a = ServingSystem::run(&with, &models, &trace);
+    let b = ServingSystem::run(&without, &models, &trace);
+    // Prefetching converts a fraction of scale-ups into near-instant
+    // on-device promotions. (The *mean* can stay flat — prefetch copies
+    // contend on the same PCIe link as cold loads — so assert on the
+    // near-instant fraction, which is what Figure 15 reports.)
+    let near_instant =
+        |v: &Vec<f64>| v.iter().filter(|&&x| x <= 0.1).count() as f64 / v.len().max(1) as f64;
+    assert!(a.prefetch_hits > 0);
+    assert_eq!(b.prefetch_hits, 0);
+    assert!(
+        near_instant(&a.scale_latencies) > near_instant(&b.scale_latencies) + 0.05,
+        "prefetching must produce near-instant scale-ups: {:.2} vs {:.2}",
+        near_instant(&a.scale_latencies),
+        near_instant(&b.scale_latencies)
+    );
+}
+
+#[test]
+fn long_run_stays_stable_and_balanced() {
+    // A 20-minute, 64-model run on the paper testbed: the system must keep
+    // draining (no leak/livelock), with every request eventually served and
+    // all KV blocks returned (zero residual allocation in the CPU caches).
+    let models = market_models(64);
+    let trace = uniform_trace(64, 0.1, 1200.0, SEED + 6, LengthDist::sharegpt());
+    let cfg = AegaeonConfig::paper_testbed();
+    let r = ServingSystem::run(&cfg, &models, &trace);
+    assert_eq!(r.completed, r.total_requests, "long run must drain fully");
+    assert!(r.events > 100_000, "sanity: a real run happened ({})", r.events);
+    // Utilization and fragmentation stay bounded over the long horizon.
+    assert!(r.mean_gpu_utilization() < 0.95);
+    let frag = r.frag_rows.last().expect("All row").fragmentation;
+    assert!((0.0..0.5).contains(&frag), "fragmentation {frag}");
+}

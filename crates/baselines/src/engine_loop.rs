@@ -17,7 +17,7 @@ use aegaeon_gpu::{
 };
 use aegaeon_metrics::RequestOutcome;
 use aegaeon_model::{ModelId, ModelSpec};
-use aegaeon_sim::{EventQueue, Lift, SimDur, SimRng, SimTime, Timeline};
+use aegaeon_sim::{EventQueue, FxHashMap, Lift, SimDur, SimRng, SimTime, Timeline};
 use aegaeon_workload::{RequestId, Trace};
 
 use crate::result::BaselineResult;
@@ -200,7 +200,7 @@ pub struct World {
     /// RNG.
     pub rng: SimRng,
     ready: VecDeque<Completion<BTag>>,
-    multis: std::collections::HashMap<u64, (u32, BTag)>,
+    multis: FxHashMap<u64, (u32, BTag)>,
     next_multi: u64,
     usable_vram: u64,
     /// Completed requests.
@@ -260,7 +260,7 @@ impl World {
             trace,
             rng,
             ready: VecDeque::new(),
-            multis: std::collections::HashMap::new(),
+            multis: FxHashMap::default(),
             next_multi: 0,
             usable_vram,
             completed: 0,

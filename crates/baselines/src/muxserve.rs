@@ -9,9 +9,9 @@
 //! servable at all — the hard cap the paper observes at 32 models on
 //! 16 GPUs.
 
-use std::collections::HashMap;
 
 use aegaeon_model::{ModelId, ModelSpec};
+use aegaeon_sim::FxHashMap;
 use aegaeon_workload::{RequestId, Trace};
 
 use crate::engine_loop::{InstState, Qq, Scheduler, World, WorldConfig};
@@ -78,7 +78,7 @@ impl Placement {
 /// The MuxServe runtime scheduler.
 #[derive(Debug)]
 pub struct MuxServe {
-    slot_of_model: HashMap<ModelId, usize>,
+    slot_of_model: FxHashMap<ModelId, usize>,
     gpu_of_slot: Vec<usize>,
     slots_of_gpu: Vec<Vec<usize>>,
     kv_share_bytes: Vec<u64>,
@@ -106,7 +106,7 @@ impl MuxServe {
         // Rebuild instances: one slot per (gpu, placed model), each on its
         // own stream so colocated models overlap (spatial sharing).
         let mut insts = Vec::new();
-        let mut slot_of_model = HashMap::new();
+        let mut slot_of_model = FxHashMap::default();
         let mut gpu_of_slot = Vec::new();
         let mut slots_of_gpu = vec![Vec::new(); n_gpus];
         let mut kv_share_bytes = Vec::new();

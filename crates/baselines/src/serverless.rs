@@ -200,12 +200,13 @@ mod tests {
         // models, so the ordering policy actually matters.
         let cfg = SllmConfig::new(cluster(1));
         let plus = SllmConfig::plus(cluster(1));
-        let t = trace(8, 0.25, 150.0, 3);
+        let t = trace(8, 0.5, 150.0, 3);
         let a = ServerlessLlm::run(&cfg, &models(8), &t);
         let b = ServerlessLlm::run(&plus, &models(8), &t);
-        // Different policies must actually behave differently.
-        let fa: Vec<_> = a.outcomes.iter().map(|o| o.token_times.len()).collect();
-        let fb: Vec<_> = b.outcomes.iter().map(|o| o.token_times.len()).collect();
+        // Different policies must actually behave differently: under SJF some
+        // request is served earlier or later, shifting its first-token time.
+        let fa: Vec<_> = a.outcomes.iter().map(|o| o.token_times.first().copied()).collect();
+        let fb: Vec<_> = b.outcomes.iter().map(|o| o.token_times.first().copied()).collect();
         assert!(fa != fb || a.switches != b.switches);
     }
 }

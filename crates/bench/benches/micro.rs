@@ -6,10 +6,12 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use aegaeon::prefill::PrefillQueue;
 use aegaeon::quota::{decode_quotas, QuotaInputs};
+use aegaeon::{AegaeonConfig, ServingSystem};
+use aegaeon_bench::{market_models, uniform_trace, SEED};
 use aegaeon_mem::{BumpBuffer, SlabPool, SlabPoolConfig};
 use aegaeon_model::ModelId;
-use aegaeon_sim::{EventQueue, FairLink, SimDur, SimTime, Timeline};
-use aegaeon_workload::RequestId;
+use aegaeon_sim::{BinaryHeapQueue, EventQueue, FairLink, SimDur, SimTime, Timeline};
+use aegaeon_workload::{LengthDist, RequestId};
 
 fn bench_event_queue(c: &mut Criterion) {
     c.bench_function("event_queue/push_pop_1k", |b| {
@@ -25,6 +27,67 @@ fn bench_event_queue(c: &mut Criterion) {
             black_box(acc)
         })
     });
+    // The same workload on the retained reference implementation, so a bench
+    // run directly reports the new heap's speedup.
+    c.bench_function("event_queue_ref/push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q: BinaryHeapQueue<u64> = BinaryHeapQueue::new();
+            for i in 0..1000u64 {
+                q.schedule_after(SimDur::from_nanos((i * 7919) % 10_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        })
+    });
+    // The DES steady state: a standing event population with one push per
+    // pop, the shape of the simulator's dispatch loop.
+    c.bench_function("event_queue/churn_4k_standing", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..4096u64 {
+                q.schedule_after(SimDur::from_nanos((i.wrapping_mul(2654435761)) % 100_000), i);
+            }
+            let mut acc = 0u64;
+            for _ in 0..16_384u64 {
+                let (_, e) = q.pop().expect("standing population");
+                acc = acc.wrapping_add(e);
+                q.schedule_after(SimDur::from_nanos(acc.wrapping_mul(2654435761) % 100_000), e);
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("event_queue_ref/churn_4k_standing", |b| {
+        b.iter(|| {
+            let mut q: BinaryHeapQueue<u64> = BinaryHeapQueue::new();
+            for i in 0..4096u64 {
+                q.schedule_after(SimDur::from_nanos((i.wrapping_mul(2654435761)) % 100_000), i);
+            }
+            let mut acc = 0u64;
+            for _ in 0..16_384u64 {
+                let (_, e) = q.pop().expect("standing population");
+                acc = acc.wrapping_add(e);
+                q.schedule_after(SimDur::from_nanos(acc.wrapping_mul(2654435761) % 100_000), e);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_serving_hot_loop(c: &mut Criterion) {
+    // A short but complete serving run: the dispatch loop plus scheduler,
+    // dominated by the queue, tracing branches and per-event map lookups
+    // this PR optimizes.
+    let models = market_models(8);
+    let trace = uniform_trace(8, 0.25, 60.0, SEED, LengthDist::sharegpt());
+    c.bench_function("serving/aegaeon_8m_60s", |b| {
+        b.iter(|| {
+            let cfg = AegaeonConfig::small_testbed(2, 3);
+            black_box(ServingSystem::run(&cfg, &models, &trace).completed)
+        })
+    });
 }
 
 fn bench_fair_link(c: &mut Criterion) {
@@ -34,7 +97,7 @@ fn bench_fair_link(c: &mut Criterion) {
             let mut now = SimTime::ZERO;
             for i in 0..64u64 {
                 link.start_flow(now, 1_000_000 + i * 1000);
-                now = now + SimDur::from_micros(10);
+                now += SimDur::from_micros(10);
             }
             let mut done = 0;
             while let Some((eta, gen)) = link.deadline(now) {
@@ -103,6 +166,7 @@ criterion_group!(
     name = micro;
     config = Criterion::default().sample_size(20);
     targets = bench_event_queue,
+        bench_serving_hot_loop,
         bench_fair_link,
         bench_bump,
         bench_slab,

@@ -1,0 +1,133 @@
+//! Simulator throughput report: raw event-dispatch speed of the new indexed
+//! 4-ary event heap versus the retained `BinaryHeap` reference, events/sec
+//! of a real serving run (serial), and the parallel sweep harness speedup.
+//!
+//! Writes `BENCH_sim_throughput.json` at the repository root so the numbers
+//! ride along with the code they describe.
+
+use std::time::Instant;
+
+use aegaeon::{AegaeonConfig, ServingSystem};
+use aegaeon_bench::{banner, market_models, sweep, uniform_trace, HORIZON_SECS, SEED};
+use aegaeon_sim::{BinaryHeapQueue, EventQueue, SimDur, ThroughputReport, Timeline};
+use aegaeon_workload::LengthDist;
+
+/// Standing event population for the synthetic dispatch benchmark.
+const STANDING: u64 = 4096;
+/// Dispatches measured per synthetic run.
+const DISPATCHES: u64 = 4_000_000;
+
+/// One pop + one push per step against a standing population — the DES
+/// steady state — returning events/sec. Identical work for both queues.
+macro_rules! drive_queue {
+    ($queue:expr) => {{
+        let mut q = $queue;
+        for i in 0..STANDING {
+            q.schedule_after(SimDur::from_nanos(i.wrapping_mul(2654435761) % 100_000), i);
+        }
+        let start = Instant::now();
+        let mut acc = 0u64;
+        for _ in 0..DISPATCHES {
+            let (_, e) = q.pop().expect("standing population");
+            acc = acc.wrapping_add(e).wrapping_mul(6364136223846793005);
+            q.schedule_after(SimDur::from_nanos(acc % 100_000), e);
+        }
+        let wall = start.elapsed().as_secs_f64();
+        std::hint::black_box(acc);
+        DISPATCHES as f64 / wall
+    }};
+}
+
+fn main() {
+    banner("bench_throughput", "simulator hot-path throughput");
+
+    // --- Synthetic queue dispatch throughput --------------------------------
+    // Warm-up pass, then the measured pass.
+    let _ = drive_queue!(EventQueue::<u64>::new());
+    let fast_eps = drive_queue!(EventQueue::<u64>::new());
+    let _ = drive_queue!(BinaryHeapQueue::<u64>::new());
+    let ref_eps = drive_queue!(BinaryHeapQueue::<u64>::new());
+    let speedup = fast_eps / ref_eps;
+    println!("queue dispatch (standing {STANDING}, {DISPATCHES} events):");
+    println!("  indexed 4-ary heap : {:.2}M events/s", fast_eps / 1e6);
+    println!("  BinaryHeap (ref)   : {:.2}M events/s", ref_eps / 1e6);
+    println!("  speedup            : {speedup:.2}x");
+
+    // --- Real serving run (serial) ------------------------------------------
+    let models = market_models(24);
+    let trace = uniform_trace(24, 0.2, HORIZON_SECS, SEED, LengthDist::sharegpt());
+    let cfg = AegaeonConfig::paper_testbed();
+    let start = Instant::now();
+    let r = ServingSystem::run(&cfg, &models, &trace);
+    let wall = start.elapsed().as_secs_f64();
+    let serving = ThroughputReport::new(r.events, HORIZON_SECS, wall);
+    println!("\nserving run (24 models, RPS 0.2, {HORIZON_SECS:.0}s horizon):");
+    println!(
+        "  {} events in {:.2}s = {:.2}M events/s, {:.2}ms wall per sim-s",
+        serving.events,
+        serving.wall_secs,
+        serving.events_per_sec() / 1e6,
+        serving.wall_per_sim_sec() * 1e3,
+    );
+
+    // --- Parallel sweep speedup ---------------------------------------------
+    let points: Vec<u64> = (0..8).collect();
+    let eval = |&i: &u64| {
+        let models = market_models(16);
+        let trace = uniform_trace(
+            16,
+            0.2,
+            HORIZON_SECS / 2.0,
+            sweep::derive_seed(SEED, i),
+            LengthDist::sharegpt(),
+        );
+        ServingSystem::run(&AegaeonConfig::paper_testbed(), &models, &trace).completed
+    };
+    let start = Instant::now();
+    let serial = sweep::map_with_threads(&points, 1, eval);
+    let serial_secs = start.elapsed().as_secs_f64();
+    // At least two workers so the threaded path is what gets measured, even
+    // on single-core machines (where the honest speedup is ~1x).
+    let threads = sweep::threads().clamp(2, points.len());
+    let start = Instant::now();
+    let parallel = sweep::map_with_threads(&points, threads, eval);
+    let parallel_secs = start.elapsed().as_secs_f64();
+    assert_eq!(serial, parallel, "parallel sweep must be bit-identical");
+    let sweep_speedup = serial_secs / parallel_secs;
+    println!("\nsweep of {} serving runs:", points.len());
+    println!("  serial              : {serial_secs:.2}s");
+    println!("  {threads:>2} threads          : {parallel_secs:.2}s  ({sweep_speedup:.2}x)");
+
+    // --- Report -------------------------------------------------------------
+    let json = serde_json::json!({
+        "queue_microbench": serde_json::json!({
+            "standing_events": STANDING,
+            "dispatches": DISPATCHES,
+            "indexed_d4_events_per_sec": fast_eps,
+            "binary_heap_ref_events_per_sec": ref_eps,
+            "speedup": speedup,
+        }),
+        "serving_serial": serde_json::json!({
+            "events": serving.events,
+            "sim_secs": serving.sim_secs,
+            "wall_secs": serving.wall_secs,
+            "events_per_sec": serving.events_per_sec(),
+            "wall_per_sim_sec": serving.wall_per_sim_sec(),
+        }),
+        "parallel_sweep": serde_json::json!({
+            "points": points.len() as u64,
+            "threads": threads as u64,
+            "serial_secs": serial_secs,
+            "parallel_secs": parallel_secs,
+            "speedup": sweep_speedup,
+        }),
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim_throughput.json");
+    match serde_json::to_string_pretty(&json) {
+        Ok(s) => {
+            std::fs::write(path, s + "\n").expect("write BENCH_sim_throughput.json");
+            println!("\n[json] {path}");
+        }
+        Err(e) => eprintln!("failed to serialize report: {e}"),
+    }
+}

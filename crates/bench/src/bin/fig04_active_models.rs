@@ -27,7 +27,7 @@ fn main() {
     );
     println!("\nactive model count over time (every 100 s):");
     for (t, c) in series.iter().step_by(100) {
-        let bar: String = std::iter::repeat('#').take((*c as usize) / 2).collect();
+        let bar = "#".repeat((*c as usize) / 2);
         println!("  t={:6.0}s  {:3}  {bar}", t.as_secs_f64(), c);
     }
     let steady = &series[100..];

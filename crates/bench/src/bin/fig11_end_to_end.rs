@@ -8,27 +8,36 @@
 //! Paper headlines: Aegaeon sustains 2× (RPS 0.1) / 2.5× (RPS 0.5) higher
 //! goodput than ServerlessLLM, supporting up to seven models per decoding
 //! GPU; MuxServe cannot place more than 32 models on 16 GPUs.
+//!
+//! Every (system, load) grid point is an independent simulation, so the
+//! whole grid fans out through [`sweep::map`]; results are identical to the
+//! serial loop for any thread count.
 
 use aegaeon_bench::{
-    banner, dump_json, market_models, print_sweep, run_system, uniform_trace, System,
+    banner, dump_json, market_models, print_sweep, run_system, sweep, uniform_trace, System,
     HORIZON_SECS, SEED,
 };
 use aegaeon_workload::{LengthDist, SloSpec};
 
 fn sweep_models(rps: f64, counts: &[usize]) -> Vec<(String, Vec<(f64, f64)>)> {
     let slo = SloSpec::paper_default();
+    let points: Vec<(System, usize)> = System::ALL
+        .iter()
+        .flat_map(|&sys| counts.iter().map(move |&n| (sys, n)))
+        .collect();
+    let ratios = sweep::map(&points, |&(sys, n)| {
+        let models = market_models(n);
+        let trace = uniform_trace(n, rps, HORIZON_SECS, SEED + n as u64, LengthDist::sharegpt());
+        run_system(sys, &models, &trace, slo, rps).ratio()
+    });
     System::ALL
         .iter()
-        .map(|sys| {
+        .enumerate()
+        .map(|(si, sys)| {
             let pts = counts
                 .iter()
-                .map(|&n| {
-                    let models = market_models(n);
-                    let trace =
-                        uniform_trace(n, rps, HORIZON_SECS, SEED + n as u64, LengthDist::sharegpt());
-                    let rep = run_system(*sys, &models, &trace, slo, rps);
-                    (n as f64, rep.ratio())
-                })
+                .enumerate()
+                .map(|(ci, &n)| (n as f64, ratios[si * counts.len() + ci]))
                 .collect();
             (sys.label().to_string(), pts)
         })
@@ -48,23 +57,29 @@ fn main() {
 
     let slo = SloSpec::paper_default();
     let rates = [0.05, 0.1, 0.2, 0.3, 0.45, 0.6, 0.75];
+    let points_c: Vec<(System, f64)> = System::ALL
+        .iter()
+        .flat_map(|&sys| rates.iter().map(move |&r| (sys, r)))
+        .collect();
+    let ratios_c = sweep::map(&points_c, |&(sys, r)| {
+        let models = market_models(40);
+        let trace = uniform_trace(
+            40,
+            r,
+            HORIZON_SECS,
+            SEED + (r * 1000.0) as u64,
+            LengthDist::sharegpt(),
+        );
+        run_system(sys, &models, &trace, slo, r).ratio()
+    });
     let c: Vec<(String, Vec<(f64, f64)>)> = System::ALL
         .iter()
-        .map(|sys| {
+        .enumerate()
+        .map(|(si, sys)| {
             let pts = rates
                 .iter()
-                .map(|&r| {
-                    let models = market_models(40);
-                    let trace = uniform_trace(
-                        40,
-                        r,
-                        HORIZON_SECS,
-                        SEED + (r * 1000.0) as u64,
-                        LengthDist::sharegpt(),
-                    );
-                    let rep = run_system(*sys, &models, &trace, slo, r);
-                    (r, rep.ratio())
-                })
+                .enumerate()
+                .map(|(ri, &r)| (r, ratios_c[si * rates.len() + ri]))
                 .collect();
             (sys.label().to_string(), pts)
         })

@@ -4,9 +4,12 @@
 //! Paper: Aegaeon stays ahead at 0.5× and 0.3×; at 0.2× (2 s / 20 ms) the
 //! slack disappears and static multiplexing (MuxServe) wins, though
 //! Aegaeon still beats request-level auto-scaling.
+//!
+//! All three SLO panels share one [`sweep::map`] fan-out over the full
+//! (factor, system, count) grid.
 
 use aegaeon_bench::{
-    banner, dump_json, market_models, print_sweep, run_system, uniform_trace, System,
+    banner, dump_json, market_models, print_sweep, run_system, sweep, uniform_trace, System,
     HORIZON_SECS, SEED,
 };
 use aegaeon_workload::{LengthDist, SloSpec};
@@ -15,24 +18,35 @@ fn main() {
     banner("fig13_strict_slo", "Figure 13 (stricter SLOs)");
     let counts = [16usize, 24, 32, 40, 50, 60];
     let systems = [System::Aegaeon, System::ServerlessLlm, System::MuxServe];
-    let mut json = serde_json::Map::new();
-    for (label, factor) in [("(a) 0.5x SLO", 0.5), ("(b) 0.3x SLO", 0.3), ("(c) 0.2x SLO", 0.2)] {
+    let panels = [("(a) 0.5x SLO", 0.5), ("(b) 0.3x SLO", 0.3), ("(c) 0.2x SLO", 0.2)];
+
+    let points: Vec<(f64, System, usize)> = panels
+        .iter()
+        .flat_map(|&(_, factor)| {
+            systems
+                .iter()
+                .flat_map(move |&sys| counts.into_iter().map(move |n| (factor, sys, n)))
+        })
+        .collect();
+    let ratios = sweep::map(&points, |&(factor, sys, n)| {
         let slo = SloSpec::paper_default().scaled(factor);
+        let models = market_models(n);
+        let trace = uniform_trace(n, 0.1, HORIZON_SECS, SEED + n as u64, LengthDist::sharegpt());
+        run_system(sys, &models, &trace, slo, 0.1).ratio()
+    });
+
+    let mut json = serde_json::Map::new();
+    for (pi, (label, factor)) in panels.iter().enumerate() {
         let series: Vec<(String, Vec<(f64, f64)>)> = systems
             .iter()
-            .map(|sys| {
+            .enumerate()
+            .map(|(si, sys)| {
                 let pts = counts
                     .iter()
-                    .map(|&n| {
-                        let models = market_models(n);
-                        let trace = uniform_trace(
-                            n,
-                            0.1,
-                            HORIZON_SECS,
-                            SEED + n as u64,
-                            LengthDist::sharegpt(),
-                        );
-                        (n as f64, run_system(*sys, &models, &trace, slo, 0.1).ratio())
+                    .enumerate()
+                    .map(|(ci, &n)| {
+                        let idx = (pi * systems.len() + si) * counts.len() + ci;
+                        (n as f64, ratios[idx])
                     })
                     .collect();
                 (sys.label().to_string(), pts)

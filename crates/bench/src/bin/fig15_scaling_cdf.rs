@@ -4,9 +4,12 @@
 //! Paper: ~50% of scale-ups are near-instantaneous thanks to prefetching;
 //! the rest complete in under one second; per-request KV overhead stays
 //! below one second.
+//!
+//! The eight independent Aegaeon runs (three model sizes + five setups)
+//! execute through [`sweep::map`]; the CDFs are summarized afterwards.
 
-use aegaeon::{AegaeonConfig, ServingSystem};
-use aegaeon_bench::{banner, dump_json, uniform_trace, HORIZON_SECS, SEED};
+use aegaeon::{AegaeonConfig, RunResult, ServingSystem};
+use aegaeon_bench::{banner, dump_json, sweep, uniform_trace, HORIZON_SECS, SEED};
 use aegaeon_metrics::Cdf;
 use aegaeon_model::Zoo;
 use aegaeon_workload::LengthDist;
@@ -22,18 +25,20 @@ fn main() {
     banner("fig15_scaling_cdf", "Figure 15 (auto-scaling and KV-sync CDFs)");
 
     // Left: auto-scale latency per model size (workloads of one size class).
-    println!("\n(left) auto-scaling latency CDF by model size:");
     let zoo = Zoo::standard();
-    let mut json_left = Vec::new();
-    for (label, base) in [("7B", "Qwen-7B"), ("9B", "Yi-9B"), ("13B", "LLaMA-13B")] {
+    let sizes = [("7B", "Qwen-7B"), ("9B", "Yi-9B"), ("13B", "LLaMA-13B")];
+    let left_runs: Vec<RunResult> = sweep::map(&sizes, |&(_, base)| {
         let spec = zoo.get(base).expect("zoo model");
         // Enough replicas that decoding work lists rotate several models,
         // giving the prefetcher a "next model" to hide (the paper measures
         // during its multi-model setups).
         let models = Zoo::replicate(&[spec], 48);
         let trace = uniform_trace(48, 0.12, HORIZON_SECS, SEED, LengthDist::sharegpt());
-        let cfg = AegaeonConfig::paper_testbed();
-        let r = ServingSystem::run(&cfg, &models, &trace);
+        ServingSystem::run(&AegaeonConfig::paper_testbed(), &models, &trace)
+    });
+    println!("\n(left) auto-scaling latency CDF by model size:");
+    let mut json_left = Vec::new();
+    for ((label, _), r) in sizes.iter().zip(&left_runs) {
         let mut c = Cdf::new();
         for &x in &r.scale_latencies {
             c.push(x);
@@ -51,13 +56,15 @@ fn main() {
     }
 
     // Right: per-request KV-cache management overhead per setup.
-    println!("\n(right) per-request KV sync overhead CDF:");
-    let mut json_right = Vec::new();
-    for (n, rps) in [(16usize, 0.1f64), (32, 0.1), (64, 0.1), (16, 0.5), (32, 0.5)] {
+    let setups = [(16usize, 0.1f64), (32, 0.1), (64, 0.1), (16, 0.5), (32, 0.5)];
+    let right_runs: Vec<RunResult> = sweep::map(&setups, |&(n, rps)| {
         let models = aegaeon_bench::market_models(n);
         let trace = uniform_trace(n, rps, HORIZON_SECS, SEED + n as u64, LengthDist::sharegpt());
-        let cfg = AegaeonConfig::paper_testbed();
-        let r = ServingSystem::run(&cfg, &models, &trace);
+        ServingSystem::run(&AegaeonConfig::paper_testbed(), &models, &trace)
+    });
+    println!("\n(right) per-request KV sync overhead CDF:");
+    let mut json_right = Vec::new();
+    for ((n, rps), r) in setups.iter().zip(&right_runs) {
         let mut c = Cdf::new();
         for &x in &r.kv_sync_per_request {
             c.push(x);

@@ -8,11 +8,15 @@
 //! Right: an 8×H800 node serving 72B models at TP = 4 (one prefill + one
 //! decoding instance), 4 models, increasing per-model rates, under Strict
 //! (0.5×), Normal and Loose (2×) TTFT.
+//!
+//! Both (SLO scale × load) grids fan out through [`sweep::map`].
 
 use aegaeon::{AegaeonConfig, ServingSystem};
-use aegaeon_bench::{banner, dump_json, print_sweep, uniform_trace, HORIZON_SECS, SEED};
+use aegaeon_bench::{banner, dump_json, print_sweep, sweep, uniform_trace, HORIZON_SECS, SEED};
 use aegaeon_model::Zoo;
 use aegaeon_workload::{LengthDist, SloSpec};
+
+const SLO_SCALES: [(&str, f64); 3] = [("Strict", 0.5), ("Normal", 1.0), ("Loose", 2.0)];
 
 fn main() {
     banner("fig17_sensitivity", "Figure 17 (lower-end hardware and larger models)");
@@ -25,22 +29,28 @@ fn main() {
         zoo.get("Qwen-7B").expect("zoo"),
     ];
     let counts = [4usize, 6, 8, 10];
-    let series: Vec<(String, Vec<(f64, f64)>)> = [("Strict", 0.5), ("Normal", 1.0), ("Loose", 2.0)]
+    let points_l: Vec<(f64, usize)> = SLO_SCALES
         .iter()
-        .map(|(name, f)| {
-            let slo = SloSpec::paper_default().with_tbt_scaled(*f);
+        .flat_map(|&(_, f)| counts.iter().map(move |&n| (f, n)))
+        .collect();
+    let ratios_l = sweep::map(&points_l, |&(f, n)| {
+        let slo = SloSpec::paper_default().with_tbt_scaled(f);
+        let models = Zoo::replicate(&small, n);
+        let trace = uniform_trace(n, 0.1, HORIZON_SECS, SEED + n as u64, LengthDist::sharegpt());
+        let mut cfg = AegaeonConfig::a10_testbed();
+        cfg.seed = SEED;
+        cfg.target_tbt = slo.tbt.as_secs_f64();
+        let r = ServingSystem::run(&cfg, &models, &trace);
+        r.attainment(slo).ratio()
+    });
+    let series: Vec<(String, Vec<(f64, f64)>)> = SLO_SCALES
+        .iter()
+        .enumerate()
+        .map(|(si, (name, _))| {
             let pts = counts
                 .iter()
-                .map(|&n| {
-                    let models = Zoo::replicate(&small, n);
-                    let trace =
-                        uniform_trace(n, 0.1, HORIZON_SECS, SEED + n as u64, LengthDist::sharegpt());
-                    let mut cfg = AegaeonConfig::a10_testbed();
-                    cfg.seed = SEED;
-                    cfg.target_tbt = slo.tbt.as_secs_f64();
-                    let r = ServingSystem::run(&cfg, &models, &trace);
-                    (n as f64, r.attainment(slo).ratio())
-                })
+                .enumerate()
+                .map(|(ci, &n)| (n as f64, ratios_l[si * counts.len() + ci]))
                 .collect();
             (format!("{name} TBT"), pts)
         })
@@ -50,27 +60,34 @@ fn main() {
     // Right: 72B at TP=4 on one 8×H800 node.
     let m72 = zoo.get("Qwen-72B").expect("zoo");
     let rates = [0.4, 0.9, 1.4, 1.9, 2.4];
-    let series_r: Vec<(String, Vec<(f64, f64)>)> = [("Strict", 0.5), ("Normal", 1.0), ("Loose", 2.0)]
+    let points_r: Vec<(f64, f64)> = SLO_SCALES
         .iter()
-        .map(|(name, f)| {
-            let slo = SloSpec::paper_default().with_ttft_scaled(*f);
+        .flat_map(|&(_, f)| rates.iter().map(move |&rate| (f, rate)))
+        .collect();
+    let ratios_r = sweep::map(&points_r, |&(f, rate)| {
+        let slo = SloSpec::paper_default().with_ttft_scaled(f);
+        let models = Zoo::replicate(&[m72], 4);
+        let trace = uniform_trace(
+            4,
+            rate / 4.0,
+            HORIZON_SECS,
+            SEED + (rate * 100.0) as u64,
+            LengthDist::sharegpt(),
+        );
+        let mut cfg = AegaeonConfig::tp4_testbed();
+        cfg.seed = SEED;
+        cfg.target_tbt = slo.tbt.as_secs_f64();
+        let r = ServingSystem::run(&cfg, &models, &trace);
+        r.attainment(slo).ratio()
+    });
+    let series_r: Vec<(String, Vec<(f64, f64)>)> = SLO_SCALES
+        .iter()
+        .enumerate()
+        .map(|(si, (name, _))| {
             let pts = rates
                 .iter()
-                .map(|&rate| {
-                    let models = Zoo::replicate(&[m72], 4);
-                    let trace = uniform_trace(
-                        4,
-                        rate / 4.0,
-                        HORIZON_SECS,
-                        SEED + (rate * 100.0) as u64,
-                        LengthDist::sharegpt(),
-                    );
-                    let mut cfg = AegaeonConfig::tp4_testbed();
-                    cfg.seed = SEED;
-                    cfg.target_tbt = slo.tbt.as_secs_f64();
-                    let r = ServingSystem::run(&cfg, &models, &trace);
-                    (rate, r.attainment(slo).ratio())
-                })
+                .enumerate()
+                .map(|(ri, &rate)| (rate, ratios_r[si * rates.len() + ri]))
                 .collect();
             (format!("{name} TTFT"), pts)
         })

@@ -3,10 +3,13 @@
 //! counts, searches the smallest Aegaeon pool reaching 90% attainment and
 //! compares against the request-level bound `N = O(E[m])` (Theorem 3.1)
 //! and the dedicated strawman `N = O(M)`.
+//!
+//! Each model count's pool search is independent, so the five searches run
+//! through [`sweep::map`].
 
 use aegaeon::planner::search_min_pool;
 use aegaeon::AegaeonConfig;
-use aegaeon_bench::{banner, dump_json, market_models, uniform_trace, SEED};
+use aegaeon_bench::{banner, dump_json, market_models, sweep, uniform_trace, SEED};
 use aegaeon_gpu::GpuSpec;
 use aegaeon_metrics::report::table;
 use aegaeon_workload::{expected_active, LengthDist, SloSpec};
@@ -15,21 +18,16 @@ fn main() {
     banner("min_pool", "§3's objective: minimum GPUs meeting the SLOs");
     let slo = SloSpec::paper_default();
     let rate = 0.1;
-    let mut rows = Vec::new();
-    let mut json = Vec::new();
-    for &n in &[8usize, 16, 24, 32, 48] {
+    let counts = [8usize, 16, 24, 32, 48];
+    let found = sweep::map(&counts, |&n| {
         let models = market_models(n);
         let trace = uniform_trace(n, rate, 300.0, SEED + n as u64, LengthDist::sharegpt());
         let base = AegaeonConfig::paper_testbed();
-        let found = search_min_pool(
-            &base,
-            &GpuSpec::h800(),
-            &models,
-            &trace,
-            slo,
-            0.9,
-            32,
-        );
+        search_min_pool(&base, &GpuSpec::h800(), &models, &trace, slo, 0.9, 32)
+    });
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (&n, found) in counts.iter().zip(found) {
         // Request-level auto-scaling needs ≈ E[m] instances (Theorem 3.1,
         // with our ~4 s effective service time); dedicated needs M.
         let em = expected_active(n as u32, rate, 4.0);

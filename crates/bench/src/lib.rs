@@ -5,6 +5,8 @@
 //! paper; it prints the series the paper plots and writes a JSON copy under
 //! `target/experiments/` so EXPERIMENTS.md stays regenerable.
 
+pub mod sweep;
+
 use aegaeon::{AegaeonConfig, RunResult, ServingSystem};
 use aegaeon_baselines::engine_loop::WorldConfig;
 use aegaeon_baselines::{BaselineResult, MuxServe, ServerlessLlm, SllmConfig};

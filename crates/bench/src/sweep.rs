@@ -1,0 +1,157 @@
+//! Parallel sweep execution for the figure binaries.
+//!
+//! Every figure sweep evaluates an embarrassingly-parallel grid: each point
+//! builds its own trace from a derived seed and runs one simulation, sharing
+//! nothing with its neighbours. [`map`] fans those points across OS threads
+//! with [`std::thread::scope`] while keeping the output *bit-identical* to a
+//! serial run: results are stitched back in input order, and determinism
+//! comes from each point being a pure function of its inputs (so thread
+//! count and completion order cannot leak into the numbers).
+//!
+//! The thread count defaults to the machine's parallelism and can be pinned
+//! with the `AEGAEON_SWEEP_THREADS` environment variable (`1` forces the
+//! serial path, useful for timing comparisons).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Environment variable overriding the sweep thread count.
+pub const THREADS_ENV: &str = "AEGAEON_SWEEP_THREADS";
+
+/// The sweep thread count: `AEGAEON_SWEEP_THREADS` if set (minimum 1),
+/// otherwise the machine's available parallelism.
+pub fn threads() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Derives an independent per-point seed from a base seed (SplitMix64 mix),
+/// so sweep points decorrelate without depending on evaluation order.
+pub fn derive_seed(base: u64, idx: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9e3779b97f4a7c15)
+        .wrapping_add(idx.wrapping_mul(0xbf58476d1ce4e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Evaluates `f` over `points` on [`threads()`] threads, returning results
+/// in input order. Equivalent to `points.iter().map(f).collect()` whenever
+/// `f` is pure.
+pub fn map<P, R, F>(points: &[P], f: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P) -> R + Sync,
+{
+    map_with_threads(points, threads(), f)
+}
+
+/// [`map`] with an explicit thread count.
+pub fn map_with_threads<P, R, F>(points: &[P], nt: usize, f: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P) -> R + Sync,
+{
+    let nt = nt.max(1).min(points.len().max(1));
+    if nt == 1 {
+        return points.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..nt {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || {
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(p) = points.get(i) else { break };
+                    // The receiver outlives the scope; a send can only fail
+                    // if the main thread panicked, which ends the scope anyway.
+                    if tx.send((i, f(p))).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<R>> = (0..points.len()).map(|_| None).collect();
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every point evaluated exactly once"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let points: Vec<u64> = (0..97).collect();
+        let out = map_with_threads(&points, 8, |&p| p * p);
+        assert_eq!(out, points.iter().map(|&p| p * p).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_fewer_points_than_threads() {
+        let out = map_with_threads(&[1u32, 2], 16, |&p| p + 1);
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = map_with_threads(&[] as &[u32], 4, |&p| p);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn derived_seeds_are_distinct() {
+        let seeds: std::collections::HashSet<u64> =
+            (0..1000).map(|i| derive_seed(42, i)).collect();
+        assert_eq!(seeds.len(), 1000);
+        assert_ne!(derive_seed(1, 0), derive_seed(2, 0));
+    }
+
+    /// The acceptance property: a real sweep over serving simulations gives
+    /// bit-identical attainment whether it runs serially or on N threads.
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        use crate::{market_models, run_system, uniform_trace, System, SEED};
+        use aegaeon_workload::{LengthDist, SloSpec};
+
+        let points: Vec<(usize, f64)> = vec![(1, 0.2), (2, 0.3), (3, 0.4), (2, 0.5)];
+        let eval = |&(n, rate): &(usize, f64)| {
+            let seed = derive_seed(SEED, (n as u64) << 16 | (rate * 100.0) as u64);
+            let models = market_models(n);
+            let trace = uniform_trace(n, rate, 60.0, seed, LengthDist::sharegpt());
+            run_system(
+                System::ServerlessLlm,
+                &models,
+                &trace,
+                SloSpec::paper_default(),
+                rate,
+            )
+            .ratio()
+        };
+        let serial = map_with_threads(&points, 1, eval);
+        let parallel = map_with_threads(&points, 4, eval);
+        let serial_bits: Vec<u64> = serial.iter().map(|r| r.to_bits()).collect();
+        let parallel_bits: Vec<u64> = parallel.iter().map(|r| r.to_bits()).collect();
+        assert_eq!(serial_bits, parallel_bits);
+    }
+}

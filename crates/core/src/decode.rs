@@ -155,7 +155,9 @@ pub fn dispatch_decode(
     mut can_accept: impl FnMut(usize, &Batch) -> bool,
     same_node: impl Fn(usize) -> bool,
 ) -> (usize, Option<BatchId>) {
-    let mut best: Option<(usize, Option<BatchId>, (u8, usize, u8))> = None;
+    // (instance index, joinable batch, preference key) — lower key wins.
+    type Candidate = (usize, Option<BatchId>, (u8, usize, u8));
+    let mut best: Option<Candidate> = None;
     for (i, wl) in lists.iter().enumerate() {
         let join = wl.find_joinable(model, |b| can_accept(i, b));
         let key = (

@@ -7,9 +7,8 @@
 //! proxy reads them with a small RPC latency and declares an instance dead
 //! after missing heartbeats.
 
-use std::collections::HashMap;
 
-use aegaeon_sim::{SimDur, SimTime};
+use aegaeon_sim::{FxHashMap, SimDur, SimTime};
 
 use crate::events::InstRef;
 
@@ -31,7 +30,7 @@ pub struct MetaStore {
     heartbeat_period: SimDur,
     /// Heartbeats missed before an instance is presumed dead.
     miss_threshold: u32,
-    status: HashMap<InstRef, InstanceStatus>,
+    status: FxHashMap<InstRef, InstanceStatus>,
     reads: u64,
     writes: u64,
 }
@@ -43,7 +42,7 @@ impl MetaStore {
             rpc_latency,
             heartbeat_period,
             miss_threshold: 2,
-            status: HashMap::new(),
+            status: FxHashMap::default(),
             reads: 0,
             writes: 0,
         }

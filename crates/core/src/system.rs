@@ -9,7 +9,7 @@
 //! dedicated streams synchronized with CUDA-like events, move lists plus a
 //! reclamation daemon for §5.3 rule ❸).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use aegaeon_engine::{scale_up_plan, KvCache, KvCacheConfig, ScaleCost};
 use aegaeon_engine::init::PIPELINED_LOAD_EFFICIENCY;
@@ -19,7 +19,9 @@ use aegaeon_gpu::{
 use aegaeon_mem::{BlockRef, BumpBuffer, FragSampler, ModelCache, MoveList, ShapeKey};
 use aegaeon_metrics::{RequestOutcome, Stage};
 use aegaeon_model::ModelId;
-use aegaeon_sim::{EventQueue, Lift, SimDur, SimRng, SimTime, Timeline, TraceKind, TraceLog};
+use aegaeon_sim::{
+    EventQueue, FxHashMap, Lift, SimDur, SimRng, SimTime, Timeline, TraceKind, TraceLog,
+};
 use aegaeon_workload::{RequestId, Trace};
 
 use crate::config::AegaeonConfig;
@@ -137,7 +139,7 @@ pub struct ServingSystem {
     trace: Trace,
     rng: SimRng,
     ready: VecDeque<Completion<Tag>>,
-    multis: HashMap<u64, (u32, Tag)>,
+    multis: FxHashMap<u64, (u32, Tag)>,
     next_multi: u64,
     prefetch_enabled: bool,
     weight_slots: u32,
@@ -321,7 +323,7 @@ impl ServingSystem {
             trace,
             rng,
             ready: VecDeque::new(),
-            multis: HashMap::new(),
+            multis: FxHashMap::default(),
             next_multi: 0,
             prefetch_enabled,
             weight_slots,
@@ -700,7 +702,7 @@ impl ServingSystem {
         if self.schedule.is_enabled() {
             let lane = self.primary(InstRef::prefill(pi)).to_string();
             self.schedule
-                .record(lane, start, now, TraceKind::Prefill, format!("P:{model}"));
+                .record_with(lane, start, now, TraceKind::Prefill, || format!("P:{model}"));
         }
         self.prefills[pi].active = None;
         // Offload the fresh KV to the unified CPU cache, then hand the
@@ -738,7 +740,7 @@ impl ServingSystem {
                 |k, b| {
                     let i = alive[k];
                     let cap = decodes[i].gpu_kv.max_batch(model, expected_ctx);
-                    b.reqs.len() + 1 <= cap.max(1)
+                    b.reqs.len() < cap.max(1)
                 },
                 |k| decodes[alive[k]].node == req_node,
             );
@@ -1059,12 +1061,12 @@ impl ServingSystem {
         if self.schedule.is_enabled() {
             let lane = self.primary(InstRef::decode(di)).to_string();
             let model = self.trace.requests[step_reqs[0].0 as usize].model;
-            self.schedule.record(
+            self.schedule.record_with(
                 lane,
                 now - SimDur::from_secs_f64(dur),
                 now,
                 TraceKind::Decode,
-                format!("D:{model}"),
+                || format!("D:{model}"),
             );
         }
         self.breakdown
@@ -1123,11 +1125,11 @@ impl ServingSystem {
         }
         if !skip_offload {
             for req in reqs {
-                if self.reqs[req.0 as usize].kv_ready {
-                    if !self.issue_offload(InstRef::decode(di), req, q) {
-                        // CPU cache pressure: leave resident; decode can
-                        // still proceed next time from VRAM.
-                    }
+                if self.reqs[req.0 as usize].kv_ready
+                    && !self.issue_offload(InstRef::decode(di), req, q)
+                {
+                    // CPU cache pressure: leave resident; decode can
+                    // still proceed next time from VRAM.
                 }
             }
         }
@@ -1451,7 +1453,7 @@ impl ServingSystem {
         if self.schedule.is_enabled() {
             let lane = self.primary(at).to_string();
             self.schedule
-                .record(lane, started, now, TraceKind::Switch, format!("S:{target}"));
+                .record_with(lane, started, now, TraceKind::Switch, || format!("S:{target}"));
         }
         // Exercise the self-managed buffer bookkeeping on prefill
         // instances (weights region reset + realloc, §5.2).

@@ -264,24 +264,24 @@ pub fn run_unified(policy: UnifiedPolicy, cfg: &MicroCfg, reqs: &[MicroReq]) -> 
             Job::Prefill(i) => {
                 let mut t = now.max(runs[i].spec.arrival);
                 if gpu_model[g] != Some(runs[i].spec.model) {
-                    trace.record(
-                        lane.clone(),
+                    trace.record_with(
+                        &lane,
                         SimTime::from_secs_f64(t),
                         SimTime::from_secs_f64(t + cfg.switch_secs),
                         TraceKind::Switch,
-                        format!("S{}", runs[i].spec.model),
+                        || format!("S{}", runs[i].spec.model),
                     );
                     t += cfg.switch_secs;
                     gpu_model[g] = Some(runs[i].spec.model);
                     gpu_stint[g] = 0.0;
                 }
                 let end = t + runs[i].spec.prefill_secs;
-                trace.record(
-                    lane,
+                trace.record_with(
+                    &lane,
                     SimTime::from_secs_f64(t),
                     SimTime::from_secs_f64(end),
                     TraceKind::Prefill,
-                    format!("P{}", runs[i].spec.model),
+                    || format!("P{}", runs[i].spec.model),
                 );
                 runs[i].prefilled = true;
                 runs[i].produced = 1;
@@ -293,12 +293,12 @@ pub fn run_unified(policy: UnifiedPolicy, cfg: &MicroCfg, reqs: &[MicroReq]) -> 
                 let model = runs[batch[0]].spec.model;
                 let mut t = now;
                 if gpu_model[g] != Some(model) {
-                    trace.record(
-                        lane.clone(),
+                    trace.record_with(
+                        &lane,
                         SimTime::from_secs_f64(t),
                         SimTime::from_secs_f64(t + cfg.switch_secs),
                         TraceKind::Switch,
-                        format!("S{model}"),
+                        || format!("S{model}"),
                     );
                     t += cfg.switch_secs;
                     gpu_model[g] = Some(model);
@@ -306,12 +306,12 @@ pub fn run_unified(policy: UnifiedPolicy, cfg: &MicroCfg, reqs: &[MicroReq]) -> 
                 }
                 let end = t + cfg.decode_step;
                 gpu_stint[g] += cfg.decode_step;
-                trace.record(
-                    lane,
+                trace.record_with(
+                    &lane,
                     SimTime::from_secs_f64(t),
                     SimTime::from_secs_f64(end),
                     TraceKind::Decode,
-                    format!("D{model}"),
+                    || format!("D{model}"),
                 );
                 for i in batch {
                     runs[i].gpu = Some(g);

@@ -86,11 +86,11 @@ fn lstsq<const N: usize>(xs: &[[f64; N]], ys: &[f64]) -> [f64; N] {
         let p = idx[col];
         let d = a[p][col];
         assert!(d.abs() > 1e-300, "singular normal matrix");
-        for r in col + 1..N {
-            let r_i = idx[r];
+        let prow = a[p];
+        for &r_i in &idx[col + 1..] {
             let f = a[r_i][col] / d;
-            for c in col..N {
-                a[r_i][c] -= f * a[p][c];
+            for (av, &pv) in a[r_i].iter_mut().zip(prow.iter()).skip(col) {
+                *av -= f * pv;
             }
             b[r_i] -= f * b[p];
         }

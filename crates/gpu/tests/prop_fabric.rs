@@ -34,9 +34,9 @@ proptest! {
         let mut q: EventQueue<FabricEvent> = EventQueue::new();
         let link = fabric.add_link("l", 1e9);
         let streams: Vec<_> = (0..4).map(|i| fabric.add_stream(format!("s{i}"))).collect();
-        let mut submitted = vec![0usize; 4];
+        let mut submitted = [0usize; 4];
         let mut done: Vec<(usize, usize)> = Vec::new();
-        let mut collect = |cs: Vec<Completion<(usize, usize)>>, done: &mut Vec<(usize, usize)>| {
+        let collect = |cs: Vec<Completion<(usize, usize)>>, done: &mut Vec<(usize, usize)>| {
             for c in cs {
                 if let Completion::Op { tag, .. } = c {
                     done.push(tag);

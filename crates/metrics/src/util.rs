@@ -18,7 +18,7 @@ impl TimeBuckets {
     /// Panics if `width` is zero.
     pub fn new(width: SimDur, horizon: SimTime) -> Self {
         assert!(!width.is_zero(), "bucket width must be positive");
-        let n = (horizon.as_nanos() + width.as_nanos() - 1) / width.as_nanos();
+        let n = horizon.as_nanos().div_ceil(width.as_nanos());
         TimeBuckets {
             width,
             totals: vec![0.0; n as usize],

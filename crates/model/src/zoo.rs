@@ -121,8 +121,10 @@ mod tests {
 
     #[test]
     fn table1_rows_reproduce_exactly() {
+        // (model name, KV shape tuple, KiB per token) — Table 1 rows.
+        type Row = (&'static str, (u32, u32, u32, u32), u64);
         let zoo = Zoo::standard();
-        let expected: [(&str, (u32, u32, u32, u32), u64); 4] = [
+        let expected: [Row; 4] = [
             ("Qwen-7B", (32, 2, 32, 128), 512),
             ("InternLM2.5-7B", (32, 2, 8, 128), 128),
             ("LLaMA-13B", (40, 2, 40, 128), 800),

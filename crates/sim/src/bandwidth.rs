@@ -289,7 +289,7 @@ mod tests {
             let bytes = (i + 1) * 10_000_000;
             total += bytes;
             link.start_flow(now, bytes);
-            now = now + SimDur::from_millis(13);
+            now += SimDur::from_millis(13);
         }
         let done = drain(&mut link, now);
         assert_eq!(done.len(), 20);

@@ -17,6 +17,7 @@
 //! event order.
 
 pub mod bandwidth;
+pub mod hash;
 pub mod queue;
 pub mod rng;
 pub mod stamp;
@@ -25,7 +26,8 @@ pub mod time;
 pub mod trace;
 
 pub use bandwidth::{FairLink, FlowId};
-pub use queue::{EventQueue, Lift, Timeline};
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use queue::{BinaryHeapQueue, EventQueue, Lift, ThroughputReport, Timeline};
 pub use rng::SimRng;
 pub use stamp::Stamp;
 pub use stats::Welford;

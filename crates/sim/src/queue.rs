@@ -6,10 +6,26 @@
 //! are written against the [`Timeline`] trait with their *own* event type and
 //! are embedded into the top-level enum through [`Lift`], which keeps every
 //! crate independently testable.
+//!
+//! # Heap layout
+//!
+//! [`EventQueue`] is an indexed 4-ary min-heap over packed `u128` keys
+//! (`(time_ns << 64) | seq`), so time order *and* FIFO tie-breaking resolve
+//! in a single integer comparison. Keys live in their own array, separate
+//! from the event payloads: sift operations touch only the dense key array
+//! (four children share a cache line) and move payloads once per level at
+//! most. The 4-ary shape halves tree depth versus a binary heap, trading a
+//! few extra comparisons per level for far fewer cache misses — the winning
+//! trade for the simulator's hot dispatch loop. The previous
+//! `BinaryHeap<Reverse<…>>` implementation is retained as
+//! [`BinaryHeapQueue`] to serve as the differential-testing and benchmark
+//! reference.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::marker::PhantomData;
+
+use serde::Serialize;
 
 use crate::time::{SimDur, SimTime};
 
@@ -20,8 +36,9 @@ pub trait Timeline<E> {
 
     /// Schedules `ev` to fire at absolute time `at`.
     ///
-    /// Scheduling in the past is a logic error; implementations clamp to
-    /// `now()` so that causality is preserved, but debug builds assert.
+    /// Scheduling in the past clamps to `now()` so that causality is
+    /// preserved: the event fires at the current instant, after events
+    /// already queued for it.
     fn schedule_at(&mut self, at: SimTime, ev: E);
 
     /// Schedules `ev` to fire `d` after the current instant.
@@ -30,6 +47,189 @@ pub trait Timeline<E> {
         self.schedule_at(at, ev);
     }
 }
+
+/// Packs `(time, insertion seq)` into one integer so that ordering and FIFO
+/// tie-breaking are a single `u128` comparison.
+#[inline(always)]
+fn pack_key(at: SimTime, seq: u64) -> u128 {
+    ((at.as_nanos() as u128) << 64) | seq as u128
+}
+
+#[inline(always)]
+fn key_time(key: u128) -> SimTime {
+    SimTime::from_nanos((key >> 64) as u64)
+}
+
+/// A monotonic event heap with stable FIFO ordering for simultaneous events.
+///
+/// # Examples
+///
+/// ```
+/// use aegaeon_sim::{EventQueue, SimDur, Timeline};
+///
+/// let mut q: EventQueue<&'static str> = EventQueue::new();
+/// q.schedule_after(SimDur::from_secs(2), "b");
+/// q.schedule_after(SimDur::from_secs(1), "a");
+/// assert_eq!(q.pop().map(|(_, e)| e), Some("a"));
+/// assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    /// Packed `(time, seq)` keys, heap-ordered; `evs[i]` is `keys[i]`'s payload.
+    keys: Vec<u128>,
+    evs: Vec<E>,
+    seq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+/// Heap arity. Four children per node halves depth versus binary and keeps
+/// sibling keys within a cache line (4 × 16 bytes).
+const ARITY: usize = 4;
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            keys: Vec::new(),
+            evs: Vec::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Swaps two payloads without bounds checks.
+    ///
+    /// # Safety
+    /// `a` and `b` must both be in bounds of `self.evs`.
+    #[inline(always)]
+    unsafe fn swap_evs(&mut self, a: usize, b: usize) {
+        debug_assert!(a < self.evs.len() && b < self.evs.len());
+        let p = self.evs.as_mut_ptr();
+        std::ptr::swap(p.add(a), p.add(b));
+    }
+
+    /// Moves the element at `pos` up until its parent is no larger.
+    ///
+    /// Uses unchecked indexing: `pos` is always a valid index and every
+    /// parent index is strictly smaller, so bounds can never be exceeded.
+    #[inline]
+    fn sift_up(&mut self, mut pos: usize) {
+        debug_assert!(pos < self.keys.len());
+        // SAFETY: `pos < len` on entry; `parent = (pos-1)/ARITY < pos`, so
+        // every index touched stays in bounds.
+        unsafe {
+            let key = *self.keys.get_unchecked(pos);
+            while pos > 0 {
+                let parent = (pos - 1) / ARITY;
+                let pkey = *self.keys.get_unchecked(parent);
+                if pkey <= key {
+                    break;
+                }
+                *self.keys.get_unchecked_mut(pos) = pkey;
+                self.swap_evs(pos, parent);
+                pos = parent;
+            }
+            *self.keys.get_unchecked_mut(pos) = key;
+        }
+    }
+
+    /// Moves the element at `pos` down until no child is smaller.
+    #[inline]
+    fn sift_down(&mut self, mut pos: usize) {
+        let len = self.keys.len();
+        debug_assert!(pos < len);
+        // SAFETY: `pos < len` on entry and is only ever replaced by a child
+        // index `< last <= len`; child scans are bounded by `last`.
+        unsafe {
+            let key = *self.keys.get_unchecked(pos);
+            loop {
+                let first = pos * ARITY + 1;
+                if first >= len {
+                    break;
+                }
+                let last = (first + ARITY).min(len);
+                // Scan the (dense, cache-adjacent) child keys for the minimum.
+                let mut min_child = first;
+                let mut min_key = *self.keys.get_unchecked(first);
+                for c in first + 1..last {
+                    let k = *self.keys.get_unchecked(c);
+                    if k < min_key {
+                        min_key = k;
+                        min_child = c;
+                    }
+                }
+                if min_key >= key {
+                    break;
+                }
+                *self.keys.get_unchecked_mut(pos) = min_key;
+                self.swap_evs(pos, min_child);
+                pos = min_child;
+            }
+            *self.keys.get_unchecked_mut(pos) = key;
+        }
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to it.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let &first_key = self.keys.first()?;
+        let at = key_time(first_key);
+        debug_assert!(at >= self.now, "event heap went backwards in time");
+        self.keys.swap_remove(0);
+        let ev = self.evs.swap_remove(0);
+        if !self.keys.is_empty() {
+            self.sift_down(0);
+        }
+        self.now = at;
+        self.popped += 1;
+        Some((at, ev))
+    }
+
+    /// The time of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.keys.first().map(|&k| key_time(k))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Total number of events dispatched so far (for throughput reporting).
+    pub fn events_dispatched(&self) -> u64 {
+        self.popped
+    }
+}
+
+impl<E> Timeline<E> for EventQueue<E> {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn schedule_at(&mut self, at: SimTime, ev: E) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.keys.push(pack_key(at, seq));
+        self.evs.push(ev);
+        self.sift_up(self.keys.len() - 1);
+    }
+}
+
+// ----- Reference implementation --------------------------------------------
 
 #[derive(Debug)]
 struct Scheduled<E> {
@@ -55,38 +255,27 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
-/// A monotonic event heap with stable FIFO ordering for simultaneous events.
-///
-/// # Examples
-///
-/// ```
-/// use aegaeon_sim::{EventQueue, SimDur, Timeline};
-///
-/// let mut q: EventQueue<&'static str> = EventQueue::new();
-/// q.schedule_after(SimDur::from_secs(2), "b");
-/// q.schedule_after(SimDur::from_secs(1), "a");
-/// assert_eq!(q.pop().map(|(_, e)| e), Some("a"));
-/// assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
-/// assert!(q.pop().is_none());
-/// ```
+/// The original `BinaryHeap`-backed event queue, kept as the reference
+/// implementation for differential tests and benchmark baselines. Same
+/// contract as [`EventQueue`], including past-clamping `schedule_at`.
 #[derive(Debug)]
-pub struct EventQueue<E> {
+pub struct BinaryHeapQueue<E> {
     heap: BinaryHeap<Reverse<Scheduled<E>>>,
     seq: u64,
     now: SimTime,
     popped: u64,
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for BinaryHeapQueue<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> BinaryHeapQueue<E> {
     /// Creates an empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
-        EventQueue {
+        BinaryHeapQueue {
             heap: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
@@ -97,7 +286,6 @@ impl<E> EventQueue<E> {
     /// Removes and returns the earliest event, advancing the clock to it.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let Reverse(s) = self.heap.pop()?;
-        debug_assert!(s.at >= self.now, "event heap went backwards in time");
         self.now = s.at;
         self.popped += 1;
         Some((s.at, s.ev))
@@ -118,25 +306,69 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
-    /// Total number of events dispatched so far (for throughput reporting).
+    /// Total number of events dispatched so far.
     pub fn events_dispatched(&self) -> u64 {
         self.popped
     }
 }
 
-impl<E> Timeline<E> for EventQueue<E> {
+impl<E> Timeline<E> for BinaryHeapQueue<E> {
     fn now(&self) -> SimTime {
         self.now
     }
 
     fn schedule_at(&mut self, at: SimTime, ev: E) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Reverse(Scheduled { at, seq, ev }));
     }
 }
+
+// ----- Throughput reporting -------------------------------------------------
+
+/// Raw-speed summary of one simulation run, derived from the queue's
+/// dispatch counter and a wall-clock measurement taken by the caller.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ThroughputReport {
+    /// Events dispatched over the run.
+    pub events: u64,
+    /// Simulated seconds covered.
+    pub sim_secs: f64,
+    /// Wall-clock seconds the run took.
+    pub wall_secs: f64,
+}
+
+impl ThroughputReport {
+    /// Builds a report from a drained queue's counter and measured wall time.
+    pub fn new(events: u64, sim_secs: f64, wall_secs: f64) -> Self {
+        ThroughputReport {
+            events,
+            sim_secs,
+            wall_secs,
+        }
+    }
+
+    /// Events dispatched per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.events as f64 / self.wall_secs
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Wall-clock seconds spent per simulated second (lower is faster).
+    pub fn wall_per_sim_sec(&self) -> f64 {
+        if self.sim_secs > 0.0 {
+            self.wall_secs / self.sim_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+// ----- Lift -----------------------------------------------------------------
 
 /// Adapter embedding a sub-system event type `Sub` into an outer timeline
 /// whose event type is `E`, via a mapping function.
@@ -223,6 +455,44 @@ mod tests {
     }
 
     #[test]
+    fn past_schedule_clamps_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs_f64(2.0), 0u32);
+        q.pop();
+        // The clock is at 2 s; scheduling for 1 s fires "now", and after
+        // anything else already queued for 2 s.
+        q.schedule_at(SimTime::from_secs_f64(2.0), 1);
+        q.schedule_at(SimTime::from_secs_f64(1.0), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_secs_f64(2.0), 1)));
+        assert_eq!(q.pop(), Some((SimTime::from_secs_f64(2.0), 2)));
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        // Exercise sift_down paths with a sawtooth workload large enough to
+        // build several heap levels.
+        let mut q = EventQueue::new();
+        let mut expect = Vec::new();
+        for round in 0..20u64 {
+            for i in 0..50u64 {
+                let t = SimTime::from_nanos(1_000 + (i * 7919 + round * 104_729) % 5_000);
+                q.schedule_at(t, (round, i));
+            }
+            for _ in 0..25 {
+                expect.push(q.pop().expect("events pending"));
+            }
+        }
+        while let Some(e) = q.pop() {
+            expect.push(e);
+        }
+        let times: Vec<SimTime> = expect.iter().map(|&(t, _)| t).collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_eq!(times, sorted, "pop order must be nondecreasing in time");
+        assert_eq!(expect.len(), 20 * 50);
+    }
+
+    #[test]
     fn lift_translates_events() {
         #[derive(Debug, PartialEq)]
         enum Top {
@@ -267,5 +537,30 @@ mod tests {
         }
         while q.pop().is_some() {}
         assert_eq!(q.events_dispatched(), 10);
+    }
+
+    #[test]
+    fn reference_queue_matches_on_fixed_schedule() {
+        let mut fast = EventQueue::new();
+        let mut slow = BinaryHeapQueue::new();
+        for i in 0..500u64 {
+            let t = SimTime::from_nanos(i.wrapping_mul(6_364_136_223_846_793_005) % 10_000);
+            fast.schedule_at(t, i);
+            slow.schedule_at(t, i);
+        }
+        loop {
+            let (a, b) = (fast.pop(), slow.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn throughput_report_math() {
+        let r = ThroughputReport::new(1_000_000, 400.0, 2.0);
+        assert_eq!(r.events_per_sec(), 500_000.0);
+        assert_eq!(r.wall_per_sim_sec(), 0.005);
     }
 }

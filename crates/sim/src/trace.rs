@@ -3,7 +3,19 @@
 //! The experiments for Figures 2 and 6 render Gantt-style schedules
 //! (prefill/decoding/switching intervals per GPU). Components record labeled
 //! intervals into a [`TraceLog`]; the bench harness renders them as ASCII
-//! timelines. Tracing is off by default and costs one branch when disabled.
+//! timelines. Tracing is off by default; when disabled, [`record_with`]
+//! costs one branch — the label closure is never called, so label
+//! `format!`s in hot loops allocate nothing.
+//!
+//! Lane names are interned as `Arc<str>`: each recorded interval holds a
+//! pointer-sized handle rather than its own `String`, and the distinct-lane
+//! list is maintained incrementally at record time instead of being
+//! recomputed by an O(intervals × lanes) scan per [`lanes`] call.
+//!
+//! [`record_with`]: TraceLog::record_with
+//! [`lanes`]: TraceLog::lanes
+
+use std::sync::Arc;
 
 use crate::time::SimTime;
 
@@ -27,8 +39,8 @@ pub enum TraceKind {
 /// A labeled, half-open interval `[start, end)` on a named lane.
 #[derive(Debug, Clone)]
 pub struct TraceInterval {
-    /// Rendering lane, e.g. `"gpu0"`.
-    pub lane: String,
+    /// Rendering lane, e.g. `"gpu0"` (interned; clones are pointer copies).
+    pub lane: Arc<str>,
     /// Interval start.
     pub start: SimTime,
     /// Interval end.
@@ -44,22 +56,21 @@ pub struct TraceInterval {
 pub struct TraceLog {
     enabled: bool,
     intervals: Vec<TraceInterval>,
+    /// Distinct lanes in first-appearance order; doubles as the intern table.
+    lanes: Vec<Arc<str>>,
 }
 
 impl TraceLog {
     /// Creates a disabled log (records nothing).
     pub fn disabled() -> Self {
-        TraceLog {
-            enabled: false,
-            intervals: Vec::new(),
-        }
+        TraceLog::default()
     }
 
     /// Creates an enabled log.
     pub fn enabled() -> Self {
         TraceLog {
             enabled: true,
-            intervals: Vec::new(),
+            ..TraceLog::default()
         }
     }
 
@@ -68,25 +79,56 @@ impl TraceLog {
         self.enabled
     }
 
+    /// Returns the interned handle for `lane`, registering it on first use.
+    fn intern(&mut self, lane: &str) -> Arc<str> {
+        // Lane counts are tiny (one per GPU), so a linear probe beats a map.
+        if let Some(l) = self.lanes.iter().find(|l| &***l == lane) {
+            return Arc::clone(l);
+        }
+        let l: Arc<str> = Arc::from(lane);
+        self.lanes.push(Arc::clone(&l));
+        l
+    }
+
     /// Records an interval if enabled.
+    ///
+    /// The label here is eagerly constructed; in hot paths prefer
+    /// [`record_with`](Self::record_with), whose label closure only runs
+    /// when the log is enabled.
     pub fn record(
         &mut self,
-        lane: impl Into<String>,
+        lane: impl AsRef<str>,
         start: SimTime,
         end: SimTime,
         kind: TraceKind,
         label: impl Into<String>,
     ) {
+        self.record_with(lane, start, end, kind, || label.into());
+    }
+
+    /// Records an interval if enabled, building the label lazily.
+    ///
+    /// When the log is disabled this is a single branch: neither the label
+    /// closure nor any allocation runs.
+    pub fn record_with<S: Into<String>>(
+        &mut self,
+        lane: impl AsRef<str>,
+        start: SimTime,
+        end: SimTime,
+        kind: TraceKind,
+        label: impl FnOnce() -> S,
+    ) {
         if !self.enabled {
             return;
         }
         debug_assert!(end >= start, "trace interval with negative length");
+        let lane = self.intern(lane.as_ref());
         self.intervals.push(TraceInterval {
-            lane: lane.into(),
+            lane,
             start,
             end,
             kind,
-            label: label.into(),
+            label: label().into(),
         });
     }
 
@@ -96,19 +138,14 @@ impl TraceLog {
     }
 
     /// Distinct lane names in first-appearance order.
-    pub fn lanes(&self) -> Vec<String> {
-        let mut lanes: Vec<String> = Vec::new();
-        for iv in &self.intervals {
-            if !lanes.contains(&iv.lane) {
-                lanes.push(iv.lane.clone());
-            }
-        }
-        lanes
+    pub fn lanes(&self) -> &[Arc<str>] {
+        &self.lanes
     }
 
-    /// Drops all recorded intervals.
+    /// Drops all recorded intervals (and the lane table).
     pub fn clear(&mut self) {
         self.intervals.clear();
+        self.lanes.clear();
     }
 }
 
@@ -127,6 +164,24 @@ mod tests {
             "P1",
         );
         assert!(log.intervals().is_empty());
+        assert!(log.lanes().is_empty());
+    }
+
+    #[test]
+    fn disabled_log_never_runs_label_closure() {
+        let mut log = TraceLog::disabled();
+        let mut called = false;
+        log.record_with(
+            "gpu0",
+            SimTime::ZERO,
+            SimTime::from_secs_f64(1.0),
+            TraceKind::Prefill,
+            || {
+                called = true;
+                "P1"
+            },
+        );
+        assert!(!called, "label closure must not run when disabled");
     }
 
     #[test]
@@ -138,6 +193,20 @@ mod tests {
         log.record("gpu0", t1, t2, TraceKind::Decode, "D1");
         log.record("gpu1", t1, t2, TraceKind::Switch, "S");
         assert_eq!(log.intervals().len(), 3);
-        assert_eq!(log.lanes(), vec!["gpu1".to_string(), "gpu0".to_string()]);
+        let lanes: Vec<&str> = log.lanes().iter().map(|l| &**l).collect();
+        assert_eq!(lanes, vec!["gpu1", "gpu0"]);
+    }
+
+    #[test]
+    fn lanes_are_interned() {
+        let mut log = TraceLog::enabled();
+        let t1 = SimTime::from_secs_f64(1.0);
+        log.record("gpu0", SimTime::ZERO, t1, TraceKind::Prefill, "a");
+        log.record("gpu0", SimTime::ZERO, t1, TraceKind::Decode, "b");
+        let ivs = log.intervals();
+        assert!(
+            Arc::ptr_eq(&ivs[0].lane, &ivs[1].lane),
+            "same lane must share one allocation"
+        );
     }
 }

@@ -64,7 +64,7 @@ pub fn active_count_series(trace: &Trace, service: SimDur, step: SimDur) -> Vec<
             i += 1;
         }
         out.push((next_sample, active));
-        next_sample = next_sample + step;
+        next_sample += step;
     }
     out
 }

@@ -1,0 +1,160 @@
+//! Offline stand-in for `criterion`: a self-calibrating micro-benchmark
+//! harness behind criterion's `bench_function`/`iter`/`criterion_group!`
+//! surface. Each benchmark is timed over `sample_size` samples after a short
+//! warm-up, and median/mean ns-per-iteration are printed to stdout.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting benchmark work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    /// Median ns/iter of the last `iter` call, for programmatic readers.
+    pub last_median_ns: f64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly: calibrates an iteration count targeting ~5 ms per
+    /// sample, then records `self.samples` samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration: grow the batch until one batch takes >=1 ms,
+        // then scale to the 5 ms target.
+        let mut batch: u64 = 1;
+        let per_iter_ns = loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 30 {
+                break elapsed.as_nanos() as f64 / batch as f64;
+            }
+            batch *= 4;
+        };
+        let target_ns = 5_000_000.0;
+        let iters = ((target_ns / per_iter_ns.max(0.01)) as u64).clamp(1, 1 << 32);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples_ns.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = samples_ns[samples_ns.len() / 2];
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        self.last_median_ns = median;
+        println!(
+            "    time: median {} / mean {}  ({iters} iters x {} samples)",
+            fmt_ns(median),
+            fmt_ns(mean),
+            self.samples
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    }
+}
+
+/// Benchmark registry/configuration, mirroring criterion's builder API.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut Criterion {
+        println!("benchmarking {name}");
+        let mut b = Bencher {
+            samples: self.sample_size.max(1),
+            last_median_ns: 0.0,
+        };
+        f(&mut b);
+        self
+    }
+}
+
+/// Declares a benchmark group function, in either criterion form:
+/// `criterion_group!(name, target, ...)` or
+/// `criterion_group!(name = n; config = expr; targets = t, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_positive_median() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut median = 0.0;
+        c.bench_function("noop_add", |b| {
+            b.iter(|| black_box(1u64) + black_box(2u64));
+            median = b.last_median_ns;
+        });
+        assert!(median > 0.0);
+    }
+
+    criterion_group!(simple_form, noop_target);
+
+    fn noop_target(c: &mut Criterion) {
+        c.bench_function("macro_form", |b| b.iter(|| black_box(3u32)));
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        simple_form();
+    }
+}

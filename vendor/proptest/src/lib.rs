@@ -1,0 +1,359 @@
+//! Offline stand-in for `proptest`: random-input property testing with the
+//! same macro surface this workspace uses (`proptest!`, `prop_oneof!`,
+//! `prop::collection::vec`, ranges, tuples, `prop_map`, `prop_assert!`).
+//!
+//! Compared to upstream proptest there is no shrinking: a failing case
+//! prints its inputs (seed-stable per test name) and panics.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random source handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Deterministic per-test RNG: the stream depends only on the test name,
+    /// so failures reproduce run-to-run.
+    pub fn for_test(name: &str) -> TestRng {
+        // FNV-1a over the name gives a stable, well-spread seed.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+
+    fn u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        self.inner.gen_range(0..n)
+    }
+
+    fn f64(&mut self) -> f64 {
+        self.inner.gen()
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        MapStrategy { inner: self, f }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for MapStrategy<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty : $via:ident),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.u64() % span) as $t
+            }
+        }
+        #[allow(unused)]
+        fn $via() {}
+    )*};
+}
+int_range_strategy!(u32: _r_u32, u64: _r_u64, usize: _r_usize);
+
+impl Strategy for core::ops::Range<i64> {
+    type Value = i64;
+    fn sample(&self, rng: &mut TestRng) -> i64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add((rng.u64() % span) as i64)
+    }
+}
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Uniform choice among alternative strategies (backs `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `options`; each draw picks one uniformly.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "empty Union strategy");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len());
+        self.options[i].sample(rng)
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Vec`s of a given length range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// Vectors whose length is drawn from `len` and whose elements are drawn
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Runs `body` against `cases` random inputs drawn by `draw`, printing the
+/// failing input before propagating any panic.
+pub fn run_cases<V>(
+    test_name: &str,
+    cases: u32,
+    draw: impl Fn(&mut TestRng) -> V,
+    body: impl Fn(&V) + std::panic::RefUnwindSafe,
+) where
+    V: core::fmt::Debug + std::panic::RefUnwindSafe,
+{
+    let mut rng = TestRng::for_test(test_name);
+    for case in 0..cases {
+        let input = draw(&mut rng);
+        let result = std::panic::catch_unwind(|| body(&input));
+        if let Err(payload) = result {
+            eprintln!(
+                "proptest failure in `{test_name}` (case {case}/{cases}) with input:\n  \
+                 {input:#?}"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { ... }`
+/// becomes a `#[test]` that samples its strategies `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let strategies = ( $($strat,)+ );
+                $crate::run_cases(
+                    stringify!($name),
+                    cfg.cases,
+                    |rng| $crate::Strategy::sample(&strategies, rng),
+                    |input| {
+                        let ( $($arg,)+ ) = input.clone();
+                        $body
+                    },
+                );
+            }
+        )*
+    };
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $($strat:expr),+ $(,)? ) => {
+        $crate::Union::new(vec![ $( $crate::Strategy::boxed($strat) ),+ ])
+    };
+}
+
+/// Property assertion (no shrinking, so plain assert semantics).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Everything tests normally import.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, ProptestConfig,
+        Strategy, TestRng, Union,
+    };
+
+    /// Namespace mirror of upstream's `prop::` module paths.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_test("bounds");
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(3u32..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let f = Strategy::sample(&(0.25f64..0.75), &mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_range() {
+        let mut rng = TestRng::for_test("vec_len");
+        let strat = collection::vec(0u64..10, 1..5);
+        for _ in 0..200 {
+            let v = Strategy::sample(&strat, &mut rng);
+            assert!((1..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = TestRng::for_test("same");
+        let mut b = TestRng::for_test("same");
+        let s = 0u64..1_000_000;
+        for _ in 0..10 {
+            assert_eq!(Strategy::sample(&s, &mut a), Strategy::sample(&s, &mut b));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        fn macro_generates_tests(x in 1u32..100, ys in collection::vec(0u64..9, 1..4)) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert_eq!(ys.iter().filter(|&&y| y < 9).count(), ys.len());
+        }
+    }
+
+    proptest! {
+        fn oneof_and_map_compose(v in prop_oneof![
+            (0u32..10).prop_map(|x| x * 2),
+            (100u32..110).prop_map(|x| x + 1),
+        ]) {
+            prop_assert!(v < 20 || (101..111).contains(&v));
+        }
+    }
+}

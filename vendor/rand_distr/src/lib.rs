@@ -1,0 +1,154 @@
+//! Offline stand-in for `rand_distr`: the three continuous distributions the
+//! workload generators use (exponential, log-normal, Pareto), implemented by
+//! inverse-transform / Box–Muller sampling over the vendored [`rand`] core.
+
+use rand::RngCore;
+
+/// Parameter validation error for any of the distributions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistError(&'static str);
+
+impl core::fmt::Display for DistError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for DistError {}
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample using `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform in the open interval (0, 1); never returns 0 so logs are finite.
+#[inline]
+fn open01<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    ((rng.next_u64() >> 11) as f64 + 0.5) * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A standard normal draw via Box–Muller.
+#[inline]
+fn std_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    let u1 = open01(rng);
+    let u2 = open01(rng);
+    (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+}
+
+/// The exponential distribution `Exp(lambda)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// A new exponential distribution with rate `lambda > 0`.
+    pub fn new(lambda: f64) -> Result<Exp, DistError> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Exp { lambda })
+        } else {
+            Err(DistError("Exp rate must be finite and positive"))
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        -open01(rng).ln() / self.lambda
+    }
+}
+
+/// The log-normal distribution `exp(N(mu, sigma^2))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// A new log-normal with the given parameters of the underlying normal.
+    pub fn new(mu: f64, sigma: f64) -> Result<LogNormal, DistError> {
+        if mu.is_finite() && sigma.is_finite() && sigma >= 0.0 {
+            Ok(LogNormal { mu, sigma })
+        } else {
+            Err(DistError("LogNormal parameters must be finite, sigma >= 0"))
+        }
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * std_normal(rng)).exp()
+    }
+}
+
+/// The Pareto distribution with scale `x_m` and shape `alpha`.
+#[derive(Debug, Clone, Copy)]
+pub struct Pareto {
+    scale: f64,
+    inv_neg_alpha: f64,
+}
+
+impl Pareto {
+    /// A new Pareto distribution; both parameters must be positive.
+    pub fn new(scale: f64, alpha: f64) -> Result<Pareto, DistError> {
+        if scale > 0.0 && alpha > 0.0 && scale.is_finite() && alpha.is_finite() {
+            Ok(Pareto {
+                scale,
+                inv_neg_alpha: -1.0 / alpha,
+            })
+        } else {
+            Err(DistError("Pareto scale and shape must be positive"))
+        }
+    }
+}
+
+impl Distribution<f64> for Pareto {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.scale * open01(rng).powf(self.inv_neg_alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exp_mean_matches_rate() {
+        let mut r = StdRng::seed_from_u64(1);
+        let d = Exp::new(4.0).unwrap();
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let mut r = StdRng::seed_from_u64(2);
+        let d = LogNormal::new(1.0, 0.5).unwrap();
+        let n = 100_001;
+        let mut xs: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        xs.sort_by(f64::total_cmp);
+        let median = xs[n / 2];
+        assert!((median - 1.0f64.exp()).abs() / 1.0f64.exp() < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut r = StdRng::seed_from_u64(3);
+        let d = Pareto::new(2.0, 1.5).unwrap();
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut r) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_error() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+        assert!(Pareto::new(-1.0, 1.0).is_err());
+    }
+}

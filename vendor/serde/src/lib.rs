@@ -1,0 +1,313 @@
+//! Offline stand-in for `serde`.
+//!
+//! Instead of upstream serde's visitor architecture, this vendored crate
+//! routes (de)serialization through a small owned [`Content`] tree — enough
+//! for the JSON round-trips this workspace performs, while keeping the
+//! familiar `#[derive(Serialize, Deserialize)]` surface (re-exported from
+//! the vendored `serde_derive` proc-macro crate).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing value tree, the interchange format between
+/// `Serialize`/`Deserialize` impls and data formats such as `serde_json`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` / `Option::None`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Content>),
+    /// A string-keyed map in insertion order.
+    Map(Vec<(String, Content)>),
+}
+
+/// Deserialization error: what was expected and what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl core::fmt::Display for DeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion of a value into a [`Content`] tree.
+pub trait Serialize {
+    /// Renders `self` as a content tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Reconstruction of a value from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Parses `content` into a value.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+// ----- Serialize impls for primitives and std containers -------------------
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::I64(*self as i64) }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+// ----- Deserialize impls ---------------------------------------------------
+
+fn num_err(found: &Content, want: &str) -> DeError {
+    DeError(format!("expected {want}, found {found:?}"))
+}
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let v = match *content {
+                    Content::U64(v) => v,
+                    Content::I64(v) if v >= 0 => v as u64,
+                    Content::F64(v) if v >= 0.0 && v.fract() == 0.0 => v as u64,
+                    ref c => return Err(num_err(c, "unsigned integer")),
+                };
+                <$t>::try_from(v).map_err(|_| DeError(format!(
+                    "{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let v = match *content {
+                    Content::I64(v) => v,
+                    Content::U64(v) if v <= i64::MAX as u64 => v as i64,
+                    Content::F64(v) if v.fract() == 0.0 => v as i64,
+                    ref c => return Err(num_err(c, "integer")),
+                };
+                <$t>::try_from(v).map_err(|_| DeError(format!(
+                    "{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match *content {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            ref c => Err(num_err(c, "number")),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        f64::from_content(content).map(|v| v as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            c => Err(num_err(c, "bool")),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            c => Err(num_err(c, "string")),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            c => T::from_content(c).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            c => Err(num_err(c, "sequence")),
+        }
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal : $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                match content {
+                    Content::Seq(items) if items.len() == $len => {
+                        Ok(($($t::from_content(&items[$n])?,)+))
+                    }
+                    c => Err(num_err(c, concat!("sequence of length ", $len))),
+                }
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1: 0 A)
+    (2: 0 A, 1 B)
+    (3: 0 A, 1 B, 2 C)
+    (4: 0 A, 1 B, 2 C, 3 D)
+}
+
+/// Looks up `key` in a derive-generated map body (helper for derived code).
+#[doc(hidden)]
+pub fn __map_get<'c>(map: &'c [(String, Content)], key: &str) -> Result<&'c Content, DeError> {
+    map.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError(format!("missing field `{key}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_content(&42u32.to_content()), Ok(42));
+        assert_eq!(f64::from_content(&1.5f64.to_content()), Ok(1.5));
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(
+            Vec::<u64>::from_content(&vec![1u64, 2, 3].to_content()),
+            Ok(vec![1, 2, 3])
+        );
+        let pair = (2u32, 0.5f64);
+        assert_eq!(<(u32, f64)>::from_content(&pair.to_content()), Ok(pair));
+    }
+
+    #[test]
+    fn option_maps_to_null() {
+        assert_eq!(Option::<u32>::from_content(&Content::Null), Ok(None));
+        assert_eq!(None::<u32>.to_content(), Content::Null);
+    }
+
+    #[test]
+    fn wrong_shape_errors() {
+        assert!(u32::from_content(&Content::Str("x".into())).is_err());
+        assert!(String::from_content(&Content::U64(3)).is_err());
+    }
+}

@@ -1,0 +1,289 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the vendored serde
+//! stand-in. Without network access there is no `syn`/`quote`, so the item
+//! is parsed directly from `proc_macro` tokens. Supported shapes — which
+//! cover every derive in this workspace — are:
+//!
+//! * structs with named fields (serialized as a string-keyed map),
+//! * tuple structs (newtypes serialize transparently, larger ones as a seq),
+//! * enums with unit variants only (serialized as the variant name).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What kind of item the derive is attached to.
+enum Item {
+    /// Named-field struct: name + field identifiers.
+    Struct(String, Vec<String>),
+    /// Tuple struct: name + field count.
+    Tuple(String, usize),
+    /// Unit-variant enum: name + variant identifiers.
+    Enum(String, Vec<String>),
+}
+
+/// Consumes leading attributes (`#[...]`) starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, …) starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Splits a field/variant body on top-level commas (ignoring commas nested in
+/// `<...>` or in groups, which arrive pre-balanced as `TokenTree::Group`s).
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    if !cur.is_empty() {
+                        out.push(std::mem::take(&mut cur));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            if kind == "struct" {
+                let mut fields = Vec::new();
+                for seg in split_top_level(&body) {
+                    let j = skip_vis(&seg, skip_attrs(&seg, 0));
+                    match seg.get(j) {
+                        Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+                        other => return Err(format!("expected field name, found {other:?}")),
+                    }
+                }
+                Ok(Item::Struct(name, fields))
+            } else {
+                let mut variants = Vec::new();
+                for seg in split_top_level(&body) {
+                    let j = skip_attrs(&seg, 0);
+                    match seg.get(j) {
+                        Some(TokenTree::Ident(id)) => variants.push(id.to_string()),
+                        other => return Err(format!("expected variant, found {other:?}")),
+                    }
+                    if seg.len() > j + 1 {
+                        return Err(format!(
+                            "vendored serde_derive supports only unit enum variants \
+                             (variant `{}` of `{name}` carries data)",
+                            variants.last().expect("just pushed")
+                        ));
+                    }
+                }
+                Ok(Item::Enum(name, variants))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            Ok(Item::Tuple(name, split_top_level(&body).len()))
+        }
+        other => Err(format!(
+            "vendored serde_derive cannot handle item `{name}` (generics/unions \
+             unsupported), found {other:?}"
+        )),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("literal")
+}
+
+/// Derives the content-tree `Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let src = match item {
+        Item::Struct(name, fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_content(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Tuple(name, 1) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{\n\
+                     ::serde::Serialize::to_content(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Tuple(name, n) => {
+            let entries: String = (0..n)
+                .map(|k| format!("::serde::Serialize::to_content(&self.{k}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Seq(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => \
+                         ::serde::Content::Str(::std::string::String::from({v:?})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse().expect("generated impl parses")
+}
+
+/// Derives the content-tree `Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let src = match item {
+        Item::Struct(name, fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(\
+                         ::serde::__map_get(m, {f:?})?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(content: &::serde::Content) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match content {{\n\
+                             ::serde::Content::Map(m) => Ok({name} {{ {inits} }}),\n\
+                             c => Err(::serde::DeError(format!(\n\
+                                 \"expected map for struct {name}, found {{c:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Tuple(name, 1) => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(content: &::serde::Content) \
+                     -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     Ok({name}(::serde::Deserialize::from_content(content)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Tuple(name, n) => {
+            let inits: String = (0..n)
+                .map(|k| format!("::serde::Deserialize::from_content(&items[{k}])?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(content: &::serde::Content) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match content {{\n\
+                             ::serde::Content::Seq(items) if items.len() == {n} => \
+                                 Ok({name}({inits})),\n\
+                             c => Err(::serde::DeError(format!(\n\
+                                 \"expected seq of {n} for {name}, found {{c:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(content: &::serde::Content) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match content {{\n\
+                             ::serde::Content::Str(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => Err(::serde::DeError(format!(\n\
+                                     \"unknown variant {{other}} of {name}\"))),\n\
+                             }},\n\
+                             c => Err(::serde::DeError(format!(\n\
+                                 \"expected string for enum {name}, found {{c:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse().expect("generated impl parses")
+}

@@ -9,11 +9,12 @@
 
 use std::collections::VecDeque;
 
+use aegaeon::audit::{AuditReport, AuditView, Auditor, InvariantAuditor, ReqAudit};
 use aegaeon::deploy::{build_deploys, ModelDeploy};
 use aegaeon::reqstate::ReqState;
 use aegaeon_engine::{scale_up_plan, AutoscaleOpts, InitCosts, ScaleCost};
 use aegaeon_gpu::{
-    ClusterTopology, Completion, Fabric, FabricEvent, GpuId, StreamId, StreamOp,
+    ClusterTopology, Completion, Fabric, FabricEvent, GpuId, LinkId, StreamId, StreamOp,
 };
 use aegaeon_metrics::RequestOutcome;
 use aegaeon_model::{ModelId, ModelSpec};
@@ -149,6 +150,9 @@ pub struct WorldConfig {
     pub drain_window: SimDur,
     /// RNG seed.
     pub seed: u64,
+    /// Run the always-on invariant auditor alongside the loop (observer
+    /// only; results are bit-identical either way).
+    pub audit: bool,
 }
 
 impl WorldConfig {
@@ -177,6 +181,7 @@ impl WorldConfig {
             sample_period: SimDur::from_secs(1),
             drain_window: SimDur::from_secs(240),
             seed: 42,
+            audit: false,
         }
     }
 }
@@ -419,7 +424,38 @@ impl World {
     }
 
     /// Drives the simulation with `sched` until the trace drains.
-    pub fn run<S: Scheduler>(mut self, sched: &mut S) -> BaselineResult {
+    ///
+    /// # Panics
+    ///
+    /// With `cfg.audit` set, panics on any invariant violation, printing
+    /// the full report (the violation reproduces from the config's seed).
+    pub fn run<S: Scheduler>(self, sched: &mut S) -> BaselineResult {
+        if self.cfg.audit {
+            let seed = self.cfg.seed;
+            let (result, report) = self.run_audited(sched);
+            assert!(
+                report.ok(),
+                "baseline invariant violation (reproduce with seed={seed}):\n{report}"
+            );
+            result
+        } else {
+            self.run_inner(sched, None).0
+        }
+    }
+
+    /// Runs with the standard invariant auditor installed, returning the
+    /// audit report alongside the results.
+    pub fn run_audited<S: Scheduler>(self, sched: &mut S) -> (BaselineResult, AuditReport) {
+        let auditor: Box<dyn Auditor> = Box::new(InvariantAuditor::new());
+        let (result, report) = self.run_inner(sched, Some(auditor));
+        (result, report.expect("auditor was installed"))
+    }
+
+    fn run_inner<S: Scheduler>(
+        mut self,
+        sched: &mut S,
+        mut auditor: Option<Box<dyn Auditor>>,
+    ) -> (BaselineResult, Option<AuditReport>) {
         let mut q: Qq = EventQueue::new();
         for (i, r) in self.trace.requests.iter().enumerate() {
             q.schedule_at(r.arrival(), BEv::Arrive(i as u32));
@@ -559,8 +595,15 @@ impl World {
                     }
                 }
             }
+            if let Some(a) = auditor.as_deref_mut() {
+                a.after_event(q.now(), &self);
+            }
         }
-        self.finish(&q)
+        let report = auditor.map(|mut a| {
+            a.at_finish(q.now(), &self);
+            a.take_report()
+        });
+        (self.finish(&q), report)
     }
 
     fn finish(self, q: &Qq) -> BaselineResult {
@@ -599,5 +642,42 @@ impl World {
             gpu_busy,
             util_samples: self.util_samples,
         }
+    }
+}
+
+/// Read-only audit facade: the baselines share the same invariant suite as
+/// Aegaeon (request conservation, token order, link conservation). KV here
+/// is token-count reservations rather than block books, so the memory deep
+/// check does not apply.
+impl AuditView for World {
+    fn completed_counter(&self) -> u64 {
+        self.completed as u64
+    }
+
+    fn rejected_counter(&self) -> u64 {
+        self.rejected as u64
+    }
+
+    fn request_count(&self) -> usize {
+        self.reqs.len()
+    }
+
+    fn request(&self, i: usize) -> ReqAudit<'_> {
+        let r = &self.reqs[i];
+        ReqAudit {
+            produced: r.produced,
+            target: r.target_tokens,
+            done: r.is_done(),
+            token_times: &r.token_times,
+        }
+    }
+
+    fn link_audit(&self) -> Option<String> {
+        for l in 0..self.fabric.link_count() {
+            if let Some(e) = self.fabric.link(LinkId(l as u32)).audit() {
+                return Some(e);
+            }
+        }
+        None
     }
 }

@@ -97,6 +97,27 @@ impl MuxServe {
         rates: &[f64],
         trace: &Trace,
     ) -> BaselineResult {
+        let (world, mut sched) = Self::prepare(cfg, models, rates, trace);
+        world.run(&mut sched)
+    }
+
+    /// Runs with the invariant auditor installed, returning its report.
+    pub fn run_audited(
+        cfg: &WorldConfig,
+        models: &[ModelSpec],
+        rates: &[f64],
+        trace: &Trace,
+    ) -> (BaselineResult, aegaeon::AuditReport) {
+        let (world, mut sched) = Self::prepare(cfg, models, rates, trace);
+        world.run_audited(&mut sched)
+    }
+
+    fn prepare(
+        cfg: &WorldConfig,
+        models: &[ModelSpec],
+        rates: &[f64],
+        trace: &Trace,
+    ) -> (World, MuxServe) {
         assert_eq!(cfg.tp, 1, "MuxServe baseline colocates TP=1 models");
         let mut world = World::new(cfg.clone(), models, trace.clone());
         let weights: Vec<u64> = world.deploys.iter().map(|d| d.shard_bytes).collect();
@@ -134,14 +155,14 @@ impl MuxServe {
         }
         let n_slots = insts.len();
         world.insts = insts;
-        let mut sched = MuxServe {
+        let sched = MuxServe {
             slot_of_model,
             gpu_of_slot,
             slots_of_gpu,
             kv_share_bytes,
             queues: vec![Vec::new(); n_slots],
         };
-        world.run(&mut sched)
+        (world, sched)
     }
 
     fn refresh_contention(&self, w: &mut World, gpu: usize) {
@@ -264,6 +285,24 @@ mod tests {
         assert!(r.completed as f64 > 0.95 * r.total_requests as f64);
         let rep = r.attainment(SloSpec::paper_default());
         assert!(rep.ratio() > 0.8, "attainment {}", rep.ratio());
+    }
+
+    #[test]
+    fn audited_run_counts_rejections_in_conservation() {
+        // 8 models on one GPU: most are unplaced and rejected. The auditor
+        // must treat completed + rejected as full conservation.
+        let zoo = Zoo::standard();
+        let models = Zoo::replicate(&zoo.market_band(), 8);
+        let rates = vec![1.0; 8];
+        let mut rng = SimRng::seed_from_u64(6);
+        let trace = TraceBuilder::new(SimTime::from_secs_f64(60.0), LengthDist::sharegpt())
+            .uniform_models(&mut rng, 8, 0.1)
+            .build(&mut rng);
+        let cfg = WorldConfig::sllm_default(cluster(1));
+        let (r, report) = MuxServe::run_audited(&cfg, &models, &rates, &trace);
+        assert!(report.ok(), "{report}");
+        assert!(r.rejected > 0);
+        assert_eq!(r.completed + r.rejected, r.total_requests);
     }
 
     #[test]

@@ -52,12 +52,27 @@ pub struct ServerlessLlm {
 impl ServerlessLlm {
     /// Runs the system over `trace`.
     pub fn run(cfg: &SllmConfig, models: &[ModelSpec], trace: &Trace) -> BaselineResult {
+        let (world, mut sched) = Self::prepare(cfg, models, trace);
+        world.run(&mut sched)
+    }
+
+    /// Runs with the invariant auditor installed, returning its report.
+    pub fn run_audited(
+        cfg: &SllmConfig,
+        models: &[ModelSpec],
+        trace: &Trace,
+    ) -> (BaselineResult, aegaeon::AuditReport) {
+        let (world, mut sched) = Self::prepare(cfg, models, trace);
+        world.run_audited(&mut sched)
+    }
+
+    fn prepare(cfg: &SllmConfig, models: &[ModelSpec], trace: &Trace) -> (World, ServerlessLlm) {
         let world = World::new(cfg.world.clone(), models, trace.clone());
-        let mut sched = ServerlessLlm {
+        let sched = ServerlessLlm {
             queue: Vec::new(),
             sjf: cfg.sjf,
         };
-        world.run(&mut sched)
+        (world, sched)
     }
 
     /// Queue position to serve next: FCFS head or shortest job.
@@ -192,6 +207,25 @@ mod tests {
             rep.ratio()
         );
         assert!(r.switches > 5);
+    }
+
+    #[test]
+    fn audited_run_is_clean_and_identical() {
+        let mut cfg = SllmConfig::new(cluster(2));
+        let t = trace(3, 0.1, 120.0, 9);
+        let plain = ServerlessLlm::run(&cfg, &models(3), &t);
+        let (audited, report) = ServerlessLlm::run_audited(&cfg, &models(3), &t);
+        assert!(report.ok(), "{report}");
+        assert!(report.events_checked > 0);
+        assert_eq!(plain.completed, audited.completed);
+        let fa: Vec<_> = plain.outcomes.iter().map(|o| o.token_times.clone()).collect();
+        let fb: Vec<_> = audited.outcomes.iter().map(|o| o.token_times.clone()).collect();
+        assert_eq!(fa, fb, "auditor must not perturb the run");
+        // The cfg.audit flag routes through the same auditor and panics on
+        // violation; a clean run returns identical results.
+        cfg.world.audit = true;
+        let flagged = ServerlessLlm::run(&cfg, &models(3), &t);
+        assert_eq!(flagged.completed, plain.completed);
     }
 
     #[test]

@@ -1,0 +1,211 @@
+//! Seeded crash-sweep harness: chaos engine × invariant auditor.
+//!
+//! Runs hundreds of independently-seeded fault scenarios — instance
+//! crashes, transient link degradation, staging-buffer OOM windows, proxy
+//! stalls — against Aegaeon *and* both baselines with the always-on
+//! invariant auditor installed, and fails (non-zero exit) if any scenario
+//! violates an invariant or loses a request. Every scenario is a pure
+//! function of `(base seed, scenario index)`, so a failure reproduces
+//! exactly from its printed `(seed, plan)` line:
+//!
+//! ```text
+//! cargo run --release --bin crash_sweep -- --seed <seed> --plan "<spec>"
+//! ```
+//!
+//! Usage:
+//!   crash_sweep [--scenarios N] [--seed BASE] [--scenario K]
+//!   crash_sweep --seed SEED --plan "SPEC"   (single-scenario reproduction)
+
+use aegaeon::chaos::FaultPlan;
+use aegaeon::{AegaeonConfig, ServingSystem};
+use aegaeon_baselines::{MuxServe, ServerlessLlm, SllmConfig};
+use aegaeon_bench::sweep;
+use aegaeon_bench::{banner, market_models, uniform_trace, SEED};
+use aegaeon_sim::{SimDur, SimRng};
+use aegaeon_workload::LengthDist;
+
+/// Scenario shape: a small pool under light multi-model load, short enough
+/// that 200 scenarios × 3 systems finish in CI, long enough that crashes
+/// land mid-request.
+const N_MODELS: usize = 3;
+const PER_MODEL_RATE: f64 = 0.04;
+const HORIZON: f64 = 80.0;
+const DRAIN_SECS: u64 = 500;
+
+struct Outcome {
+    scenario: u64,
+    seed: u64,
+    plan: String,
+    events_checked: u64,
+    failures: Vec<String>,
+}
+
+/// Draws the scenario's fault plan from its derived seed: every process is
+/// exercised across the sweep, with intensities varied per scenario.
+fn scenario_plan(seed: u64) -> FaultPlan {
+    let mut rng = SimRng::seed_from_u64(seed ^ 0x00c7_a05c_11a0_5eed);
+    FaultPlan {
+        seed,
+        crashes: Vec::new(),
+        crash_rate_prefill: rng.range_f64(0.0, 0.015),
+        crash_rate_decode: rng.range_f64(0.0, 0.02),
+        link_rate: rng.range_f64(0.0, 0.05),
+        link_factor: rng.range_f64(0.2, 0.8),
+        link_secs: rng.range_f64(1.0, 8.0),
+        stage_oom_rate: rng.range_f64(0.0, 0.04),
+        stage_oom_secs: rng.range_f64(2.0, 8.0),
+        stall_rate: rng.range_f64(0.0, 0.03),
+        stall_secs: rng.range_f64(0.2, 2.0),
+    }
+}
+
+/// Runs one scenario across all three systems and collects any failures.
+fn run_scenario(scenario: u64, seed: u64, plan: &FaultPlan) -> Outcome {
+    let mut failures = Vec::new();
+    let mut events_checked = 0u64;
+    let models = market_models(N_MODELS);
+    let trace = uniform_trace(N_MODELS, PER_MODEL_RATE, HORIZON, seed, LengthDist::sharegpt());
+    let total = trace.len();
+    let repro = format!("--seed {seed} --plan \"{plan}\"");
+
+    // Aegaeon under the full fault plan.
+    let mut cfg = AegaeonConfig::small_testbed(2, 3);
+    cfg.seed = seed;
+    cfg.faults = plan.clone();
+    cfg.drain_window = SimDur::from_secs(DRAIN_SECS);
+    let (r, report) = ServingSystem::run_audited(&cfg, &models, &trace);
+    events_checked += report.events_checked;
+    if !report.ok() {
+        failures.push(format!("aegaeon audit ({repro}):\n{report}"));
+    }
+    if r.completed != total {
+        failures.push(format!(
+            "aegaeon completed {}/{} requests ({repro})",
+            r.completed, total
+        ));
+    }
+
+    // Baselines under the same trace (no fault wiring of their own, but the
+    // same invariant suite, seeded identically).
+    let cluster = cfg.cluster.clone();
+    let mut scfg = SllmConfig::new(cluster.clone());
+    scfg.world.seed = seed;
+    scfg.world.drain_window = SimDur::from_secs(DRAIN_SECS);
+    let (sr, sreport) = ServerlessLlm::run_audited(&scfg, &models, &trace);
+    events_checked += sreport.events_checked;
+    if !sreport.ok() {
+        failures.push(format!("serverless-llm audit ({repro}):\n{sreport}"));
+    }
+    if sr.completed + sr.rejected != total {
+        failures.push(format!(
+            "serverless-llm served {}+{} of {} requests ({repro})",
+            sr.completed, sr.rejected, total
+        ));
+    }
+
+    let mut mcfg = aegaeon_baselines::engine_loop::WorldConfig::sllm_default(cluster);
+    mcfg.seed = seed;
+    mcfg.drain_window = SimDur::from_secs(DRAIN_SECS);
+    let rates = vec![PER_MODEL_RATE; N_MODELS];
+    let (mr, mreport) = MuxServe::run_audited(&mcfg, &models, &rates, &trace);
+    events_checked += mreport.events_checked;
+    if !mreport.ok() {
+        failures.push(format!("muxserve audit ({repro}):\n{mreport}"));
+    }
+    if mr.completed + mr.rejected != total {
+        failures.push(format!(
+            "muxserve served {}+{} of {} requests ({repro})",
+            mr.completed, mr.rejected, total
+        ));
+    }
+
+    Outcome {
+        scenario,
+        seed,
+        plan: plan.to_string(),
+        events_checked,
+        failures,
+    }
+}
+
+fn parse_args() -> (usize, u64, Option<u64>, Option<FaultPlan>) {
+    let mut scenarios = 200usize;
+    let mut base = SEED;
+    let mut only: Option<u64> = None;
+    let mut plan: Option<FaultPlan> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let val = |i: usize| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("missing value after {}", args[i]))
+        };
+        match args[i].as_str() {
+            "--scenarios" => scenarios = val(i).parse().expect("--scenarios N"),
+            "--seed" => base = val(i).parse().expect("--seed BASE"),
+            "--scenario" => only = Some(val(i).parse().expect("--scenario K")),
+            "--plan" => plan = Some(val(i).parse().expect("--plan SPEC")),
+            other => panic!("unknown argument {other}"),
+        }
+        i += 2;
+    }
+    (scenarios, base, only, plan)
+}
+
+fn main() {
+    banner("crash_sweep", "chaos engine + invariant auditor (seeded fault sweep)");
+    let (scenarios, base, only, plan) = parse_args();
+
+    // Reproduction mode: one exact (seed, plan) scenario, verbose.
+    if let Some(plan) = plan {
+        println!("reproducing seed={base} plan=\"{plan}\"");
+        let o = run_scenario(0, base, &plan);
+        if o.failures.is_empty() {
+            println!("clean: {} events audited, no violations", o.events_checked);
+            return;
+        }
+        for f in &o.failures {
+            eprintln!("FAIL {f}");
+        }
+        std::process::exit(1);
+    }
+
+    let points: Vec<u64> = match only {
+        Some(k) => vec![k],
+        None => (0..scenarios as u64).collect(),
+    };
+    println!(
+        "{} scenario(s) from base seed {base} ({} threads; override with {})",
+        points.len(),
+        sweep::threads(),
+        sweep::THREADS_ENV
+    );
+
+    let outcomes = sweep::map(&points, |&i| {
+        let seed = sweep::derive_seed(base, i);
+        let plan = scenario_plan(seed);
+        run_scenario(i, seed, &plan)
+    });
+
+    let total_events: u64 = outcomes.iter().map(|o| o.events_checked).sum();
+    let failed: Vec<&Outcome> = outcomes.iter().filter(|o| !o.failures.is_empty()).collect();
+    for o in &failed {
+        eprintln!(
+            "scenario {} FAILED — reproduce with: cargo run --release --bin crash_sweep -- --seed {} --plan \"{}\"",
+            o.scenario, o.seed, o.plan
+        );
+        for f in &o.failures {
+            eprintln!("  {f}");
+        }
+    }
+    println!(
+        "{}/{} scenarios clean; {} events audited across {} runs",
+        outcomes.len() - failed.len(),
+        outcomes.len(),
+        total_events,
+        outcomes.len() * 3
+    );
+    if !failed.is_empty() {
+        std::process::exit(1);
+    }
+}

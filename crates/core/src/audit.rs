@@ -1,0 +1,497 @@
+//! Always-on invariant auditor.
+//!
+//! Chaos testing is only meaningful if violations are *detected*, not just
+//! survived. The [`Auditor`] trait hooks into the serving systems' dispatch
+//! loops — Aegaeon's and the baselines' — and is consulted after every
+//! dispatched event. When auditing is disabled the hook is a single branch
+//! on a `None` option, the same discipline as lazy tracing: the hot path
+//! pays nothing.
+//!
+//! Systems expose their auditable state through [`AuditView`], a read-only
+//! facade, which keeps the auditor strictly an *observer*: it can never
+//! perturb scheduling, so a run with the auditor on produces bit-identical
+//! results to a run with it off (a differential test asserts this).
+
+use aegaeon_sim::SimTime;
+use std::fmt;
+
+/// Read-only audit facade over one request's progress.
+#[derive(Debug, Clone, Copy)]
+pub struct ReqAudit<'a> {
+    /// Output tokens produced so far.
+    pub produced: u32,
+    /// Oracle output length.
+    pub target: u32,
+    /// True once the request has fully completed.
+    pub done: bool,
+    /// Generation instants, one per produced token.
+    pub token_times: &'a [SimTime],
+}
+
+/// Read-only view a serving system exposes to the auditor.
+pub trait AuditView {
+    /// Requests completed so far (the system's own counter, which the
+    /// auditor cross-checks against per-request state).
+    fn completed_counter(&self) -> u64;
+    /// Requests rejected by admission control (baselines only).
+    fn rejected_counter(&self) -> u64 {
+        0
+    }
+    /// Total requests in the trace.
+    fn request_count(&self) -> usize;
+    /// Audit view of request `i`.
+    fn request(&self, i: usize) -> ReqAudit<'_>;
+    /// Deep-checks memory accounting (VRAM slabs, KV block ownership);
+    /// `Some(description)` on violation.
+    fn memory_audit(&self) -> Option<String> {
+        None
+    }
+    /// Deep-checks bandwidth conservation on every fabric link;
+    /// `Some(description)` on violation.
+    fn link_audit(&self) -> Option<String> {
+        None
+    }
+}
+
+/// One detected invariant violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Simulated time of the event after which the check failed.
+    pub at: SimTime,
+    /// Human-readable description.
+    pub what: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[t={:.6}s] {}", self.at.as_secs_f64(), self.what)
+    }
+}
+
+/// Outcome of an audited run.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Events after which the full invariant suite ran.
+    pub events_checked: u64,
+    /// All violations, in detection order.
+    pub violations: Vec<Violation>,
+}
+
+impl AuditReport {
+    /// True when no invariant was violated.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.ok() {
+            write!(f, "audit ok ({} events checked)", self.events_checked)
+        } else {
+            writeln!(
+                f,
+                "audit FAILED: {} violation(s) over {} events:",
+                self.violations.len(),
+                self.events_checked
+            )?;
+            for v in &self.violations {
+                writeln!(f, "  {v}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Observer invoked by a serving system's dispatch loop.
+pub trait Auditor {
+    /// Called after every dispatched event with the post-event state.
+    fn after_event(&mut self, now: SimTime, view: &dyn AuditView);
+    /// Called once when the run drains.
+    fn at_finish(&mut self, now: SimTime, view: &dyn AuditView);
+    /// Consumes the accumulated report.
+    fn take_report(&mut self) -> AuditReport;
+}
+
+/// The standard invariant suite:
+///
+/// 1. **Causality** — observed event times never decrease.
+/// 2. **Conservation** — no request is lost or double-completed: the
+///    completion counter is monotone and always equals the number of
+///    requests whose state says "done"; completed + rejected never exceeds
+///    the trace size; at finish every request is accounted for.
+/// 3. **Progress sanity** — per-request `produced` never regresses and
+///    never exceeds the oracle target; one timestamp per token.
+/// 4. **Token monotonicity** — per-token timestamps are nondecreasing and
+///    never in the future.
+/// 5. **Memory accounting** — delegated to [`AuditView::memory_audit`]
+///    (slab/KV block books sum to capacity, no double ownership).
+/// 6. **Bandwidth conservation** — delegated to [`AuditView::link_audit`]
+///    (per-link started = delivered + in-flight; delivered never exceeds
+///    nominal capacity × busy time).
+#[derive(Debug, Default)]
+pub struct InvariantAuditor {
+    last_now: SimTime,
+    last_completed: u64,
+    /// Per-request high-water marks: (produced, token_times.len()).
+    progress: Vec<(u32, usize)>,
+    report: AuditReport,
+    /// Cap on recorded violations so a broken run cannot OOM the auditor.
+    max_violations: usize,
+}
+
+impl InvariantAuditor {
+    /// A fresh auditor.
+    pub fn new() -> Self {
+        InvariantAuditor {
+            max_violations: 64,
+            ..Default::default()
+        }
+    }
+
+    fn flag(&mut self, at: SimTime, what: String) {
+        if self.report.violations.len() < self.max_violations {
+            self.report.violations.push(Violation { at, what });
+        }
+    }
+
+    fn check(&mut self, now: SimTime, view: &dyn AuditView) {
+        self.report.events_checked += 1;
+        if now < self.last_now {
+            self.flag(
+                now,
+                format!(
+                    "causality: event at {:.6}s observed after {:.6}s",
+                    now.as_secs_f64(),
+                    self.last_now.as_secs_f64()
+                ),
+            );
+        }
+        self.last_now = self.last_now.max(now);
+
+        let n = view.request_count();
+        self.progress.resize(n, (0, 0));
+        let completed = view.completed_counter();
+        if completed < self.last_completed {
+            self.flag(
+                now,
+                format!(
+                    "conservation: completed counter regressed {} -> {}",
+                    self.last_completed, completed
+                ),
+            );
+        }
+        self.last_completed = self.last_completed.max(completed);
+        let rejected = view.rejected_counter();
+        if completed + rejected > n as u64 {
+            self.flag(
+                now,
+                format!(
+                    "conservation: completed {completed} + rejected {rejected} exceeds trace size {n}"
+                ),
+            );
+        }
+
+        let mut done_count = 0u64;
+        for i in 0..n {
+            let r = view.request(i);
+            if r.done {
+                done_count += 1;
+            }
+            let (seen_produced, seen_tokens) = self.progress[i];
+            if r.produced < seen_produced {
+                self.flag(
+                    now,
+                    format!(
+                        "progress: request {i} produced regressed {seen_produced} -> {}",
+                        r.produced
+                    ),
+                );
+            }
+            if r.produced > r.target {
+                self.flag(
+                    now,
+                    format!(
+                        "progress: request {i} produced {} beyond target {}",
+                        r.produced, r.target
+                    ),
+                );
+            }
+            if r.token_times.len() != r.produced as usize {
+                self.flag(
+                    now,
+                    format!(
+                        "progress: request {i} has {} token timestamps for {} produced tokens",
+                        r.token_times.len(),
+                        r.produced
+                    ),
+                );
+            }
+            // Only the newly appended timestamps need checking; the prefix
+            // was validated on earlier events.
+            let start = seen_tokens.saturating_sub(1).min(r.token_times.len());
+            for w in r.token_times[start..].windows(2) {
+                if w[1] < w[0] {
+                    self.flag(
+                        now,
+                        format!(
+                            "token order: request {i} timestamps go backwards ({:.6}s after {:.6}s)",
+                            w[1].as_secs_f64(),
+                            w[0].as_secs_f64()
+                        ),
+                    );
+                }
+            }
+            if let Some(&last) = r.token_times.last() {
+                if r.token_times.len() > seen_tokens && last > now {
+                    self.flag(
+                        now,
+                        format!(
+                            "token order: request {i} token stamped {:.6}s in the future of {:.6}s",
+                            last.as_secs_f64(),
+                            now.as_secs_f64()
+                        ),
+                    );
+                }
+            }
+            self.progress[i] = (
+                seen_produced.max(r.produced),
+                seen_tokens.max(r.token_times.len()),
+            );
+        }
+        if completed != done_count {
+            self.flag(
+                now,
+                format!(
+                    "conservation: completed counter {completed} disagrees with {done_count} done requests"
+                ),
+            );
+        }
+        if let Some(what) = view.memory_audit() {
+            self.flag(now, format!("memory: {what}"));
+        }
+        if let Some(what) = view.link_audit() {
+            self.flag(now, format!("bandwidth: {what}"));
+        }
+    }
+}
+
+impl Auditor for InvariantAuditor {
+    fn after_event(&mut self, now: SimTime, view: &dyn AuditView) {
+        self.check(now, view);
+    }
+
+    fn at_finish(&mut self, now: SimTime, view: &dyn AuditView) {
+        self.check(now, view);
+        // End-of-run conservation: every request completed or rejected.
+        let n = view.request_count() as u64;
+        let completed = view.completed_counter();
+        let rejected = view.rejected_counter();
+        if completed + rejected != n {
+            self.flag(
+                now,
+                format!(
+                    "conservation at finish: completed {completed} + rejected {rejected} != trace size {n}"
+                ),
+            );
+        }
+    }
+
+    fn take_report(&mut self) -> AuditReport {
+        std::mem::take(&mut self.report)
+    }
+}
+
+/// Standalone helper shared with the unified schedulers: checks one
+/// request's token timestamps are nondecreasing. Returns `Some(description)`
+/// on the first violation.
+pub fn check_token_order(req_idx: usize, token_times: &[SimTime]) -> Option<String> {
+    for w in token_times.windows(2) {
+        if w[1] < w[0] {
+            return Some(format!(
+                "request {req_idx}: token at {:.6}s precedes token at {:.6}s",
+                w[1].as_secs_f64(),
+                w[0].as_secs_f64()
+            ));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-rolled view for exercising the auditor without a full system.
+    struct FakeView {
+        completed: u64,
+        rejected: u64,
+        reqs: Vec<(u32, u32, bool, Vec<SimTime>)>,
+        mem: Option<String>,
+        link: Option<String>,
+    }
+
+    impl AuditView for FakeView {
+        fn completed_counter(&self) -> u64 {
+            self.completed
+        }
+        fn rejected_counter(&self) -> u64 {
+            self.rejected
+        }
+        fn request_count(&self) -> usize {
+            self.reqs.len()
+        }
+        fn request(&self, i: usize) -> ReqAudit<'_> {
+            let (produced, target, done, times) = &self.reqs[i];
+            ReqAudit {
+                produced: *produced,
+                target: *target,
+                done: *done,
+                token_times: times,
+            }
+        }
+        fn memory_audit(&self) -> Option<String> {
+            self.mem.clone()
+        }
+        fn link_audit(&self) -> Option<String> {
+            self.link.clone()
+        }
+    }
+
+    fn clean_view() -> FakeView {
+        FakeView {
+            completed: 1,
+            rejected: 0,
+            reqs: vec![
+                (
+                    2,
+                    2,
+                    true,
+                    vec![SimTime::from_secs_f64(1.0), SimTime::from_secs_f64(2.0)],
+                ),
+                (1, 3, false, vec![SimTime::from_secs_f64(1.5)]),
+            ],
+            mem: None,
+            link: None,
+        }
+    }
+
+    #[test]
+    fn clean_run_passes() {
+        let mut a = InvariantAuditor::new();
+        let v = clean_view();
+        a.after_event(SimTime::from_secs_f64(2.0), &v);
+        a.after_event(SimTime::from_secs_f64(3.0), &v);
+        let mut done = clean_view();
+        done.completed = 2;
+        done.reqs[1] = (
+            3,
+            3,
+            true,
+            vec![
+                SimTime::from_secs_f64(1.5),
+                SimTime::from_secs_f64(3.5),
+                SimTime::from_secs_f64(4.0),
+            ],
+        );
+        a.at_finish(SimTime::from_secs_f64(4.0), &done);
+        let report = a.take_report();
+        assert!(report.ok(), "{report}");
+        assert_eq!(report.events_checked, 3);
+    }
+
+    #[test]
+    fn detects_time_regression() {
+        let mut a = InvariantAuditor::new();
+        let v = clean_view();
+        a.after_event(SimTime::from_secs_f64(5.0), &v);
+        a.after_event(SimTime::from_secs_f64(4.0), &v);
+        let report = a.take_report();
+        assert!(!report.ok());
+        assert!(report.violations[0].what.contains("causality"), "{report}");
+    }
+
+    #[test]
+    fn detects_lost_and_double_completed_requests() {
+        let mut a = InvariantAuditor::new();
+        let mut v = clean_view();
+        v.completed = 2; // claims two done, state says one
+        a.after_event(SimTime::from_secs_f64(3.0), &v);
+        assert!(!a.take_report().ok());
+
+        let mut a = InvariantAuditor::new();
+        let mut fin = clean_view();
+        fin.reqs[1].2 = false; // never completes
+        a.at_finish(SimTime::from_secs_f64(9.0), &fin);
+        let report = a.take_report();
+        assert!(
+            report.violations.iter().any(|v| v.what.contains("at finish")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn detects_produced_regression_and_token_disorder() {
+        let mut a = InvariantAuditor::new();
+        let v = clean_view();
+        a.after_event(SimTime::from_secs_f64(2.0), &v);
+        let mut worse = clean_view();
+        worse.reqs[0].0 = 1; // produced went backwards
+        worse.reqs[0].3.pop();
+        a.after_event(SimTime::from_secs_f64(2.5), &worse);
+        let report = a.take_report();
+        assert!(report.violations.iter().any(|v| v.what.contains("regressed")));
+
+        let mut a = InvariantAuditor::new();
+        let mut bad = clean_view();
+        bad.reqs[0].3 = vec![SimTime::from_secs_f64(2.0), SimTime::from_secs_f64(1.0)];
+        a.after_event(SimTime::from_secs_f64(3.0), &bad);
+        let report = a.take_report();
+        assert!(
+            report.violations.iter().any(|v| v.what.contains("token order")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn surfaces_memory_and_link_violations() {
+        let mut a = InvariantAuditor::new();
+        let mut v = clean_view();
+        v.mem = Some("slab 3 double-assigned".into());
+        v.link = Some("link pcie0 over capacity".into());
+        a.after_event(SimTime::from_secs_f64(3.0), &v);
+        let report = a.take_report();
+        assert_eq!(report.violations.len(), 2);
+        assert!(report.violations[0].what.starts_with("memory:"));
+        assert!(report.violations[1].what.starts_with("bandwidth:"));
+    }
+
+    #[test]
+    fn violation_count_is_capped() {
+        let mut a = InvariantAuditor::new();
+        let mut v = clean_view();
+        v.mem = Some("boom".into());
+        for i in 0..1000 {
+            a.after_event(SimTime::from_secs_f64(i as f64), &v);
+        }
+        let report = a.take_report();
+        assert_eq!(report.violations.len(), 64);
+        assert_eq!(report.events_checked, 1000);
+    }
+
+    #[test]
+    fn check_token_order_helper() {
+        assert!(check_token_order(0, &[]).is_none());
+        assert!(check_token_order(
+            0,
+            &[SimTime::from_secs_f64(1.0), SimTime::from_secs_f64(1.0)]
+        )
+        .is_none());
+        assert!(check_token_order(
+            7,
+            &[SimTime::from_secs_f64(2.0), SimTime::from_secs_f64(1.0)]
+        )
+        .unwrap()
+        .contains("request 7"));
+    }
+}

@@ -68,12 +68,17 @@ pub struct AegaeonConfig {
     /// is free and the spare slot doubles as the prefetch target; VRAM for
     /// KV shrinks accordingly. Falls back to 1 when models do not fit.
     pub weight_slots: u32,
-    /// Injected instance failures: `(time_secs, kind, index)` — the Fig. 5
-    /// fault-tolerance path (proxy status sync + request recovery).
-    pub failures: Vec<(f64, crate::events::InstKind, u32)>,
+    /// Seeded fault composition (chaos engine): instance crashes (the Fig. 5
+    /// fault-tolerance path), transient link degradation, staging-buffer
+    /// OOM, and proxy stalls. [`crate::chaos::FaultPlan::none`] disables all
+    /// fault injection.
+    pub faults: crate::chaos::FaultPlan,
     /// Delay before the proxy's status sync notices a dead instance and
     /// recovers its requests (heartbeat period).
     pub failover_latency: SimDur,
+    /// Run the always-on invariant auditor alongside the dispatch loop.
+    /// Purely observational: results are bit-identical either way.
+    pub audit: bool,
 }
 
 impl AegaeonConfig {
@@ -106,8 +111,9 @@ impl AegaeonConfig {
             expected_output_tokens: 256,
             kv_residency: false,
             weight_slots: 1,
-            failures: Vec::new(),
+            faults: crate::chaos::FaultPlan::none(),
             failover_latency: SimDur::from_secs(2),
+            audit: false,
         }
     }
 

@@ -113,9 +113,23 @@ pub enum Ev {
     Daemon,
     /// Periodic statistics sample.
     Sample,
-    /// An injected instance failure (index into the failure schedule).
+    /// An injected instance failure (index into the materialized fault
+    /// schedule).
     Fail(u32),
     /// The proxy's status sync has detected failure `idx` (one heartbeat
     /// period later) and recovers the stranded requests.
     Failover(u32),
+    /// A windowed fault (link degradation, staging-buffer OOM, proxy stall)
+    /// activates (index into the materialized fault schedule).
+    FaultStart(u32),
+    /// The windowed fault `idx` clears.
+    FaultEnd(u32),
+    /// A stall-deferred arrival retries dispatch (attempt count drives the
+    /// proxy's exponential backoff).
+    Retry {
+        /// Request index in the trace.
+        req: u32,
+        /// Retry attempt, starting at 1.
+        attempt: u32,
+    },
 }

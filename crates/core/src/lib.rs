@@ -38,6 +38,8 @@
 //! assert!(report.ratio() > 0.5);
 //! ```
 
+pub mod audit;
+pub mod chaos;
 pub mod config;
 pub mod decode;
 pub mod deploy;
@@ -51,6 +53,8 @@ pub mod result;
 pub mod system;
 pub mod unified;
 
+pub use audit::{AuditReport, AuditView, Auditor, InvariantAuditor, ReqAudit, Violation};
+pub use chaos::{FaultEvent, FaultKind, FaultPlan};
 pub use config::AegaeonConfig;
 pub use quota::{decode_quotas, QuotaInputs};
 pub use result::RunResult;

@@ -33,6 +33,8 @@ pub struct MetaStore {
     status: FxHashMap<InstRef, InstanceStatus>,
     reads: u64,
     writes: u64,
+    /// End of the current metadata-path stall window (chaos injection).
+    stall_until: SimTime,
 }
 
 impl MetaStore {
@@ -45,6 +47,7 @@ impl MetaStore {
             status: FxHashMap::default(),
             reads: 0,
             writes: 0,
+            stall_until: SimTime::ZERO,
         }
     }
 
@@ -105,6 +108,26 @@ impl MetaStore {
         }
         self.reads += 1;
         self.status.get(&inst).map(|s| s.load)
+    }
+
+    /// Opens (or extends) a stall window on the metadata path until
+    /// `until`: dispatches arriving inside the window must retry with
+    /// backoff instead of reading stale state.
+    pub fn begin_stall(&mut self, until: SimTime) {
+        self.stall_until = self.stall_until.max(until);
+    }
+
+    /// True while the metadata path is stalled at `now`.
+    pub fn stalled(&self, now: SimTime) -> bool {
+        now < self.stall_until
+    }
+
+    /// Retry backoff for a dispatch that found the store stalled:
+    /// exponential in the attempt number, starting from one RPC latency and
+    /// capped at 1024 RPCs (~0.5 s at the default 500 µs) so a long stall
+    /// cannot push retries past the drain window.
+    pub fn retry_backoff(&self, attempt: u32) -> SimDur {
+        self.rpc_latency * (1u64 << attempt.min(10))
     }
 
     /// `(reads, writes)` access counters (Figure 14's control-plane cost).
@@ -187,5 +210,29 @@ mod tests {
     fn unknown_instances_are_assumed_booting() {
         let mut m = store();
         assert!(!m.presumed_dead(InstRef::decode(9), secs(100.0)));
+    }
+
+    #[test]
+    fn stall_window_extends_but_never_shrinks() {
+        let mut m = store();
+        assert!(!m.stalled(secs(0.0)));
+        m.begin_stall(secs(5.0));
+        assert!(m.stalled(secs(4.9)));
+        assert!(!m.stalled(secs(5.0)), "window end is exclusive");
+        m.begin_stall(secs(3.0)); // shorter overlapping stall: no-op
+        assert!(m.stalled(secs(4.9)));
+        m.begin_stall(secs(8.0));
+        assert!(m.stalled(secs(7.9)));
+    }
+
+    #[test]
+    fn retry_backoff_is_exponential_and_capped() {
+        let m = store();
+        let rpc = m.rpc_latency().as_secs_f64();
+        assert_eq!(m.retry_backoff(1).as_secs_f64(), rpc * 2.0);
+        assert_eq!(m.retry_backoff(3).as_secs_f64(), rpc * 8.0);
+        let capped = m.retry_backoff(10);
+        assert_eq!(m.retry_backoff(40), capped, "backoff must be capped");
+        assert!(capped.as_secs_f64() < 1.0);
     }
 }

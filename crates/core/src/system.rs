@@ -14,7 +14,7 @@ use std::collections::VecDeque;
 use aegaeon_engine::{scale_up_plan, KvCache, KvCacheConfig, ScaleCost};
 use aegaeon_engine::init::PIPELINED_LOAD_EFFICIENCY;
 use aegaeon_gpu::{
-    ClusterTopology, Completion, EventId, Fabric, GpuId, StreamOp,
+    ClusterTopology, Completion, EventId, Fabric, GpuId, LinkId, StreamOp,
 };
 use aegaeon_mem::{BlockRef, BumpBuffer, FragSampler, ModelCache, MoveList, ShapeKey};
 use aegaeon_metrics::{RequestOutcome, Stage};
@@ -24,6 +24,8 @@ use aegaeon_sim::{
 };
 use aegaeon_workload::{RequestId, Trace};
 
+use crate::audit::{AuditReport, AuditView, Auditor, InvariantAuditor, ReqAudit};
+use crate::chaos::{FaultEvent, FaultKind};
 use crate::config::AegaeonConfig;
 use crate::decode::{dispatch_decode, BatchId, WorkList};
 use crate::deploy::{build_deploys, ModelDeploy};
@@ -145,6 +147,14 @@ pub struct ServingSystem {
     weight_slots: u32,
     instant_switches: u64,
     meta: MetaStore,
+    /// Materialized fault schedule (chaos engine), sorted by time.
+    faults: Vec<FaultEvent>,
+    /// Nesting depth of active degradation windows per fabric link.
+    link_degrade_depth: Vec<u32>,
+    /// Nesting depth of active staging-OOM windows per node.
+    stage_oom_depth: Vec<u32>,
+    /// Invariant auditor (observer only; `None` = zero-cost disabled path).
+    auditor: Option<Box<dyn Auditor>>,
     // Metrics.
     breakdown: aegaeon_metrics::BreakdownAcc,
     scale_latencies: Vec<f64>,
@@ -170,8 +180,42 @@ impl ServingSystem {
     /// Panics if the configuration is inconsistent (e.g. a model's TP shard
     /// does not fit in VRAM).
     pub fn run(cfg: &AegaeonConfig, models: &[aegaeon_model::ModelSpec], trace: &Trace) -> RunResult {
+        if cfg.audit {
+            let (result, report) = Self::run_audited(cfg, models, trace);
+            assert!(
+                report.ok(),
+                "invariant violation (reproduce with seed={} plan=\"{}\"):\n{report}",
+                cfg.seed,
+                cfg.faults,
+            );
+            result
+        } else {
+            Self::run_inner(cfg, models, trace, None).0
+        }
+    }
+
+    /// Runs with the standard invariant auditor installed and returns the
+    /// audit report alongside the results. The auditor is an observer: the
+    /// [`RunResult`] is bit-identical to an unaudited run.
+    pub fn run_audited(
+        cfg: &AegaeonConfig,
+        models: &[aegaeon_model::ModelSpec],
+        trace: &Trace,
+    ) -> (RunResult, AuditReport) {
+        let auditor: Box<dyn Auditor> = Box::new(InvariantAuditor::new());
+        let (result, report) = Self::run_inner(cfg, models, trace, Some(auditor));
+        (result, report.expect("auditor was installed"))
+    }
+
+    fn run_inner(
+        cfg: &AegaeonConfig,
+        models: &[aegaeon_model::ModelSpec],
+        trace: &Trace,
+        auditor: Option<Box<dyn Auditor>>,
+    ) -> (RunResult, Option<AuditReport>) {
         let mut q: Q = EventQueue::new();
         let mut sys = ServingSystem::new(cfg.clone(), models, trace.clone());
+        sys.auditor = auditor;
         sys.start(&mut q);
         let cap: u64 = 400_000_000;
         while let Some((t, ev)) = q.pop() {
@@ -179,8 +223,18 @@ impl ServingSystem {
                 break;
             }
             sys.handle(ev, &mut q);
+            // Take/put-back keeps the borrow checker happy: the auditor
+            // reads `sys` through the `AuditView` facade.
+            if let Some(mut a) = sys.auditor.take() {
+                a.after_event(q.now(), &sys);
+                sys.auditor = Some(a);
+            }
         }
-        sys.finish(&q)
+        let report = sys.auditor.take().map(|mut a| {
+            a.at_finish(q.now(), &sys);
+            a.take_report()
+        });
+        (sys.finish(&q), report)
     }
 
     fn new(cfg: AegaeonConfig, models: &[aegaeon_model::ModelSpec], trace: Trace) -> ServingSystem {
@@ -311,6 +365,16 @@ impl ServingSystem {
             TraceLog::disabled()
         };
         let meta = MetaStore::new(cfg.proxy_latency, cfg.failover_latency / 2);
+        let faults = cfg.faults.materialize(
+            cfg.seed,
+            hard_stop.as_secs_f64(),
+            cfg.prefill_instances as u32,
+            (n_inst - cfg.prefill_instances) as u32,
+            fabric.link_count() as u32,
+            topo.node_count() as u32,
+        );
+        let link_degrade_depth = vec![0; fabric.link_count()];
+        let stage_oom_depth = vec![0; topo.node_count()];
         ServingSystem {
             cfg,
             fabric,
@@ -329,6 +393,10 @@ impl ServingSystem {
             weight_slots,
             instant_switches: 0,
             meta,
+            faults,
+            link_degrade_depth,
+            stage_oom_depth,
+            auditor: None,
             breakdown: aegaeon_metrics::BreakdownAcc::new(),
             scale_latencies: Vec::new(),
             frag: FragSampler::new(),
@@ -348,8 +416,13 @@ impl ServingSystem {
         for (i, r) in self.trace.requests.iter().enumerate() {
             q.schedule_at(r.arrival(), Ev::Arrive(i as u32));
         }
-        for (i, (secs, _, _)) in self.cfg.failures.clone().iter().enumerate() {
-            q.schedule_at(SimTime::from_secs_f64(*secs), Ev::Fail(i as u32));
+        for i in 0..self.faults.len() {
+            let f = self.faults[i];
+            let ev = match f.kind {
+                FaultKind::Crash { .. } => Ev::Fail(i as u32),
+                _ => Ev::FaultStart(i as u32),
+            };
+            q.schedule_at(SimTime::from_secs_f64(f.at), ev);
         }
         self.ensure_ticks(q);
     }
@@ -374,8 +447,29 @@ impl ServingSystem {
             }
             Ev::Arrive(idx) => {
                 self.arrivals_left -= 1;
-                q.schedule_after(self.cfg.proxy_latency, Ev::DispatchPrefill { idx });
+                if self.meta.stalled(q.now()) {
+                    // Proxy metadata path is stalled: retry with backoff
+                    // instead of dispatching against stale state.
+                    let wait = self.meta.retry_backoff(1);
+                    q.schedule_after(wait, Ev::Retry { req: idx, attempt: 1 });
+                } else {
+                    q.schedule_after(self.cfg.proxy_latency, Ev::DispatchPrefill { idx });
+                }
                 self.ensure_ticks(q);
+            }
+            Ev::Retry { req, attempt } => {
+                if self.meta.stalled(q.now()) {
+                    let wait = self.meta.retry_backoff(attempt + 1);
+                    q.schedule_after(
+                        wait,
+                        Ev::Retry {
+                            req,
+                            attempt: attempt + 1,
+                        },
+                    );
+                } else {
+                    q.schedule_after(self.cfg.proxy_latency, Ev::DispatchPrefill { idx: req });
+                }
             }
             Ev::DispatchPrefill { idx } => self.dispatch_prefill_req(idx as usize, q),
             Ev::Daemon => {
@@ -396,6 +490,8 @@ impl ServingSystem {
             }
             Ev::Fail(i) => self.on_fail(i as usize, q),
             Ev::Failover(i) => self.on_failover(i as usize, q),
+            Ev::FaultStart(i) => self.on_fault_start(i as usize, q),
+            Ev::FaultEnd(i) => self.on_fault_end(i as usize, q),
         }
         self.drain(q);
     }
@@ -467,7 +563,15 @@ impl ServingSystem {
     /// An instance process dies: it stops serving instantly; the proxy
     /// learns about it one heartbeat later (`Ev::Failover`).
     fn on_fail(&mut self, i: usize, q: &mut Q) {
-        let (_, kind, idx) = self.cfg.failures[i];
+        let FaultKind::Crash { kind, idx } = self.faults[i].kind else {
+            unreachable!("Ev::Fail scheduled for a non-crash fault");
+        };
+        // A crash of an already-dead instance (back-to-back failures) is a
+        // no-op: there is no process left to kill, and re-running failover
+        // would double-recover the stranded requests.
+        if self.inst_dead(InstRef { kind, idx }) {
+            return;
+        }
         match kind {
             InstKind::Prefill => self.prefills[idx as usize].dead = true,
             InstKind::Decode => self.decodes[idx as usize].dead = true,
@@ -483,7 +587,9 @@ impl ServingSystem {
     /// re-dispatched to another decoding instance; requests whose GPU-side
     /// state was lost are re-prefilled from their full context.
     fn on_failover(&mut self, i: usize, q: &mut Q) {
-        let (_, kind, idx) = self.cfg.failures[i];
+        let FaultKind::Crash { kind, idx } = self.faults[i].kind else {
+            unreachable!("Ev::Failover scheduled for a non-crash fault");
+        };
         let mut stranded: Vec<RequestId> = Vec::new();
         match kind {
             InstKind::Prefill => {
@@ -524,6 +630,52 @@ impl ServingSystem {
                     rs.phase = Phase::Prefill;
                     self.route_prefill(req, q);
                 }
+            }
+        }
+    }
+
+    // ----- Windowed chaos faults ----------------------------------------
+
+    /// A windowed fault activates: link degradation and staging OOM count
+    /// nesting depth (overlapping windows extend, not double-apply); proxy
+    /// stalls are handed to the metadata store, whose window self-expires.
+    fn on_fault_start(&mut self, i: usize, q: &mut Q) {
+        let f = self.faults[i];
+        let until = SimTime::from_secs_f64(f.until);
+        match f.kind {
+            FaultKind::Crash { .. } => unreachable!("crashes route through Ev::Fail"),
+            FaultKind::LinkDegrade { link, factor } => {
+                let l = link as usize;
+                self.link_degrade_depth[l] += 1;
+                if self.link_degrade_depth[l] == 1 {
+                    self.fabric
+                        .degrade_link(LinkId(link), factor, &mut Lift::new(q, Ev::Fabric));
+                }
+                q.schedule_at(until, Ev::FaultEnd(i as u32));
+            }
+            FaultKind::StageOom { node } => {
+                self.stage_oom_depth[node as usize] += 1;
+                q.schedule_at(until, Ev::FaultEnd(i as u32));
+            }
+            FaultKind::ProxyStall => self.meta.begin_stall(until),
+        }
+    }
+
+    /// A windowed fault clears; the resource recovers once the last
+    /// overlapping window ends.
+    fn on_fault_end(&mut self, i: usize, q: &mut Q) {
+        match self.faults[i].kind {
+            FaultKind::LinkDegrade { link, .. } => {
+                let l = link as usize;
+                self.link_degrade_depth[l] -= 1;
+                if self.link_degrade_depth[l] == 0 {
+                    self.fabric
+                        .restore_link(LinkId(link), &mut Lift::new(q, Ev::Fabric));
+                }
+            }
+            FaultKind::StageOom { node } => self.stage_oom_depth[node as usize] -= 1,
+            FaultKind::Crash { .. } | FaultKind::ProxyStall => {
+                unreachable!("no FaultEnd is scheduled for this kind")
             }
         }
     }
@@ -1384,11 +1536,21 @@ impl ServingSystem {
                 let tag = Tag::ScaleStage { at, seq };
                 let op = match st.cost {
                     ScaleCost::Fixed(d) => StreamOp::Compute { dur: d, tag },
-                    ScaleCost::HostLoad { bytes, efficiency } => StreamOp::Copy {
-                        link: h.h2d,
-                        bytes: (bytes as f64 / efficiency) as u64,
-                        tag,
-                    },
+                    ScaleCost::HostLoad { bytes, efficiency } => {
+                        // Chaos injection: while the node's pinned stage
+                        // buffer is exhausted, the load falls back to
+                        // pageable DMA at a fraction of the pipelined rate.
+                        let eff = if self.stage_oom_depth[self.inst_node(at) as usize] > 0 {
+                            efficiency * aegaeon_mem::UNPINNED_FALLBACK_EFFICIENCY
+                        } else {
+                            efficiency
+                        };
+                        StreamOp::Copy {
+                            link: h.h2d,
+                            bytes: (bytes as f64 / eff) as u64,
+                            tag,
+                        }
+                    }
                     ScaleCost::DeviceCopy { bytes } => StreamOp::Compute {
                         dur: SimDur::from_secs_f64(
                             bytes as f64 / h.spec.device_copy_bw(),
@@ -1739,6 +1901,66 @@ impl ServingSystem {
     }
 }
 
+/// Read-only audit facade: exposes request progress, the KV/slab books of
+/// every instance and node (including blocks parked in §5.3 move lists),
+/// and per-link bandwidth conservation.
+impl AuditView for ServingSystem {
+    fn completed_counter(&self) -> u64 {
+        self.completed as u64
+    }
+
+    fn request_count(&self) -> usize {
+        self.reqs.len()
+    }
+
+    fn request(&self, i: usize) -> ReqAudit<'_> {
+        let r = &self.reqs[i];
+        ReqAudit {
+            produced: r.produced,
+            target: r.target_tokens,
+            done: r.is_done(),
+            token_times: &r.token_times,
+        }
+    }
+
+    fn memory_audit(&self) -> Option<String> {
+        fn parked_by_shape(ml: &ParkedBlocks) -> std::collections::HashMap<ShapeKey, u64> {
+            let mut m = std::collections::HashMap::new();
+            for (_, batches) in ml.iter() {
+                for (shape, blocks) in batches {
+                    *m.entry(*shape).or_insert(0) += blocks.len() as u64;
+                }
+            }
+            m
+        }
+        for (i, p) in self.prefills.iter().enumerate() {
+            if let Some(e) = p.gpu_kv.audit(&parked_by_shape(&p.parked)) {
+                return Some(format!("prefill {i} gpu kv: {e}"));
+            }
+        }
+        for (i, d) in self.decodes.iter().enumerate() {
+            if let Some(e) = d.gpu_kv.audit(&parked_by_shape(&d.parked)) {
+                return Some(format!("decode {i} gpu kv: {e}"));
+            }
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let Some(e) = n.cpu_kv.audit(&parked_by_shape(&n.cpu_parked)) {
+                return Some(format!("node {i} cpu kv: {e}"));
+            }
+        }
+        None
+    }
+
+    fn link_audit(&self) -> Option<String> {
+        for l in 0..self.fabric.link_count() {
+            if let Some(e) = self.fabric.link(LinkId(l as u32)).audit() {
+                return Some(e);
+            }
+        }
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1808,6 +2030,43 @@ mod tests {
         let a3 = r3.attainment(SloSpec::paper_default()).ratio();
         let a0 = r0.attainment(SloSpec::paper_default()).ratio();
         assert!(a3 > a0 + 0.1, "T3 {a3} vs T0 {a0}");
+    }
+
+    #[test]
+    fn audited_run_is_clean_and_identical() {
+        let cfg = AegaeonConfig::small_testbed(2, 2);
+        let trace = small_trace(4, 0.06, 90.0, 6);
+        let plain = ServingSystem::run(&cfg, &models(4), &trace);
+        let (audited, report) = ServingSystem::run_audited(&cfg, &models(4), &trace);
+        assert!(report.ok(), "{report}");
+        assert!(report.events_checked > 0);
+        assert_eq!(plain.events, audited.events, "auditor must not perturb");
+        assert_eq!(plain.completed, audited.completed);
+    }
+
+    #[test]
+    fn audited_run_with_faults_stays_clean() {
+        let mut cfg = AegaeonConfig::small_testbed(2, 3);
+        cfg.drain_window = SimDur::from_secs(400);
+        cfg.faults = crate::chaos::FaultPlan {
+            seed: 5,
+            crashes: vec![(30.0, InstKind::Decode, 0)],
+            link_rate: 0.05,
+            link_factor: 0.3,
+            link_secs: 4.0,
+            stage_oom_rate: 0.03,
+            stage_oom_secs: 5.0,
+            stall_rate: 0.02,
+            stall_secs: 1.0,
+            ..crate::chaos::FaultPlan::none()
+        };
+        let trace = small_trace(4, 0.05, 90.0, 7);
+        let (r, report) = ServingSystem::run_audited(&cfg, &models(4), &trace);
+        assert!(report.ok(), "{report}");
+        assert_eq!(
+            r.completed, r.total_requests,
+            "chaos must not lose requests"
+        );
     }
 
     #[test]

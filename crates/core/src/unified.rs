@@ -136,12 +136,19 @@ pub fn run_unified(policy: UnifiedPolicy, cfg: &MicroCfg, reqs: &[MicroReq]) -> 
                     .expect("finite")
             })
             .map(|(i, _)| i);
+        // A request only becomes decodable once its previous token has
+        // actually materialized; `prefilled` is set when the prefill job is
+        // *scheduled*, which can be ahead of a lagging decode GPU's clock.
+        let token_ready = |r: &ReqRun| r.times.last().is_none_or(|&t| t <= now + 1e-12);
         // Decodable on this GPU: prefilled here, not finished.
         let decodable: Vec<usize> = runs
             .iter()
             .enumerate()
             .filter(|(_, r)| {
-                r.prefilled && r.produced < r.spec.output_tokens && r.gpu == Some(g)
+                r.prefilled
+                    && r.produced < r.spec.output_tokens
+                    && r.gpu == Some(g)
+                    && token_ready(r)
             })
             .map(|(i, _)| i)
             .collect();
@@ -154,6 +161,7 @@ pub fn run_unified(policy: UnifiedPolicy, cfg: &MicroCfg, reqs: &[MicroReq]) -> 
                     r.prefilled
                         && r.produced < r.spec.output_tokens
                         && r.gpu.is_some_and(|og| og < prefill_only)
+                        && token_ready(r)
                 })
                 .map(|(i, _)| i)
                 .collect()
@@ -336,6 +344,14 @@ pub fn run_unified(policy: UnifiedPolicy, cfg: &MicroCfg, reqs: &[MicroReq]) -> 
             }
         }
         ttft.push(r.times.first().map(|t| t - r.spec.arrival).unwrap_or(f64::INFINITY));
+    }
+    // The microbenchmark bypasses the event-driven audit hook, so enforce
+    // the auditor's token-order invariant inline before reporting.
+    for (i, r) in runs.iter().enumerate() {
+        let times: Vec<SimTime> = r.times.iter().map(|&t| SimTime::from_secs_f64(t)).collect();
+        if let Some(err) = crate::audit::check_token_order(i, &times) {
+            panic!("unified {policy:?} scheduler violated token order: {err}");
+        }
     }
     let makespan = runs
         .iter()

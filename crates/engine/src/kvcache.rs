@@ -203,6 +203,50 @@ impl KvCache {
     pub fn bytes_per_token(&self, model: ModelId) -> u64 {
         self.models.get(&model).expect("model registered").1
     }
+
+    /// Checks the cache's bookkeeping against the underlying slab pool;
+    /// returns the first inconsistency, or `None` when the books balance.
+    ///
+    /// Beyond the pool's own [`SlabPool::audit`], verifies that per-request
+    /// block holdings are duplicate-free and — together with any blocks the
+    /// caller has [`Self::take`]n out into move lists (`parked` per shape) —
+    /// sum to the pool's used-block counts.
+    pub fn audit(&self, parked: &HashMap<ShapeKey, u64>) -> Option<String> {
+        if let Some(err) = self.pool.audit() {
+            return Some(err);
+        }
+        let mut held: HashMap<ShapeKey, u64> = HashMap::new();
+        let mut seen: std::collections::HashSet<BlockRef> = std::collections::HashSet::new();
+        for (req, r) in &self.requests {
+            for b in &r.blocks {
+                if !seen.insert(*b) {
+                    return Some(format!("block {b:?} held by two requests (one: {req:?})"));
+                }
+            }
+            *held.entry(r.shape).or_insert(0) += r.blocks.len() as u64;
+        }
+        for (&shape, &n) in parked {
+            *held.entry(shape).or_insert(0) += n;
+        }
+        for (&shape, &n) in &held {
+            let used = self.pool.used_blocks(shape);
+            if n != used {
+                return Some(format!(
+                    "shape {shape:?}: requests+parked hold {n} blocks but pool says {used} used"
+                ));
+            }
+        }
+        // Shapes with pool usage but no holder at all.
+        for &shape in self.by_block_bytes.values() {
+            if !held.contains_key(&shape) && self.pool.used_blocks(shape) != 0 {
+                return Some(format!(
+                    "shape {shape:?}: pool reports {} used blocks but nothing holds them",
+                    self.pool.used_blocks(shape)
+                ));
+            }
+        }
+        None
+    }
 }
 
 #[cfg(test)]

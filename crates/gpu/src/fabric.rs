@@ -417,6 +417,42 @@ impl<T: Clone> Fabric<T> {
     pub fn stream_count(&self) -> usize {
         self.streams.len()
     }
+
+    /// Number of links (ids are dense: `LinkId(0)..LinkId(n)`).
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Cuts a link's bandwidth to `factor` of its nominal rate (fault
+    /// injection: transient congestion or a flapping interconnect).
+    ///
+    /// In-flight flows are settled at the old rate up to `now` and any live
+    /// completion timer is reissued at the degraded rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < factor <= 1`.
+    pub fn degrade_link(
+        &mut self,
+        link: LinkId,
+        factor: f64,
+        tl: &mut impl Timeline<FabricEvent>,
+    ) {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "degradation factor must be in (0, 1]"
+        );
+        let l = &mut self.links[link.0 as usize];
+        l.set_bandwidth(tl.now(), l.nominal_bandwidth() * factor);
+        self.refresh_link(link.0, tl);
+    }
+
+    /// Restores a degraded link to full nominal bandwidth and reissues its
+    /// completion timer.
+    pub fn restore_link(&mut self, link: LinkId, tl: &mut impl Timeline<FabricEvent>) {
+        self.links[link.0 as usize].restore_bandwidth(tl.now());
+        self.refresh_link(link.0, tl);
+    }
 }
 
 #[cfg(test)]
@@ -577,6 +613,60 @@ mod tests {
         run(&mut f, &mut q);
         assert_eq!(f.stream_compute_busy(s).as_secs_f64(), 2.0);
         assert!((f.stream_copy_busy(s).as_secs_f64() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degraded_link_slows_copy_until_restored() {
+        // A 1 GB copy on a 1 GB/s link, degraded to 25% mid-flight.
+        let mut f: Fabric<&'static str> = Fabric::new();
+        let mut q = Q::new();
+        let l = f.add_link("pcie", 1e9);
+        let s = f.add_stream("s");
+        f.submit(s, StreamOp::Copy { link: l, bytes: 1_000_000_000, tag: "x" }, &mut q);
+        // 0.5 GB moves by t=0.5; degrade there. schedule_at clamps to now(),
+        // so drive time forward by degrading inside the event loop.
+        q.schedule_at(SimTime::from_secs_f64(0.5), FabricEvent::LinkTimer { link: 9999, gen: 0 });
+        let mut out = Vec::new();
+        while let Some((t, ev)) = q.pop() {
+            if let FabricEvent::LinkTimer { link: 9999, .. } = ev {
+                f.degrade_link(l, 0.25, &mut q);
+                continue;
+            }
+            for c in f.advance(ev, &mut q) {
+                out.push((t, c));
+            }
+        }
+        // Remaining 0.5 GB at 0.25 GB/s -> finishes at 0.5 + 2.0 = 2.5 s.
+        let done = ops_only(&out);
+        assert_eq!(done.len(), 1);
+        assert!((done[0].0 - 2.5).abs() < 1e-6, "t={}", done[0].0);
+        assert!(f.link(l).audit().is_none());
+
+        // And degradation followed by restore.
+        let mut f: Fabric<&'static str> = Fabric::new();
+        let mut q = Q::new();
+        let l = f.add_link("pcie", 1e9);
+        let s = f.add_stream("s");
+        f.submit(s, StreamOp::Copy { link: l, bytes: 1_000_000_000, tag: "x" }, &mut q);
+        q.schedule_at(SimTime::from_secs_f64(0.5), FabricEvent::LinkTimer { link: 9998, gen: 0 });
+        q.schedule_at(SimTime::from_secs_f64(1.5), FabricEvent::LinkTimer { link: 9997, gen: 0 });
+        let mut out = Vec::new();
+        while let Some((t, ev)) = q.pop() {
+            match ev {
+                FabricEvent::LinkTimer { link: 9998, .. } => f.degrade_link(l, 0.25, &mut q),
+                FabricEvent::LinkTimer { link: 9997, .. } => f.restore_link(l, &mut q),
+                _ => {
+                    for c in f.advance(ev, &mut q) {
+                        out.push((t, c));
+                    }
+                }
+            }
+        }
+        // 0.5 GB by 0.5 s, 0.25 GB during the 1 s degraded window, and the
+        // final 0.25 GB at full rate -> completes at 1.75 s.
+        let done = ops_only(&out);
+        assert_eq!(done.len(), 1);
+        assert!((done[0].0 - 1.75).abs() < 1e-6, "t={}", done[0].0);
     }
 
     #[test]

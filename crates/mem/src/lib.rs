@@ -35,4 +35,6 @@ pub use frag::FragSampler;
 pub use model_cache::ModelCache;
 pub use movelist::MoveList;
 pub use slab::{BlockRef, ShapeKey, SlabPool, SlabPoolConfig};
-pub use stage::{pipelined_copy_time, StageBufferSpec};
+pub use stage::{
+    pipelined_copy_time, unpinned_copy_time, StageBufferSpec, UNPINNED_FALLBACK_EFFICIENCY,
+};

@@ -64,6 +64,12 @@ impl<B, H> MoveList<B, H> {
         out
     }
 
+    /// Iterates the parked entries (event handle plus its blocks), for
+    /// external accounting such as the invariant auditor.
+    pub fn iter(&self) -> impl Iterator<Item = (&H, &[B])> {
+        self.entries.iter().map(|(h, b)| (h, b.as_slice()))
+    }
+
     /// Number of blocks currently parked (unavailable for allocation).
     pub fn parked(&self) -> usize {
         self.parked

@@ -304,6 +304,80 @@ impl SlabPool {
         self.shapes[shape.0 as usize].block_bytes
     }
 
+    /// Checks the pool's internal bookkeeping; returns a description of the
+    /// first inconsistency, or `None` when every invariant holds.
+    ///
+    /// Invariants: free and assigned slab sets are disjoint and together
+    /// cover the pool; per-slab used counts agree with per-shape used-block
+    /// totals; used + free blocks never exceed the capacity of the slabs
+    /// assigned to the shape; free-block handles point into slabs owned by
+    /// their shape.
+    pub fn audit(&self) -> Option<String> {
+        let mut seen = vec![false; self.slabs.len()];
+        for &idx in &self.free_slabs {
+            let i = idx as usize;
+            if seen[i] {
+                return Some(format!("slab {idx} appears twice in the free list"));
+            }
+            seen[i] = true;
+            if self.slabs[i].shape.is_some() || self.slabs[i].used != 0 {
+                return Some(format!("free slab {idx} is still assigned or in use"));
+            }
+        }
+        for (key, s) in self.shapes.iter().enumerate() {
+            let shape = ShapeKey(key as u32);
+            let mut used_sum = 0u64;
+            for &idx in &s.slabs {
+                let i = idx as usize;
+                if seen[i] {
+                    return Some(format!("slab {idx} owned by two shapes or also free"));
+                }
+                seen[i] = true;
+                if self.slabs[i].shape != Some(shape) {
+                    return Some(format!(
+                        "shape {} lists slab {idx} but the slab belongs to {:?}",
+                        s.label, self.slabs[i].shape
+                    ));
+                }
+                used_sum += self.slabs[i].used as u64;
+            }
+            if used_sum != s.used_blocks {
+                return Some(format!(
+                    "shape {}: per-slab used sum {} != used_blocks {}",
+                    s.label, used_sum, s.used_blocks
+                ));
+            }
+            let cap = s.slabs.len() as u64 * s.blocks_per_slab as u64;
+            if s.used_blocks + s.free_blocks.len() as u64 != cap {
+                return Some(format!(
+                    "shape {}: used {} + free {} != assigned capacity {}",
+                    s.label,
+                    s.used_blocks,
+                    s.free_blocks.len(),
+                    cap
+                ));
+            }
+            for b in &s.free_blocks {
+                if self.slabs[b.slab as usize].shape != Some(shape) {
+                    return Some(format!(
+                        "shape {}: free block {b:?} lives in a foreign slab",
+                        s.label
+                    ));
+                }
+                if b.index >= s.blocks_per_slab {
+                    return Some(format!(
+                        "shape {}: free block {b:?} out of slab range",
+                        s.label
+                    ));
+                }
+            }
+        }
+        if let Some(idx) = seen.iter().position(|&s| !s) {
+            return Some(format!("slab {idx} is neither free nor assigned"));
+        }
+        None
+    }
+
     /// Pool configuration.
     pub fn config(&self) -> SlabPoolConfig {
         self.cfg
@@ -399,6 +473,23 @@ mod tests {
             slab_bytes: 30,
         });
         assert_eq!(p.total_slabs(), 3);
+    }
+
+    #[test]
+    fn audit_accepts_every_reachable_state() {
+        let mut p = pool(64, 8);
+        assert!(p.audit().is_none());
+        let a = p.register_shape("a", 1 << 20);
+        let b = p.register_shape("b", 3 << 20);
+        let xa = p.alloc(a, 10).unwrap();
+        let xb = p.alloc(b, 5).unwrap();
+        assert!(p.audit().is_none(), "{:?}", p.audit());
+        p.free(a, &xa[..7]);
+        assert!(p.audit().is_none(), "{:?}", p.audit());
+        p.free(b, &xb);
+        p.free(a, &xa[7..]);
+        assert!(p.audit().is_none(), "{:?}", p.audit());
+        assert_eq!(p.slabs_in_use(), 0);
     }
 
     #[test]

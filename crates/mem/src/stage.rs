@@ -63,6 +63,25 @@ pub fn pipelined_copy_time(total_bytes: u64, spec: &StageBufferSpec, dma_bw: f64
         - chunk / bottleneck
 }
 
+/// Effective-bandwidth penalty when the pinned stage buffer is unavailable
+/// (fault injection: staging-buffer OOM) and the copy falls back to pageable
+/// host memory. Pageable DMA bounces through an internal driver buffer, so
+/// it reaches roughly a third of pinned throughput.
+pub const UNPINNED_FALLBACK_EFFICIENCY: f64 = 0.35;
+
+/// Time for a host→device copy while the stage buffer is exhausted: the
+/// pipeline cannot run, so the copy degrades to sequential pageable DMA at
+/// [`UNPINNED_FALLBACK_EFFICIENCY`] of the link rate, with no host-side
+/// overlap to hide the staging memcpy.
+pub fn unpinned_copy_time(total_bytes: u64, spec: &StageBufferSpec, dma_bw: f64) -> f64 {
+    assert!(dma_bw > 0.0 && spec.host_copy_bw > 0.0);
+    if total_bytes == 0 {
+        return 0.0;
+    }
+    let total = total_bytes as f64;
+    total / spec.host_copy_bw + total / (dma_bw * UNPINNED_FALLBACK_EFFICIENCY)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,5 +127,19 @@ mod tests {
     #[test]
     fn zero_bytes_is_free() {
         assert_eq!(pipelined_copy_time(0, &spec(), 32e9), 0.0);
+        assert_eq!(unpinned_copy_time(0, &spec(), 32e9), 0.0);
+    }
+
+    #[test]
+    fn unpinned_fallback_is_strictly_slower() {
+        let s = spec();
+        for &bytes in &[64u64 << 20, 1 << 30, 26_000_000_000] {
+            let pinned = pipelined_copy_time(bytes, &s, 32e9);
+            let fallback = unpinned_copy_time(bytes, &s, 32e9);
+            assert!(
+                fallback > pinned * 1.5,
+                "fallback {fallback} not much slower than pinned {pinned} for {bytes} bytes"
+            );
+        }
     }
 }

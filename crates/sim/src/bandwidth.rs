@@ -43,10 +43,12 @@ struct Flow {
 pub struct FairLink {
     name: String,
     bw: f64,
+    nominal_bw: f64,
     flows: Vec<Flow>,
     last_settle: SimTime,
     stamp: Stamp,
     next_flow: u64,
+    started: f64,
     delivered: f64,
     busy: SimDur,
 }
@@ -68,10 +70,12 @@ impl FairLink {
         FairLink {
             name: name.into(),
             bw: bandwidth_bytes_per_sec,
+            nominal_bw: bandwidth_bytes_per_sec,
             flows: Vec::new(),
             last_settle: SimTime::ZERO,
             stamp: Stamp::new(),
             next_flow: 0,
+            started: 0.0,
             delivered: 0.0,
             busy: SimDur::ZERO,
         }
@@ -82,9 +86,43 @@ impl FairLink {
         &self.name
     }
 
-    /// Nominal bandwidth in bytes per second.
+    /// Current (possibly degraded) bandwidth in bytes per second.
     pub fn bandwidth(&self) -> f64 {
         self.bw
+    }
+
+    /// Full-speed bandwidth as configured at construction time.
+    pub fn nominal_bandwidth(&self) -> f64 {
+        self.nominal_bw
+    }
+
+    /// Changes the link's effective bandwidth at `now` (fault injection:
+    /// transient degradation and recovery).
+    ///
+    /// Progress up to `now` is settled at the old rate first, so the
+    /// piecewise-constant model stays exact. The caller owns timer refresh:
+    /// it must call [`Self::deadline`] afterwards so the completion timer is
+    /// reissued at the new rate (any previously scheduled timer becomes
+    /// stale via the generation stamp).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is not strictly positive.
+    pub fn set_bandwidth(&mut self, now: SimTime, bandwidth_bytes_per_sec: f64) {
+        assert!(
+            bandwidth_bytes_per_sec > 0.0,
+            "link bandwidth must be positive"
+        );
+        self.settle(now);
+        self.bw = bandwidth_bytes_per_sec;
+    }
+
+    /// Restores the link to its full construction-time bandwidth at `now`.
+    ///
+    /// Same timer-refresh contract as [`Self::set_bandwidth`].
+    pub fn restore_bandwidth(&mut self, now: SimTime) {
+        self.settle(now);
+        self.bw = self.nominal_bw;
     }
 
     /// Number of in-flight flows.
@@ -95,6 +133,48 @@ impl FairLink {
     /// Total bytes fully delivered so far.
     pub fn bytes_delivered(&self) -> f64 {
         self.delivered
+    }
+
+    /// Total bytes accepted by [`Self::start_flow`] so far, minus bytes that
+    /// left with a cancelled flow. Conserved quantity: at any settle point,
+    /// `bytes_started == bytes_delivered + Σ bytes_remaining`.
+    pub fn bytes_started(&self) -> f64 {
+        self.started
+    }
+
+    /// Sum of bytes still pending across all in-flight flows.
+    pub fn bytes_in_flight(&self) -> f64 {
+        self.flows.iter().map(|f| f.bytes_left.max(0.0)).sum()
+    }
+
+    /// Checks the link's conservation invariants; returns a description of
+    /// the first violation, or `None` when the books balance.
+    ///
+    /// Invariants: delivered + in-flight bytes equal accepted bytes (within
+    /// float slack scaled to the traffic volume), and delivered bytes never
+    /// exceed what the nominal bandwidth could move in the accumulated busy
+    /// time.
+    pub fn audit(&self) -> Option<String> {
+        let accounted = self.delivered + self.bytes_in_flight();
+        let slack = 1.0 + self.started * 1e-9;
+        if (accounted - self.started).abs() > slack {
+            return Some(format!(
+                "link {}: started {} bytes but delivered+pending = {}",
+                self.name, self.started, accounted
+            ));
+        }
+        // Degradation only lowers throughput, so nominal bandwidth bounds it.
+        let max_deliverable = self.nominal_bw * self.busy.as_secs_f64();
+        if self.delivered > max_deliverable + slack {
+            return Some(format!(
+                "link {}: delivered {} bytes exceeds capacity {} over busy time {}",
+                self.name,
+                self.delivered,
+                max_deliverable,
+                self.busy.as_secs_f64()
+            ));
+        }
+        None
     }
 
     /// Accumulated time during which at least one flow was active.
@@ -109,9 +189,11 @@ impl FairLink {
         self.settle(now);
         let id = FlowId(self.next_flow);
         self.next_flow += 1;
+        let bytes = (bytes.max(1)) as f64;
+        self.started += bytes;
         self.flows.push(Flow {
             id,
-            bytes_left: (bytes.max(1)) as f64,
+            bytes_left: bytes,
         });
         id
     }
@@ -120,7 +202,16 @@ impl FairLink {
     pub fn cancel_flow(&mut self, now: SimTime, id: FlowId) -> bool {
         self.settle(now);
         let before = self.flows.len();
-        self.flows.retain(|f| f.id != id);
+        let mut dropped = 0.0;
+        self.flows.retain(|f| {
+            if f.id == id {
+                dropped += f.bytes_left.max(0.0);
+                false
+            } else {
+                true
+            }
+        });
+        self.started -= dropped;
         self.flows.len() != before
     }
 
@@ -167,14 +258,19 @@ impl FairLink {
         }
         self.settle(now);
         let mut done = Vec::new();
+        let mut residue = 0.0;
         self.flows.retain(|f| {
             if f.bytes_left <= EPS_BYTES {
                 done.push(f.id);
+                residue += f.bytes_left.max(0.0);
                 false
             } else {
                 true
             }
         });
+        // Count the sub-byte completion slack as delivered so the
+        // conservation books stay exact across many flows.
+        self.delivered += residue;
         Some(done)
     }
 
@@ -312,6 +408,64 @@ mod tests {
         let done = drain(&mut link, SimTime::ZERO);
         let end = done[0].0;
         assert_eq!(link.busy_time().as_secs_f64(), end.as_secs_f64());
+    }
+
+    #[test]
+    fn degradation_slows_and_restore_recovers() {
+        let mut link = FairLink::new("l", 1e9);
+        link.start_flow(SimTime::ZERO, 1_000_000_000);
+        // Halve the bandwidth at t=0.5 (0.5 GB already done).
+        let t_half = SimTime::from_secs_f64(0.5);
+        link.set_bandwidth(t_half, 5e8);
+        assert_eq!(link.bandwidth(), 5e8);
+        assert_eq!(link.nominal_bandwidth(), 1e9);
+        // Restore at t=1.0: 0.25 GB moved during the degraded window.
+        let t_one = SimTime::from_secs_f64(1.0);
+        link.restore_bandwidth(t_one);
+        // Remaining 0.25 GB at full rate -> finishes at t=1.25.
+        let done = drain(&mut link, t_one);
+        assert_eq!(done.len(), 1);
+        assert!((done[0].0.as_secs_f64() - 1.25).abs() < 1e-6);
+        assert!(link.audit().is_none(), "{:?}", link.audit());
+    }
+
+    #[test]
+    fn degradation_reissues_deadline_generation() {
+        let mut link = FairLink::new("l", 1e9);
+        link.start_flow(SimTime::ZERO, 1_000_000_000);
+        let (eta1, gen1) = link.deadline(SimTime::ZERO).unwrap();
+        assert!((eta1.as_secs_f64() - 1.0).abs() < 1e-6);
+        let t = SimTime::from_secs_f64(0.5);
+        link.set_bandwidth(t, 2.5e8);
+        let (eta2, gen2) = link.deadline(t).unwrap();
+        // Old timer is stale; the new one reflects the degraded rate.
+        assert_eq!(link.expire(eta1, gen1), None);
+        assert!((eta2.as_secs_f64() - 2.5).abs() < 1e-6);
+        let done = link.expire(eta2, gen2).unwrap();
+        assert_eq!(done.len(), 1);
+    }
+
+    #[test]
+    fn audit_balances_with_cancels_and_degradation() {
+        let mut link = FairLink::new("l", 2e9);
+        let mut now = SimTime::ZERO;
+        let mut ids = Vec::new();
+        for i in 0..12u64 {
+            ids.push(link.start_flow(now, (i + 1) * 5_000_000));
+            now += SimDur::from_millis(7);
+            if i % 3 == 0 {
+                link.set_bandwidth(now, 2e9 / (1.0 + i as f64));
+            }
+            if i % 4 == 2 {
+                link.cancel_flow(now, ids[i as usize / 2]);
+            }
+            assert!(link.audit().is_none(), "{:?}", link.audit());
+        }
+        link.restore_bandwidth(now);
+        drain(&mut link, now);
+        assert!(link.audit().is_none(), "{:?}", link.audit());
+        assert!(link.bytes_in_flight() == 0.0);
+        assert!((link.bytes_delivered() - link.bytes_started()).abs() < 1.0);
     }
 
     #[test]

@@ -3,10 +3,10 @@
 use proptest::prelude::*;
 
 use aegaeon::quota::{decode_quotas, QuotaInputs};
-use aegaeon_mem::{SlabPool, SlabPoolConfig};
+use aegaeon_mem::{BumpBuffer, BumpMark, Extent, SlabPool, SlabPoolConfig};
 use aegaeon_metrics::{attainment, RequestOutcome};
 use aegaeon_model::ModelId;
-use aegaeon_sim::{SimDur, SimTime};
+use aegaeon_sim::{FairLink, FlowId, SimDur, SimTime};
 use aegaeon_workload::active::{active_count_series, mean_active};
 use aegaeon_workload::{LengthDist, Request, RequestId, SloSpec, Trace, TraceBuilder};
 
@@ -66,6 +66,8 @@ proptest! {
                     live[si].push((b, si));
                 }
             }
+            // The pool's own double-entry audit must pass at every step.
+            prop_assert!(pool.audit().is_none(), "{:?}", pool.audit());
         }
         // Everything still live is tracked; free it all and the pool empties.
         for (si, v) in live.iter().enumerate() {
@@ -153,5 +155,126 @@ proptest! {
             prop_assert!(r.input_tokens >= 4);
             let _: &Request = r;
         }
+    }
+
+    /// FairLink conserves bytes under arbitrary interleavings of flow
+    /// starts, cancellations, completions and bandwidth degradations:
+    /// started == delivered + in-flight at every step, and the link's own
+    /// audit (which also bounds delivered by nominal-bw × busy-time)
+    /// passes throughout.
+    #[test]
+    fn fair_link_conserves_bytes(
+        ops in prop::collection::vec((0u32..4, 1u64..50_000_000, 1u64..2_000_000), 1..80),
+    ) {
+        let mut link = FairLink::new("prop", 12e9);
+        let mut now = SimTime::ZERO;
+        let mut live: Vec<FlowId> = Vec::new();
+        let mut degraded = false;
+        for (op, bytes, dt_us) in ops {
+            now += SimDur::from_nanos(dt_us * 1_000);
+            match op {
+                0 => live.push(link.start_flow(now, bytes)),
+                1 => {
+                    if !live.is_empty() {
+                        let id = live.remove(bytes as usize % live.len());
+                        prop_assert!(link.cancel_flow(now, id));
+                    }
+                }
+                2 => {
+                    if let Some((t, gen)) = link.deadline(now) {
+                        now = t;
+                        if let Some(done) = link.expire(now, gen) {
+                            live.retain(|f| !done.contains(f));
+                        }
+                    }
+                }
+                _ => {
+                    if degraded {
+                        link.restore_bandwidth(now);
+                    } else {
+                        link.set_bandwidth(now, link.nominal_bandwidth() * 0.3);
+                    }
+                    degraded = !degraded;
+                }
+            }
+            prop_assert!(link.audit().is_none(), "{:?}", link.audit());
+            let started = link.bytes_started();
+            let accounted = link.bytes_delivered() + link.bytes_in_flight();
+            prop_assert!(
+                (started - accounted).abs() <= 1.0 + started * 1e-9,
+                "conservation: started {started} vs delivered+in-flight {accounted}"
+            );
+        }
+        // Drain: every surviving flow completes and the books close.
+        while let Some((t, gen)) = link.deadline(now) {
+            now = t;
+            if let Some(done) = link.expire(now, gen) {
+                live.retain(|f| !done.contains(f));
+            }
+        }
+        prop_assert!(live.is_empty(), "undrained flows: {live:?}");
+        prop_assert!(link.in_flight() == 0);
+        let started = link.bytes_started();
+        prop_assert!(
+            (started - link.bytes_delivered()).abs() <= 1.0 + started * 1e-9,
+            "final books: started {started}, delivered {}",
+            link.bytes_delivered()
+        );
+        prop_assert!(link.audit().is_none(), "{:?}", link.audit());
+    }
+
+    /// The bump allocator hands out non-overlapping, aligned, in-capacity
+    /// extents; `would_fit` exactly predicts alloc success; and mark/rewind
+    /// frees suffixes without disturbing earlier extents.
+    #[test]
+    fn bump_buffer_books_balance(
+        cap_kb in 1u64..256,
+        ops in prop::collection::vec((0u32..4, 1u64..5_000, 0u32..4), 1..100),
+    ) {
+        let mut buf = BumpBuffer::new(cap_kb << 10);
+        let mut live: Vec<Extent> = Vec::new();
+        let mut marks: Vec<(BumpMark, usize)> = Vec::new();
+        for (op, len, align_pow) in ops {
+            let align = 1u64 << (2 * align_pow); // 1, 4, 16, 64
+            match op {
+                0 | 1 => {
+                    let fits = buf.would_fit(len, align);
+                    match buf.alloc(len, align) {
+                        Ok(e) => {
+                            prop_assert!(fits, "would_fit denied a successful alloc");
+                            prop_assert_eq!(e.offset % align, 0);
+                            prop_assert!(e.end() <= buf.capacity());
+                            for o in &live {
+                                prop_assert!(
+                                    e.offset >= o.end() || e.end() <= o.offset,
+                                    "overlapping extents {:?} and {:?}", e, o
+                                );
+                            }
+                            live.push(e);
+                        }
+                        Err(oom) => {
+                            prop_assert!(!fits, "would_fit approved a failing alloc");
+                            prop_assert_eq!(oom.requested, len);
+                        }
+                    }
+                }
+                2 => marks.push((buf.mark(), live.len())),
+                // Popping the most recent mark keeps the stack monotone, so
+                // rewind never sees a mark ahead of the cursor.
+                _ => {
+                    if let Some((m, n)) = marks.pop() {
+                        buf.rewind(m);
+                        live.truncate(n);
+                    }
+                }
+            }
+            prop_assert!(buf.used() <= buf.capacity());
+            prop_assert_eq!(buf.remaining(), buf.capacity() - buf.used());
+            let high = live.iter().map(Extent::end).max().unwrap_or(0);
+            prop_assert!(buf.used() >= high, "cursor below a live extent");
+        }
+        buf.reset();
+        prop_assert_eq!(buf.used(), 0);
+        prop_assert!(buf.would_fit(buf.capacity(), 1));
     }
 }

@@ -1,11 +1,56 @@
 //! Whole-system invariants: memory accounting, scaling accounting and
 //! utilization bounds over full serving runs.
 
+use aegaeon::chaos::FaultPlan;
 use aegaeon::{AegaeonConfig, ServingSystem};
 use aegaeon_bench::{market_models, uniform_trace};
 use aegaeon_workload::{LengthDist, SloSpec};
 
 const SEED: u64 = 321;
+
+#[test]
+fn auditor_is_a_pure_observer() {
+    // Differential check: the invariant auditor must not perturb the
+    // simulation. Across seeds and configs (healthy and chaotic), the
+    // audited run must reproduce the plain run bit for bit.
+    let mut chaotic = AegaeonConfig::small_testbed(2, 3);
+    chaotic.faults = FaultPlan {
+        seed: 11,
+        crashes: vec![(40.0, aegaeon::events::InstKind::Decode, 0)],
+        link_rate: 0.04,
+        link_factor: 0.3,
+        link_secs: 4.0,
+        stage_oom_rate: 0.03,
+        stage_oom_secs: 5.0,
+        stall_rate: 0.02,
+        stall_secs: 1.0,
+        ..FaultPlan::none()
+    };
+    let configs = [AegaeonConfig::small_testbed(2, 3), chaotic];
+    for cfg in &configs {
+        for seed in [SEED, SEED + 100, SEED + 200] {
+            let models = market_models(6);
+            let trace = uniform_trace(6, 0.08, 120.0, seed, LengthDist::sharegpt());
+            let mut cfg = cfg.clone();
+            cfg.seed = seed;
+            let plain = ServingSystem::run(&cfg, &models, &trace);
+            let (audited, report) = ServingSystem::run_audited(&cfg, &models, &trace);
+            assert!(
+                report.ok(),
+                "seed {seed} plan \"{}\": {report}",
+                cfg.faults
+            );
+            assert!(report.events_checked > 0);
+            assert_eq!(plain.events, audited.events, "event counts diverged");
+            assert_eq!(plain.completed, audited.completed);
+            assert_eq!(plain.scale_count, audited.scale_count);
+            assert_eq!(plain.swaps, audited.swaps);
+            let ta: Vec<_> = plain.outcomes.iter().map(|o| &o.token_times).collect();
+            let tb: Vec<_> = audited.outcomes.iter().map(|o| &o.token_times).collect();
+            assert_eq!(ta, tb, "auditor perturbed per-token timestamps");
+        }
+    }
+}
 
 #[test]
 fn fragmentation_and_utilization_are_bounded() {

@@ -19,6 +19,7 @@ use aegaeon_gpu::{
 use aegaeon_metrics::RequestOutcome;
 use aegaeon_model::{ModelId, ModelSpec};
 use aegaeon_sim::{EventQueue, FxHashMap, Lift, SimDur, SimRng, SimTime, Timeline};
+use aegaeon_telemetry::{CounterId, GaugeId, HistId, SpanId, SpanKind, Telemetry};
 use aegaeon_workload::{RequestId, Trace};
 
 use crate::result::BaselineResult;
@@ -153,6 +154,9 @@ pub struct WorldConfig {
     /// Run the always-on invariant auditor alongside the loop (observer
     /// only; results are bit-identical either way).
     pub audit: bool,
+    /// Telemetry (request-lifecycle spans + sampled metrics). Observer
+    /// only: results are bit-identical either way.
+    pub telemetry: aegaeon_telemetry::TelemetrySpec,
 }
 
 impl WorldConfig {
@@ -182,8 +186,58 @@ impl WorldConfig {
             drain_window: SimDur::from_secs(240),
             seed: 42,
             audit: false,
+            telemetry: aegaeon_telemetry::TelemetrySpec::disabled(),
         }
     }
+}
+
+/// Pre-registered metric handles for the baseline loop (no string hashing
+/// on the hot path).
+#[derive(Debug, Clone, Copy)]
+struct BTelIds {
+    c_switches: CounterId,
+    c_completed: CounterId,
+    c_rejected: CounterId,
+    c_events_dispatched: CounterId,
+    c_audit_checks: CounterId,
+    c_audit_violations: CounterId,
+    g_prefill_queue_depth: GaugeId,
+    g_decode_work: GaugeId,
+    g_active_models: GaugeId,
+    g_kv_reserved: GaugeId,
+    h_batch_size: HistId,
+}
+
+impl BTelIds {
+    fn register(reg: &mut aegaeon_telemetry::MetricsRegistry) -> BTelIds {
+        BTelIds {
+            c_switches: reg.counter("switches"),
+            c_completed: reg.counter("completed_requests"),
+            c_rejected: reg.counter("rejected_requests"),
+            c_events_dispatched: reg.counter("events_dispatched"),
+            c_audit_checks: reg.counter("audit_checks"),
+            c_audit_violations: reg.counter("audit_violations"),
+            g_prefill_queue_depth: reg.gauge("prefill_queue_depth"),
+            g_decode_work: reg.gauge("decode_batch_requests"),
+            g_active_models: reg.gauge("active_models"),
+            g_kv_reserved: reg.gauge("kv_reserved_tokens"),
+            h_batch_size: reg.histogram("batch_size", &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0]),
+        }
+    }
+}
+
+/// Per-request span handles (root + the currently open phase).
+#[derive(Debug, Clone, Copy)]
+struct BReqTel {
+    root: SpanId,
+    phase: SpanId,
+}
+
+impl BReqTel {
+    const EMPTY: BReqTel = BReqTel {
+        root: SpanId::NONE,
+        phase: SpanId::NONE,
+    };
 }
 
 /// The shared baseline world: instances over the fabric plus request state.
@@ -215,6 +269,13 @@ pub struct World {
     util_samples: Vec<(SimTime, Vec<f64>)>,
     sample_live: bool,
     arrivals_left: usize,
+    /// Request-lifecycle spans and sampled metrics (observer only).
+    pub tel: Telemetry,
+    tm: BTelIds,
+    req_tel: Vec<BReqTel>,
+    /// Open switch span per instance (lazily sized: MuxServe rebuilds
+    /// `insts` after construction).
+    switch_spans: Vec<SpanId>,
 }
 
 impl World {
@@ -255,6 +316,13 @@ impl World {
             .map(|r| ReqState::new(r.arrival(), r.input_tokens, r.output_tokens))
             .collect();
         let arrivals_left = trace.len();
+        let mut tel = Telemetry::new(&cfg.telemetry);
+        let tm = BTelIds::register(&mut tel.metrics);
+        let req_tel = if tel.is_enabled() {
+            vec![BReqTel::EMPTY; trace.len()]
+        } else {
+            Vec::new()
+        };
         World {
             cfg,
             fabric,
@@ -273,7 +341,87 @@ impl World {
             util_samples: Vec::new(),
             sample_live: false,
             arrivals_left,
+            tel,
+            tm,
+            req_tel,
+            switch_spans: Vec::new(),
         }
+    }
+
+    // ----- Telemetry hooks (observer only; no-ops when disabled) --------
+
+    fn tel_poll(&mut self, at: SimTime) {
+        let m = &mut self.tel.metrics;
+        if !m.is_enabled() {
+            return;
+        }
+        let queue: usize = self.insts.iter().map(|i| i.prefill_q.len()).sum();
+        let work: usize = self.insts.iter().map(|i| i.batch.len()).sum();
+        let reserved: u64 = self.insts.iter().map(|i| i.kv_reserved_tokens).sum();
+        let mut models: Vec<u32> = self
+            .insts
+            .iter()
+            .filter_map(|i| i.current.map(|m| m.0))
+            .collect();
+        models.sort_unstable();
+        models.dedup();
+        m.set(self.tm.g_prefill_queue_depth, queue as f64);
+        m.set(self.tm.g_decode_work, work as f64);
+        m.set(self.tm.g_kv_reserved, reserved as f64);
+        m.set(self.tm.g_active_models, models.len() as f64);
+        m.sample(at);
+    }
+
+    fn tel_req_arrive(&mut self, req: RequestId, now: SimTime) {
+        if !self.tel.is_enabled() {
+            return;
+        }
+        let i = req.0 as usize;
+        let model = self.trace.requests[i].model;
+        let root = self.tel.spans.start(
+            || format!("req{i}"),
+            SpanKind::Request,
+            now,
+            SpanId::NONE,
+            SpanId::NONE,
+            || format!("req{i}:{model}"),
+        );
+        self.req_tel[i].root = root;
+        self.req_tel[i].phase = self.tel.spans.start(
+            || format!("req{i}"),
+            SpanKind::QueueWait,
+            now,
+            root,
+            SpanId::NONE,
+            || "queue-wait",
+        );
+    }
+
+    fn tel_begin_phase(&mut self, req: RequestId, kind: SpanKind, label: &'static str, now: SimTime) {
+        if !self.tel.is_enabled() {
+            return;
+        }
+        let i = req.0 as usize;
+        let rt = self.req_tel[i];
+        self.tel.spans.end(rt.phase, now);
+        self.req_tel[i].phase = self.tel.spans.start(
+            || format!("req{i}"),
+            kind,
+            now,
+            rt.root,
+            SpanId::NONE,
+            || label,
+        );
+    }
+
+    fn tel_req_done(&mut self, req: RequestId, now: SimTime) {
+        if !self.tel.is_enabled() {
+            return;
+        }
+        let i = req.0 as usize;
+        let rt = std::mem::replace(&mut self.req_tel[i], BReqTel::EMPTY);
+        self.tel.spans.end(rt.phase, now);
+        self.tel.spans.end(rt.root, now);
     }
 
     /// Usable VRAM per GPU.
@@ -339,6 +487,23 @@ impl World {
             i.busy = true;
             i.kv_cap_tokens = 0; // set on completion
         }
+        self.tel.metrics.inc(self.tm.c_switches, 1);
+        if self.tel.is_enabled() {
+            if self.switch_spans.len() <= inst {
+                self.switch_spans.resize(inst + 1, SpanId::NONE);
+            }
+            let now = q.now();
+            let old = std::mem::replace(&mut self.switch_spans[inst], SpanId::NONE);
+            self.tel.spans.end(old, now);
+            self.switch_spans[inst] = self.tel.spans.start(
+                || format!("inst{inst}"),
+                SpanKind::Switch,
+                now,
+                SpanId::NONE,
+                SpanId::NONE,
+                || format!("S:{model}"),
+            );
+        }
         for (lane, g) in lanes.iter().zip(&gpus) {
             let h = self.topo.gpu(*g).clone();
             for st in &plan.stages {
@@ -392,6 +557,7 @@ impl World {
                 .prefill_secs(&[input], &mut self.rng);
             let dur = base * self.insts[inst].contention;
             self.reqs[req.0 as usize].prefill_start = Some(q.now());
+            self.tel_begin_phase(req, SpanKind::Prefill, "prefill", q.now());
             self.insts[inst].busy = true;
             let lanes = self.insts[inst].lanes.clone();
             let tag = self.multi(
@@ -414,6 +580,7 @@ impl World {
                 .perf
                 .decode_secs(batch.len(), ctx, &mut self.rng);
             let dur = base * self.insts[inst].contention;
+            self.tel.metrics.observe(self.tm.h_batch_size, batch.len() as f64);
             self.insts[inst].busy = true;
             let lanes = self.insts[inst].lanes.clone();
             let tag = self.multi(lanes.len() as u32, BTag::Step { inst: inst as u32 });
@@ -475,6 +642,8 @@ impl World {
                 }
                 BEv::Arrive(idx) => {
                     self.arrivals_left -= 1;
+                    let rid = self.trace.requests[idx as usize].id;
+                    self.tel_req_arrive(rid, q.now());
                     sched.on_arrival(&mut self, idx as usize, &mut q);
                 }
                 BEv::Sample => {
@@ -519,6 +688,10 @@ impl World {
                             i.scale_remaining == 0
                         };
                         if done {
+                            if let Some(s) = self.switch_spans.get_mut(inst) {
+                                let span = std::mem::replace(s, SpanId::NONE);
+                                self.tel.spans.end(span, q.now());
+                            }
                             let model = self.insts[inst]
                                 .scale_target
                                 .take()
@@ -553,6 +726,15 @@ impl World {
                         }
                         if self.reqs[req.0 as usize].is_done() {
                             self.completed += 1;
+                            self.tel.metrics.inc(self.tm.c_completed, 1);
+                            self.tel_req_done(req, q.now());
+                        } else {
+                            self.tel_begin_phase(
+                                req,
+                                SpanKind::DecodeRound,
+                                "decode",
+                                q.now(),
+                            );
                         }
                         self.kick(inst, &mut q);
                         sched.on_progress(&mut self, inst, &mut q);
@@ -585,6 +767,8 @@ impl World {
                                 .kv_reserved_tokens
                                 .saturating_sub(ctx);
                             self.completed += 1;
+                            self.tel.metrics.inc(self.tm.c_completed, 1);
+                            self.tel_req_done(*req, now);
                         }
                         let emptied = self.insts[inst].is_empty();
                         self.kick(inst, &mut q);
@@ -598,15 +782,29 @@ impl World {
             if let Some(a) = auditor.as_deref_mut() {
                 a.after_event(q.now(), &self);
             }
+            // Telemetry sampling happens here in the dispatch loop, never as
+            // a queue event: the sample boundaries are derived from the
+            // popped timestamp, so the run is bit-identical either way.
+            while let Some(at) = self.tel.sample_due(t) {
+                self.tel_poll(at);
+            }
         }
         let report = auditor.map(|mut a| {
             a.at_finish(q.now(), &self);
             a.take_report()
         });
+        if let Some(rep) = &report {
+            self.tel
+                .metrics
+                .set_counter(self.tm.c_audit_checks, rep.events_checked);
+            self.tel
+                .metrics
+                .set_counter(self.tm.c_audit_violations, rep.violations.len() as u64);
+        }
         (self.finish(&q), report)
     }
 
-    fn finish(self, q: &Qq) -> BaselineResult {
+    fn finish(mut self, q: &Qq) -> BaselineResult {
         let outcomes = self
             .trace
             .requests
@@ -631,6 +829,13 @@ impl World {
                     .as_secs_f64()
             })
             .collect();
+        self.tel
+            .metrics
+            .set_counter(self.tm.c_events_dispatched, q.events_dispatched());
+        self.tel
+            .metrics
+            .set_counter(self.tm.c_rejected, self.rejected as u64);
+        self.tel.finish(q.now());
         BaselineResult {
             outcomes,
             horizon: self.trace.horizon,
@@ -641,6 +846,7 @@ impl World {
             switches: self.insts.iter().map(|i| i.switches).sum(),
             gpu_busy,
             util_samples: self.util_samples,
+            telemetry: self.tel,
         }
     }
 }

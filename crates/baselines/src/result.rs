@@ -25,6 +25,8 @@ pub struct BaselineResult {
     pub gpu_busy: Vec<f64>,
     /// Periodic samples of cumulative per-GPU compute-busy seconds.
     pub util_samples: Vec<(SimTime, Vec<f64>)>,
+    /// Request-lifecycle spans and sampled metrics (when enabled).
+    pub telemetry: aegaeon_telemetry::Telemetry,
 }
 
 impl BaselineResult {
@@ -40,5 +42,38 @@ impl BaselineResult {
         }
         self.gpu_busy.iter().sum::<f64>()
             / (self.gpu_busy.len() as f64 * self.end_time.as_secs_f64())
+    }
+
+    /// Order-sensitive hash over every behavioral field, excluding the
+    /// observer-only `telemetry`. The differential telemetry test asserts
+    /// this is bit-identical with telemetry on and off.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = aegaeon_sim::FxHasher::default();
+        for o in &self.outcomes {
+            o.id.0.hash(&mut h);
+            o.model.0.hash(&mut h);
+            o.arrival.as_nanos().hash(&mut h);
+            o.target_tokens.hash(&mut h);
+            for t in &o.token_times {
+                t.as_nanos().hash(&mut h);
+            }
+        }
+        self.horizon.as_nanos().hash(&mut h);
+        self.end_time.as_nanos().hash(&mut h);
+        self.completed.hash(&mut h);
+        self.total_requests.hash(&mut h);
+        self.rejected.hash(&mut h);
+        self.switches.hash(&mut h);
+        for v in &self.gpu_busy {
+            v.to_bits().hash(&mut h);
+        }
+        for (t, busy) in &self.util_samples {
+            t.as_nanos().hash(&mut h);
+            for v in busy {
+                v.to_bits().hash(&mut h);
+            }
+        }
+        h.finish()
     }
 }

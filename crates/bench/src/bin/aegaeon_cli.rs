@@ -8,6 +8,11 @@
 //!
 //! Systems: `aegaeon`, `sllm`, `sllm+`, `muxserve`. Datasets: `sharegpt`,
 //! `ix2`, `ox2`. Optimization levels: `t0`..`t3`.
+//!
+//! Telemetry: `--trace-out run.json` writes a Chrome Trace Event Format
+//! file (open in Perfetto / `chrome://tracing`), `--telemetry-out run.jsonl`
+//! writes spans + metric samples as JSONL, and `--sample-every SECS` sets
+//! the sim-time metric sampling interval (default 0.1 s).
 
 use aegaeon::{AegaeonConfig, ServingSystem};
 use aegaeon_baselines::engine_loop::WorldConfig;
@@ -32,6 +37,9 @@ struct Args {
     gpu: String,
     ttft: f64,
     tbt: f64,
+    trace_out: Option<String>,
+    telemetry_out: Option<String>,
+    sample_every: f64,
 }
 
 impl Args {
@@ -49,6 +57,9 @@ impl Args {
             gpu: "h800".into(),
             ttft: 10.0,
             tbt: 0.1,
+            trace_out: None,
+            telemetry_out: None,
+            sample_every: 0.1,
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut it = argv.iter();
@@ -72,6 +83,11 @@ impl Args {
                 "--gpu" => a.gpu = val.clone(),
                 "--ttft" => a.ttft = val.parse().map_err(|e| format!("--ttft: {e}"))?,
                 "--tbt" => a.tbt = val.parse().map_err(|e| format!("--tbt: {e}"))?,
+                "--trace-out" => a.trace_out = Some(val.clone()),
+                "--telemetry-out" => a.telemetry_out = Some(val.clone()),
+                "--sample-every" => {
+                    a.sample_every = val.parse().map_err(|e| format!("--sample-every: {e}"))?
+                }
                 other => return Err(format!("unknown flag {other}")),
             }
         }
@@ -84,8 +100,42 @@ fn usage() {
         "usage: aegaeon_cli [--models N] [--rps R] [--gpus G] [--prefill P] \
          [--secs S] [--seed K] [--system aegaeon|sllm|sllm+|muxserve] \
          [--opts t0|t1|t2|t3] [--dataset sharegpt|ix2|ox2] \
-         [--gpu h800|h20|a10|a100] [--ttft SECS] [--tbt SECS]"
+         [--gpu h800|h20|a10|a100] [--ttft SECS] [--tbt SECS] \
+         [--trace-out FILE.json] [--telemetry-out FILE.jsonl] \
+         [--sample-every SECS]"
     );
+}
+
+/// Writes the requested telemetry artifacts, consuming the run's spans,
+/// metrics, and (for Aegaeon) schedule trace.
+fn export(
+    args: &Args,
+    schedule: &aegaeon_sim::TraceLog,
+    tel: &aegaeon_telemetry::Telemetry,
+) {
+    if let Some(err) = tel.spans.validate() {
+        eprintln!("warning: span log failed validation: {err}");
+    }
+    if let Some(path) = &args.trace_out {
+        let json = aegaeon_telemetry::chrome_trace(schedule, &tel.spans, &tel.metrics);
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "wrote {path}: {} spans, {} counter series (open in Perfetto)",
+            tel.spans.spans().len(),
+            tel.metrics.counter_series().count() + tel.metrics.gauge_series().count(),
+        );
+    }
+    if let Some(path) = &args.telemetry_out {
+        let lines = aegaeon_telemetry::jsonl(&tel.spans, &tel.metrics);
+        if let Err(e) = std::fs::write(path, &lines) {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
 }
 
 fn main() {
@@ -149,6 +199,15 @@ fn main() {
         args.tbt * 1e3,
     );
 
+    let want_telemetry = args.trace_out.is_some() || args.telemetry_out.is_some();
+    let tel_spec = if want_telemetry {
+        aegaeon_telemetry::TelemetrySpec::with_sample_every(aegaeon_sim::SimDur::from_secs_f64(
+            args.sample_every,
+        ))
+    } else {
+        aegaeon_telemetry::TelemetrySpec::disabled()
+    };
+
     match args.system.as_str() {
         "aegaeon" => {
             let mut cfg = AegaeonConfig::paper_testbed();
@@ -156,6 +215,8 @@ fn main() {
             cfg.prefill_instances = args.prefill;
             cfg.seed = args.seed;
             cfg.target_tbt = args.tbt;
+            cfg.telemetry = tel_spec;
+            cfg.trace_schedule = want_telemetry;
             cfg.opts = match args.opts.as_str() {
                 "t0" => AutoscaleOpts::t0(),
                 "t1" => AutoscaleOpts::t1(),
@@ -198,6 +259,7 @@ fn main() {
                     worst.requests
                 );
             }
+            export(&args, &r.schedule, &r.telemetry);
         }
         "sllm" | "sllm+" => {
             let mut cfg = if args.system == "sllm+" {
@@ -206,6 +268,7 @@ fn main() {
                 SllmConfig::new(cluster)
             };
             cfg.world.seed = args.seed;
+            cfg.world.telemetry = tel_spec;
             let r = ServerlessLlm::run(&cfg, &models, &trace);
             let rep = r.attainment(slo);
             println!(
@@ -216,10 +279,12 @@ fn main() {
                 r.switches,
                 r.mean_gpu_utilization() * 100.0
             );
+            export(&args, &aegaeon_sim::TraceLog::disabled(), &r.telemetry);
         }
         "muxserve" => {
             let mut cfg = WorldConfig::sllm_default(cluster);
             cfg.seed = args.seed;
+            cfg.telemetry = tel_spec;
             let rates = vec![args.rps; args.models];
             let r = MuxServe::run(&cfg, &models, &rates, &trace);
             let rep = r.attainment(slo);
@@ -231,6 +296,7 @@ fn main() {
                 r.rejected,
                 r.mean_gpu_utilization() * 100.0
             );
+            export(&args, &aegaeon_sim::TraceLog::disabled(), &r.telemetry);
         }
         other => {
             eprintln!("unknown system {other}");

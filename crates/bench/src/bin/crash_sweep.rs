@@ -128,6 +128,27 @@ fn run_scenario(scenario: u64, seed: u64, plan: &FaultPlan) -> Outcome {
     }
 }
 
+/// Re-runs a failing scenario's Aegaeon leg with telemetry + schedule
+/// tracing enabled and dumps a Chrome trace for post-mortem inspection in
+/// Perfetto. Telemetry is observer-only, so the re-run reproduces the
+/// failing execution exactly.
+fn dump_failing_trace(scenario: u64, seed: u64, plan: &FaultPlan) -> Option<String> {
+    let models = market_models(N_MODELS);
+    let trace = uniform_trace(N_MODELS, PER_MODEL_RATE, HORIZON, seed, LengthDist::sharegpt());
+    let mut cfg = AegaeonConfig::small_testbed(2, 3);
+    cfg.seed = seed;
+    cfg.faults = plan.clone();
+    cfg.drain_window = SimDur::from_secs(DRAIN_SECS);
+    cfg.trace_schedule = true;
+    cfg.telemetry = aegaeon_telemetry::TelemetrySpec::enabled();
+    let r = ServingSystem::run(&cfg, &models, &trace);
+    let json =
+        aegaeon_telemetry::chrome_trace(&r.schedule, &r.telemetry.spans, &r.telemetry.metrics);
+    let path = format!("crash_scenario_{scenario}_seed{seed}.trace.json");
+    std::fs::write(&path, json).ok()?;
+    Some(path)
+}
+
 fn parse_args() -> (usize, u64, Option<u64>, Option<FaultPlan>) {
     let mut scenarios = 200usize;
     let mut base = SEED;
@@ -167,6 +188,9 @@ fn main() {
         for f in &o.failures {
             eprintln!("FAIL {f}");
         }
+        if let Some(path) = dump_failing_trace(0, base, &plan) {
+            eprintln!("  telemetry trace dumped to {path} (open in Perfetto)");
+        }
         std::process::exit(1);
     }
 
@@ -196,6 +220,10 @@ fn main() {
         );
         for f in &o.failures {
             eprintln!("  {f}");
+        }
+        let plan: FaultPlan = o.plan.parse().expect("round-trips");
+        if let Some(path) = dump_failing_trace(o.scenario, o.seed, &plan) {
+            eprintln!("  telemetry trace dumped to {path} (open in Perfetto)");
         }
     }
     println!(

@@ -18,6 +18,52 @@ use aegaeon_workload::{LengthDist, SloSpec, Trace, TraceBuilder};
 /// Standard measurement horizon for the end-to-end sweeps, seconds.
 pub const HORIZON_SECS: f64 = 400.0;
 
+/// Env var: when set to a path, the first Aegaeon run the harness performs
+/// in this process executes with telemetry enabled and is exported there as
+/// a Chrome Trace Event Format file (open in Perfetto). Works with every
+/// figure binary, e.g.:
+///
+/// ```text
+/// AEGAEON_TRACE_OUT=fig11.trace.json cargo run --release --bin fig11_end_to_end
+/// ```
+pub const TRACE_OUT_ENV: &str = "AEGAEON_TRACE_OUT";
+
+static TRACE_DUMPED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+fn trace_out_requested() -> Option<String> {
+    if TRACE_DUMPED.load(std::sync::atomic::Ordering::Relaxed) {
+        return None;
+    }
+    std::env::var(TRACE_OUT_ENV).ok().filter(|p| !p.is_empty())
+}
+
+/// Enables telemetry + schedule tracing on `cfg` when [`TRACE_OUT_ENV`] is
+/// set and no trace has been dumped yet. Telemetry is observer-only, so
+/// figure numbers are unchanged either way.
+pub fn apply_env_telemetry(cfg: &mut AegaeonConfig) {
+    if trace_out_requested().is_some() {
+        cfg.telemetry = aegaeon_telemetry::TelemetrySpec::enabled();
+        cfg.trace_schedule = true;
+    }
+}
+
+/// Exports `r` as a Chrome trace when [`TRACE_OUT_ENV`] is set (first run
+/// in the process wins; later runs are skipped).
+pub fn maybe_dump_trace(r: &RunResult) {
+    let Some(path) = trace_out_requested() else {
+        return;
+    };
+    if TRACE_DUMPED.swap(true, std::sync::atomic::Ordering::Relaxed) {
+        return;
+    }
+    let json =
+        aegaeon_telemetry::chrome_trace(&r.schedule, &r.telemetry.spans, &r.telemetry.metrics);
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("[trace] {path}"),
+        Err(e) => eprintln!("[trace] failed to write {path}: {e}"),
+    }
+}
+
 /// Base seed for all experiments (vary per point for independence).
 pub const SEED: u64 = 20250713;
 
@@ -89,7 +135,10 @@ pub fn run_system(
             // The scheduler's quota equations take the target TBT `d` as an
             // input (§4.3); deployments configure it from their SLO.
             cfg.target_tbt = slo.tbt.as_secs_f64();
-            ServingSystem::run(&cfg, models, trace).attainment(slo)
+            apply_env_telemetry(&mut cfg);
+            let r = ServingSystem::run(&cfg, models, trace);
+            maybe_dump_trace(&r);
+            r.attainment(slo)
         }
         System::ServerlessLlm => {
             let cfg = SllmConfig::new(cluster);
@@ -109,7 +158,11 @@ pub fn run_system(
 
 /// A full Aegaeon run on the paper testbed (detailed metrics).
 pub fn run_aegaeon(models: &[ModelSpec], trace: &Trace) -> RunResult {
-    ServingSystem::run(&AegaeonConfig::paper_testbed(), models, trace)
+    let mut cfg = AegaeonConfig::paper_testbed();
+    apply_env_telemetry(&mut cfg);
+    let r = ServingSystem::run(&cfg, models, trace);
+    maybe_dump_trace(&r);
+    r
 }
 
 /// A full ServerlessLLM run on the paper testbed.

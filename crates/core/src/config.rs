@@ -79,6 +79,9 @@ pub struct AegaeonConfig {
     /// Run the always-on invariant auditor alongside the dispatch loop.
     /// Purely observational: results are bit-identical either way.
     pub audit: bool,
+    /// Telemetry (request-lifecycle spans + sampled metrics). Observer
+    /// only, like the auditor: results are bit-identical either way.
+    pub telemetry: aegaeon_telemetry::TelemetrySpec,
 }
 
 impl AegaeonConfig {
@@ -114,6 +117,7 @@ impl AegaeonConfig {
             faults: crate::chaos::FaultPlan::none(),
             failover_latency: SimDur::from_secs(2),
             audit: false,
+            telemetry: aegaeon_telemetry::TelemetrySpec::disabled(),
         }
     }
 

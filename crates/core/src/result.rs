@@ -42,6 +42,8 @@ pub struct RunResult {
     pub events: u64,
     /// Schedule trace (when enabled).
     pub schedule: TraceLog,
+    /// Request-lifecycle spans and sampled metrics (when enabled).
+    pub telemetry: aegaeon_telemetry::Telemetry,
 }
 
 impl RunResult {
@@ -66,5 +68,50 @@ impl RunResult {
         } else {
             self.prefetch_hits as f64 / self.scale_count as f64
         }
+    }
+
+    /// Order-sensitive hash over every *behavioral* field — everything the
+    /// simulation produced except the observer-only artifacts (`schedule`,
+    /// `telemetry`). The differential telemetry test asserts this is
+    /// bit-identical with telemetry on and off.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = aegaeon_sim::FxHasher::default();
+        for o in &self.outcomes {
+            o.id.0.hash(&mut h);
+            o.model.0.hash(&mut h);
+            o.arrival.as_nanos().hash(&mut h);
+            o.target_tokens.hash(&mut h);
+            for t in &o.token_times {
+                t.as_nanos().hash(&mut h);
+            }
+        }
+        self.horizon.as_nanos().hash(&mut h);
+        self.end_time.as_nanos().hash(&mut h);
+        format!("{:?}", self.breakdown).hash(&mut h);
+        for v in &self.scale_latencies {
+            v.to_bits().hash(&mut h);
+        }
+        for v in &self.kv_sync_per_request {
+            v.to_bits().hash(&mut h);
+        }
+        format!("{:?}", self.frag_rows).hash(&mut h);
+        for v in &self.gpu_busy {
+            v.to_bits().hash(&mut h);
+        }
+        for (t, busy) in &self.util_samples {
+            t.as_nanos().hash(&mut h);
+            for v in busy {
+                v.to_bits().hash(&mut h);
+            }
+        }
+        self.completed.hash(&mut h);
+        self.total_requests.hash(&mut h);
+        self.model_count.hash(&mut h);
+        self.scale_count.hash(&mut h);
+        self.prefetch_hits.hash(&mut h);
+        self.swaps.hash(&mut h);
+        self.events.hash(&mut h);
+        h.finish()
     }
 }

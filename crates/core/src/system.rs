@@ -22,6 +22,7 @@ use aegaeon_model::ModelId;
 use aegaeon_sim::{
     EventQueue, FxHashMap, Lift, SimDur, SimRng, SimTime, Timeline, TraceKind, TraceLog,
 };
+use aegaeon_telemetry::{CounterId, GaugeId, HistId, SpanId, SpanKind, Telemetry};
 use aegaeon_workload::{RequestId, Trace};
 
 use crate::audit::{AuditReport, AuditView, Auditor, InvariantAuditor, ReqAudit};
@@ -49,6 +50,9 @@ struct Scaler {
     /// Colocated resident models, LRU first (multi-slot extension; empty
     /// when a single weight slot is configured).
     resident: Vec<ModelId>,
+    /// Open telemetry span of the in-flight switch ([`SpanId::NONE`] when
+    /// idle or telemetry is off).
+    switch_span: SpanId,
 }
 
 #[derive(Debug)]
@@ -71,6 +75,94 @@ impl Scaler {
             scale_seq: 0,
             prefetch_seq: 0,
             resident: Vec::new(),
+            switch_span: SpanId::NONE,
+        }
+    }
+}
+
+/// Per-request telemetry side state; only populated when telemetry is on.
+#[derive(Debug, Clone, Copy)]
+struct ReqTel {
+    /// The request's whole-lifetime span.
+    root: SpanId,
+    /// The currently open phase span (queue wait / prefill / decode round).
+    phase: SpanId,
+    /// Open KV offload span (on the request's `kv-out` subtrack).
+    kv_out: SpanId,
+    /// Open KV swap-in span (on the request's `kv-in` subtrack).
+    kv_in: SpanId,
+    /// Scheduler decision that placed the request's next phase; consumed
+    /// as the `cause` link when that phase span opens.
+    cause: SpanId,
+}
+
+impl ReqTel {
+    const EMPTY: ReqTel = ReqTel {
+        root: SpanId::NONE,
+        phase: SpanId::NONE,
+        kv_out: SpanId::NONE,
+        kv_in: SpanId::NONE,
+        cause: SpanId::NONE,
+    };
+}
+
+/// Pre-registered metric ids (all [`CounterId::NONE`]-style nulls when
+/// telemetry is off, making every hot-path op a single branch).
+#[derive(Debug)]
+struct TelIds {
+    c_switches: CounterId,
+    c_prefetch_hits: CounterId,
+    c_swaps: CounterId,
+    c_preemptions: CounterId,
+    c_retries: CounterId,
+    c_chaos_crashes: CounterId,
+    c_chaos_windows: CounterId,
+    c_completed: CounterId,
+    c_events_dispatched: CounterId,
+    c_audit_checks: CounterId,
+    c_audit_violations: CounterId,
+    c_meta_reads: CounterId,
+    c_meta_writes: CounterId,
+    g_prefill_queue_depth: GaugeId,
+    g_decode_work: GaugeId,
+    g_decode_batches: GaugeId,
+    g_vram_kv_used: GaugeId,
+    g_cpu_kv_used: GaugeId,
+    g_link_bytes_in_flight: GaugeId,
+    g_active_models: GaugeId,
+    h_scale_latency: HistId,
+    h_batch_size: HistId,
+}
+
+impl TelIds {
+    /// Registers every instrument; on a disabled registry all ids are null.
+    fn register(reg: &mut aegaeon_telemetry::MetricsRegistry) -> TelIds {
+        TelIds {
+            c_switches: reg.counter("switches"),
+            c_prefetch_hits: reg.counter("prefetch_hits"),
+            c_swaps: reg.counter("kv_swaps"),
+            c_preemptions: reg.counter("preemptions"),
+            c_retries: reg.counter("proxy_retries"),
+            c_chaos_crashes: reg.counter("chaos_crashes"),
+            c_chaos_windows: reg.counter("chaos_windows"),
+            c_completed: reg.counter("completed_requests"),
+            c_events_dispatched: reg.counter("events_dispatched"),
+            c_audit_checks: reg.counter("audit_checks"),
+            c_audit_violations: reg.counter("audit_violations"),
+            c_meta_reads: reg.counter("metastore_reads"),
+            c_meta_writes: reg.counter("metastore_writes"),
+            g_prefill_queue_depth: reg.gauge("prefill_queue_depth"),
+            g_decode_work: reg.gauge("decode_work_requests"),
+            g_decode_batches: reg.gauge("decode_batches"),
+            g_vram_kv_used: reg.gauge("vram_kv_used_bytes"),
+            g_cpu_kv_used: reg.gauge("cpu_kv_used_bytes"),
+            g_link_bytes_in_flight: reg.gauge("link_bytes_in_flight"),
+            g_active_models: reg.gauge("active_models"),
+            h_scale_latency: reg.histogram(
+                "scale_latency_secs",
+                &[0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0],
+            ),
+            h_batch_size: reg.histogram("batch_size", &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0]),
         }
     }
 }
@@ -102,6 +194,8 @@ struct TurnState {
     step_reqs: Vec<RequestId>,
     step_dur: f64,
     kv_stall_since: Option<SimTime>,
+    /// Open telemetry span covering this turn ([`SpanId::NONE`] when off).
+    span: SpanId,
 }
 
 #[derive(Debug)]
@@ -161,6 +255,12 @@ pub struct ServingSystem {
     frag: FragSampler,
     util_samples: Vec<(SimTime, Vec<f64>)>,
     schedule: TraceLog,
+    /// Request-lifecycle spans + sampled metrics (observer only).
+    tel: Telemetry,
+    /// Pre-registered metric ids.
+    tm: TelIds,
+    /// Per-request span handles; empty when telemetry is off.
+    req_tel: Vec<ReqTel>,
     completed: usize,
     arrivals_left: usize,
     swaps: u64,
@@ -229,11 +329,25 @@ impl ServingSystem {
                 a.after_event(q.now(), &sys);
                 sys.auditor = Some(a);
             }
+            // Registry poller: runs in the dispatch loop (never as a queue
+            // event, which would change event counts and tie-breaking) and
+            // stamps samples at exact interval boundaries.
+            while let Some(at) = sys.tel.sample_due(t) {
+                sys.tel_poll(at);
+            }
         }
         let report = sys.auditor.take().map(|mut a| {
             a.at_finish(q.now(), &sys);
             a.take_report()
         });
+        if let Some(rep) = &report {
+            // Satellite: run-level auditor stats flow through the registry,
+            // same code path as every other counter.
+            sys.tel.metrics.set_counter(sys.tm.c_audit_checks, rep.events_checked);
+            sys.tel
+                .metrics
+                .set_counter(sys.tm.c_audit_violations, rep.violations.len() as u64);
+        }
         (sys.finish(&q), report)
     }
 
@@ -364,6 +478,13 @@ impl ServingSystem {
         } else {
             TraceLog::disabled()
         };
+        let mut tel = Telemetry::new(&cfg.telemetry);
+        let tm = TelIds::register(&mut tel.metrics);
+        let req_tel = if tel.is_enabled() {
+            vec![ReqTel::EMPTY; trace.len()]
+        } else {
+            Vec::new()
+        };
         let meta = MetaStore::new(cfg.proxy_latency, cfg.failover_latency / 2);
         let faults = cfg.faults.materialize(
             cfg.seed,
@@ -402,6 +523,9 @@ impl ServingSystem {
             frag: FragSampler::new(),
             util_samples: Vec::new(),
             schedule,
+            tel,
+            tm,
+            req_tel,
             completed: 0,
             arrivals_left,
             swaps: 0,
@@ -447,6 +571,8 @@ impl ServingSystem {
             }
             Ev::Arrive(idx) => {
                 self.arrivals_left -= 1;
+                let rid = self.trace.requests[idx as usize].id;
+                self.tel_req_arrive(rid, q.now());
                 if self.meta.stalled(q.now()) {
                     // Proxy metadata path is stalled: retry with backoff
                     // instead of dispatching against stale state.
@@ -458,6 +584,18 @@ impl ServingSystem {
                 self.ensure_ticks(q);
             }
             Ev::Retry { req, attempt } => {
+                self.tel.metrics.inc(self.tm.c_retries, 1);
+                if self.tel.is_enabled() {
+                    let i = self.trace.requests[req as usize].id.0 as usize;
+                    let cause = self.req_tel[i].root;
+                    self.tel.spans.instant(
+                        || format!("req{i}"),
+                        SpanKind::Retry,
+                        q.now(),
+                        cause,
+                        || format!("retry#{attempt}"),
+                    );
+                }
                 if self.meta.stalled(q.now()) {
                     let wait = self.meta.retry_backoff(attempt + 1);
                     q.schedule_after(
@@ -558,11 +696,185 @@ impl ServingSystem {
         }
     }
 
+    // ----- Telemetry hooks (observer only) ------------------------------
+    //
+    // Every hook is a single branch when telemetry is off; label closures
+    // never run. None of them touches the event queue, the RNG, or any
+    // state the simulation reads, so results are bit-identical either way
+    // (proven by the differential test in tests/telemetry.rs).
+
+    /// Computes every gauge and snapshots the registry at boundary `at`.
+    fn tel_poll(&mut self, at: SimTime) {
+        let pq: usize = self.prefills.iter().map(|p| p.queue.pending()).sum();
+        let dw: usize = self.decodes.iter().map(|d| d.work.len()).sum();
+        let batches: usize = self.decodes.iter().map(|d| d.work.iter().count()).sum();
+        let vram: u64 = self
+            .prefills
+            .iter()
+            .map(|p| p.gpu_kv.used_bytes())
+            .chain(self.decodes.iter().map(|d| d.gpu_kv.used_bytes()))
+            .sum();
+        let cpu: u64 = self.nodes.iter().map(|n| n.cpu_kv.used_bytes()).sum();
+        let inflight: f64 = (0..self.fabric.link_count())
+            .map(|l| self.fabric.link(LinkId(l as u32)).bytes_in_flight())
+            .sum();
+        let mut models: Vec<ModelId> = self
+            .prefills
+            .iter()
+            .map(|p| &p.scaler)
+            .chain(self.decodes.iter().map(|d| &d.scaler))
+            .filter_map(|s| s.current)
+            .collect();
+        models.sort_unstable_by_key(|m| m.0);
+        models.dedup();
+        let m = &mut self.tel.metrics;
+        m.set_counter(self.tm.c_completed, self.completed as u64);
+        m.set(self.tm.g_prefill_queue_depth, pq as f64);
+        m.set(self.tm.g_decode_work, dw as f64);
+        m.set(self.tm.g_decode_batches, batches as f64);
+        m.set(self.tm.g_vram_kv_used, vram as f64);
+        m.set(self.tm.g_cpu_kv_used, cpu as f64);
+        m.set(self.tm.g_link_bytes_in_flight, inflight);
+        m.set(self.tm.g_active_models, models.len() as f64);
+        m.sample(at);
+    }
+
+    /// Opens the request's whole-lifetime root span at arrival.
+    fn tel_req_arrive(&mut self, req: RequestId, now: SimTime) {
+        if !self.tel.is_enabled() {
+            return;
+        }
+        let i = req.0 as usize;
+        let model = self.trace.requests[i].model;
+        let id = self.tel.spans.start(
+            || format!("req{i}"),
+            SpanKind::Request,
+            now,
+            SpanId::NONE,
+            SpanId::NONE,
+            || format!("req{i}:{model}"),
+        );
+        self.req_tel[i].root = id;
+    }
+
+    /// Opens a new phase span under the request's root, force-closing any
+    /// previous phase first (robust across failover and preemption, where
+    /// phases end at re-dispatch rather than at a clean boundary). Consumes
+    /// the pending scheduler-decision instant as the cause link.
+    fn tel_begin_phase(&mut self, req: RequestId, kind: SpanKind, label: &'static str, now: SimTime) {
+        if !self.tel.is_enabled() {
+            return;
+        }
+        let i = req.0 as usize;
+        let rt = self.req_tel[i];
+        if !rt.phase.is_none() {
+            self.tel.spans.end(rt.phase, now);
+        }
+        let id = self.tel.spans.start(
+            || format!("req{i}"),
+            kind,
+            now,
+            rt.root,
+            rt.cause,
+            || label,
+        );
+        self.req_tel[i].phase = id;
+        self.req_tel[i].cause = SpanId::NONE;
+    }
+
+    /// Ends the request's open phase span, if any.
+    fn tel_end_phase(&mut self, req: RequestId, now: SimTime) {
+        if !self.tel.is_enabled() {
+            return;
+        }
+        let i = req.0 as usize;
+        let id = std::mem::replace(&mut self.req_tel[i].phase, SpanId::NONE);
+        self.tel.spans.end(id, now);
+    }
+
+    /// Ends the request's phase and root spans (completion).
+    fn tel_req_done(&mut self, req: RequestId, now: SimTime) {
+        if !self.tel.is_enabled() {
+            return;
+        }
+        self.tel_end_phase(req, now);
+        let i = req.0 as usize;
+        let id = std::mem::replace(&mut self.req_tel[i].root, SpanId::NONE);
+        self.tel.spans.end(id, now);
+    }
+
+    /// Records a scheduler-decision instant and remembers it as the cause
+    /// for the request's next phase span.
+    fn tel_decision<S: Into<String>>(
+        &mut self,
+        req: RequestId,
+        now: SimTime,
+        label: impl FnOnce() -> S,
+    ) {
+        if !self.tel.is_enabled() {
+            return;
+        }
+        let id = self
+            .tel
+            .spans
+            .instant(|| "scheduler", SpanKind::Decision, now, SpanId::NONE, label);
+        self.req_tel[req.0 as usize].cause = id;
+    }
+
+    /// Opens a KV-transfer span on the request's `kv-out` / `kv-in`
+    /// subtrack (separate subtracks: an offload and the matching swap-in
+    /// can overlap under §5.3 rule ❷).
+    fn tel_kv_start(&mut self, req: RequestId, now: SimTime, out: bool) {
+        if !self.tel.is_enabled() {
+            return;
+        }
+        let i = req.0 as usize;
+        let rt = self.req_tel[i];
+        let slot = if out { rt.kv_out } else { rt.kv_in };
+        if !slot.is_none() {
+            // A crash can strand an in-flight transfer whose completion tag
+            // never fires; the replacement transfer closes it here.
+            self.tel.spans.end(slot, now);
+        }
+        let dir = if out { "kv-out" } else { "kv-in" };
+        // Cause, not parent: a transfer stranded on a slow link can outlive
+        // the root span when the request re-prefills and completes first.
+        let id = self.tel.spans.start(
+            || format!("req{i}/{dir}"),
+            SpanKind::KvTransfer,
+            now,
+            SpanId::NONE,
+            rt.root,
+            || dir,
+        );
+        if out {
+            self.req_tel[i].kv_out = id;
+        } else {
+            self.req_tel[i].kv_in = id;
+        }
+    }
+
+    /// Closes the request's open KV-transfer span.
+    fn tel_kv_end(&mut self, req: RequestId, now: SimTime, out: bool) {
+        if !self.tel.is_enabled() {
+            return;
+        }
+        let i = req.0 as usize;
+        let slot = if out {
+            &mut self.req_tel[i].kv_out
+        } else {
+            &mut self.req_tel[i].kv_in
+        };
+        let id = std::mem::replace(slot, SpanId::NONE);
+        self.tel.spans.end(id, now);
+    }
+
     // ----- Fault tolerance (Fig. 5 status sync) -------------------------
 
     /// An instance process dies: it stops serving instantly; the proxy
     /// learns about it one heartbeat later (`Ev::Failover`).
     fn on_fail(&mut self, i: usize, q: &mut Q) {
+        self.tel.metrics.inc(self.tm.c_chaos_crashes, 1);
         let FaultKind::Crash { kind, idx } = self.faults[i].kind else {
             unreachable!("Ev::Fail scheduled for a non-crash fault");
         };
@@ -640,6 +952,7 @@ impl ServingSystem {
     /// nesting depth (overlapping windows extend, not double-apply); proxy
     /// stalls are handed to the metadata store, whose window self-expires.
     fn on_fault_start(&mut self, i: usize, q: &mut Q) {
+        self.tel.metrics.inc(self.tm.c_chaos_windows, 1);
         let f = self.faults[i];
         let until = SimTime::from_secs_f64(f.until);
         match f.kind {
@@ -711,7 +1024,10 @@ impl ServingSystem {
             Tag::PrefetchDone { at, model, seq } => self.on_prefetch_done(at, model, seq, q),
             Tag::DecodeStep { inst, turn } => self.on_decode_step(inst as usize, turn, q),
             Tag::KvIn { inst, req, turn } => self.on_kv_in(inst as usize, req, turn, q),
-            Tag::KvOut { .. } | Tag::Noop => {}
+            // The offload copy's completion only matters to telemetry (the
+            // daemon reclaims its blocks via the recorded fabric event).
+            Tag::KvOut { req } => self.tel_kv_end(req, q.now(), true),
+            Tag::Noop => {}
         }
     }
 
@@ -767,6 +1083,9 @@ impl ServingSystem {
             self.prefills[best].queue.push_group(model, req);
             best
         };
+        let now = q.now();
+        self.tel_decision(req, now, || format!("prefill:{model}->p{pi}"));
+        self.tel_begin_phase(req, SpanKind::QueueWait, "prefill-wait", now);
         self.prefill_try_start(pi, q);
     }
 
@@ -811,6 +1130,7 @@ impl ServingSystem {
             let rs = &mut self.reqs[req.0 as usize];
             rs.prefill_start = Some(now);
         }
+        self.tel_begin_phase(req, SpanKind::Prefill, "prefill", now);
         self.breakdown.add_secs(
             Stage::PrefillWait,
             now.saturating_since(self.reqs[req.0 as usize].arrival)
@@ -856,6 +1176,7 @@ impl ServingSystem {
             self.schedule
                 .record_with(lane, start, now, TraceKind::Prefill, || format!("P:{model}"));
         }
+        self.tel_end_phase(req, now);
         self.prefills[pi].active = None;
         // Offload the fresh KV to the unified CPU cache, then hand the
         // request to a decoding instance (the swap-in will synchronize on
@@ -934,12 +1255,16 @@ impl ServingSystem {
             rs.decode_dispatch = Some(q.now());
             rs.phase = Phase::Decode;
         }
+        let now = q.now();
+        self.tel_decision(req, now, || format!("decode:{model}->d{di}"));
+        self.tel_begin_phase(req, SpanKind::QueueWait, "decode-wait", now);
         // If this batch is currently mid-turn, pull the request straight in.
         let active_now = self.decodes[di]
             .turn
             .as_ref()
             .is_some_and(|t| t.batch == batch_id);
         if active_now {
+            self.tel_begin_phase(req, SpanKind::DecodeRound, "decode-round", now);
             self.issue_swap_in(di, req, q);
             self.maybe_start_stepping(di, q);
         }
@@ -1043,10 +1368,31 @@ impl ServingSystem {
                 step_reqs: Vec::new(),
                 step_dur: 0.0,
                 kv_stall_since: None,
+                span: SpanId::NONE,
             });
             d.turn_gen
         };
         debug_assert!(gen > 0);
+        let now = q.now();
+        self.tel.metrics.observe(self.tm.h_batch_size, reqs.len() as f64);
+        if self.tel.is_enabled() {
+            let span = self.tel.spans.start(
+                || format!("decode{di}"),
+                SpanKind::DecodeRound,
+                now,
+                SpanId::NONE,
+                SpanId::NONE,
+                || format!("turn:{model}"),
+            );
+            if let Some(t) = self.decodes[di].turn.as_mut() {
+                t.span = span;
+            }
+            for r in &reqs {
+                // The turn is the cause of each member's decode-round phase.
+                self.req_tel[r.0 as usize].cause = span;
+                self.tel_begin_phase(*r, SpanKind::DecodeRound, "decode-round", now);
+            }
+        }
         let at = InstRef::decode(di);
         // Prefetch the next different model: look ahead in this round, and
         // across the boundary into the (reordered) next round.
@@ -1236,6 +1582,7 @@ impl ServingSystem {
                 self.reqs[req.0 as usize].kv_ready = false;
                 self.decodes[di].work.remove_request(req);
                 self.completed += 1;
+                self.tel_req_done(req, now);
             } else if self.decodes[di].gpu_kv.extend(req, ctx).is_err() {
                 overflow = true;
             }
@@ -1264,6 +1611,28 @@ impl ServingSystem {
             .get(batch_id)
             .map(|b| b.reqs.clone())
             .unwrap_or_default();
+        {
+            let now = q.now();
+            if !reqs.is_empty() {
+                // Quota expired with members still decoding: a preemption.
+                self.tel.metrics.inc(self.tm.c_preemptions, 1);
+                if self.tel.is_enabled() {
+                    self.tel.spans.instant(
+                        || format!("decode{di}"),
+                        SpanKind::Preempt,
+                        now,
+                        turn.span,
+                        || "preempt",
+                    );
+                }
+            }
+            if self.tel.is_enabled() {
+                for r in &reqs {
+                    self.tel_end_phase(*r, now);
+                }
+            }
+            self.tel.spans.end(turn.span, now);
+        }
         if !skip_offload && self.cfg.kv_residency {
             if let Some(b) = self.decodes[di].work.get(batch_id) {
                 let ctx: u64 = b
@@ -1294,6 +1663,7 @@ impl ServingSystem {
     }
 
     fn on_kv_in(&mut self, di: usize, req: RequestId, _turn: u64, q: &mut Q) {
+        self.tel_kv_end(req, q.now(), false);
         if self.decodes[di].dead {
             return;
         }
@@ -1361,6 +1731,8 @@ impl ServingSystem {
             self.cfg.control_overhead_per_swap.as_secs_f64(),
         );
         self.swaps += 1;
+        self.tel.metrics.inc(self.tm.c_swaps, 1);
+        self.tel_kv_start(req, q.now(), true);
         true
     }
 
@@ -1447,6 +1819,8 @@ impl ServingSystem {
             self.cfg.control_overhead_per_swap.as_secs_f64(),
         );
         self.swaps += 1;
+        self.tel.metrics.inc(self.tm.c_swaps, 1);
+        self.tel_kv_start(req, q.now(), false);
     }
 
     // ----- Auto-scaling -------------------------------------------------
@@ -1522,6 +1896,25 @@ impl ServingSystem {
             s.scale_seq
         };
         self.scale_count += 1;
+        self.tel.metrics.inc(self.tm.c_switches, 1);
+        if self.tel.is_enabled() {
+            // A crash can strand the previous switch span open: close it
+            // before a new switch starts on the same instance track.
+            let old = std::mem::replace(&mut self.scaler_mut(at).switch_span, SpanId::NONE);
+            self.tel.spans.end(old, now);
+            let span = self.tel.spans.start(
+                || match at.kind {
+                    InstKind::Prefill => format!("prefill{}", at.idx),
+                    InstKind::Decode => format!("decode{}", at.idx),
+                },
+                SpanKind::Switch,
+                now,
+                SpanId::NONE,
+                SpanId::NONE,
+                || format!("S:{target}"),
+            );
+            self.scaler_mut(at).switch_span = span;
+        }
         for (gi, g) in gpus.iter().enumerate() {
             let h = self.topo.gpu(*g).clone();
             if let Some(evs) = &wait_events {
@@ -1600,6 +1993,7 @@ impl ServingSystem {
         };
         if hit {
             self.prefetch_hits += 1;
+            self.tel.metrics.inc(self.tm.c_prefetch_hits, 1);
         }
         if self.weight_slots > 1 {
             let slots = self.weight_slots as usize;
@@ -1612,6 +2006,11 @@ impl ServingSystem {
         }
         self.scale_latencies
             .push(now.saturating_since(started).as_secs_f64());
+        self.tel
+            .metrics
+            .observe(self.tm.h_scale_latency, now.saturating_since(started).as_secs_f64());
+        let switch_span = std::mem::replace(&mut self.scaler_mut(at).switch_span, SpanId::NONE);
+        self.tel.spans.end(switch_span, now);
         if self.schedule.is_enabled() {
             let lane = self.primary(at).to_string();
             self.schedule
@@ -1879,6 +2278,16 @@ impl ServingSystem {
                     .as_secs_f64()
             })
             .collect();
+        self.tel
+            .metrics
+            .set_counter(self.tm.c_events_dispatched, q.events_dispatched());
+        let (meta_reads, meta_writes) = self.meta.stats();
+        self.tel.metrics.set_counter(self.tm.c_meta_reads, meta_reads);
+        self.tel.metrics.set_counter(self.tm.c_meta_writes, meta_writes);
+        self.tel
+            .metrics
+            .set_counter(self.tm.c_completed, self.completed as u64);
+        self.tel.finish(q.now());
         RunResult {
             outcomes,
             horizon: self.trace.horizon,
@@ -1897,6 +2306,7 @@ impl ServingSystem {
             swaps: self.swaps,
             events: q.events_dispatched(),
             schedule: self.schedule,
+            telemetry: self.tel,
         }
     }
 }

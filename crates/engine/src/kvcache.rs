@@ -199,6 +199,17 @@ impl KvCache {
         self.pool.usage()
     }
 
+    /// Bytes of KV currently in use across every shape; allocation-free,
+    /// for per-interval telemetry gauges.
+    pub fn used_bytes(&self) -> u64 {
+        self.pool.total_used_bytes()
+    }
+
+    /// Slabs currently assigned to any shape in the backing pool.
+    pub fn slabs_in_use(&self) -> usize {
+        self.pool.slabs_in_use()
+    }
+
     /// Bytes per token per shard for a registered model.
     pub fn bytes_per_token(&self, model: ModelId) -> u64 {
         self.models.get(&model).expect("model registered").1

@@ -286,6 +286,19 @@ impl SlabPool {
         self.shapes[shape.0 as usize].used_blocks
     }
 
+    /// Total bytes in blocks currently in use across every shape.
+    ///
+    /// Allocation-free (unlike [`usage`](Self::usage)), so the telemetry
+    /// poller can read it every sampling interval.
+    pub fn total_used_bytes(&self) -> u64 {
+        self.shapes.iter().map(|s| s.used_blocks * s.block_bytes).sum()
+    }
+
+    /// Total bytes in slabs currently assigned to any shape.
+    pub fn total_allocated_bytes(&self) -> u64 {
+        self.slabs_in_use() as u64 * self.cfg.slab_bytes
+    }
+
     /// Usage snapshot for every registered shape (Figure 16 input).
     pub fn usage(&self) -> Vec<ShapeUsage> {
         self.shapes

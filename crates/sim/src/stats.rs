@@ -156,4 +156,68 @@ mod tests {
         assert_eq!(w.variance(), 0.0);
         assert_eq!(w.count(), 0);
     }
+
+    #[test]
+    fn merge_of_two_empties_stays_empty() {
+        let mut a = Welford::new();
+        a.merge(&Welford::new());
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.variance(), 0.0);
+        assert_eq!(a.min(), f64::INFINITY);
+        assert_eq!(a.max(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn merge_empty_into_populated_is_identity() {
+        let mut a = Welford::new();
+        for x in [1.0, 2.0, 3.0] {
+            a.push(x);
+        }
+        let before = (a.count(), a.mean(), a.variance(), a.min(), a.max());
+        a.merge(&Welford::new());
+        assert_eq!(
+            (a.count(), a.mean(), a.variance(), a.min(), a.max()),
+            before
+        );
+    }
+
+    #[test]
+    fn merge_populated_into_empty_copies_everything() {
+        let mut src = Welford::new();
+        for x in [4.0, 6.0, 11.0] {
+            src.push(x);
+        }
+        let mut a = Welford::new();
+        a.merge(&src);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.mean(), src.mean());
+        assert_eq!(a.variance(), src.variance());
+        assert_eq!(a.min(), 4.0);
+        assert_eq!(a.max(), 11.0);
+    }
+
+    #[test]
+    fn merge_single_samples_matches_push_order_independent() {
+        // Two singleton accumulators merged either way agree with a plain
+        // two-sample push (the d²·n·m/n-total cross term's base case).
+        let mut a = Welford::new();
+        a.push(3.0);
+        let mut b = Welford::new();
+        b.push(9.0);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut whole = Welford::new();
+        whole.push(3.0);
+        whole.push(9.0);
+        for w in [&ab, &ba] {
+            assert_eq!(w.count(), 2);
+            assert!((w.mean() - whole.mean()).abs() < 1e-12);
+            assert!((w.variance() - whole.variance()).abs() < 1e-12);
+            assert_eq!(w.min(), 3.0);
+            assert_eq!(w.max(), 9.0);
+        }
+    }
 }

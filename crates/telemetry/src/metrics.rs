@@ -1,0 +1,311 @@
+//! Sim-time metrics registry.
+//!
+//! Components register named instruments once at setup time (string work is
+//! fine there) and get back dense integer ids; the hot-path operations —
+//! [`inc`](MetricsRegistry::inc), [`set`](MetricsRegistry::set),
+//! [`observe`](MetricsRegistry::observe) — are an index plus an add, with a
+//! single branch when the registry is disabled. A poller calls
+//! [`sample`](MetricsRegistry::sample) at a fixed sim-time interval to
+//! snapshot every counter and gauge into a time series; histograms
+//! accumulate over the whole run.
+//!
+//! Sample timestamps are quantized to multiples of the sampling interval so
+//! a series is reproducible regardless of the exact event times that
+//! triggered the poll.
+
+use aegaeon_sim::SimTime;
+
+/// Handle to a registered counter (monotone, reset never).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterId(pub u16);
+
+/// Handle to a registered gauge (set to the current level each poll).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GaugeId(pub u16);
+
+/// Handle to a registered histogram (fixed bounds, counts + sum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HistId(pub u16);
+
+impl CounterId {
+    /// Null handle returned by a disabled registry; all ops on it no-op.
+    pub const NONE: CounterId = CounterId(u16::MAX);
+}
+impl GaugeId {
+    /// Null handle returned by a disabled registry; all ops on it no-op.
+    pub const NONE: GaugeId = GaugeId(u16::MAX);
+}
+impl HistId {
+    /// Null handle returned by a disabled registry; all ops on it no-op.
+    pub const NONE: HistId = HistId(u16::MAX);
+}
+
+/// One sampled point of a counter or gauge series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Quantized sample instant (a multiple of the sampling interval).
+    pub at: SimTime,
+    /// Instrument value at that instant.
+    pub value: f64,
+}
+
+#[derive(Debug)]
+struct Series {
+    name: String,
+    value: f64,
+    samples: Vec<Sample>,
+}
+
+/// A fixed-bound histogram: `counts[i]` is the number of observations
+/// `<= bounds[i]`, with one overflow bucket at the end.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Instrument name, e.g. `"ttft_ms"`.
+    pub name: String,
+    /// Ascending upper bounds; observations above the last land in the
+    /// overflow bucket.
+    pub bounds: Vec<f64>,
+    /// `bounds.len() + 1` bucket counts.
+    pub counts: Vec<u64>,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Number of observations.
+    pub n: u64,
+}
+
+/// Pre-registered counters, gauges and histograms with dense ids.
+///
+/// Disabled by default; a disabled registry hands out null ids and every
+/// hot-path operation on it is one branch.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    counters: Vec<Series>,
+    gauges: Vec<Series>,
+    hists: Vec<Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates a disabled registry (null ids, no-op operations).
+    pub fn disabled() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Creates an enabled registry.
+    pub fn enabled() -> MetricsRegistry {
+        MetricsRegistry {
+            enabled: true,
+            ..MetricsRegistry::default()
+        }
+    }
+
+    /// True if recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Registers a counter (setup path; do not call per event).
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        if !self.enabled {
+            return CounterId::NONE;
+        }
+        debug_assert!(
+            !self.counters.iter().any(|s| s.name == name),
+            "duplicate counter {name}"
+        );
+        self.counters.push(Series {
+            name: name.to_string(),
+            value: 0.0,
+            samples: Vec::new(),
+        });
+        CounterId((self.counters.len() - 1) as u16)
+    }
+
+    /// Registers a gauge (setup path).
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        if !self.enabled {
+            return GaugeId::NONE;
+        }
+        debug_assert!(
+            !self.gauges.iter().any(|s| s.name == name),
+            "duplicate gauge {name}"
+        );
+        self.gauges.push(Series {
+            name: name.to_string(),
+            value: 0.0,
+            samples: Vec::new(),
+        });
+        GaugeId((self.gauges.len() - 1) as u16)
+    }
+
+    /// Registers a histogram with ascending bucket `bounds` (setup path).
+    pub fn histogram(&mut self, name: &str, bounds: &[f64]) -> HistId {
+        if !self.enabled {
+            return HistId::NONE;
+        }
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be ascending"
+        );
+        self.hists.push(Histogram {
+            name: name.to_string(),
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            n: 0,
+        });
+        HistId((self.hists.len() - 1) as u16)
+    }
+
+    /// Adds `by` to a counter. One branch when disabled or null-id.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId, by: u64) {
+        if !self.enabled || id == CounterId::NONE {
+            return;
+        }
+        self.counters[id.0 as usize].value += by as f64;
+    }
+
+    /// Sets a counter to an absolute value (for surfacing counters that are
+    /// already maintained elsewhere, e.g. `EventQueue::events_dispatched`).
+    #[inline]
+    pub fn set_counter(&mut self, id: CounterId, value: u64) {
+        if !self.enabled || id == CounterId::NONE {
+            return;
+        }
+        self.counters[id.0 as usize].value = value as f64;
+    }
+
+    /// Sets a gauge level. One branch when disabled or null-id.
+    #[inline]
+    pub fn set(&mut self, id: GaugeId, value: f64) {
+        if !self.enabled || id == GaugeId::NONE {
+            return;
+        }
+        self.gauges[id.0 as usize].value = value;
+    }
+
+    /// Records one histogram observation. One branch when disabled.
+    #[inline]
+    pub fn observe(&mut self, id: HistId, value: f64) {
+        if !self.enabled || id == HistId::NONE {
+            return;
+        }
+        let h = &mut self.hists[id.0 as usize];
+        let bucket = h.bounds.partition_point(|&b| value > b);
+        h.counts[bucket] += 1;
+        h.sum += value;
+        h.n += 1;
+    }
+
+    /// Current value of a counter (for tests and run-level summaries).
+    pub fn counter_value(&self, id: CounterId) -> f64 {
+        if !self.enabled || id == CounterId::NONE {
+            return 0.0;
+        }
+        self.counters[id.0 as usize].value
+    }
+
+    /// Snapshots every counter and gauge at quantized instant `at`.
+    ///
+    /// The poller is responsible for passing a boundary-quantized `at` (a
+    /// multiple of the sampling interval) so series are independent of the
+    /// precise event times that triggered polling.
+    pub fn sample(&mut self, at: SimTime) {
+        if !self.enabled {
+            return;
+        }
+        for s in self.counters.iter_mut().chain(self.gauges.iter_mut()) {
+            s.samples.push(Sample { at, value: s.value });
+        }
+    }
+
+    /// All counter series as `(name, samples)` in registration order.
+    pub fn counter_series(&self) -> impl Iterator<Item = (&str, &[Sample])> {
+        self.counters.iter().map(|s| (s.name.as_str(), s.samples.as_slice()))
+    }
+
+    /// All gauge series as `(name, samples)` in registration order.
+    pub fn gauge_series(&self) -> impl Iterator<Item = (&str, &[Sample])> {
+        self.gauges.iter().map(|s| (s.name.as_str(), s.samples.as_slice()))
+    }
+
+    /// All histograms in registration order.
+    pub fn histograms(&self) -> &[Histogram] {
+        &self.hists
+    }
+
+    /// Final `(name, value)` of every counter, in registration order.
+    pub fn counter_totals(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.counters.iter().map(|s| (s.name.as_str(), s.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let mut reg = MetricsRegistry::disabled();
+        let c = reg.counter("x");
+        let g = reg.gauge("y");
+        let h = reg.histogram("z", &[1.0]);
+        assert_eq!(c, CounterId::NONE);
+        assert_eq!(g, GaugeId::NONE);
+        assert_eq!(h, HistId::NONE);
+        reg.inc(c, 3);
+        reg.set(g, 5.0);
+        reg.observe(h, 0.5);
+        reg.sample(t(1.0));
+        assert_eq!(reg.counter_series().count(), 0);
+        assert_eq!(reg.gauge_series().count(), 0);
+        assert!(reg.histograms().is_empty());
+    }
+
+    #[test]
+    fn counters_and_gauges_sample_into_series() {
+        let mut reg = MetricsRegistry::enabled();
+        let c = reg.counter("switches");
+        let g = reg.gauge("queue_depth");
+        reg.inc(c, 1);
+        reg.set(g, 4.0);
+        reg.sample(t(1.0));
+        reg.inc(c, 2);
+        reg.set(g, 2.0);
+        reg.sample(t(2.0));
+        let (name, samples) = reg.counter_series().next().unwrap();
+        assert_eq!(name, "switches");
+        assert_eq!(samples, &[Sample { at: t(1.0), value: 1.0 }, Sample { at: t(2.0), value: 3.0 }]);
+        let (gname, gsamples) = reg.gauge_series().next().unwrap();
+        assert_eq!(gname, "queue_depth");
+        assert_eq!(gsamples[1].value, 2.0);
+        assert_eq!(reg.counter_value(c), 3.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut reg = MetricsRegistry::enabled();
+        let h = reg.histogram("lat", &[1.0, 10.0]);
+        reg.observe(h, 0.5); // <= 1.0
+        reg.observe(h, 1.0); // <= 1.0 (inclusive upper bound)
+        reg.observe(h, 5.0); // <= 10.0
+        reg.observe(h, 50.0); // overflow
+        let hist = &reg.histograms()[0];
+        assert_eq!(hist.counts, vec![2, 1, 1]);
+        assert_eq!(hist.n, 4);
+        assert!((hist.sum - 56.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_counter_overwrites_for_surfaced_stats() {
+        let mut reg = MetricsRegistry::enabled();
+        let c = reg.counter("events_dispatched");
+        reg.set_counter(c, 1234);
+        assert_eq!(reg.counter_value(c), 1234.0);
+    }
+}

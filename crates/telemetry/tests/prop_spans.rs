@@ -1,0 +1,130 @@
+//! Property test: any span log produced through the public API with a
+//! monotone clock — arbitrary interleavings of opening children, closing
+//! spans, and instants, with end-of-run truncation — is structurally
+//! well-formed per [`SpanLog::validate`]: child intervals nest inside their
+//! parents, nothing stays open past end-of-run, and record order is
+//! time-monotone.
+
+use proptest::prelude::*;
+
+use aegaeon_sim::SimTime;
+use aegaeon_telemetry::{SpanId, SpanKind, SpanLog};
+
+/// One scripted operation: `(kind % 4, pick, dt)`.
+/// 0 → open a root span; 1 → open a child of a randomly picked open span;
+/// 2 → close a randomly picked open span; 3 → record an instant.
+/// Every op first advances the clock by `dt` ns.
+type Op = (u32, u32, u64);
+
+const KINDS: [SpanKind; 5] = [
+    SpanKind::Request,
+    SpanKind::QueueWait,
+    SpanKind::Prefill,
+    SpanKind::DecodeRound,
+    SpanKind::KvTransfer,
+];
+
+fn run_script(ops: &[Op]) -> SpanLog {
+    let mut log = SpanLog::enabled();
+    let mut now = SimTime::ZERO;
+    // Open spans, deepest last; children may only close before their
+    // parents (the instrumented systems guarantee this by construction:
+    // phase spans are force-closed before their request root).
+    let mut open: Vec<SpanId> = Vec::new();
+    for (i, &(kind, pick, dt)) in ops.iter().enumerate() {
+        now += aegaeon_sim::SimDur::from_nanos(dt % 1_000_000);
+        let span_kind = KINDS[i % KINDS.len()];
+        match kind % 4 {
+            0 => {
+                let id = log.start(
+                    || format!("track{}", pick % 4),
+                    span_kind,
+                    now,
+                    SpanId::NONE,
+                    SpanId::NONE,
+                    || format!("s{i}"),
+                );
+                open.push(id);
+            }
+            1 => {
+                let parent = if open.is_empty() {
+                    SpanId::NONE
+                } else {
+                    open[pick as usize % open.len()]
+                };
+                let id = log.start(
+                    || format!("track{}", pick % 4),
+                    span_kind,
+                    now,
+                    parent,
+                    SpanId::NONE,
+                    || format!("s{i}"),
+                );
+                open.push(id);
+            }
+            2 => {
+                if !open.is_empty() {
+                    // Close the most recent open span: mirrors the LIFO
+                    // discipline of the real begin/end phase helpers, and
+                    // keeps children from outliving their parents.
+                    let id = open.pop().unwrap();
+                    log.end(id, now);
+                }
+            }
+            _ => {
+                log.instant(
+                    || "decisions",
+                    SpanKind::Decision,
+                    now,
+                    SpanId::NONE,
+                    || format!("d{i}"),
+                );
+            }
+        }
+    }
+    // End-of-run: close everything still open, children first.
+    while let Some(id) = open.pop() {
+        log.end(id, now);
+    }
+    log.close_open(now);
+    log
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary API-driven scripts always validate.
+    #[test]
+    fn api_driven_logs_are_well_formed(
+        ops in prop::collection::vec((0u32..4, 0u32..16, 0u64..1_000_000), 1..200)
+    ) {
+        let log = run_script(&ops);
+        prop_assert!(log.validate().is_none(), "{:?}", log.validate());
+    }
+
+    /// Truncation alone (no explicit closes) also yields a valid log: no
+    /// span is left open and every child still nests in its parent.
+    #[test]
+    fn close_open_always_repairs_open_trees(
+        ops in prop::collection::vec((0u32..2, 0u32..16, 0u64..1_000_000), 1..100)
+    ) {
+        let mut log = SpanLog::enabled();
+        let mut now = SimTime::ZERO;
+        let mut last = SpanId::NONE;
+        for (i, &(kind, pick, dt)) in ops.iter().enumerate() {
+            now += aegaeon_sim::SimDur::from_nanos(dt % 1_000_000);
+            let parent = if kind == 0 { SpanId::NONE } else { last };
+            last = log.start(
+                || format!("track{}", pick % 4),
+                KINDS[i % KINDS.len()],
+                now,
+                parent,
+                SpanId::NONE,
+                || format!("s{i}"),
+            );
+        }
+        log.close_open(now);
+        prop_assert!(log.validate().is_none(), "{:?}", log.validate());
+        prop_assert!(log.spans().iter().all(|s| !s.is_open()));
+    }
+}

@@ -5,6 +5,10 @@
 //! ```text
 //! cargo run --release -p aegaeon-bench --example schedule_timeline
 //! ```
+//!
+//! Pass `--trace-out FILE.json` to also export the run as a Chrome Trace
+//! Event Format file with full request-lifecycle spans and metric series
+//! (open in Perfetto / `chrome://tracing`).
 
 use aegaeon::{AegaeonConfig, ServingSystem};
 use aegaeon_metrics::report::render_timeline;
@@ -13,6 +17,20 @@ use aegaeon_sim::{SimRng, SimTime};
 use aegaeon_workload::{LengthDist, SloSpec, TraceBuilder};
 
 fn main() {
+    let mut trace_out: Option<String> = None;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--trace-out" => {
+                trace_out = Some(it.next().expect("--trace-out FILE.json").clone());
+            }
+            other => {
+                eprintln!("usage: schedule_timeline [--trace-out FILE.json] (got {other})");
+                std::process::exit(2);
+            }
+        }
+    }
     let zoo = Zoo::standard();
     let models = Zoo::replicate(&zoo.market_band(), 5);
     let mut rng = SimRng::seed_from_u64(5);
@@ -23,6 +41,9 @@ fn main() {
     let mut cfg = AegaeonConfig::small_testbed(1, 2);
     cfg.seed = 5;
     cfg.trace_schedule = true;
+    if trace_out.is_some() {
+        cfg.telemetry = aegaeon_telemetry::TelemetrySpec::enabled();
+    }
     let r = ServingSystem::run(&cfg, &models, &trace);
 
     println!(
@@ -46,4 +67,10 @@ fn main() {
          batches per Algorithm 2 while prefills stream through gpu0 (Algorithm 1).",
         r.scale_count
     );
+    if let Some(path) = trace_out {
+        let json =
+            aegaeon_telemetry::chrome_trace(&r.schedule, &r.telemetry.spans, &r.telemetry.metrics);
+        std::fs::write(&path, json).expect("write trace file");
+        println!("\nwrote {path} (open in Perfetto / chrome://tracing)");
+    }
 }

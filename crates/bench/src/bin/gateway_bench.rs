@@ -1,0 +1,271 @@
+//! Open-loop load harness for the live serving gateway.
+//!
+//! Generates a multi-model arrival schedule with the standard workload
+//! synthesizer, compresses it onto the wall clock with
+//! [`Trace::time_scaled`], and fires each request at its scheduled wall
+//! instant regardless of completions (open-system load, the paper's §7
+//! methodology — closed-loop clients understate tail latency). Each
+//! request is a real `POST /v1/completions` over a fresh TCP connection;
+//! the SSE stream is consumed frame by frame to timestamp first and
+//! subsequent tokens.
+//!
+//! ```text
+//! gateway_bench [--addr HOST:PORT] [--models N] [--rps R] [--secs S]
+//!               [--warp K] [--cap-tokens N] [--seed S]
+//! ```
+//!
+//! With `--addr`, drives an externally started gateway (CI smoke mode);
+//! otherwise boots an in-process gateway in timewarp mode and drives
+//! that. Writes `BENCH_gateway_throughput.json` at the repository root.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use aegaeon::AegaeonConfig;
+use aegaeon_bench::{banner, market_models, uniform_trace, SEED};
+use aegaeon_gateway::client::SseStream;
+use aegaeon_gateway::server::{Gateway, GatewayConfig};
+use aegaeon_gateway::{sse, ClockMode};
+use aegaeon_workload::LengthDist;
+
+struct Args {
+    addr: Option<String>,
+    models: usize,
+    rps: f64,
+    secs: f64,
+    warp: f64,
+    cap_tokens: u32,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: None,
+        models: 4,
+        rps: 1.0,
+        secs: 40.0,
+        warp: 20.0,
+        cap_tokens: 16,
+        seed: SEED,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = Some(value("--addr")?),
+            "--models" => args.models = value("--models")?.parse().map_err(|e| format!("--models: {e}"))?,
+            "--rps" => args.rps = value("--rps")?.parse().map_err(|e| format!("--rps: {e}"))?,
+            "--secs" => args.secs = value("--secs")?.parse().map_err(|e| format!("--secs: {e}"))?,
+            "--warp" => args.warp = value("--warp")?.parse().map_err(|e| format!("--warp: {e}"))?,
+            "--cap-tokens" => {
+                args.cap_tokens = value("--cap-tokens")?.parse().map_err(|e| format!("--cap-tokens: {e}"))?
+            }
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// One client's observation of one request.
+#[derive(Debug, Default, Clone)]
+struct Sample {
+    status: u16,
+    tokens: u32,
+    /// Wall seconds from send to first token.
+    ttft: Option<f64>,
+    /// Wall seconds between consecutive tokens.
+    tbts: Vec<f64>,
+    io_error: bool,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn drive_one(addr: std::net::SocketAddr, body: &str) -> Sample {
+    let mut sample = Sample::default();
+    let sent = Instant::now();
+    let mut stream = match SseStream::post(addr, "/v1/completions", body, Duration::from_secs(120)) {
+        Ok(s) => s,
+        Err(_) => {
+            sample.io_error = true;
+            return sample;
+        }
+    };
+    sample.status = stream.status;
+    if stream.status != 200 {
+        return sample;
+    }
+    let mut last = sent;
+    loop {
+        match stream.next_data() {
+            Ok(Some(data)) => {
+                if data == sse::DONE {
+                    break;
+                }
+                let now = Instant::now();
+                if sample.tokens == 0 {
+                    sample.ttft = Some(now.duration_since(sent).as_secs_f64());
+                } else {
+                    sample.tbts.push(now.duration_since(last).as_secs_f64());
+                }
+                last = now;
+                sample.tokens += 1;
+            }
+            Ok(None) => break,
+            Err(_) => {
+                sample.io_error = true;
+                break;
+            }
+        }
+    }
+    sample
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("gateway_bench: {e}");
+            std::process::exit(2);
+        }
+    };
+    banner("gateway_bench", "open-loop load against the live gateway");
+
+    // The arrival schedule: a standard synthesized trace, compressed onto
+    // the wall clock so `--secs` of simulated traffic plays out in
+    // `--secs / --warp` wall seconds.
+    let trace = uniform_trace(args.models, args.rps, args.secs, args.seed, LengthDist::sharegpt());
+    let wall_plan = trace.time_scaled(args.warp);
+    let n = wall_plan.requests.len();
+    if n == 0 {
+        eprintln!("gateway_bench: empty schedule (raise --rps or --secs)");
+        std::process::exit(2);
+    }
+
+    // Self-host unless an external gateway was given.
+    let (addr, hosted) = match &args.addr {
+        Some(a) => (a.parse().expect("--addr must be HOST:PORT"), None),
+        None => {
+            let cfg = AegaeonConfig::small_testbed(1, 1);
+            let models = market_models(args.models);
+            let gw = Gateway::start(&cfg, &models, GatewayConfig::local(ClockMode::Timewarp(args.warp)))
+                .expect("start in-process gateway");
+            (gw.addr(), Some(gw))
+        }
+    };
+    println!(
+        "driving {} requests over {:.1}s wall ({} models, offered {:.2} rps sim, warp {}x) -> {}",
+        n,
+        args.secs / args.warp,
+        args.models,
+        args.rps,
+        args.warp,
+        addr
+    );
+
+    let started = Instant::now();
+    let token_count = Arc::new(AtomicU64::new(0));
+    let mut workers = Vec::with_capacity(n);
+    for r in &wall_plan.requests {
+        let offset = Duration::from_nanos(r.arrival_ns);
+        let body = format!(
+            r#"{{"model":"m{}","input_tokens":{},"max_tokens":{}}}"#,
+            r.model.0,
+            r.input_tokens.max(1),
+            r.output_tokens.clamp(1, args.cap_tokens)
+        );
+        let tokens = Arc::clone(&token_count);
+        workers.push(std::thread::spawn(move || {
+            let now = started.elapsed();
+            if offset > now {
+                std::thread::sleep(offset - now);
+            }
+            let s = drive_one(addr, &body);
+            tokens.fetch_add(s.tokens as u64, Ordering::Relaxed);
+            s
+        }));
+    }
+    let samples: Vec<Sample> = workers
+        .into_iter()
+        .map(|w| w.join().expect("client thread"))
+        .collect();
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    let completed = samples.iter().filter(|s| s.status == 200 && !s.io_error).count();
+    let rejected = samples.iter().filter(|s| s.status == 429).count();
+    let failed = n - completed - rejected;
+    let total_tokens = token_count.load(Ordering::Relaxed);
+    let mut ttfts: Vec<f64> = samples.iter().filter_map(|s| s.ttft).collect();
+    ttfts.sort_by(|a, b| a.total_cmp(b));
+    let mut tbts: Vec<f64> = samples.iter().flat_map(|s| s.tbts.iter().copied()).collect();
+    tbts.sort_by(|a, b| a.total_cmp(b));
+
+    let offered_rps = n as f64 / wall_secs;
+    let goodput = total_tokens as f64 / wall_secs;
+    println!("\nresults over {wall_secs:.2}s wall:");
+    println!("  offered   : {n} requests ({offered_rps:.2} rps wall)");
+    println!("  completed : {completed}   rejected(429): {rejected}   failed: {failed}");
+    println!("  goodput   : {goodput:.1} tokens/s ({total_tokens} tokens)");
+    println!(
+        "  TTFT      : p50 {:.3}s  p90 {:.3}s  p99 {:.3}s",
+        percentile(&ttfts, 0.50),
+        percentile(&ttfts, 0.90),
+        percentile(&ttfts, 0.99)
+    );
+    println!(
+        "  TBT       : p50 {:.3}s  p90 {:.3}s  p99 {:.3}s",
+        percentile(&tbts, 0.50),
+        percentile(&tbts, 0.90),
+        percentile(&tbts, 0.99)
+    );
+
+    if let Some(gw) = hosted {
+        let report = gw.shutdown();
+        println!(
+            "  gateway   : admitted {} completed {} (audit rejections {})",
+            report.trace.requests.len(),
+            report.result.completed,
+            report.audit.as_ref().map_or(0, |a| a.rejections)
+        );
+        if let Some(audit) = &report.audit {
+            assert!(audit.ok(), "audit violations: {:?}", audit.violations);
+        }
+    }
+
+    let json = serde_json::json!({
+        "offered_requests": n as u64,
+        "offered_rps_wall": offered_rps,
+        "wall_secs": wall_secs,
+        "warp": args.warp,
+        "completed": completed as u64,
+        "rejected": rejected as u64,
+        "failed": failed as u64,
+        "total_tokens": total_tokens,
+        "goodput_tokens_per_sec": goodput,
+        "ttft_secs": serde_json::json!({
+            "p50": percentile(&ttfts, 0.50),
+            "p90": percentile(&ttfts, 0.90),
+            "p99": percentile(&ttfts, 0.99),
+        }),
+        "tbt_secs": serde_json::json!({
+            "p50": percentile(&tbts, 0.50),
+            "p90": percentile(&tbts, 0.90),
+            "p99": percentile(&tbts, 0.99),
+        }),
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gateway_throughput.json");
+    match serde_json::to_string_pretty(&json) {
+        Ok(s) => {
+            std::fs::write(path, s + "\n").expect("write BENCH_gateway_throughput.json");
+            println!("\n[json] {path}");
+        }
+        Err(e) => eprintln!("failed to serialize report: {e}"),
+    }
+}

@@ -2,6 +2,7 @@
 
 use aegaeon_gpu::FabricEvent;
 use aegaeon_model::ModelId;
+use aegaeon_sim::SimTime;
 use aegaeon_workload::RequestId;
 
 /// Which kind of instance a tag refers to.
@@ -109,10 +110,20 @@ pub enum Ev {
         /// Request index in the trace.
         idx: u32,
     },
-    /// Move-list reclamation daemon tick.
-    Daemon,
-    /// Periodic statistics sample.
-    Sample,
+    /// Move-list reclamation daemon tick. `gen` guards staleness: ticks
+    /// stop when the system idles and restart on the next arrival with a
+    /// bumped generation, so an idle-stopped tick that is still queued
+    /// cannot fork a second tick stream.
+    Daemon {
+        /// Tick-stream generation (see [`Ev::Daemon`] docs).
+        gen: u64,
+    },
+    /// Periodic statistics sample (same generation discipline as
+    /// [`Ev::Daemon`]).
+    Sample {
+        /// Tick-stream generation.
+        gen: u64,
+    },
     /// An injected instance failure (index into the materialized fault
     /// schedule).
     Fail(u32),
@@ -132,4 +143,22 @@ pub enum Ev {
         /// Retry attempt, starting at 1.
         attempt: u32,
     },
+}
+
+/// One produced token, observed by the live session's token tap.
+///
+/// The tap is an *observer*: entries are copied out of the two token
+/// production sites after the fact and forwarded to per-request SSE sinks;
+/// nothing in the simulation reads them back, so enabling the tap cannot
+/// perturb results (same discipline as telemetry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenEv {
+    /// The request that produced the token.
+    pub req: RequestId,
+    /// Zero-based token index within the request.
+    pub index: u32,
+    /// Simulated production instant.
+    pub at: SimTime,
+    /// True when this token completes the request.
+    pub done: bool,
 }

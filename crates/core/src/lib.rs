@@ -50,12 +50,16 @@ pub mod proxy;
 pub mod quota;
 pub mod reqstate;
 pub mod result;
+pub mod session;
 pub mod system;
 pub mod unified;
 
 pub use audit::{AuditReport, AuditView, Auditor, InvariantAuditor, ReqAudit, Violation};
 pub use chaos::{FaultEvent, FaultKind, FaultPlan};
 pub use config::AegaeonConfig;
+pub use events::TokenEv;
+pub use proxy::{Admission, AdmissionPolicy};
 pub use quota::{decode_quotas, QuotaInputs};
 pub use result::RunResult;
+pub use session::{Endpoint, LiveRequest, ServingSession};
 pub use system::ServingSystem;

@@ -1,0 +1,573 @@
+//! Incremental serving sessions: the open-system stepping driver.
+//!
+//! [`ServingSystem::run`] historically owned its whole dispatch loop: build
+//! the queue, pop until drained, return the [`RunResult`]. A live gateway
+//! needs the same machinery but *incrementally* — advance simulated time up
+//! to a wall-clock deadline, accept requests injected from other threads in
+//! between, and stream produced tokens back out. [`ServingSession`] is that
+//! refactor: one stepping driver shared verbatim by the closed (batch) path
+//! and the open (live) path, so there is exactly one dispatch loop in the
+//! codebase and the batch path cannot drift from the live one.
+//!
+//! # Modes
+//!
+//! * **Closed** ([`ServingSession::closed`]): the whole trace is scheduled
+//!   up front and `step_until(SimTime::MAX)` reproduces the historical
+//!   run-to-completion loop bit for bit.
+//! * **Open** ([`ServingSession::open`]): the session starts with an empty
+//!   trace and requests arrive through a thread-safe
+//!   [`Injector`](aegaeon_sim::Injector). The injection port stamps each
+//!   request with a strictly increasing, strictly future simulated arrival
+//!   and only releases it at a pop boundary where the stamp precedes every
+//!   queued event, so injection can never reorder history.
+//!
+//! # Determinism argument
+//!
+//! An open session records every admitted request (stamp, model, lengths)
+//! in arrival order. Replaying that recording through a fresh open session
+//! ([`ServingSession::replay`]) pumps the same stamps through the same
+//! admission rule against the same event-queue evolution, so every pop —
+//! and therefore the [`RunResult::fingerprint`] — is identical to the live
+//! run, no matter how wall-clock time sliced the live `step_until` calls.
+//! Three details make this airtight:
+//!
+//! 1. **Stamps are strictly future** (`> now`), so an injected arrival can
+//!    never tie with an event popped in the current batch, where FIFO
+//!    sequence numbers would diverge between live and replay.
+//! 2. **Quiescence break**: an open session stops popping the moment all
+//!    admitted requests have completed and nothing is pending. Trailing
+//!    daemon/sample ticks are *not* popped at a wall-determined instant;
+//!    they run later in both live and replay iff they precede the next
+//!    admitted stamp.
+//! 3. **Fixed fault horizon**: the fault schedule and hard stop are
+//!    materialized from the construction-time horizon, which the recorded
+//!    trace preserves, so live and replay materialize identical fault
+//!    plans.
+
+use std::sync::mpsc;
+
+use aegaeon_model::{ModelId, ModelSpec};
+use aegaeon_sim::{
+    injection_channel, EventQueue, FxHashMap, InjectionPort, Injector, SimTime, Timeline,
+};
+use aegaeon_workload::{Request, Trace};
+
+use crate::audit::{AuditReport, Auditor};
+use crate::config::AegaeonConfig;
+use crate::events::{Ev, TokenEv};
+use crate::result::RunResult;
+use crate::system::ServingSystem;
+
+/// A request injected into an open session from outside the simulation.
+#[derive(Debug)]
+pub struct LiveRequest {
+    /// Target model.
+    pub model: ModelId,
+    /// Prompt length in tokens.
+    pub input_tokens: u32,
+    /// Total output length in tokens (≥ 1).
+    pub output_tokens: u32,
+    /// Optional token sink: every produced token is forwarded here (SSE
+    /// streaming); the sender is dropped after the final token so the
+    /// receiving side observes a clean end of stream.
+    pub sink: Option<mpsc::Sender<TokenEv>>,
+}
+
+/// Per-endpoint request classes the gateway reports through the session's
+/// metrics registry (observer-only: excluded from result fingerprints).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /v1/completions`.
+    Completions,
+    /// `GET /metrics`.
+    Metrics,
+    /// `GET /healthz`.
+    Healthz,
+}
+
+/// An incremental serving run: the [`ServingSystem`], its event queue, and
+/// (in open mode) the external-injection port. See module docs.
+pub struct ServingSession {
+    sys: ServingSystem,
+    q: EventQueue<Ev>,
+    port: InjectionPort<LiveRequest>,
+    injector: Injector<LiveRequest>,
+    /// Admitted injected requests in arrival order (the replayable trace).
+    injected: Vec<Request>,
+    /// Token sinks keyed by request id; removed after the final token.
+    sinks: FxHashMap<u64, mpsc::Sender<TokenEv>>,
+    /// Construction-time horizon: replay must materialize the identical
+    /// fault schedule, so [`ServingSession::injected_trace`] reports this
+    /// value rather than the grown `trace.horizon`.
+    live_horizon: SimTime,
+    open: bool,
+    halted: bool,
+    /// Gateway admission rejections (429s), surfaced on the audit report.
+    rejections: u64,
+    /// Event-dispatch runaway cap (matches the historical run loop).
+    cap: u64,
+}
+
+impl ServingSession {
+    /// A closed-system session: the whole trace is scheduled up front and
+    /// stepping to [`SimTime::MAX`] reproduces [`ServingSystem::run`].
+    pub fn closed(cfg: &AegaeonConfig, models: &[ModelSpec], trace: &Trace) -> ServingSession {
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        let mut sys = ServingSystem::new(cfg.clone(), models, trace.clone());
+        sys.start(&mut q);
+        let (injector, port) = injection_channel();
+        ServingSession {
+            sys,
+            q,
+            port,
+            injector,
+            injected: Vec::new(),
+            sinks: FxHashMap::default(),
+            live_horizon: trace.horizon,
+            open: false,
+            halted: false,
+            rejections: 0,
+            cap: 400_000_000,
+        }
+    }
+
+    /// An open-system session: starts with an empty trace (faults are still
+    /// materialized against `live_horizon`) and accepts requests through
+    /// [`ServingSession::injector`]. The token tap is enabled so sinks
+    /// receive every produced token.
+    pub fn open(cfg: &AegaeonConfig, models: &[ModelSpec], live_horizon: SimTime) -> ServingSession {
+        let trace = Trace {
+            requests: Vec::new(),
+            horizon: live_horizon,
+        };
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        let mut sys = ServingSystem::new(cfg.clone(), models, trace);
+        sys.tap_enabled = true;
+        sys.start(&mut q);
+        let (injector, port) = injection_channel();
+        ServingSession {
+            sys,
+            q,
+            port,
+            injector,
+            injected: Vec::new(),
+            sinks: FxHashMap::default(),
+            live_horizon,
+            open: true,
+            halted: false,
+            rejections: 0,
+            cap: 400_000_000,
+        }
+    }
+
+    /// Replays a trace recorded by [`ServingSession::injected_trace`]
+    /// through a fresh open session: all arrivals are queued on the
+    /// injection channel up front (their recorded stamps are preserved
+    /// verbatim) and the session is ready to step. Stepping to
+    /// [`SimTime::MAX`] yields a result fingerprint-identical to the live
+    /// session that recorded the trace.
+    pub fn replay(cfg: &AegaeonConfig, models: &[ModelSpec], trace: &Trace) -> ServingSession {
+        let session = Self::open(cfg, models, trace.horizon);
+        for r in &trace.requests {
+            session.injector.send(
+                r.arrival(),
+                LiveRequest {
+                    model: r.model,
+                    input_tokens: r.input_tokens,
+                    output_tokens: r.output_tokens,
+                    sink: None,
+                },
+            );
+        }
+        session
+    }
+
+    /// Installs an invariant auditor (observer only).
+    pub fn install_auditor(&mut self, auditor: Box<dyn Auditor + Send>) {
+        self.sys.auditor = Some(auditor);
+    }
+
+    /// A cloneable, thread-safe handle for injecting requests.
+    pub fn injector(&self) -> Injector<LiveRequest> {
+        self.injector.clone()
+    }
+
+    /// Current simulated time (the stamp of the last dispatched event).
+    pub fn now(&self) -> SimTime {
+        self.q.now()
+    }
+
+    /// True once the runaway cap or the hard stop halted the session.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Number of completed requests so far.
+    pub fn completed(&self) -> usize {
+        self.sys.completed
+    }
+
+    /// Total admitted requests so far.
+    pub fn admitted(&self) -> usize {
+        self.sys.trace.len()
+    }
+
+    /// True when every admitted request has completed and no injection is
+    /// pending admission (the open-mode quiescence condition).
+    pub fn quiescent(&self) -> bool {
+        self.sys.completed == self.sys.trace.len() && self.port.pending() == 0
+    }
+
+    /// Pumps the injection channel and admits every releasable request,
+    /// then reports the next simulated instant at which the session has
+    /// work to do (`None` when quiescent — the driver should block on its
+    /// control channel instead of sleeping toward a deadline).
+    pub fn next_due(&mut self) -> Option<SimTime> {
+        self.admit_pending();
+        if self.open && self.quiescent() {
+            return None;
+        }
+        self.q.peek_time()
+    }
+
+    /// Advances the session, dispatching every event with a stamp `<=
+    /// limit`, and returns the number of events dispatched. Open sessions
+    /// additionally stop at quiescence (see module docs) so the stopping
+    /// point is a function of simulation state alone, never of wall time.
+    pub fn step_until(&mut self, limit: SimTime) -> u64 {
+        let mut dispatched: u64 = 0;
+        loop {
+            self.admit_pending();
+            if self.open && self.quiescent() {
+                break;
+            }
+            let Some(at) = self.q.peek_time() else {
+                break;
+            };
+            if at > limit {
+                break;
+            }
+            let (t, ev) = self.q.pop().expect("peeked event");
+            if t > self.sys.hard_stop || self.q.events_dispatched() > self.cap {
+                self.halted = true;
+                break;
+            }
+            self.sys.handle(ev, &mut self.q);
+            dispatched += 1;
+            // Take/put-back keeps the borrow checker happy: the auditor
+            // reads the system through the `AuditView` facade.
+            if let Some(mut a) = self.sys.auditor.take() {
+                a.after_event(self.q.now(), &self.sys);
+                self.sys.auditor = Some(a);
+            }
+            // Registry poller: runs in the dispatch loop (never as a queue
+            // event, which would change event counts and tie-breaking) and
+            // stamps samples at exact interval boundaries.
+            while let Some(due) = self.sys.tel.sample_due(t) {
+                self.sys.tel_poll(due);
+            }
+            self.flush_tokens();
+        }
+        dispatched
+    }
+
+    /// Pumps the injection channel and admits every request whose stamp
+    /// precedes all queued events. Admission re-checks the queue after each
+    /// release because admitting schedules the `Arrive` event, which
+    /// changes the head of the queue.
+    fn admit_pending(&mut self) {
+        self.port.pump(&self.q);
+        while let Some((stamp, lr)) = self.port.admit(&self.q) {
+            let id = self.sys.admit_live(
+                stamp,
+                lr.model,
+                lr.input_tokens,
+                lr.output_tokens,
+                &mut self.q,
+            );
+            self.injected.push(Request {
+                id,
+                model: lr.model,
+                arrival_ns: stamp.as_nanos(),
+                input_tokens: lr.input_tokens,
+                output_tokens: lr.output_tokens,
+            });
+            if let Some(sink) = lr.sink {
+                self.sinks.insert(id.0, sink);
+            }
+        }
+    }
+
+    /// Forwards tapped tokens to their sinks; a request's sender is dropped
+    /// after its final token so receivers observe end of stream.
+    fn flush_tokens(&mut self) {
+        if self.sys.tap.is_empty() {
+            return;
+        }
+        for tok in self.sys.tap.drain(..) {
+            if let Some(tx) = self.sinks.get(&tok.req.0) {
+                // A dropped receiver (client hung up) is not an error: the
+                // simulated request still runs to completion.
+                let _ = tx.send(tok);
+            }
+            if tok.done {
+                self.sinks.remove(&tok.req.0);
+            }
+        }
+    }
+
+    /// The injected requests recorded so far as a replayable trace. The
+    /// horizon is the construction-time horizon so a replay materializes
+    /// the identical fault schedule (see module docs).
+    pub fn injected_trace(&self) -> Trace {
+        Trace {
+            requests: self.injected.clone(),
+            horizon: self.live_horizon,
+        }
+    }
+
+    // ---- observer-only gateway instrumentation -------------------------
+    // These touch the metrics registry, which result fingerprints exclude,
+    // so calling them (or not) cannot perturb the differential replay.
+
+    /// Sets the wall-clock lag gauge (how far simulated time trails the
+    /// clock driver's target), in seconds.
+    pub fn set_wall_lag(&mut self, secs: f64) {
+        let id = self.sys.tm.g_wall_lag;
+        self.sys.tel.metrics.set(id, secs);
+    }
+
+    /// Counts one served request on an endpoint.
+    pub fn note_endpoint(&mut self, ep: Endpoint) {
+        let id = match ep {
+            Endpoint::Completions => self.sys.tm.c_http_completions,
+            Endpoint::Metrics => self.sys.tm.c_http_metrics,
+            Endpoint::Healthz => self.sys.tm.c_http_healthz,
+        };
+        self.sys.tel.metrics.inc(id, 1);
+    }
+
+    /// Counts one admission rejection (429) in both the registry and the
+    /// rejection book surfaced on the audit report.
+    pub fn note_rejection(&mut self) {
+        self.rejections += 1;
+        let id = self.sys.tm.c_gw_rejected;
+        self.sys.tel.metrics.inc(id, 1);
+    }
+
+    /// Total rejections recorded via [`ServingSession::note_rejection`].
+    pub fn rejections(&self) -> u64 {
+        self.rejections
+    }
+
+    /// Reads a counter total by name (e.g. `"proxy_retries"`); 0.0 when the
+    /// counter does not exist.
+    pub fn counter(&self, name: &str) -> f64 {
+        self.sys
+            .tel
+            .metrics
+            .counter_totals()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v)
+            .unwrap_or(0.0)
+    }
+
+    /// Direct access to the metrics registry (Prometheus export).
+    pub fn metrics(&self) -> &aegaeon_telemetry::MetricsRegistry {
+        &self.sys.tel.metrics
+    }
+
+    /// Finishes the session: drops all token sinks (streaming clients see
+    /// end of stream), closes the auditor, and returns the result plus the
+    /// audit report when an auditor was installed.
+    pub fn finish(mut self) -> (RunResult, Option<AuditReport>) {
+        self.sinks.clear();
+        let report = self.sys.auditor.take().map(|mut a| {
+            a.at_finish(self.q.now(), &self.sys);
+            let mut rep = a.take_report();
+            rep.rejections = self.rejections;
+            rep
+        });
+        if let Some(rep) = &report {
+            // Run-level auditor stats flow through the registry, same code
+            // path as every other counter.
+            let checks = self.sys.tm.c_audit_checks;
+            let violations = self.sys.tm.c_audit_violations;
+            self.sys.tel.metrics.set_counter(checks, rep.events_checked);
+            self.sys
+                .tel
+                .metrics
+                .set_counter(violations, rep.violations.len() as u64);
+        }
+        (self.sys.finish(&self.q), report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aegaeon_model::Zoo;
+    use aegaeon_sim::{SimDur, SimRng};
+    use aegaeon_workload::{LengthDist, TraceBuilder};
+
+    fn small_trace(n_models: u32, rate: f64, secs: f64, seed: u64) -> Trace {
+        let mut rng = SimRng::seed_from_u64(seed);
+        TraceBuilder::new(SimTime::from_secs_f64(secs), LengthDist::sharegpt())
+            .uniform_models(&mut rng, n_models, rate)
+            .build(&mut rng)
+    }
+
+    fn models(n: usize) -> Vec<ModelSpec> {
+        let zoo = Zoo::standard();
+        Zoo::replicate(&zoo.market_band(), n)
+    }
+
+    /// The closed session IS the historical run loop: same fingerprint.
+    #[test]
+    fn closed_session_matches_run() {
+        let cfg = AegaeonConfig::small_testbed(1, 1);
+        let trace = small_trace(2, 0.1, 60.0, 11);
+        let direct = ServingSystem::run(&cfg, &models(2), &trace);
+        let mut session = ServingSession::closed(&cfg, &models(2), &trace);
+        session.step_until(SimTime::MAX);
+        let (via_session, _) = session.finish();
+        assert_eq!(direct.fingerprint(), via_session.fingerprint());
+    }
+
+    /// Injecting between arbitrary stepping slices and replaying the
+    /// recorded trace offline produce identical fingerprints: live
+    /// execution cadence is invisible to the simulation.
+    #[test]
+    fn open_injection_replays_fingerprint_identical() {
+        let cfg = AegaeonConfig::small_testbed(1, 1);
+        let specs = models(3);
+        let plan = small_trace(3, 0.15, 45.0, 12);
+        let horizon = plan.horizon;
+
+        let mut live = ServingSession::open(&cfg, &specs, horizon);
+        let inj = live.injector();
+        // Inject in dribbles, stepping a ragged sequence of slices between
+        // sends so admissions land at many different queue states.
+        let mut slice = SimTime::from_nanos(0);
+        for (i, r) in plan.requests.iter().enumerate() {
+            assert!(inj.send(
+                r.arrival(),
+                LiveRequest {
+                    model: r.model,
+                    input_tokens: r.input_tokens,
+                    output_tokens: r.output_tokens,
+                    sink: None,
+                },
+            ));
+            if i % 3 == 0 {
+                slice += SimDur::from_millis(700 * (i as u64 % 5 + 1));
+                live.step_until(slice);
+            }
+        }
+        live.step_until(SimTime::MAX);
+        assert!(live.quiescent(), "live session must drain");
+        let recorded = live.injected_trace();
+        let (live_result, _) = live.finish();
+        assert_eq!(live_result.completed, plan.len());
+
+        let mut replayed = ServingSession::replay(&cfg, &specs, &recorded);
+        replayed.step_until(SimTime::MAX);
+        let (replay_result, _) = replayed.finish();
+        assert_eq!(
+            live_result.fingerprint(),
+            replay_result.fingerprint(),
+            "live and offline replay must be indistinguishable"
+        );
+    }
+
+    /// Same as above but with the auditor installed on both sides: the
+    /// auditor observes a causally valid history in live mode too.
+    #[test]
+    fn open_injection_passes_audit() {
+        let cfg = AegaeonConfig::small_testbed(1, 1);
+        let specs = models(2);
+        let plan = small_trace(2, 0.1, 30.0, 13);
+
+        let mut live = ServingSession::open(&cfg, &specs, plan.horizon);
+        live.install_auditor(Box::new(crate::audit::InvariantAuditor::new()));
+        let inj = live.injector();
+        for r in &plan.requests {
+            inj.send(
+                r.arrival(),
+                LiveRequest {
+                    model: r.model,
+                    input_tokens: r.input_tokens,
+                    output_tokens: r.output_tokens,
+                    sink: None,
+                },
+            );
+            live.step_until(live.now() + SimDur::from_secs(2));
+        }
+        live.step_until(SimTime::MAX);
+        let (result, report) = live.finish();
+        let report = report.expect("auditor installed");
+        assert!(report.ok(), "live audit failed:\n{report}");
+        assert_eq!(result.completed, plan.len());
+    }
+
+    /// Token sinks stream every produced token in order and close after
+    /// the final token.
+    #[test]
+    fn token_sink_streams_all_tokens_then_closes() {
+        let cfg = AegaeonConfig::small_testbed(1, 1);
+        let specs = models(1);
+        let mut live = ServingSession::open(&cfg, &specs, SimTime::from_secs_f64(30.0));
+        let inj = live.injector();
+        let (tx, rx) = mpsc::channel();
+        inj.send(
+            SimTime::from_secs_f64(1.0),
+            LiveRequest {
+                model: ModelId(0),
+                input_tokens: 64,
+                output_tokens: 7,
+                sink: Some(tx),
+            },
+        );
+        live.step_until(SimTime::MAX);
+        let toks: Vec<TokenEv> = rx.iter().collect(); // ends when sender drops
+        assert_eq!(toks.len(), 7, "one event per produced token");
+        for (i, t) in toks.iter().enumerate() {
+            assert_eq!(t.index, i as u32);
+            assert_eq!(t.done, i == 6);
+        }
+        assert!(toks.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    /// A proxy stall window hit by live-injected arrivals drives the
+    /// `Ev::Retry` backoff path: retries are counted and every request
+    /// still completes.
+    #[test]
+    fn live_injection_rides_out_proxy_stalls_via_retry() {
+        let mut cfg = AegaeonConfig::small_testbed(1, 1);
+        cfg.telemetry = aegaeon_telemetry::TelemetrySpec::enabled();
+        // Saturate the horizon with stall windows so arrivals are certain
+        // to land inside one.
+        cfg.faults.stall_rate = 1.0;
+        cfg.faults.stall_secs = 3.0;
+        let specs = models(1);
+        let mut live = ServingSession::open(&cfg, &specs, SimTime::from_secs_f64(40.0));
+        let inj = live.injector();
+        for i in 0..12u64 {
+            inj.send(
+                SimTime::from_secs_f64((1 + 3 * i) as f64),
+                LiveRequest {
+                    model: ModelId(0),
+                    input_tokens: 64,
+                    output_tokens: 4,
+                    sink: None,
+                },
+            );
+        }
+        live.step_until(SimTime::MAX);
+        assert!(live.quiescent());
+        let retries = live.counter("proxy_retries");
+        assert!(retries > 0.0, "expected stalled dispatches to retry");
+        let (result, _) = live.finish();
+        assert_eq!(result.completed, 12);
+    }
+}

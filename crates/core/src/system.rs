@@ -23,7 +23,7 @@ use aegaeon_sim::{
     EventQueue, FxHashMap, Lift, SimDur, SimRng, SimTime, Timeline, TraceKind, TraceLog,
 };
 use aegaeon_telemetry::{CounterId, GaugeId, HistId, SpanId, SpanKind, Telemetry};
-use aegaeon_workload::{RequestId, Trace};
+use aegaeon_workload::{Request, RequestId, Trace};
 
 use crate::audit::{AuditReport, AuditView, Auditor, InvariantAuditor, ReqAudit};
 use crate::chaos::{FaultEvent, FaultKind};
@@ -109,7 +109,7 @@ impl ReqTel {
 /// Pre-registered metric ids (all [`CounterId::NONE`]-style nulls when
 /// telemetry is off, making every hot-path op a single branch).
 #[derive(Debug)]
-struct TelIds {
+pub(crate) struct TelIds {
     c_switches: CounterId,
     c_prefetch_hits: CounterId,
     c_swaps: CounterId,
@@ -119,10 +119,16 @@ struct TelIds {
     c_chaos_windows: CounterId,
     c_completed: CounterId,
     c_events_dispatched: CounterId,
-    c_audit_checks: CounterId,
-    c_audit_violations: CounterId,
+    pub(crate) c_audit_checks: CounterId,
+    pub(crate) c_audit_violations: CounterId,
     c_meta_reads: CounterId,
     c_meta_writes: CounterId,
+    /// Live-gateway instruments (observer only; written by the session).
+    pub(crate) c_http_completions: CounterId,
+    pub(crate) c_http_metrics: CounterId,
+    pub(crate) c_http_healthz: CounterId,
+    pub(crate) c_gw_rejected: CounterId,
+    pub(crate) g_wall_lag: GaugeId,
     g_prefill_queue_depth: GaugeId,
     g_decode_work: GaugeId,
     g_decode_batches: GaugeId,
@@ -151,6 +157,11 @@ impl TelIds {
             c_audit_violations: reg.counter("audit_violations"),
             c_meta_reads: reg.counter("metastore_reads"),
             c_meta_writes: reg.counter("metastore_writes"),
+            c_http_completions: reg.counter("http_completions_requests"),
+            c_http_metrics: reg.counter("http_metrics_requests"),
+            c_http_healthz: reg.counter("http_healthz_requests"),
+            c_gw_rejected: reg.counter("gateway_rejected_requests"),
+            g_wall_lag: reg.gauge("wall_clock_lag_secs"),
             g_prefill_queue_depth: reg.gauge("prefill_queue_depth"),
             g_decode_work: reg.gauge("decode_work_requests"),
             g_decode_batches: reg.gauge("decode_batches"),
@@ -224,15 +235,15 @@ struct NodeState {
 
 /// The serving system (see module docs).
 pub struct ServingSystem {
-    cfg: AegaeonConfig,
+    pub(crate) cfg: AegaeonConfig,
     fabric: Fabric<Tag>,
     topo: ClusterTopology,
     deploys: Vec<ModelDeploy>,
     prefills: Vec<PrefillInst>,
     decodes: Vec<DecodeInst>,
     nodes: Vec<NodeState>,
-    reqs: Vec<ReqState>,
-    trace: Trace,
+    pub(crate) reqs: Vec<ReqState>,
+    pub(crate) trace: Trace,
     rng: SimRng,
     ready: VecDeque<Completion<Tag>>,
     multis: FxHashMap<u64, (u32, Tag)>,
@@ -248,7 +259,7 @@ pub struct ServingSystem {
     /// Nesting depth of active staging-OOM windows per node.
     stage_oom_depth: Vec<u32>,
     /// Invariant auditor (observer only; `None` = zero-cost disabled path).
-    auditor: Option<Box<dyn Auditor>>,
+    pub(crate) auditor: Option<Box<dyn Auditor + Send>>,
     // Metrics.
     breakdown: aegaeon_metrics::BreakdownAcc,
     scale_latencies: Vec<f64>,
@@ -256,18 +267,24 @@ pub struct ServingSystem {
     util_samples: Vec<(SimTime, Vec<f64>)>,
     schedule: TraceLog,
     /// Request-lifecycle spans + sampled metrics (observer only).
-    tel: Telemetry,
+    pub(crate) tel: Telemetry,
     /// Pre-registered metric ids.
-    tm: TelIds,
+    pub(crate) tm: TelIds,
     /// Per-request span handles; empty when telemetry is off.
     req_tel: Vec<ReqTel>,
-    completed: usize,
+    pub(crate) completed: usize,
     arrivals_left: usize,
     swaps: u64,
     scale_count: u64,
     prefetch_hits: u64,
     ticks_live: bool,
-    hard_stop: SimTime,
+    /// Tick-stream generation: bumped each time ticks restart so an
+    /// idle-stopped tick still in the queue cannot fork a second stream.
+    tick_gen: u64,
+    pub(crate) hard_stop: SimTime,
+    /// Live-session token tap (observer only; drained after every event).
+    pub(crate) tap: Vec<crate::events::TokenEv>,
+    pub(crate) tap_enabled: bool,
 }
 
 type Q = EventQueue<Ev>;
@@ -302,7 +319,7 @@ impl ServingSystem {
         models: &[aegaeon_model::ModelSpec],
         trace: &Trace,
     ) -> (RunResult, AuditReport) {
-        let auditor: Box<dyn Auditor> = Box::new(InvariantAuditor::new());
+        let auditor: Box<dyn Auditor + Send> = Box::new(InvariantAuditor::new());
         let (result, report) = Self::run_inner(cfg, models, trace, Some(auditor));
         (result, report.expect("auditor was installed"))
     }
@@ -311,47 +328,21 @@ impl ServingSystem {
         cfg: &AegaeonConfig,
         models: &[aegaeon_model::ModelSpec],
         trace: &Trace,
-        auditor: Option<Box<dyn Auditor>>,
+        auditor: Option<Box<dyn Auditor + Send>>,
     ) -> (RunResult, Option<AuditReport>) {
-        let mut q: Q = EventQueue::new();
-        let mut sys = ServingSystem::new(cfg.clone(), models, trace.clone());
-        sys.auditor = auditor;
-        sys.start(&mut q);
-        let cap: u64 = 400_000_000;
-        while let Some((t, ev)) = q.pop() {
-            if t > sys.hard_stop || q.events_dispatched() > cap {
-                break;
-            }
-            sys.handle(ev, &mut q);
-            // Take/put-back keeps the borrow checker happy: the auditor
-            // reads `sys` through the `AuditView` facade.
-            if let Some(mut a) = sys.auditor.take() {
-                a.after_event(q.now(), &sys);
-                sys.auditor = Some(a);
-            }
-            // Registry poller: runs in the dispatch loop (never as a queue
-            // event, which would change event counts and tie-breaking) and
-            // stamps samples at exact interval boundaries.
-            while let Some(at) = sys.tel.sample_due(t) {
-                sys.tel_poll(at);
-            }
+        let mut session = crate::session::ServingSession::closed(cfg, models, trace);
+        if let Some(a) = auditor {
+            session.install_auditor(a);
         }
-        let report = sys.auditor.take().map(|mut a| {
-            a.at_finish(q.now(), &sys);
-            a.take_report()
-        });
-        if let Some(rep) = &report {
-            // Satellite: run-level auditor stats flow through the registry,
-            // same code path as every other counter.
-            sys.tel.metrics.set_counter(sys.tm.c_audit_checks, rep.events_checked);
-            sys.tel
-                .metrics
-                .set_counter(sys.tm.c_audit_violations, rep.violations.len() as u64);
-        }
-        (sys.finish(&q), report)
+        session.step_until(SimTime::MAX);
+        session.finish()
     }
 
-    fn new(cfg: AegaeonConfig, models: &[aegaeon_model::ModelSpec], trace: Trace) -> ServingSystem {
+    pub(crate) fn new(
+        cfg: AegaeonConfig,
+        models: &[aegaeon_model::ModelSpec],
+        trace: Trace,
+    ) -> ServingSystem {
         let mut rng = SimRng::seed_from_u64(cfg.seed);
         let mut fabric: Fabric<Tag> = Fabric::new();
         let topo = ClusterTopology::build(&cfg.cluster, &mut fabric);
@@ -532,11 +523,14 @@ impl ServingSystem {
             scale_count: 0,
             prefetch_hits: 0,
             ticks_live: false,
+            tick_gen: 0,
             hard_stop,
+            tap: Vec::new(),
+            tap_enabled: false,
         }
     }
 
-    fn start(&mut self, q: &mut Q) {
+    pub(crate) fn start(&mut self, q: &mut Q) {
         for (i, r) in self.trace.requests.iter().enumerate() {
             q.schedule_at(r.arrival(), Ev::Arrive(i as u32));
         }
@@ -551,19 +545,63 @@ impl ServingSystem {
         self.ensure_ticks(q);
     }
 
-    fn live(&self) -> bool {
+    /// Admits one externally injected request at simulated instant `stamp`
+    /// (strictly increasing and strictly in the future — the injection port
+    /// guarantees both) and returns the id it was assigned. Open-mode
+    /// sessions grow the trace in place, so a later offline replay of the
+    /// recorded trace walks an identical data structure.
+    pub(crate) fn admit_live(
+        &mut self,
+        stamp: SimTime,
+        model: ModelId,
+        input_tokens: u32,
+        output_tokens: u32,
+        q: &mut Q,
+    ) -> RequestId {
+        let idx = self.trace.requests.len();
+        let id = RequestId(idx as u64);
+        self.trace.requests.push(Request {
+            id,
+            model,
+            arrival_ns: stamp.as_nanos(),
+            input_tokens,
+            output_tokens,
+        });
+        // The horizon only grows; the fault schedule and hard stop were
+        // materialized from the construction-time horizon, so live and
+        // replay sessions see identical fault plans.
+        if stamp > self.trace.horizon {
+            self.trace.horizon = stamp;
+        }
+        self.reqs
+            .push(ReqState::new(stamp, input_tokens, output_tokens));
+        if self.tel.is_enabled() {
+            self.req_tel.push(ReqTel::EMPTY);
+        }
+        self.arrivals_left += 1;
+        q.schedule_at(stamp, Ev::Arrive(idx as u32));
+        id
+    }
+
+    pub(crate) fn live(&self) -> bool {
         self.arrivals_left > 0 || self.completed < self.trace.len()
     }
 
     fn ensure_ticks(&mut self, q: &mut Q) {
         if !self.ticks_live && self.live() {
             self.ticks_live = true;
-            q.schedule_after(self.cfg.daemon_period, Ev::Daemon);
-            q.schedule_after(self.cfg.sample_period, Ev::Sample);
+            // A fresh generation invalidates any idle-stopped tick that is
+            // still sitting in the queue; without this, an open-mode session
+            // that goes idle and then admits a new arrival would fork a
+            // second tick stream.
+            self.tick_gen += 1;
+            let gen = self.tick_gen;
+            q.schedule_after(self.cfg.daemon_period, Ev::Daemon { gen });
+            q.schedule_after(self.cfg.sample_period, Ev::Sample { gen });
         }
     }
 
-    fn handle(&mut self, ev: Ev, q: &mut Q) {
+    pub(crate) fn handle(&mut self, ev: Ev, q: &mut Q) {
         match ev {
             Ev::Fabric(fe) => {
                 let cs = self.fabric.advance(fe, &mut Lift::new(q, Ev::Fabric));
@@ -610,20 +648,26 @@ impl ServingSystem {
                 }
             }
             Ev::DispatchPrefill { idx } => self.dispatch_prefill_req(idx as usize, q),
-            Ev::Daemon => {
-                self.daemon(q);
-                if self.live() {
-                    q.schedule_after(self.cfg.daemon_period, Ev::Daemon);
-                } else {
-                    self.ticks_live = false;
+            Ev::Daemon { gen } => {
+                // Stale generations (a tick queued before an idle stop) are
+                // dropped entirely: no side effects, no reschedule.
+                if gen == self.tick_gen {
+                    self.daemon(q);
+                    if self.live() {
+                        q.schedule_after(self.cfg.daemon_period, Ev::Daemon { gen });
+                    } else {
+                        self.ticks_live = false;
+                    }
                 }
             }
-            Ev::Sample => {
-                self.sample(q);
-                if self.live() {
-                    q.schedule_after(self.cfg.sample_period, Ev::Sample);
-                } else {
-                    self.ticks_live = false;
+            Ev::Sample { gen } => {
+                if gen == self.tick_gen {
+                    self.sample(q);
+                    if self.live() {
+                        q.schedule_after(self.cfg.sample_period, Ev::Sample { gen });
+                    } else {
+                        self.ticks_live = false;
+                    }
                 }
             }
             Ev::Fail(i) => self.on_fail(i as usize, q),
@@ -704,7 +748,7 @@ impl ServingSystem {
     // (proven by the differential test in tests/telemetry.rs).
 
     /// Computes every gauge and snapshots the registry at boundary `at`.
-    fn tel_poll(&mut self, at: SimTime) {
+    pub(crate) fn tel_poll(&mut self, at: SimTime) {
         let pq: usize = self.prefills.iter().map(|p| p.queue.pending()).sum();
         let dw: usize = self.decodes.iter().map(|d| d.work.len()).sum();
         let batches: usize = self.decodes.iter().map(|d| d.work.iter().count()).sum();
@@ -1161,6 +1205,14 @@ impl ServingSystem {
             let rs = &mut self.reqs[req.0 as usize];
             if rs.produced == 0 {
                 rs.push_token(now); // first token; re-prefills only rebuild KV
+                if self.tap_enabled {
+                    self.tap.push(crate::events::TokenEv {
+                        req,
+                        index: 0,
+                        at: now,
+                        done: rs.is_done(),
+                    });
+                }
             }
             rs.prefill_end = Some(now);
             rs.kv = KvPlace::Gpu;
@@ -1576,6 +1628,14 @@ impl ServingSystem {
             rs.decode_exec_secs += dur;
             let done = rs.is_done();
             let ctx = rs.ctx_tokens();
+            if self.tap_enabled {
+                self.tap.push(crate::events::TokenEv {
+                    req,
+                    index: rs.produced - 1,
+                    at: now,
+                    done,
+                });
+            }
             if done {
                 self.decodes[di].gpu_kv.free(req);
                 self.reqs[req.0 as usize].kv = KvPlace::None;
@@ -2242,7 +2302,7 @@ impl ServingSystem {
         self.util_samples.push((now, busy));
     }
 
-    fn finish(mut self, q: &Q) -> RunResult {
+    pub(crate) fn finish(mut self, q: &Q) -> RunResult {
         let outcomes: Vec<RequestOutcome> = self
             .trace
             .requests

@@ -1,0 +1,168 @@
+//! `gateway` — serve the Aegaeon simulator live over HTTP.
+//!
+//! ```text
+//! gateway [--addr HOST:PORT] [--mode realtime|timewarp] [--factor K]
+//!         [--models N] [--prefill N] [--decode N] [--horizon-secs S]
+//!         [--max-inflight N] [--seed S]
+//! ```
+//!
+//! Runs until SIGTERM/SIGINT, then drains gracefully: in-flight streams
+//! complete, the run summary and the replayable arrival count go to
+//! stderr, and the process exits 0 (1 on audit violations).
+
+use std::time::Duration;
+
+use aegaeon::AegaeonConfig;
+use aegaeon_gateway::server::{Gateway, GatewayConfig};
+use aegaeon_gateway::signal;
+use aegaeon_gateway::ClockMode;
+use aegaeon_model::{ModelSpec, Zoo};
+use aegaeon_sim::SimTime;
+
+struct Args {
+    addr: String,
+    mode: ClockMode,
+    models: usize,
+    prefill: usize,
+    decode: usize,
+    horizon_secs: f64,
+    max_inflight: u32,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:8080".to_string(),
+        mode: ClockMode::Realtime,
+        models: 4,
+        prefill: 1,
+        decode: 1,
+        horizon_secs: 3600.0,
+        max_inflight: 64,
+        seed: 7,
+    };
+    let mut factor = 10.0;
+    let mut timewarp = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--mode" => match value("--mode")?.as_str() {
+                "realtime" => timewarp = false,
+                "timewarp" => timewarp = true,
+                other => return Err(format!("unknown mode {other:?}")),
+            },
+            "--factor" => {
+                factor = value("--factor")?
+                    .parse()
+                    .map_err(|e| format!("--factor: {e}"))?
+            }
+            "--models" => {
+                args.models = value("--models")?
+                    .parse()
+                    .map_err(|e| format!("--models: {e}"))?
+            }
+            "--prefill" => {
+                args.prefill = value("--prefill")?
+                    .parse()
+                    .map_err(|e| format!("--prefill: {e}"))?
+            }
+            "--decode" => {
+                args.decode = value("--decode")?
+                    .parse()
+                    .map_err(|e| format!("--decode: {e}"))?
+            }
+            "--horizon-secs" => {
+                args.horizon_secs = value("--horizon-secs")?
+                    .parse()
+                    .map_err(|e| format!("--horizon-secs: {e}"))?
+            }
+            "--max-inflight" => {
+                args.max_inflight = value("--max-inflight")?
+                    .parse()
+                    .map_err(|e| format!("--max-inflight: {e}"))?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: gateway [--addr HOST:PORT] [--mode realtime|timewarp] [--factor K] \
+                     [--models N] [--prefill N] [--decode N] [--horizon-secs S] \
+                     [--max-inflight N] [--seed S]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if timewarp {
+        args.mode = ClockMode::Timewarp(factor);
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("gateway: {e}");
+            std::process::exit(2);
+        }
+    };
+    signal::install();
+
+    let mut cfg = AegaeonConfig::small_testbed(args.prefill, args.decode);
+    cfg.seed = args.seed;
+    let zoo = Zoo::standard();
+    let models: Vec<ModelSpec> = Zoo::replicate(&zoo.market_band(), args.models);
+    let mut gw_cfg = GatewayConfig::local(args.mode);
+    gw_cfg.addr = args.addr;
+    gw_cfg.live_horizon = SimTime::from_secs_f64(args.horizon_secs);
+    gw_cfg.admission.max_inflight_total = args.max_inflight;
+
+    let gateway = match Gateway::start(&cfg, &models, gw_cfg) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("gateway: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "gateway: serving {} models on http://{} (mode: {:?})",
+        models.len(),
+        gateway.addr(),
+        args.mode
+    );
+
+    while !signal::shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    eprintln!("gateway: shutdown requested, draining...");
+    let report = gateway.shutdown();
+    let r = &report.result;
+    eprintln!(
+        "gateway: drained. requests={} completed={} sim_end={:.3}s",
+        report.trace.requests.len(),
+        r.completed,
+        r.end_time.as_secs_f64(),
+    );
+    if let Some(audit) = &report.audit {
+        eprintln!(
+            "gateway: audit events_checked={} violations={} rejections={}",
+            audit.events_checked,
+            audit.violations.len(),
+            audit.rejections
+        );
+        if !audit.violations.is_empty() {
+            std::process::exit(1);
+        }
+    }
+}

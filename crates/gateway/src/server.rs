@@ -1,0 +1,478 @@
+//! The gateway server: a threaded accept loop, per-connection handlers,
+//! and the single driver thread that owns the [`ServingSession`].
+//!
+//! # Threading model
+//!
+//! * **Driver thread** — sole owner of the open [`ServingSession`] and the
+//!   [`ClockDriver`]. It alternates between stepping simulated time up to
+//!   the current wall-clock target and blocking on one control channel
+//!   (std has no `select`, so *everything* — injections, metrics
+//!   snapshots, endpoint counters, drain — arrives as a [`GwMsg`]).
+//! * **Accept thread** — `TcpListener::accept` loop; spawns one handler
+//!   thread per connection (one request per connection,
+//!   `Connection: close`).
+//! * **Handler threads** — parse the request, run admission control, send
+//!   an injection to the driver, and stream tokens back as SSE from the
+//!   per-request channel the driver's session feeds.
+//!
+//! # Graceful drain
+//!
+//! [`Gateway::shutdown`] stops the accept loop, tells the driver to drain,
+//! and the driver fast-forwards the session to quiescence: every admitted
+//! request completes (stepping speed never changes simulation outcomes)
+//! and its tokens flush to the still-open SSE streams before the session
+//! drops the sinks. In-flight clients therefore observe complete streams,
+//! not resets.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use aegaeon::proxy::{Admission, AdmissionPolicy};
+use aegaeon::session::{Endpoint, LiveRequest, ServingSession};
+use aegaeon::{AegaeonConfig, AuditReport, InvariantAuditor, RunResult};
+use aegaeon_model::ModelSpec;
+use aegaeon_sim::SimTime;
+use aegaeon_telemetry::prometheus_text;
+use aegaeon_workload::Trace;
+
+use crate::api::{self, ApiError};
+use crate::clock::{ClockDriver, ClockMode};
+use crate::http::{self, HttpParser};
+use crate::sse;
+
+/// Gateway deployment settings.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Sim↔wall mapping.
+    pub mode: ClockMode,
+    /// Fault/hard-stop horizon for the open session.
+    pub live_horizon: SimTime,
+    /// Admission quotas.
+    pub admission: AdmissionPolicy,
+    /// Install the invariant auditor (observer only).
+    pub audit: bool,
+}
+
+impl GatewayConfig {
+    /// Loopback on an ephemeral port, a 1-hour horizon, default admission,
+    /// auditor on.
+    pub fn local(mode: ClockMode) -> GatewayConfig {
+        GatewayConfig {
+            addr: "127.0.0.1:0".to_string(),
+            mode,
+            live_horizon: SimTime::from_secs_f64(3600.0),
+            admission: AdmissionPolicy::default_gateway(),
+            audit: true,
+        }
+    }
+}
+
+/// Everything the driver hands back at shutdown.
+#[derive(Debug)]
+pub struct GatewayReport {
+    /// The run result, fingerprint-comparable with an offline replay of
+    /// [`GatewayReport::trace`].
+    pub result: RunResult,
+    /// Audit report (when [`GatewayConfig::audit`] was set), including the
+    /// gateway rejection book.
+    pub audit: Option<AuditReport>,
+    /// Every admitted request with its simulated arrival stamp — replay it
+    /// with [`ServingSession::replay`] to reproduce the run offline.
+    pub trace: Trace,
+}
+
+/// The single control-channel message type (see module docs).
+enum GwMsg {
+    /// A handler requests injection of a live request.
+    Inject {
+        not_before: SimTime,
+        req: LiveRequest,
+    },
+    /// A handler wants a Prometheus snapshot.
+    Metrics { reply: Sender<String> },
+    /// Count one request on an endpoint.
+    Note(Endpoint),
+    /// Count one admission rejection.
+    Rejected,
+    /// Begin the graceful drain.
+    Drain,
+}
+
+/// State shared by the accept loop and every handler thread.
+struct Shared {
+    clock: ClockDriver,
+    epoch: Instant,
+    n_models: u32,
+    admission: Mutex<Admission>,
+    active: AtomicUsize,
+    draining: AtomicBool,
+}
+
+/// A running gateway; dropping it without [`Gateway::shutdown`] aborts
+/// ungracefully (threads are detached).
+pub struct Gateway {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    ctl: Sender<GwMsg>,
+    driver: Option<JoinHandle<(RunResult, Option<AuditReport>, Trace)>>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Gateway {
+    /// Binds, spawns the driver and accept threads, and returns
+    /// immediately; the gateway is serving once this returns.
+    pub fn start(
+        sys_cfg: &AegaeonConfig,
+        models: &[ModelSpec],
+        gw: GatewayConfig,
+    ) -> std::io::Result<Gateway> {
+        let listener = TcpListener::bind(&gw.addr)?;
+        let addr = listener.local_addr()?;
+        // `/metrics` needs live instruments; telemetry is observer-only
+        // (excluded from fingerprints), so forcing it on cannot perturb
+        // the simulation or break replay equivalence.
+        let mut sys_cfg = sys_cfg.clone();
+        sys_cfg.telemetry = aegaeon_telemetry::TelemetrySpec::enabled();
+        let mut session = ServingSession::open(&sys_cfg, models, gw.live_horizon);
+        if gw.audit {
+            session.install_auditor(Box::new(InvariantAuditor::new()));
+        }
+        let clock = ClockDriver::new(gw.mode);
+        let epoch = Instant::now();
+        let (ctl_tx, ctl_rx) = mpsc::channel();
+        let shared = Arc::new(Shared {
+            clock,
+            epoch,
+            n_models: models.len() as u32,
+            admission: Mutex::new(Admission::new(gw.admission)),
+            active: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+        });
+        let driver = thread::Builder::new()
+            .name("gw-driver".into())
+            .spawn(move || driver_loop(session, clock, epoch, ctl_rx))?;
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let ctl = ctl_tx.clone();
+            thread::Builder::new()
+                .name("gw-accept".into())
+                .spawn(move || accept_loop(listener, shared, ctl))?
+        };
+        Ok(Gateway {
+            addr,
+            shared,
+            ctl: ctl_tx,
+            driver: Some(driver),
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Currently open connections.
+    pub fn active_connections(&self) -> usize {
+        self.shared.active.load(Ordering::SeqCst)
+    }
+
+    /// Graceful drain: stop accepting, complete every admitted request
+    /// (fast-forwarded — wall pacing no longer applies), flush all token
+    /// streams, and return the final report.
+    pub fn shutdown(mut self) -> GatewayReport {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        // Wake the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let _ = self.ctl.send(GwMsg::Drain);
+        let (result, audit, trace) = self
+            .driver
+            .take()
+            .expect("shutdown runs once")
+            .join()
+            .expect("gateway driver panicked");
+        // Handlers finish their streams from tokens already delivered;
+        // give them a bounded window to flush.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while self.shared.active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(5));
+        }
+        GatewayReport {
+            result,
+            audit,
+            trace,
+        }
+    }
+}
+
+fn driver_loop(
+    mut session: ServingSession,
+    clock: ClockDriver,
+    epoch: Instant,
+    rx: mpsc::Receiver<GwMsg>,
+) -> (RunResult, Option<AuditReport>, Trace) {
+    let injector = session.injector();
+    let forward = |session: &mut ServingSession, msg: GwMsg| -> bool {
+        match msg {
+            GwMsg::Inject { not_before, req } => {
+                injector.send(not_before, req);
+            }
+            GwMsg::Metrics { reply } => {
+                let _ = reply.send(prometheus_text(session.metrics()));
+            }
+            GwMsg::Note(ep) => session.note_endpoint(ep),
+            GwMsg::Rejected => session.note_rejection(),
+            GwMsg::Drain => return false,
+        }
+        true
+    };
+    loop {
+        let target = clock.sim_at(epoch.elapsed());
+        session.step_until(target);
+        session.set_wall_lag(clock.lag_secs(session.now(), epoch.elapsed()));
+        let timeout = match session.next_due() {
+            // Work is pending: sleep exactly until it is due (zero when
+            // already behind, which loops straight back into stepping).
+            Some(t) => clock.delay_for(t, epoch.elapsed()),
+            // Quiescent: nothing can happen until a message arrives, but
+            // cap the wait so the wall-lag gauge stays fresh.
+            None => Duration::from_millis(100),
+        };
+        match rx.recv_timeout(timeout) {
+            Ok(msg) => {
+                if !forward(&mut session, msg) {
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    // Drain: absorb control messages already queued (injections sent
+    // before the drain message are FIFO-ordered ahead of it, so none are
+    // lost), then fast-forward to quiescence.
+    while let Ok(msg) = rx.try_recv() {
+        forward(&mut session, msg);
+    }
+    session.step_until(SimTime::MAX);
+    let trace = session.injected_trace();
+    let (result, report) = session.finish();
+    (result, report, trace)
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, ctl: Sender<GwMsg>) {
+    for conn in listener.incoming() {
+        if shared.draining.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let shared = Arc::clone(&shared);
+        let ctl = ctl.clone();
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        let counted = Arc::clone(&shared);
+        let spawned = thread::Builder::new().name("gw-conn".into()).spawn(move || {
+            let _ = handle_connection(stream, &shared, &ctl);
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+        });
+        if spawned.is_err() {
+            // Spawn failed (resource exhaustion): the closure never ran, so
+            // the connection is shed and the count must be undone here.
+            counted.active.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    shared: &Shared,
+    ctl: &Sender<GwMsg>,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut parser = HttpParser::new();
+    let mut buf = [0u8; 4096];
+    let req = loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Ok(()); // client left before completing a request
+        }
+        match parser.feed(&buf[..n]) {
+            Ok(Some(req)) => break req,
+            Ok(None) => continue,
+            Err(e) => {
+                let (code, reason) = e.status();
+                let body = api::error_body("invalid_request", e.detail());
+                stream.write_all(&http::response(code, reason, "application/json", &body, &[]))?;
+                return Ok(());
+            }
+        }
+    };
+    let path = req.target.split('?').next().unwrap_or("");
+    match (req.method.as_str(), path) {
+        ("GET", "/healthz") => {
+            let _ = ctl.send(GwMsg::Note(Endpoint::Healthz));
+            stream.write_all(&http::response(200, "OK", "text/plain", "ok\n", &[]))
+        }
+        ("GET", "/metrics") => {
+            let _ = ctl.send(GwMsg::Note(Endpoint::Metrics));
+            let (tx, rx) = mpsc::channel();
+            let text = if ctl.send(GwMsg::Metrics { reply: tx }).is_ok() {
+                rx.recv_timeout(Duration::from_secs(5)).ok()
+            } else {
+                None
+            };
+            match text {
+                Some(text) => stream.write_all(&http::response(
+                    200,
+                    "OK",
+                    "text/plain; version=0.0.4",
+                    &text,
+                    &[],
+                )),
+                None => stream.write_all(&http::response(
+                    503,
+                    "Service Unavailable",
+                    "application/json",
+                    &api::error_body("unavailable", "metrics unavailable during shutdown"),
+                    &[],
+                )),
+            }
+        }
+        ("POST", "/v1/completions") => handle_completions(req.body, stream, shared, ctl),
+        (_, "/healthz") | (_, "/metrics") | (_, "/v1/completions") => stream.write_all(
+            &http::response(
+                405,
+                "Method Not Allowed",
+                "application/json",
+                &api::error_body("method_not_allowed", "wrong method for this endpoint"),
+                &[],
+            ),
+        ),
+        _ => stream.write_all(&http::response(
+            404,
+            "Not Found",
+            "application/json",
+            &api::error_body("not_found", "no such endpoint"),
+            &[],
+        )),
+    }
+}
+
+fn handle_completions(
+    body: Vec<u8>,
+    mut stream: TcpStream,
+    shared: &Shared,
+    ctl: &Sender<GwMsg>,
+) -> std::io::Result<()> {
+    let params = match api::parse_completion(&body, shared.n_models) {
+        Ok(p) => p,
+        Err(ApiError::Bad(msg)) => {
+            return stream.write_all(&http::response(
+                400,
+                "Bad Request",
+                "application/json",
+                &api::error_body("invalid_request", &msg),
+                &[],
+            ));
+        }
+        Err(ApiError::UnknownModel(m)) => {
+            return stream.write_all(&http::response(
+                404,
+                "Not Found",
+                "application/json",
+                &api::error_body("model_not_found", &format!("model {m} is not deployed")),
+                &[],
+            ));
+        }
+    };
+    if shared.draining.load(Ordering::SeqCst) {
+        return stream.write_all(&http::response(
+            503,
+            "Service Unavailable",
+            "application/json",
+            &api::error_body("unavailable", "gateway is draining"),
+            &[],
+        ));
+    }
+    // Admission control: over-quota requests are turned away with a
+    // backoff hint and never reach the simulation.
+    if let Err(retry_after) = shared.admission.lock().expect("admission").try_admit(params.model) {
+        let _ = ctl.send(GwMsg::Rejected);
+        let retry = retry_after.to_string();
+        return stream.write_all(&http::response(
+            429,
+            "Too Many Requests",
+            "application/json",
+            &api::error_body("rate_limit_exceeded", "per-model quota exhausted"),
+            &[("Retry-After", retry.as_str())],
+        ));
+    }
+    let _ = ctl.send(GwMsg::Note(Endpoint::Completions));
+    let (tx, rx) = mpsc::channel();
+    let not_before = shared.clock.sim_at(shared.epoch.elapsed());
+    let injected = ctl.send(GwMsg::Inject {
+        not_before,
+        req: LiveRequest {
+            model: params.model,
+            input_tokens: params.input_tokens,
+            output_tokens: params.output_tokens,
+            sink: Some(tx),
+        },
+    });
+    let streamed = if injected.is_err() {
+        stream.write_all(&http::response(
+            503,
+            "Service Unavailable",
+            "application/json",
+            &api::error_body("unavailable", "gateway is draining"),
+            &[],
+        ))
+    } else {
+        stream_tokens(&mut stream, params, rx)
+    };
+    shared
+        .admission
+        .lock()
+        .expect("admission")
+        .release(params.model);
+    streamed
+}
+
+fn stream_tokens(
+    stream: &mut TcpStream,
+    params: api::CompletionParams,
+    rx: mpsc::Receiver<aegaeon::TokenEv>,
+) -> std::io::Result<()> {
+    stream.write_all(&http::sse_head())?;
+    stream.flush()?;
+    // recv() returning Err means every sender is gone: either the final
+    // token was delivered (sink removed) or the session shut down mid
+    // stream — in the latter case the stream simply ends without the DONE
+    // sentinel and the client sees a truncated response.
+    while let Ok(tok) = rx.recv() {
+        let chunk = api::completion_chunk(
+            tok.req.0,
+            params.model,
+            tok.index,
+            tok.at.as_nanos(),
+            tok.done,
+        );
+        stream.write_all(sse::event(&chunk).as_bytes())?;
+        stream.flush()?;
+        if tok.done {
+            stream.write_all(sse::DONE_FRAME.as_bytes())?;
+            stream.flush()?;
+            break;
+        }
+    }
+    Ok(())
+}

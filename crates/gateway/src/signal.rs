@@ -1,0 +1,63 @@
+//! Minimal SIGTERM/SIGINT handling without any FFI crate.
+//!
+//! The handler only stores into an [`AtomicBool`] (async-signal-safe); the
+//! gateway's main loop polls [`shutdown_requested`] and performs the
+//! graceful drain on the ordinary control path. On non-Unix targets the
+//! flag simply never trips.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERM: AtomicBool = AtomicBool::new(false);
+
+/// True once SIGTERM or SIGINT was delivered (or [`request_shutdown`] was
+/// called).
+pub fn shutdown_requested() -> bool {
+    TERM.load(Ordering::SeqCst)
+}
+
+/// Trips the shutdown flag programmatically (tests, non-Unix fallbacks).
+pub fn request_shutdown() {
+    TERM.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::*;
+
+    extern "C" fn on_signal(_signum: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    // libc is linked by std on every Unix target; declaring the one symbol
+    // we need avoids a dependency the offline build cannot fetch.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// Installs the handler for SIGTERM (15) and SIGINT (2).
+    pub fn install() {
+        unsafe {
+            signal(15, on_signal as *const () as usize);
+            signal(2, on_signal as *const () as usize);
+        }
+    }
+}
+
+#[cfg(unix)]
+pub use imp::install;
+
+/// No-op on targets without Unix signals.
+#[cfg(not(unix))]
+pub fn install() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programmatic_shutdown_trips_the_flag() {
+        install();
+        request_shutdown();
+        assert!(shutdown_requested());
+    }
+}

@@ -1,0 +1,43 @@
+//! Server-Sent Events framing (the OpenAI streaming convention).
+//!
+//! Each payload is one `data: <json>\n\n` frame; the stream ends with the
+//! literal `data: [DONE]\n\n` sentinel followed by connection close.
+
+/// Frames one payload as an SSE data event.
+pub fn event(payload: &str) -> String {
+    format!("data: {payload}\n\n")
+}
+
+/// The terminal sentinel frame.
+pub const DONE_FRAME: &str = "data: [DONE]\n\n";
+
+/// The sentinel payload (what [`parse_data_lines`] yields for the final
+/// frame).
+pub const DONE: &str = "[DONE]";
+
+/// Extracts the `data:` payloads from a raw SSE byte stream (client side:
+/// the bench harness and tests). Frames are separated by blank lines;
+/// non-`data:` fields are ignored.
+pub fn parse_data_lines(raw: &str) -> Vec<String> {
+    raw.lines()
+        .filter_map(|l| l.strip_prefix("data:").map(|p| p.trim_start().to_string()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let raw = format!("{}{}{}", event("{\"a\":1}"), event("{\"b\":2}"), DONE_FRAME);
+        let payloads = parse_data_lines(&raw);
+        assert_eq!(payloads, vec!["{\"a\":1}", "{\"b\":2}", DONE]);
+    }
+
+    #[test]
+    fn ignores_comment_and_event_fields() {
+        let raw = ": keepalive\nevent: tick\ndata: x\n\n";
+        assert_eq!(parse_data_lines(raw), vec!["x"]);
+    }
+}

@@ -1,0 +1,290 @@
+//! End-to-end gateway tests over real sockets: SSE streaming in both
+//! clock modes, live-vs-replay determinism, admission control, and
+//! graceful drain. std-only — every client is `std::net`.
+
+use std::time::Duration;
+
+use aegaeon::session::ServingSession;
+use aegaeon::AegaeonConfig;
+use aegaeon_gateway::client::{request, SseStream};
+use aegaeon_gateway::server::{Gateway, GatewayConfig};
+use aegaeon_gateway::{sse, ClockMode};
+use aegaeon_model::{ModelSpec, Zoo};
+use aegaeon_sim::SimTime;
+use serde_json::Value;
+
+const RTT: Duration = Duration::from_secs(30);
+
+fn cfg() -> AegaeonConfig {
+    AegaeonConfig::small_testbed(1, 1)
+}
+
+fn models(n: usize) -> Vec<ModelSpec> {
+    let zoo = Zoo::standard();
+    Zoo::replicate(&zoo.market_band(), n)
+}
+
+fn start(mode: ClockMode, n_models: usize) -> Gateway {
+    Gateway::start(&cfg(), &models(n_models), GatewayConfig::local(mode)).expect("gateway start")
+}
+
+/// Reads one full SSE completion: returns (token payloads, saw_done_frame).
+fn consume_stream(stream: &mut SseStream) -> (Vec<String>, bool) {
+    let mut chunks = Vec::new();
+    let mut done = false;
+    while let Ok(Some(data)) = stream.next_data() {
+        if data == sse::DONE {
+            done = true;
+            break;
+        }
+        chunks.push(data);
+    }
+    (chunks, done)
+}
+
+fn finish_reason(chunk: &str) -> Option<String> {
+    let Ok(Value::Object(o)) = serde_json::from_str::<Value>(chunk) else {
+        return None;
+    };
+    let Some(Value::Array(choices)) = o.get("choices") else {
+        return None;
+    };
+    let Some(Value::Object(choice)) = choices.first() else {
+        return None;
+    };
+    match choice.get("finish_reason") {
+        Some(Value::String(s)) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+#[test]
+fn timewarp_gateway_streams_sse_end_to_end() {
+    let gw = start(ClockMode::Timewarp(50.0), 2);
+    let addr = gw.addr();
+
+    let health = request(addr, "GET", "/healthz", None, RTT).unwrap();
+    assert_eq!(health.status, 200);
+    assert_eq!(health.text(), "ok\n");
+
+    let mut stream = SseStream::post(
+        addr,
+        "/v1/completions",
+        r#"{"model":"m0","input_tokens":8,"max_tokens":5}"#,
+        RTT,
+    )
+    .unwrap();
+    assert_eq!(stream.status, 200);
+    assert_eq!(
+        stream.header("content-type").map(str::to_ascii_lowercase),
+        Some("text/event-stream".to_string())
+    );
+    let (chunks, done) = consume_stream(&mut stream);
+    assert_eq!(chunks.len(), 5, "one SSE frame per generated token");
+    assert!(done, "stream must end with the [DONE] sentinel");
+    assert_eq!(finish_reason(&chunks[4]).as_deref(), Some("stop"));
+    for c in &chunks[..4] {
+        assert_eq!(finish_reason(c), None);
+    }
+
+    let metrics = request(addr, "GET", "/metrics", None, RTT).unwrap();
+    assert_eq!(metrics.status, 200);
+    assert!(metrics
+        .header("content-type")
+        .unwrap()
+        .starts_with("text/plain"));
+    let text = metrics.text();
+    assert!(text.contains("http_completions_requests"));
+    assert!(text.contains("http_healthz_requests"));
+    assert!(text.contains("wall_clock_lag_secs"));
+
+    let report = gw.shutdown();
+    assert_eq!(report.trace.requests.len(), 1);
+    assert_eq!(report.result.completed, 1);
+    let audit = report.audit.expect("auditor installed");
+    assert!(audit.ok(), "violations: {:?}", audit.violations);
+}
+
+#[test]
+fn realtime_gateway_streams_sse_at_wall_pace() {
+    let gw = start(ClockMode::Realtime, 1);
+    let addr = gw.addr();
+
+    let wall_start = std::time::Instant::now();
+    let mut stream = SseStream::post(
+        addr,
+        "/v1/completions",
+        r#"{"model":"m0","input_tokens":4,"max_tokens":3}"#,
+        RTT,
+    )
+    .unwrap();
+    assert_eq!(stream.status, 200);
+    let (chunks, done) = consume_stream(&mut stream);
+    let wall = wall_start.elapsed();
+    assert_eq!(chunks.len(), 3);
+    assert!(done);
+
+    let report = gw.shutdown();
+    assert_eq!(report.result.completed, 1);
+    // In realtime mode simulated token timestamps are honored on the wall
+    // clock: the stream cannot complete faster than the simulated end of
+    // the request (TTFT alone is ~0.5 simulated seconds on a cold start).
+    let sim_done = report.result.end_time.as_secs_f64();
+    assert!(
+        wall.as_secs_f64() >= sim_done * 0.5,
+        "realtime stream finished in {wall:?} but simulation ended at {sim_done:.3}s"
+    );
+}
+
+/// The tentpole acceptance: a live timewarp run and an offline replay of
+/// its recorded trace are fingerprint-identical.
+#[test]
+fn live_gateway_run_replays_fingerprint_identical() {
+    let gw = start(ClockMode::Timewarp(200.0), 3);
+    let addr = gw.addr();
+
+    let mut streams = Vec::new();
+    for i in 0..8 {
+        let body = format!(
+            r#"{{"model":"m{}","input_tokens":{},"max_tokens":{}}}"#,
+            i % 3,
+            4 + i,
+            2 + i % 4
+        );
+        streams.push(SseStream::post(addr, "/v1/completions", &body, RTT).unwrap());
+        // Stagger injections so arrivals land at distinct sim instants.
+        std::thread::sleep(Duration::from_millis(15));
+    }
+    for mut s in streams {
+        assert_eq!(s.status, 200);
+        let (chunks, done) = consume_stream(&mut s);
+        assert!(done);
+        assert!(!chunks.is_empty());
+    }
+
+    let report = gw.shutdown();
+    assert_eq!(report.trace.requests.len(), 8);
+    assert_eq!(report.result.completed, 8);
+
+    let mut replay = ServingSession::replay(&cfg(), &models(3), &report.trace);
+    replay.step_until(SimTime::MAX);
+    let (offline, _) = replay.finish();
+    assert_eq!(
+        report.result.fingerprint(),
+        offline.fingerprint(),
+        "live gateway run and offline replay must be indistinguishable"
+    );
+}
+
+#[test]
+fn admission_quota_rejects_with_retry_after_and_books_match() {
+    // One total slot: a held stream forces every concurrent POST to bounce.
+    // Keep the warp factor low and the held stream long so the slot stays
+    // occupied for hundreds of wall milliseconds while the probes fire.
+    let mut gw_cfg = GatewayConfig::local(ClockMode::Timewarp(4.0));
+    gw_cfg.admission.max_inflight_total = 1;
+    let gw = Gateway::start(&cfg(), &models(1), gw_cfg).expect("gateway start");
+    let addr = gw.addr();
+
+    // Occupy the single slot with a long-running stream...
+    let mut holder = SseStream::post(
+        addr,
+        "/v1/completions",
+        r#"{"model":"m0","input_tokens":8,"max_tokens":400}"#,
+        RTT,
+    )
+    .unwrap();
+    assert_eq!(holder.status, 200);
+    // ...then observe that concurrent requests bounce with 429.
+    let mut rejected = 0;
+    for _ in 0..4 {
+        let resp = request(
+            addr,
+            "POST",
+            "/v1/completions",
+            Some(r#"{"model":"m0","max_tokens":1}"#),
+            RTT,
+        )
+        .unwrap();
+        if resp.status == 429 {
+            assert_eq!(resp.header("retry-after"), Some("1"));
+            assert!(resp.text().contains("rate_limit_exceeded"));
+            rejected += 1;
+        }
+    }
+    assert!(rejected > 0, "at least one request must hit the quota");
+    let (_, done) = consume_stream(&mut holder);
+    assert!(done);
+
+    let report = gw.shutdown();
+    let audit = report.audit.expect("auditor installed");
+    assert_eq!(
+        audit.rejections, rejected as u64,
+        "client-observed 429s must equal the gateway's rejection book"
+    );
+    // Rejected requests never reach the simulation: every sent request is
+    // either in the replayable trace or in the rejection book, never both.
+    assert_eq!(report.trace.requests.len() as u64 + audit.rejections, 5);
+}
+
+#[test]
+fn graceful_drain_completes_inflight_streams() {
+    let gw = start(ClockMode::Timewarp(20.0), 2);
+    let addr = gw.addr();
+
+    let mut stream = SseStream::post(
+        addr,
+        "/v1/completions",
+        r#"{"model":"m1","input_tokens":16,"max_tokens":12}"#,
+        RTT,
+    )
+    .unwrap();
+    assert_eq!(stream.status, 200);
+
+    // Shut down while the stream is (very likely) still in flight; the
+    // drain fast-forwards the session so every admitted token flushes.
+    let reader = std::thread::spawn(move || consume_stream(&mut stream));
+    let report = gw.shutdown();
+    let (chunks, done) = reader.join().unwrap();
+    assert_eq!(chunks.len(), 12, "drain must flush the complete stream");
+    assert!(done, "drained stream still ends with [DONE]");
+    assert_eq!(report.result.completed, 1);
+
+    // After shutdown the port is closed or refusing; new requests fail.
+    let followup = request(
+        addr,
+        "POST",
+        "/v1/completions",
+        Some(r#"{"model":"m0","max_tokens":1}"#),
+        Duration::from_secs(2),
+    );
+    match followup {
+        Err(_) => {}
+        Ok(resp) => assert_ne!(resp.status, 200),
+    }
+}
+
+#[test]
+fn unknown_routes_methods_and_bodies_get_clean_errors() {
+    let gw = start(ClockMode::Timewarp(100.0), 1);
+    let addr = gw.addr();
+
+    let resp = request(addr, "GET", "/nope", None, RTT).unwrap();
+    assert_eq!(resp.status, 404);
+    let resp = request(addr, "DELETE", "/healthz", None, RTT).unwrap();
+    assert_eq!(resp.status, 405);
+    let resp = request(addr, "POST", "/v1/completions", Some("not json"), RTT).unwrap();
+    assert_eq!(resp.status, 400);
+    let resp = request(
+        addr,
+        "POST",
+        "/v1/completions",
+        Some(r#"{"model":"m99"}"#),
+        RTT,
+    )
+    .unwrap();
+    assert_eq!(resp.status, 404);
+
+    let report = gw.shutdown();
+    assert_eq!(report.trace.requests.len(), 0);
+}

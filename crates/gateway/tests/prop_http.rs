@@ -1,0 +1,135 @@
+//! Property tests for the incremental HTTP parser: arbitrary header
+//! sets, bodies, and read-boundary splits must round-trip; arbitrary
+//! byte garbage must never panic and must map onto a clean 4xx/5xx.
+
+use aegaeon_gateway::http::{HttpError, HttpParser, HttpRequest, MAX_BODY_BYTES, MAX_HEAD_BYTES};
+use proptest::prelude::*;
+
+/// Feeds `wire` through a parser in slices cut by `cuts` (each entry is
+/// taken modulo the remaining length, so any vector is a valid plan).
+fn feed_in_slices(wire: &[u8], cuts: &[usize]) -> Result<Option<HttpRequest>, HttpError> {
+    let mut parser = HttpParser::new();
+    let mut rest = wire;
+    for &cut in cuts {
+        if rest.is_empty() {
+            break;
+        }
+        let n = 1 + cut % rest.len();
+        let (chunk, tail) = rest.split_at(n);
+        match parser.feed(chunk)? {
+            Some(req) => {
+                assert!(tail.is_empty(), "request completed before all bytes fed");
+                return Ok(Some(req));
+            }
+            None => rest = tail,
+        }
+    }
+    parser.feed(rest)
+}
+
+const NAME_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-";
+
+/// Builds a header name from charset indices (always starts alphabetic).
+fn name_from(indices: &[u32]) -> String {
+    let mut s = String::from("x");
+    s.extend(
+        indices
+            .iter()
+            .map(|&i| NAME_CHARS[i as usize % NAME_CHARS.len()] as char),
+    );
+    s
+}
+
+/// Builds a header value of printable ASCII (no CR/LF) from code points.
+fn value_from(indices: &[u32]) -> String {
+    indices
+        .iter()
+        .map(|&i| (b' ' + (i % 95) as u8) as char)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A well-formed request round-trips regardless of header order,
+    /// header content, body bytes, or where the reads split.
+    #[test]
+    fn well_formed_requests_round_trip_across_any_split(
+        extra in prop::collection::vec(
+            (
+                prop::collection::vec(0u32..1024, 0..12),
+                prop::collection::vec(0u32..1024, 0..24),
+            ),
+            0..6,
+        ),
+        body_raw in prop::collection::vec(0u32..256, 0..512),
+        cuts in prop::collection::vec(0usize..4096, 1..12),
+        crlf in 0u32..2,
+    ) {
+        let eol = if crlf == 1 { "\r\n" } else { "\n" };
+        let body: Vec<u8> = body_raw.iter().map(|&b| b as u8).collect();
+        let mut head = format!("POST /v1/completions HTTP/1.1{eol}");
+        for (name, value) in &extra {
+            head.push_str(&format!("{}: {}{eol}", name_from(name), value_from(value)));
+        }
+        head.push_str(&format!("Content-Length: {}{eol}{eol}", body.len()));
+        let mut wire = head.into_bytes();
+        wire.extend_from_slice(&body);
+
+        let req = feed_in_slices(&wire, &cuts)
+            .expect("well-formed request must parse")
+            .expect("all bytes fed, request must complete");
+        prop_assert_eq!(&req.method, "POST");
+        prop_assert_eq!(&req.target, "/v1/completions");
+        prop_assert_eq!(&req.body, &body);
+        prop_assert_eq!(
+            req.header("content-length"),
+            Some(body.len().to_string().as_str())
+        );
+    }
+
+    /// Arbitrary bytes never panic: the parser either keeps waiting,
+    /// completes, or reports a typed error whose status is 4xx/5xx.
+    #[test]
+    fn arbitrary_garbage_never_panics(
+        wire_raw in prop::collection::vec(0u32..256, 0..2048),
+        cuts in prop::collection::vec(0usize..4096, 1..8),
+    ) {
+        let wire: Vec<u8> = wire_raw.iter().map(|&b| b as u8).collect();
+        match feed_in_slices(&wire, &cuts) {
+            Ok(_) => {}
+            Err(e) => {
+                let (code, _) = e.status();
+                prop_assert!((400..=599).contains(&code));
+            }
+        }
+    }
+
+    /// Oversized heads are rejected with 431 no matter how the bytes
+    /// arrive: the size cap alone must trip, terminator or not.
+    #[test]
+    fn oversized_heads_reject_cleanly(pad in (MAX_HEAD_BYTES + 1)..(MAX_HEAD_BYTES + 64)) {
+        let mut parser = HttpParser::new();
+        let mut wire = b"GET /".to_vec();
+        wire.extend(std::iter::repeat_n(b'a', pad));
+        let mut result = Ok(None);
+        for chunk in wire.chunks(1024) {
+            result = parser.feed(chunk);
+            if result.is_err() {
+                break;
+            }
+        }
+        prop_assert_eq!(result, Err(HttpError::HeadersTooLarge));
+    }
+
+    /// Declared bodies beyond the cap are refused before buffering them.
+    #[test]
+    fn oversized_bodies_reject_cleanly(extra in 1u64..1024) {
+        let mut parser = HttpParser::new();
+        let head = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES as u64 + extra
+        );
+        prop_assert_eq!(parser.feed(head.as_bytes()), Err(HttpError::BodyTooLarge));
+    }
+}

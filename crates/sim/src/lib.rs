@@ -27,7 +27,10 @@ pub mod trace;
 
 pub use bandwidth::{FairLink, FlowId};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
-pub use queue::{BinaryHeapQueue, EventQueue, Lift, ThroughputReport, Timeline};
+pub use queue::{
+    injection_channel, BinaryHeapQueue, EventQueue, InjectionPort, Injector, Lift,
+    ThroughputReport, Timeline,
+};
 pub use rng::SimRng;
 pub use stamp::Stamp;
 pub use stats::Welford;

@@ -20,10 +20,30 @@
 //! `BinaryHeap<Reverse<…>>` implementation is retained as
 //! [`BinaryHeapQueue`] to serve as the differential-testing and benchmark
 //! reference.
+//!
+//! # Monotonic-stamp guard
+//!
+//! `schedule_at` with a target earlier than the last dispatched stamp is a
+//! bug in the scheduling code (a stale push would silently reorder against
+//! events that already fired). Debug builds **panic** with a diagnostic;
+//! release builds clamp to `now()` as a causality backstop, preserving the
+//! long-standing documented behavior for production runs.
+//!
+//! # External injection
+//!
+//! Open-system (live) runs feed events into the queue from other threads
+//! through an [`InjectionPort`]: a thread-safe channel whose receiving side
+//! stamps every item with the monotonic guard
+//! `stamp = max(requested, now + 1 ns, last_stamp + 1 ns)` and only
+//! *admits* an item once the heap holds nothing earlier than its stamp.
+//! Those two rules make the admission point a pure function of the queue
+//! state, so replaying the recorded stamps offline reproduces the exact
+//! event order (including FIFO tie-breaking) of the live run.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use std::marker::PhantomData;
+use std::sync::mpsc;
 
 use serde::Serialize;
 
@@ -36,9 +56,10 @@ pub trait Timeline<E> {
 
     /// Schedules `ev` to fire at absolute time `at`.
     ///
-    /// Scheduling in the past clamps to `now()` so that causality is
-    /// preserved: the event fires at the current instant, after events
-    /// already queued for it.
+    /// Scheduling in the past is a bug in the caller: debug builds panic
+    /// with a diagnostic (the monotonic-stamp guard); release builds clamp
+    /// to `now()` so that causality is still preserved — the event fires at
+    /// the current instant, after events already queued for it.
     fn schedule_at(&mut self, at: SimTime, ev: E);
 
     /// Schedules `ev` to fire `d` after the current instant.
@@ -214,18 +235,148 @@ impl<E> EventQueue<E> {
     }
 }
 
+/// Debug-build monotonic-stamp guard shared by both queue implementations:
+/// a push earlier than the last dispatched stamp would silently reorder
+/// against events that already fired, so it panics with enough context to
+/// find the stale scheduler. Release builds clamp instead (causality
+/// backstop).
+#[inline]
+fn check_stamp(at: SimTime, now: SimTime, seq: u64) {
+    #[cfg(debug_assertions)]
+    if at < now {
+        panic!(
+            "stale event push: schedule_at({} ns) is {} ns earlier than the last \
+             dispatched stamp ({} ns, push seq {}); events must not be scheduled \
+             in the past",
+            at.as_nanos(),
+            now.as_nanos() - at.as_nanos(),
+            now.as_nanos(),
+            seq,
+        );
+    }
+    #[cfg(not(debug_assertions))]
+    let _ = (at, now, seq);
+}
+
 impl<E> Timeline<E> for EventQueue<E> {
     fn now(&self) -> SimTime {
         self.now
     }
 
     fn schedule_at(&mut self, at: SimTime, ev: E) {
+        check_stamp(at, self.now, self.seq);
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
         self.keys.push(pack_key(at, seq));
         self.evs.push(ev);
         self.sift_up(self.keys.len() - 1);
+    }
+}
+
+// ----- External injection ---------------------------------------------------
+
+/// Cloneable, thread-safe sending side of an [`InjectionPort`].
+///
+/// `send(not_before, item)` asks for the item to enter the simulation no
+/// earlier than `not_before`; the port may bump the stamp forward to keep
+/// stamps strictly increasing and strictly ahead of the sim clock.
+#[derive(Debug)]
+pub struct Injector<I> {
+    tx: mpsc::Sender<(SimTime, I)>,
+}
+
+// Derived `Clone` would require `I: Clone`; the sender clones regardless.
+impl<I> Clone for Injector<I> {
+    fn clone(&self) -> Self {
+        Injector {
+            tx: self.tx.clone(),
+        }
+    }
+}
+
+impl<I> Injector<I> {
+    /// Queues `item` for injection at `not_before` or later. Returns `false`
+    /// if the port has been dropped (the session is gone).
+    pub fn send(&self, not_before: SimTime, item: I) -> bool {
+        self.tx.send((not_before, item)).is_ok()
+    }
+}
+
+/// Receiving side of the external-injection channel: stamps items with the
+/// monotonic guard and decides *when* each may enter the event heap.
+///
+/// Determinism contract (proven by the gateway's differential replay test):
+///
+/// * **Stamping** (`pump`): `stamp = max(requested, now + 1 ns,
+///   last_stamp + 1 ns)`. Stamps are strictly increasing and strictly in
+///   the future, so an injected event can never tie with an event popped in
+///   the same dispatch batch.
+/// * **Admission** (`admit`): the front item is released only when the heap
+///   is empty or its next event time is `>= stamp`. Since the stamp is
+///   recorded, an offline replay that re-injects the recorded stamps admits
+///   every item at the *same pop boundary* with the *same push sequence
+///   number*, making live and replayed runs bit-identical.
+#[derive(Debug)]
+pub struct InjectionPort<I> {
+    rx: mpsc::Receiver<(SimTime, I)>,
+    pending: VecDeque<(SimTime, I)>,
+    last_stamp: SimTime,
+}
+
+/// Creates a connected `(Injector, InjectionPort)` pair.
+pub fn injection_channel<I>() -> (Injector<I>, InjectionPort<I>) {
+    let (tx, rx) = mpsc::channel();
+    (
+        Injector { tx },
+        InjectionPort {
+            rx,
+            pending: VecDeque::new(),
+            last_stamp: SimTime::ZERO,
+        },
+    )
+}
+
+impl<I> InjectionPort<I> {
+    /// Drains the channel, stamping each item against `q`'s clock with the
+    /// monotonic guard. Returns the number of newly stamped items.
+    pub fn pump<E>(&mut self, q: &EventQueue<E>) -> usize {
+        let mut n = 0;
+        while let Ok((not_before, item)) = self.rx.try_recv() {
+            let one = SimDur::from_nanos(1);
+            let stamp = not_before.max(q.now() + one).max(self.last_stamp + one);
+            self.last_stamp = stamp;
+            self.pending.push_back((stamp, item));
+            n += 1;
+        }
+        n
+    }
+
+    /// Releases the front stamped item if it may enter the simulation now:
+    /// the heap is empty, or nothing in it fires before the item's stamp.
+    /// Call in a loop before every pop; the caller schedules the returned
+    /// item at exactly its stamp.
+    pub fn admit<E>(&mut self, q: &EventQueue<E>) -> Option<(SimTime, I)> {
+        let stamp = self.pending.front()?.0;
+        match q.peek_time() {
+            Some(t) if t < stamp => None,
+            _ => self.pending.pop_front(),
+        }
+    }
+
+    /// Stamped items not yet admitted.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Stamp of the next item awaiting admission.
+    pub fn next_stamp(&self) -> Option<SimTime> {
+        self.pending.front().map(|&(s, _)| s)
+    }
+
+    /// The most recent stamp handed out (`SimTime::ZERO` before the first).
+    pub fn last_stamp(&self) -> SimTime {
+        self.last_stamp
     }
 }
 
@@ -318,6 +469,7 @@ impl<E> Timeline<E> for BinaryHeapQueue<E> {
     }
 
     fn schedule_at(&mut self, at: SimTime, ev: E) {
+        check_stamp(at, self.now, self.seq);
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
@@ -454,7 +606,10 @@ mod tests {
         assert_eq!(q.now(), SimTime::from_secs_f64(5.0));
     }
 
+    // The causality backstop only exists in release builds; debug builds
+    // treat a past push as a bug (see `stale_push_panics_in_debug`).
     #[test]
+    #[cfg(not(debug_assertions))]
     fn past_schedule_clamps_to_now() {
         let mut q = EventQueue::new();
         q.schedule_at(SimTime::from_secs_f64(2.0), 0u32);
@@ -467,6 +622,87 @@ mod tests {
         assert_eq!(q.pop(), Some((SimTime::from_secs_f64(2.0), 2)));
     }
 
+    // Monotonic-stamp guard regression test: a stale push used to clamp
+    // silently; debug builds must now flag it at the call site.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "stale event push")]
+    fn stale_push_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs_f64(2.0), 0u32);
+        q.pop();
+        q.schedule_at(SimTime::from_secs_f64(1.0), 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "stale event push")]
+    fn stale_push_panics_in_debug_reference_queue() {
+        let mut q = BinaryHeapQueue::new();
+        q.schedule_at(SimTime::from_secs_f64(2.0), 0u32);
+        q.pop();
+        q.schedule_at(SimTime::from_secs_f64(1.0), 1);
+    }
+
+    #[test]
+    fn injection_stamps_are_strictly_increasing_and_future() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.schedule_at(SimTime::from_secs_f64(1.0), 0);
+        q.pop(); // clock at 1 s
+        let (inj, mut port) = injection_channel::<u32>();
+        // Requested in the past, at now, and twice at the same instant.
+        inj.send(SimTime::ZERO, 10);
+        inj.send(SimTime::from_secs_f64(1.0), 11);
+        inj.send(SimTime::from_secs_f64(5.0), 12);
+        inj.send(SimTime::from_secs_f64(5.0), 13);
+        assert_eq!(port.pump(&q), 4);
+        let mut stamps = Vec::new();
+        while let Some((s, _)) = port.admit(&q) {
+            stamps.push(s);
+        }
+        assert_eq!(stamps.len(), 4);
+        let one = SimDur::from_nanos(1);
+        assert_eq!(stamps[0], SimTime::from_secs_f64(1.0) + one);
+        assert_eq!(stamps[1], stamps[0] + one);
+        assert_eq!(stamps[2], SimTime::from_secs_f64(5.0));
+        assert_eq!(stamps[3], SimTime::from_secs_f64(5.0) + one);
+        assert!(stamps.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn admission_waits_for_the_pop_boundary() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.schedule_at(SimTime::from_secs_f64(1.0), 0);
+        q.schedule_at(SimTime::from_secs_f64(3.0), 1);
+        let (inj, mut port) = injection_channel::<u32>();
+        inj.send(SimTime::from_secs_f64(2.0), 42);
+        port.pump(&q);
+        // The 1 s event fires first: not admissible yet.
+        assert!(port.admit(&q).is_none());
+        q.pop();
+        // Next heap event is 3 s >= stamp 2 s: admissible now.
+        let (stamp, item) = port.admit(&q).expect("admissible");
+        assert_eq!(item, 42);
+        assert_eq!(stamp, SimTime::from_secs_f64(2.0));
+        q.schedule_at(stamp, 42);
+        assert_eq!(q.pop(), Some((SimTime::from_secs_f64(2.0), 42)));
+    }
+
+    #[test]
+    fn admission_on_empty_heap_and_cross_thread_send() {
+        let (inj, mut port) = injection_channel::<u32>();
+        let t = std::thread::spawn(move || {
+            inj.send(SimTime::from_secs_f64(7.0), 7);
+        });
+        t.join().unwrap();
+        let q: EventQueue<u32> = EventQueue::new();
+        port.pump(&q);
+        assert_eq!(port.next_stamp(), Some(SimTime::from_secs_f64(7.0)));
+        let (stamp, item) = port.admit(&q).expect("empty heap admits");
+        assert_eq!((stamp, item), (SimTime::from_secs_f64(7.0), 7));
+        assert_eq!(port.pending(), 0);
+    }
+
     #[test]
     fn interleaved_push_pop_keeps_order() {
         // Exercise sift_down paths with a sawtooth workload large enough to
@@ -476,7 +712,9 @@ mod tests {
         for round in 0..20u64 {
             for i in 0..50u64 {
                 let t = SimTime::from_nanos(1_000 + (i * 7919 + round * 104_729) % 5_000);
-                q.schedule_at(t, (round, i));
+                // Raw sawtooth targets fall behind the clock as pops advance
+                // it; clamp to honor the monotonic-stamp contract.
+                q.schedule_at(t.max(q.now()), (round, i));
             }
             for _ in 0..25 {
                 expect.push(q.pop().expect("events pending"));

@@ -249,6 +249,62 @@ pub fn jsonl(spans: &SpanLog, metrics: &MetricsRegistry) -> String {
     out
 }
 
+/// Renders the registry's current state in the Prometheus text exposition
+/// format (version 0.0.4): one `# TYPE` header per instrument, counters and
+/// gauges as their live values, histograms as cumulative `_bucket{le=...}`
+/// series plus `_sum` and `_count`. Deterministic: instruments appear in
+/// registration order and values are formatted with Rust's default float
+/// formatting.
+pub fn prometheus_text(metrics: &MetricsRegistry) -> String {
+    fn push_value(out: &mut String, v: f64) {
+        if v.is_finite() {
+            let _ = write!(out, "{v}");
+        } else if v.is_nan() {
+            out.push_str("NaN");
+        } else if v > 0.0 {
+            out.push_str("+Inf");
+        } else {
+            out.push_str("-Inf");
+        }
+    }
+    let mut out = String::new();
+    for (name, value) in metrics.counter_totals() {
+        let _ = writeln!(out, "# TYPE {name} counter");
+        out.push_str(name);
+        out.push(' ');
+        push_value(&mut out, value);
+        out.push('\n');
+    }
+    for (name, value) in metrics.gauge_values() {
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        out.push_str(name);
+        out.push(' ');
+        push_value(&mut out, value);
+        out.push('\n');
+    }
+    for h in metrics.histograms() {
+        let name = &h.name;
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cum: u64 = 0;
+        for (i, c) in h.counts.iter().enumerate() {
+            cum += c;
+            if i < h.bounds.len() {
+                let _ = write!(out, "{name}_bucket{{le=\"");
+                push_value(&mut out, h.bounds[i]);
+                let _ = writeln!(out, "\"}} {cum}");
+            } else {
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+            }
+        }
+        out.push_str(name);
+        out.push_str("_sum ");
+        push_value(&mut out, h.sum);
+        out.push('\n');
+        let _ = writeln!(out, "{name}_count {}", h.n);
+    }
+    out
+}
+
 /// Smallest possible structural check that `chrome_trace` output is valid
 /// JSON with the fields Perfetto needs; the CI job does the authoritative
 /// validation with a real parser.
@@ -321,6 +377,28 @@ mod tests {
         let mut out = String::new();
         push_json_str(&mut out, "a\"b\\c\nd");
         assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn prometheus_text_exposes_all_instrument_kinds() {
+        let mut reg = MetricsRegistry::enabled();
+        let c = reg.counter("http_requests");
+        let g = reg.gauge("wall_clock_lag_secs");
+        let h = reg.histogram("latency_secs", &[0.1, 1.0]);
+        reg.inc(c, 7);
+        reg.set(g, 0.25);
+        reg.observe(h, 0.05);
+        reg.observe(h, 0.5);
+        reg.observe(h, 5.0);
+        let text = prometheus_text(&reg);
+        assert!(text.contains("# TYPE http_requests counter\nhttp_requests 7\n"));
+        assert!(text.contains("# TYPE wall_clock_lag_secs gauge\nwall_clock_lag_secs 0.25\n"));
+        assert!(text.contains("latency_secs_bucket{le=\"0.1\"} 1"));
+        assert!(text.contains("latency_secs_bucket{le=\"1\"} 2"));
+        assert!(text.contains("latency_secs_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("latency_secs_sum 5.55"));
+        assert!(text.contains("latency_secs_count 3"));
+        assert_eq!(prometheus_text(&reg), text, "export must be deterministic");
     }
 
     #[test]

@@ -24,7 +24,10 @@ pub mod export;
 pub mod metrics;
 pub mod span;
 
-pub use export::{chrome_trace, jsonl, looks_like_trace_event_json, PID_CLUSTER, PID_METRICS, PID_REQUESTS};
+pub use export::{
+    chrome_trace, jsonl, looks_like_trace_event_json, prometheus_text, PID_CLUSTER, PID_METRICS,
+    PID_REQUESTS,
+};
 pub use metrics::{CounterId, GaugeId, HistId, Histogram, MetricsRegistry, Sample};
 pub use span::{Span, SpanId, SpanKind, SpanLog};
 

@@ -239,6 +239,12 @@ impl MetricsRegistry {
     pub fn counter_totals(&self) -> impl Iterator<Item = (&str, f64)> {
         self.counters.iter().map(|s| (s.name.as_str(), s.value))
     }
+
+    /// Current `(name, value)` of every gauge, in registration order (the
+    /// live value, independent of whether a sample boundary has passed).
+    pub fn gauge_values(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|s| (s.name.as_str(), s.value))
+    }
 }
 
 #[cfg(test)]

@@ -52,6 +52,27 @@ impl Trace {
     pub fn from_json(s: &str) -> Result<Trace, serde_json::Error> {
         serde_json::from_str(s)
     }
+
+    /// The same request stream compressed (`factor > 1`) or stretched
+    /// (`factor < 1`) in time: every arrival and the horizon are divided by
+    /// `factor`. Lengths, models and relative order are untouched. Load
+    /// harnesses use this to replay a recorded trace faster or slower than
+    /// it was generated.
+    pub fn time_scaled(&self, factor: f64) -> Trace {
+        assert!(factor.is_finite() && factor > 0.0, "bad time-scale factor {factor}");
+        let requests = self
+            .requests
+            .iter()
+            .map(|r| Request {
+                arrival_ns: (r.arrival_ns as f64 / factor).round() as u64,
+                ..*r
+            })
+            .collect();
+        Trace {
+            requests,
+            horizon: SimTime::from_nanos((self.horizon.as_nanos() as f64 / factor).round() as u64),
+        }
+    }
 }
 
 /// Builder assembling a [`Trace`] from per-model arrival processes.
@@ -183,6 +204,28 @@ mod tests {
         let back = Trace::from_json(&t.to_json()).expect("valid JSON");
         assert_eq!(back.requests, t.requests);
         assert_eq!(back.horizon, t.horizon);
+    }
+
+    #[test]
+    fn time_scaled_compresses_arrivals_preserving_order() {
+        let mut rng = SimRng::seed_from_u64(9);
+        let t = TraceBuilder::new(SimTime::from_secs_f64(200.0), LengthDist::sharegpt())
+            .uniform_models(&mut rng, 2, 0.3)
+            .build(&mut rng);
+        let fast = t.time_scaled(4.0);
+        assert_eq!(fast.len(), t.len());
+        assert_eq!(fast.horizon.as_secs_f64(), 50.0);
+        for (a, b) in t.requests.iter().zip(&fast.requests) {
+            assert_eq!(b.arrival_ns, ((a.arrival_ns as f64) / 4.0).round() as u64);
+            assert_eq!((b.id, b.model, b.input_tokens, b.output_tokens),
+                       (a.id, a.model, a.input_tokens, a.output_tokens));
+        }
+        assert!(fast
+            .requests
+            .windows(2)
+            .all(|w| w[0].arrival_ns <= w[1].arrival_ns));
+        let slow = t.time_scaled(0.5);
+        assert_eq!(slow.horizon.as_secs_f64(), 400.0);
     }
 
     #[test]

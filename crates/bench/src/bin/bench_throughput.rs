@@ -1,14 +1,22 @@
 //! Simulator throughput report: raw event-dispatch speed of the new indexed
 //! 4-ary event heap versus the retained `BinaryHeap` reference, events/sec
-//! of a real serving run (serial), and the parallel sweep harness speedup.
+//! of a real serving run (serial), the sharded parallel engine's speedup
+//! on one big run, and the parallel sweep harness speedup.
+//!
+//! Speedup numbers are only as honest as the host: `host_parallelism` is
+//! recorded alongside them, and on a single-core machine the expected
+//! speedup is ~1x (the CI bench job runs this on multi-core runners and
+//! asserts the gates there).
 //!
 //! Writes `BENCH_sim_throughput.json` at the repository root so the numbers
 //! ride along with the code they describe.
 
 use std::time::Instant;
 
+use aegaeon::shard::run_sharded;
 use aegaeon::{AegaeonConfig, ServingSystem};
 use aegaeon_bench::{banner, market_models, sweep, uniform_trace, HORIZON_SECS, SEED};
+use aegaeon_gpu::{ClusterSpec, NodeSpec};
 use aegaeon_sim::{BinaryHeapQueue, EventQueue, SimDur, ThroughputReport, Timeline};
 use aegaeon_workload::LengthDist;
 
@@ -70,6 +78,43 @@ fn main() {
         serving.wall_per_sim_sec() * 1e3,
     );
 
+    // --- Sharded parallel run -----------------------------------------------
+    // One big run (4 nodes x 8 H800, 32 models) partitioned into 4 shards,
+    // stepped in conservative windows. The 1-thread sharded run is the
+    // reference: bit-identical fingerprints across worker counts is a hard
+    // contract (tested in tests/shard_determinism.rs; asserted again here
+    // on the bench workload).
+    let host_parallelism = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let shards = 4usize;
+    let mut pcfg = AegaeonConfig::paper_testbed();
+    pcfg.cluster = ClusterSpec::homogeneous(shards as u32, NodeSpec::h800_node());
+    pcfg.prefill_instances = 12;
+    let pmodels = market_models(32);
+    let ptrace = uniform_trace(32, 0.2, HORIZON_SECS, SEED, LengthDist::sharegpt());
+    let start = Instant::now();
+    let shard_serial = run_sharded(&pcfg, &pmodels, &ptrace, shards, 1);
+    let shard_serial_secs = start.elapsed().as_secs_f64();
+    let run_threads = sweep::threads().clamp(2, shards);
+    let start = Instant::now();
+    let shard_parallel = run_sharded(&pcfg, &pmodels, &ptrace, shards, run_threads);
+    let shard_parallel_secs = start.elapsed().as_secs_f64();
+    assert_eq!(
+        shard_serial.fingerprint(),
+        shard_parallel.fingerprint(),
+        "sharded run must be bit-identical across worker counts"
+    );
+    let run_speedup = shard_serial_secs / shard_parallel_secs;
+    println!("\nsharded serving run (32 models, 4x8 GPUs, {shards} shards):");
+    println!("  1 thread            : {shard_serial_secs:.2}s ({} events)", shard_serial.events);
+    println!("  {run_threads:>2} threads          : {shard_parallel_secs:.2}s  ({run_speedup:.2}x)");
+    println!("  fingerprint         : {:016x} (identical)", shard_serial.fingerprint());
+    if host_parallelism >= run_threads && run_threads >= 2 {
+        assert!(
+            run_speedup > 1.0,
+            "sharded run slower in parallel on a {host_parallelism}-way host"
+        );
+    }
+
     // --- Parallel sweep speedup ---------------------------------------------
     let points: Vec<u64> = (0..8).collect();
     let eval = |&i: &u64| {
@@ -99,7 +144,15 @@ fn main() {
     println!("  {threads:>2} threads          : {parallel_secs:.2}s  ({sweep_speedup:.2}x)");
 
     // --- Report -------------------------------------------------------------
+    if host_parallelism >= 2 {
+        assert!(
+            sweep_speedup > 1.0,
+            "parallel sweep regressed ({sweep_speedup:.2}x) on a {host_parallelism}-way host"
+        );
+    }
+
     let json = serde_json::json!({
+        "host_parallelism": host_parallelism as u64,
         "queue_microbench": serde_json::json!({
             "standing_events": STANDING,
             "dispatches": DISPATCHES,
@@ -113,6 +166,16 @@ fn main() {
             "wall_secs": serving.wall_secs,
             "events_per_sec": serving.events_per_sec(),
             "wall_per_sim_sec": serving.wall_per_sim_sec(),
+        }),
+        "parallel_run": serde_json::json!({
+            "shards": shards as u64,
+            "threads": run_threads as u64,
+            "events": shard_serial.events,
+            "serial_secs": shard_serial_secs,
+            "parallel_secs": shard_parallel_secs,
+            "speedup": run_speedup,
+            "serial_fingerprint": format!("{:016x}", shard_serial.fingerprint()),
+            "parallel_fingerprint": format!("{:016x}", shard_parallel.fingerprint()),
         }),
         "parallel_sweep": serde_json::json!({
             "points": points.len() as u64,

@@ -9,17 +9,27 @@
 //! the SSE stream is consumed frame by frame to timestamp first and
 //! subsequent tokens.
 //!
+//! Requests are fired from a bounded pool of `--clients` persistent worker
+//! threads claiming the time-ordered schedule off a shared cursor, rather
+//! than one OS thread per request (which collapses under multi-thousand
+//! request schedules: thousands of simultaneous sleeping threads, each
+//! with its own stack, all waking into the scheduler at once). A worker
+//! sleeps until its claimed request's instant and fires; if every client
+//! is mid-stream at an arrival instant the fire is late, so the harness
+//! tracks the worst firing lag and reports it — an honest open-loop
+//! harness must show when the load generator, not the server, was the
+//! bottleneck.
+//!
 //! ```text
 //! gateway_bench [--addr HOST:PORT] [--models N] [--rps R] [--secs S]
-//!               [--warp K] [--cap-tokens N] [--seed S]
+//!               [--warp K] [--cap-tokens N] [--seed S] [--clients N]
 //! ```
 //!
 //! With `--addr`, drives an externally started gateway (CI smoke mode);
 //! otherwise boots an in-process gateway in timewarp mode and drives
 //! that. Writes `BENCH_gateway_throughput.json` at the repository root.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use aegaeon::AegaeonConfig;
@@ -37,6 +47,7 @@ struct Args {
     warp: f64,
     cap_tokens: u32,
     seed: u64,
+    clients: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -48,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
         warp: 20.0,
         cap_tokens: 16,
         seed: SEED,
+        clients: 64,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -62,6 +74,9 @@ fn parse_args() -> Result<Args, String> {
                 args.cap_tokens = value("--cap-tokens")?.parse().map_err(|e| format!("--cap-tokens: {e}"))?
             }
             "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--clients" => {
+                args.clients = value("--clients")?.parse().map_err(|e| format!("--clients: {e}"))?
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -170,33 +185,57 @@ fn main() {
         addr
     );
 
-    let started = Instant::now();
-    let token_count = Arc::new(AtomicU64::new(0));
-    let mut workers = Vec::with_capacity(n);
-    for r in &wall_plan.requests {
-        let offset = Duration::from_nanos(r.arrival_ns);
-        let body = format!(
-            r#"{{"model":"m{}","input_tokens":{},"max_tokens":{}}}"#,
-            r.model.0,
-            r.input_tokens.max(1),
-            r.output_tokens.clamp(1, args.cap_tokens)
-        );
-        let tokens = Arc::clone(&token_count);
-        workers.push(std::thread::spawn(move || {
-            let now = started.elapsed();
-            if offset > now {
-                std::thread::sleep(offset - now);
-            }
-            let s = drive_one(addr, &body);
-            tokens.fetch_add(s.tokens as u64, Ordering::Relaxed);
-            s
-        }));
-    }
-    let samples: Vec<Sample> = workers
-        .into_iter()
-        .map(|w| w.join().expect("client thread"))
+    // Pre-render the schedule (time-ordered: the synthesizer emits sorted
+    // arrivals and time scaling preserves order), then fire it from a
+    // bounded client pool claiming requests off a shared cursor.
+    let schedule: Vec<(Duration, String)> = wall_plan
+        .requests
+        .iter()
+        .map(|r| {
+            let body = format!(
+                r#"{{"model":"m{}","input_tokens":{},"max_tokens":{}}}"#,
+                r.model.0,
+                r.input_tokens.max(1),
+                r.output_tokens.clamp(1, args.cap_tokens)
+            );
+            (Duration::from_nanos(r.arrival_ns), body)
+        })
         .collect();
+    let clients = args.clients.clamp(1, n);
+    let started = Instant::now();
+    let token_count = AtomicU64::new(0);
+    let fire_lag_ns = AtomicU64::new(0);
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, Sample)>();
+    let mut samples: Vec<Sample> = vec![Sample::default(); n];
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            let tx = tx.clone();
+            let (cursor, schedule) = (&cursor, &schedule);
+            let (token_count, fire_lag_ns) = (&token_count, &fire_lag_ns);
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some((offset, body)) = schedule.get(i) else { break };
+                let now = started.elapsed();
+                if *offset > now {
+                    std::thread::sleep(*offset - now);
+                } else {
+                    fire_lag_ns.fetch_max((now - *offset).as_nanos() as u64, Ordering::Relaxed);
+                }
+                let s = drive_one(addr, body);
+                token_count.fetch_add(s.tokens as u64, Ordering::Relaxed);
+                if tx.send((i, s)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, s) in rx {
+            samples[i] = s;
+        }
+    });
     let wall_secs = started.elapsed().as_secs_f64();
+    let max_fire_lag = Duration::from_nanos(fire_lag_ns.load(Ordering::Relaxed)).as_secs_f64();
 
     let completed = samples.iter().filter(|s| s.status == 200 && !s.io_error).count();
     let rejected = samples.iter().filter(|s| s.status == 429).count();
@@ -210,7 +249,8 @@ fn main() {
     let offered_rps = n as f64 / wall_secs;
     let goodput = total_tokens as f64 / wall_secs;
     println!("\nresults over {wall_secs:.2}s wall:");
-    println!("  offered   : {n} requests ({offered_rps:.2} rps wall)");
+    println!("  offered   : {n} requests ({offered_rps:.2} rps wall, {clients} clients)");
+    println!("  fire lag  : worst {max_fire_lag:.3}s behind schedule");
     println!("  completed : {completed}   rejected(429): {rejected}   failed: {failed}");
     println!("  goodput   : {goodput:.1} tokens/s ({total_tokens} tokens)");
     println!(
@@ -244,6 +284,8 @@ fn main() {
         "offered_rps_wall": offered_rps,
         "wall_secs": wall_secs,
         "warp": args.warp,
+        "clients": clients as u64,
+        "max_fire_lag_secs": max_fire_lag,
         "completed": completed as u64,
         "rejected": rejected as u64,
         "failed": failed as u64,

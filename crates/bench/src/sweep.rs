@@ -2,21 +2,52 @@
 //!
 //! Every figure sweep evaluates an embarrassingly-parallel grid: each point
 //! builds its own trace from a derived seed and runs one simulation, sharing
-//! nothing with its neighbours. [`map`] fans those points across OS threads
-//! with [`std::thread::scope`] while keeping the output *bit-identical* to a
+//! nothing with its neighbours. [`map`] fans those points across a
+//! **persistent worker pool** while keeping the output *bit-identical* to a
 //! serial run: results are stitched back in input order, and determinism
 //! comes from each point being a pure function of its inputs (so thread
 //! count and completion order cannot leak into the numbers).
+//!
+//! The pool is spawned once per process and reused by every sweep, so the
+//! per-call cost is a handful of channel sends instead of `nt` thread
+//! spawns — the spawn-per-call scheme this replaces lost money on short
+//! grids (8 points × sub-second runs) where thread startup rivaled the
+//! work itself. Work is claimed in chunks off a shared cursor
+//! (work-stealing between the caller and the pool), so a slow point never
+//! leaves the other workers idle behind a static partition.
+//!
+//! # How borrowed sweeps ride a `'static` pool
+//!
+//! Pool jobs must be `'static`, but a sweep borrows `points` and `f` from
+//! the caller's stack. Each enqueued helper job carries an atomic
+//! state token (`Pending → Running | Cancelled`) and its borrows are
+//! lifetime-erased. Safety rests on two guarantees enforced here:
+//!
+//! 1. a job only touches borrowed data after winning the `Pending →
+//!    Running` CAS, and the caller never returns (or unwinds) before
+//!    receiving the final ack of every job that won it;
+//! 2. before returning, the caller CASes every remaining job `Pending →
+//!    Cancelled`; a cancelled job is dropped by the pool without running,
+//!    and its drop glue touches only refcounted heap state.
+//!
+//! Cancellation is also what makes *nested* sweeps deadlock-free: an inner
+//! sweep whose helper jobs never get picked up (all workers busy with
+//! outer points) simply does all the work on its own thread, cancels the
+//! queued helpers, and returns without waiting on anyone.
 //!
 //! The thread count defaults to the machine's parallelism and can be pinned
 //! with the `AEGAEON_SWEEP_THREADS` environment variable (`1` forces the
 //! serial path, useful for timing comparisons).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
 
 /// Environment variable overriding the sweep thread count.
 pub const THREADS_ENV: &str = "AEGAEON_SWEEP_THREADS";
+
+/// Upper bound on pool workers (backstop against absurd `nt` requests).
+const MAX_WORKERS: usize = 32;
 
 /// The sweep thread count: `AEGAEON_SWEEP_THREADS` if set (minimum 1),
 /// otherwise the machine's available parallelism.
@@ -42,6 +73,97 @@ pub fn derive_seed(base: u64, idx: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+// ---------------------------------------------------------------------------
+// Persistent pool
+// ---------------------------------------------------------------------------
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Pool {
+    tx: mpsc::Sender<Job>,
+    rx: Arc<Mutex<mpsc::Receiver<Job>>>,
+    spawned: AtomicUsize,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let (tx, rx) = mpsc::channel::<Job>();
+        Pool {
+            tx,
+            rx: Arc::new(Mutex::new(rx)),
+            spawned: AtomicUsize::new(0),
+        }
+    })
+}
+
+impl Pool {
+    /// Grows the pool to at least `want` workers (capped). Workers pick
+    /// jobs off the shared receiver; pickup is serialized by the mutex but
+    /// execution is parallel. Workers live for the process lifetime — the
+    /// sender half is never dropped.
+    fn ensure(&'static self, want: usize) {
+        let want = want.min(MAX_WORKERS);
+        loop {
+            let have = self.spawned.load(Ordering::Acquire);
+            if have >= want {
+                return;
+            }
+            if self
+                .spawned
+                .compare_exchange(have, have + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            let rx = Arc::clone(&self.rx);
+            std::thread::Builder::new()
+                .name(format!("aegaeon-sweep-{have}"))
+                .spawn(move || loop {
+                    let job = match rx.lock().unwrap().recv() {
+                        Ok(j) => j,
+                        Err(_) => break,
+                    };
+                    job();
+                })
+                .expect("spawn sweep worker");
+        }
+    }
+}
+
+const PENDING: u8 = 0;
+const RUNNING: u8 = 1;
+const CANCELLED: u8 = 2;
+
+/// Per-job start/cancel arbitration (see module docs).
+struct JobToken {
+    state: AtomicU8,
+}
+
+impl JobToken {
+    fn new() -> JobToken {
+        JobToken {
+            state: AtomicU8::new(PENDING),
+        }
+    }
+
+    /// Worker side: claim the right to run. Loses iff the caller already
+    /// cancelled.
+    fn try_start(&self) -> bool {
+        self.state
+            .compare_exchange(PENDING, RUNNING, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Caller side: revoke an unstarted job. Loses iff a worker already
+    /// started it (the caller must then wait for its ack).
+    fn try_cancel(&self) -> bool {
+        self.state
+            .compare_exchange(PENDING, CANCELLED, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+}
+
 /// Evaluates `f` over `points` on [`threads()`] threads, returning results
 /// in input order. Equivalent to `points.iter().map(f).collect()` whenever
 /// `f` is pure.
@@ -54,7 +176,8 @@ where
     map_with_threads(points, threads(), f)
 }
 
-/// [`map`] with an explicit thread count.
+/// [`map`] with an explicit thread count: the calling thread plus up to
+/// `nt - 1` pool workers.
 pub fn map_with_threads<P, R, F>(points: &[P], nt: usize, f: F) -> Vec<R>
 where
     P: Sync,
@@ -65,35 +188,94 @@ where
     if nt == 1 {
         return points.iter().map(f).collect();
     }
+
+    // Shared claim cursor; chunks amortize cursor contention while staying
+    // small enough (≥ 4 chunks per worker) that stealing balances skew.
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, R)>();
-    std::thread::scope(|scope| {
-        for _ in 0..nt {
-            let tx = tx.clone();
-            let next = &next;
-            let f = &f;
-            scope.spawn(move || {
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(p) = points.get(i) else { break };
-                    // The receiver outlives the scope; a send can only fail
-                    // if the main thread panicked, which ends the scope anyway.
-                    if tx.send((i, f(p))).is_err() {
-                        break;
-                    }
+    let chunk = (points.len() / (nt * 4)).max(1);
+    let claim = |out: &mut Vec<(usize, R)>| loop {
+        let start = next.fetch_add(chunk, Ordering::Relaxed);
+        if start >= points.len() {
+            break;
+        }
+        let end = (start + chunk).min(points.len());
+        for (i, p) in points.iter().enumerate().take(end).skip(start) {
+            out.push((i, f(p)));
+        }
+    };
+
+    let helpers = nt - 1;
+    let pool = pool();
+    pool.ensure(helpers);
+    let (ack_tx, ack_rx) = mpsc::channel::<std::thread::Result<Vec<(usize, R)>>>();
+    let mut tokens: Vec<Arc<JobToken>> = Vec::with_capacity(helpers);
+    for _ in 0..helpers {
+        let token = Arc::new(JobToken::new());
+        tokens.push(Arc::clone(&token));
+        let ack = ack_tx.clone();
+        let claim = &claim;
+        let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            if !token.try_start() {
+                return;
+            }
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let mut out = Vec::new();
+                claim(&mut out);
+                out
+            }));
+            // The ack doubles as the caller's permission to release the
+            // borrows this job holds; a send can only fail if the caller
+            // itself panicked, and then it still drains acks before
+            // unwinding past the borrowed frame.
+            let _ = ack.send(result);
+        });
+        // SAFETY: the job borrows `points`, `f`, `next`, `claim`, and
+        // `ack_rx`'s peer from this frame. The caller below does not leave
+        // this frame (return or unwind) until every token it failed to
+        // cancel has acked, and a job touches borrows only after winning
+        // try_start — which forces try_cancel to fail. A cancelled job is
+        // dropped unrun; its drop glue touches only the Arc token and the
+        // ack Sender clone, both refcounted heap allocations.
+        let job: Job = unsafe { std::mem::transmute(job) };
+        pool.tx.send(job).expect("sweep pool is immortal");
+    }
+    drop(ack_tx);
+
+    // The caller is a full participant — it cannot be starved of work by a
+    // busy pool, which is also what makes nested sweeps safe.
+    let mine = catch_unwind(AssertUnwindSafe(|| {
+        let mut out = Vec::new();
+        claim(&mut out);
+        out
+    }));
+
+    // All points are claimed; revoke helpers that never started and wait
+    // for every one that did.
+    let started = tokens.iter().filter(|t| !t.try_cancel()).count();
+    let mut results: Vec<std::thread::Result<Vec<(usize, R)>>> =
+        (0..started).map(|_| ack_rx.recv().expect("started helper acks")).collect();
+    results.push(mine);
+
+    let mut slots: Vec<Option<R>> = (0..points.len()).map(|_| None).collect();
+    let mut panic_payload = None;
+    for r in results {
+        match r {
+            Ok(pairs) => {
+                for (i, v) in pairs {
+                    debug_assert!(slots[i].is_none(), "point {i} evaluated twice");
+                    slots[i] = Some(v);
                 }
-            });
+            }
+            Err(payload) => panic_payload = Some(payload),
         }
-        drop(tx);
-        let mut slots: Vec<Option<R>> = (0..points.len()).map(|_| None).collect();
-        for (i, r) in rx {
-            slots[i] = Some(r);
-        }
-        slots
-            .into_iter()
-            .map(|s| s.expect("every point evaluated exactly once"))
-            .collect()
-    })
+    }
+    if let Some(payload) = panic_payload {
+        resume_unwind(payload);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every point evaluated exactly once"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -117,6 +299,51 @@ mod tests {
     fn empty_input_is_fine() {
         let out: Vec<u32> = map_with_threads(&[] as &[u32], 4, |&p| p);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pool_is_reused_across_calls() {
+        // Many short sweeps through the same process-wide pool: worker
+        // count stays bounded by the largest request, results stay ordered.
+        for round in 0..50u64 {
+            let points: Vec<u64> = (0..13).map(|i| i + round).collect();
+            let out = map_with_threads(&points, 4, |&p| p * 3);
+            assert_eq!(out, points.iter().map(|&p| p * 3).collect::<Vec<_>>());
+        }
+        assert!(pool().spawned.load(Ordering::Relaxed) <= MAX_WORKERS);
+    }
+
+    #[test]
+    fn nested_sweeps_do_not_deadlock() {
+        let outer: Vec<u64> = (0..8).collect();
+        let out = map_with_threads(&outer, 4, |&o| {
+            let inner: Vec<u64> = (0..8).collect();
+            map_with_threads(&inner, 4, |&i| o * 100 + i)
+                .into_iter()
+                .sum::<u64>()
+        });
+        let expect: Vec<u64> = outer
+            .iter()
+            .map(|&o| (0..8).map(|i| o * 100 + i).sum())
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let points: Vec<u64> = (0..32).collect();
+        let r = std::panic::catch_unwind(|| {
+            map_with_threads(&points, 4, |&p| {
+                if p == 17 {
+                    panic!("boom at {p}");
+                }
+                p
+            })
+        });
+        assert!(r.is_err(), "worker panic must surface on the caller");
+        // The pool survives a panicking sweep and keeps serving.
+        let out = map_with_threads(&points, 4, |&p| p + 1);
+        assert_eq!(out, points.iter().map(|&p| p + 1).collect::<Vec<_>>());
     }
 
     #[test]

@@ -37,6 +37,13 @@ pub trait AuditView {
     fn rejected_counter(&self) -> u64 {
         0
     }
+    /// Requests handed off to another shard after a total tier loss
+    /// (sharded runs only). A migrated request is locally resolved without
+    /// completing, so conservation counts it alongside completions and
+    /// rejections.
+    fn migrated_counter(&self) -> u64 {
+        0
+    }
     /// Total requests in the trace.
     fn request_count(&self) -> usize;
     /// Audit view of request `i`.
@@ -188,11 +195,12 @@ impl InvariantAuditor {
         }
         self.last_completed = self.last_completed.max(completed);
         let rejected = view.rejected_counter();
-        if completed + rejected > n as u64 {
+        let migrated = view.migrated_counter();
+        if completed + rejected + migrated > n as u64 {
             self.flag(
                 now,
                 format!(
-                    "conservation: completed {completed} + rejected {rejected} exceeds trace size {n}"
+                    "conservation: completed {completed} + rejected {rejected} + migrated {migrated} exceeds trace size {n}"
                 ),
             );
         }
@@ -288,15 +296,17 @@ impl Auditor for InvariantAuditor {
 
     fn at_finish(&mut self, now: SimTime, view: &dyn AuditView) {
         self.check(now, view);
-        // End-of-run conservation: every request completed or rejected.
+        // End-of-run conservation: every request completed, rejected, or
+        // handed off to another shard.
         let n = view.request_count() as u64;
         let completed = view.completed_counter();
         let rejected = view.rejected_counter();
-        if completed + rejected != n {
+        let migrated = view.migrated_counter();
+        if completed + rejected + migrated != n {
             self.flag(
                 now,
                 format!(
-                    "conservation at finish: completed {completed} + rejected {rejected} != trace size {n}"
+                    "conservation at finish: completed {completed} + rejected {rejected} + migrated {migrated} != trace size {n}"
                 ),
             );
         }

@@ -74,6 +74,11 @@ pub struct ReqState {
     pub finished_at: Option<SimTime>,
     /// Set when the swap-in for the current turn has been issued.
     pub swapin_inflight: bool,
+    /// Set when the request was handed off to another shard after a total
+    /// tier loss (sharded runs only). A migrated request is locally
+    /// resolved: it is never re-dispatched here and never completes here;
+    /// the destination shard owns its outcome.
+    pub migrated: bool,
 }
 
 impl ReqState {
@@ -100,6 +105,7 @@ impl ReqState {
             decode_dispatch: None,
             finished_at: None,
             swapin_inflight: false,
+            migrated: false,
         }
     }
 

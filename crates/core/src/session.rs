@@ -187,6 +187,38 @@ impl ServingSession {
         self.sys.auditor = Some(auditor);
     }
 
+    // ---- shard-coordinator hooks ---------------------------------------
+    // Used only by `crate::shard`: a sharded run drives N closed sessions
+    // in conservative windows and exchanges boundary events between them.
+
+    /// Switches total-tier-loss handling from a fatal assert to a handoff
+    /// pushed on the shard outbox. Must be set before the first step.
+    pub(crate) fn enable_shard_mode(&mut self) {
+        self.sys.shard_mode = true;
+    }
+
+    /// Drains the handoffs emitted since the last synchronization barrier,
+    /// in emission order.
+    pub(crate) fn take_handoffs(&mut self) -> Vec<crate::shard::Handoff> {
+        std::mem::take(&mut self.sys.outbox)
+    }
+
+    /// Admits a request handed off by a peer shard at simulated instant
+    /// `at` (strictly in this shard's future — the conservative window
+    /// guarantees it) and returns the local trace index it was assigned.
+    pub(crate) fn migrate_in(
+        &mut self,
+        at: SimTime,
+        model: ModelId,
+        input_tokens: u32,
+        output_tokens: u32,
+    ) -> u32 {
+        let id = self
+            .sys
+            .admit_live(at, model, input_tokens, output_tokens, &mut self.q);
+        id.0 as u32
+    }
+
     /// A cloneable, thread-safe handle for injecting requests.
     pub fn injector(&self) -> Injector<LiveRequest> {
         self.injector.clone()

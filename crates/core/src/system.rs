@@ -285,6 +285,15 @@ pub struct ServingSystem {
     /// Live-session token tap (observer only; drained after every event).
     pub(crate) tap: Vec<crate::events::TokenEv>,
     pub(crate) tap_enabled: bool,
+    /// Sharded-run mode: a total tier loss hands stranded requests to the
+    /// shard coordinator via [`ServingSystem::outbox`] instead of being a
+    /// fatal condition. Off (the default) preserves the historical asserts.
+    pub(crate) shard_mode: bool,
+    /// Requests handed off to the shard coordinator this window (drained at
+    /// every synchronization barrier; always empty outside shard mode).
+    pub(crate) outbox: Vec<crate::shard::Handoff>,
+    /// Total requests handed off (locally resolved without completing).
+    pub(crate) migrated_out: u64,
 }
 
 type Q = EventQueue<Ev>;
@@ -527,6 +536,9 @@ impl ServingSystem {
             hard_stop,
             tap: Vec::new(),
             tap_enabled: false,
+            shard_mode: false,
+            outbox: Vec::new(),
+            migrated_out: 0,
         }
     }
 
@@ -584,7 +596,8 @@ impl ServingSystem {
     }
 
     pub(crate) fn live(&self) -> bool {
-        self.arrivals_left > 0 || self.completed < self.trace.len()
+        self.arrivals_left > 0
+            || self.completed + (self.migrated_out as usize) < self.trace.len()
     }
 
     fn ensure_ticks(&mut self, q: &mut Q) {
@@ -969,7 +982,7 @@ impl ServingSystem {
         }
         for req in stranded {
             let rs = &mut self.reqs[req.0 as usize];
-            if rs.is_done() {
+            if rs.is_done() || rs.migrated {
                 continue;
             }
             rs.kv_ready = false;
@@ -988,6 +1001,33 @@ impl ServingSystem {
                 }
             }
         }
+    }
+
+    /// Hands a request off to the shard coordinator (sharded runs only):
+    /// the shard has lost an entire tier, so the request is re-served from
+    /// scratch on a peer shard after the failover detection window. The
+    /// request is locally resolved — it never completes here, its outcome
+    /// slot is superseded by the destination shard's at merge time, and any
+    /// KV footprint it left behind stays with the functionally lost tier.
+    fn migrate_out(&mut self, req: RequestId, now: SimTime) {
+        let i = req.0 as usize;
+        {
+            let rs = &mut self.reqs[i];
+            debug_assert!(!rs.migrated, "request {i} migrated twice");
+            rs.migrated = true;
+            rs.kv_ready = false;
+            rs.swapin_inflight = false;
+            rs.decode_inst = None;
+        }
+        let r = &self.trace.requests[i];
+        self.outbox.push(crate::shard::Handoff {
+            emitted: now,
+            model: r.model,
+            input_tokens: r.input_tokens,
+            output_tokens: r.output_tokens,
+            local_idx: i as u32,
+        });
+        self.migrated_out += 1;
     }
 
     // ----- Windowed chaos faults ----------------------------------------
@@ -1123,7 +1163,11 @@ impl ServingSystem {
                     best = i;
                 }
             }
-            assert!(best != usize::MAX, "every prefill instance has failed");
+            if best == usize::MAX {
+                assert!(self.shard_mode, "every prefill instance has failed");
+                self.migrate_out(req, q.now());
+                return;
+            }
             self.prefills[best].queue.push_group(model, req);
             best
         };
@@ -1254,10 +1298,14 @@ impl ServingSystem {
             KvPlace::Cpu { node } => node,
             _ => self.prefills.first().map(|p| p.node).unwrap_or(0),
         };
+        if self.decodes.iter().all(|d| d.dead) {
+            assert!(self.shard_mode, "every decoding instance has failed");
+            self.migrate_out(req, q.now());
+            return;
+        }
         let (di, join) = {
             let decodes = &self.decodes;
             let alive: Vec<usize> = (0..decodes.len()).filter(|&i| !decodes[i].dead).collect();
-            assert!(!alive.is_empty(), "every decoding instance has failed");
             let lists: Vec<&WorkList> = alive.iter().map(|&i| &decodes[i].work).collect();
             let (k, join) = dispatch_decode(
                 &lists,
@@ -2377,6 +2425,10 @@ impl ServingSystem {
 impl AuditView for ServingSystem {
     fn completed_counter(&self) -> u64 {
         self.completed as u64
+    }
+
+    fn migrated_counter(&self) -> u64 {
+        self.migrated_out
     }
 
     fn request_count(&self) -> usize {

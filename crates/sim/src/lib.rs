@@ -18,6 +18,7 @@
 
 pub mod bandwidth;
 pub mod hash;
+pub mod horizon;
 pub mod queue;
 pub mod rng;
 pub mod stamp;
@@ -27,6 +28,7 @@ pub mod trace;
 
 pub use bandwidth::{FairLink, FlowId};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use horizon::{GrantClock, GrantWindow};
 pub use queue::{
     injection_channel, BinaryHeapQueue, EventQueue, InjectionPort, Injector, Lift,
     ThroughputReport, Timeline,

@@ -1,42 +1,50 @@
-//! Open-loop load harness for the live serving gateway.
+//! Open-loop soak harness for the live serving gateway.
 //!
 //! Generates a multi-model arrival schedule with the standard workload
 //! synthesizer, compresses it onto the wall clock with
 //! [`Trace::time_scaled`], and fires each request at its scheduled wall
 //! instant regardless of completions (open-system load, the paper's §7
 //! methodology — closed-loop clients understate tail latency). Each
-//! request is a real `POST /v1/completions` over a fresh TCP connection;
-//! the SSE stream is consumed frame by frame to timestamp first and
-//! subsequent tokens.
+//! request is a real `POST /v1/completions`; the SSE stream is consumed
+//! frame by frame to timestamp first and subsequent tokens.
 //!
-//! Requests are fired from a bounded pool of `--clients` persistent worker
-//! threads claiming the time-ordered schedule off a shared cursor, rather
-//! than one OS thread per request (which collapses under multi-thousand
-//! request schedules: thousands of simultaneous sleeping threads, each
-//! with its own stack, all waking into the scheduler at once). A worker
-//! sleeps until its claimed request's instant and fires; if every client
-//! is mid-stream at an arrival instant the fire is late, so the harness
-//! tracks the worst firing lag and reports it — an honest open-loop
-//! harness must show when the load generator, not the server, was the
-//! bottleneck.
+//! Load is driven by the [`Swarm`](aegaeon_gateway::swarm::Swarm): a small
+//! connector pool fires requests off a shared cursor and one reactor
+//! thread reads every live stream, so tens of thousands of streams can be
+//! simultaneously open from a handful of threads. The harness is honest
+//! about its own limits and **gates on them**:
+//!
+//! * `--max-lag-ticks T` (default 1.0): exit 3 when the worst firing lag
+//!   exceeds `T` timewarped ticks (`T / warp` wall-seconds) — a late
+//!   generator means the measured tail is the client's fault, so the run
+//!   is not allowed to pass.
+//! * `--min-concurrent N`: exit 4 when peak simultaneously open streams
+//!   never reached `N` — a soak that never achieved its concurrency
+//!   target proved nothing.
+//! * Any failed stream (connect error, non-200/429 status, reset) exits 1.
 //!
 //! ```text
 //! gateway_bench [--addr HOST:PORT] [--models N] [--rps R] [--secs S]
-//!               [--warp K] [--cap-tokens N] [--seed S] [--clients N]
+//!               [--warp K] [--cap-tokens N] [--seed S] [--connectors N]
+//!               [--prefill N] [--decode N] [--max-inflight N]
+//!               [--chaos PLAN] [--min-concurrent N] [--max-lag-ticks T]
+//!               [--out FILE]
 //! ```
 //!
-//! With `--addr`, drives an externally started gateway (CI smoke mode);
-//! otherwise boots an in-process gateway in timewarp mode and drives
-//! that. Writes `BENCH_gateway_throughput.json` at the repository root.
+//! With `--addr`, drives an externally started gateway (two-process mode:
+//! the client's 10k+ stream fds and the server's live in one fd budget
+//! each); otherwise boots an in-process gateway in timewarp mode and
+//! drives that. Writes `BENCH_gateway_throughput.json` at the repository
+//! root (or `--out`), including the generator's own peak fd count and
+//! peak RSS so resource claims are part of the artifact.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use aegaeon::AegaeonConfig;
 use aegaeon_bench::{banner, market_models, uniform_trace, SEED};
-use aegaeon_gateway::client::SseStream;
 use aegaeon_gateway::server::{Gateway, GatewayConfig};
-use aegaeon_gateway::{sse, ClockMode};
+use aegaeon_gateway::swarm::{StreamSample, Swarm, SwarmOptions};
+use aegaeon_gateway::ClockMode;
 use aegaeon_workload::LengthDist;
 
 struct Args {
@@ -47,7 +55,14 @@ struct Args {
     warp: f64,
     cap_tokens: u32,
     seed: u64,
-    clients: usize,
+    connectors: usize,
+    prefill: usize,
+    decode: usize,
+    max_inflight: u32,
+    chaos: Option<String>,
+    min_concurrent: usize,
+    max_lag_ticks: f64,
+    out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -59,40 +74,52 @@ fn parse_args() -> Result<Args, String> {
         warp: 20.0,
         cap_tokens: 16,
         seed: SEED,
-        clients: 64,
+        connectors: 8,
+        prefill: 1,
+        decode: 1,
+        max_inflight: 1024,
+        chaos: None,
+        min_concurrent: 0,
+        max_lag_ticks: 1.0,
+        out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        fn num<T: std::str::FromStr>(name: &str, v: String) -> Result<T, String>
+        where
+            T::Err: std::fmt::Display,
+        {
+            v.parse().map_err(|e| format!("{name}: {e}"))
+        }
         match flag.as_str() {
             "--addr" => args.addr = Some(value("--addr")?),
-            "--models" => args.models = value("--models")?.parse().map_err(|e| format!("--models: {e}"))?,
-            "--rps" => args.rps = value("--rps")?.parse().map_err(|e| format!("--rps: {e}"))?,
-            "--secs" => args.secs = value("--secs")?.parse().map_err(|e| format!("--secs: {e}"))?,
-            "--warp" => args.warp = value("--warp")?.parse().map_err(|e| format!("--warp: {e}"))?,
-            "--cap-tokens" => {
-                args.cap_tokens = value("--cap-tokens")?.parse().map_err(|e| format!("--cap-tokens: {e}"))?
+            "--models" => args.models = num("--models", value("--models")?)?,
+            "--rps" => args.rps = num("--rps", value("--rps")?)?,
+            "--secs" => args.secs = num("--secs", value("--secs")?)?,
+            "--warp" => args.warp = num("--warp", value("--warp")?)?,
+            "--cap-tokens" => args.cap_tokens = num("--cap-tokens", value("--cap-tokens")?)?,
+            "--seed" => args.seed = num("--seed", value("--seed")?)?,
+            // Back-compat alias: the old thread-per-stream harness called
+            // its pool size --clients.
+            "--connectors" | "--clients" => {
+                args.connectors = num("--connectors", value("--connectors")?)?
             }
-            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
-            "--clients" => {
-                args.clients = value("--clients")?.parse().map_err(|e| format!("--clients: {e}"))?
+            "--prefill" => args.prefill = num("--prefill", value("--prefill")?)?,
+            "--decode" => args.decode = num("--decode", value("--decode")?)?,
+            "--max-inflight" => args.max_inflight = num("--max-inflight", value("--max-inflight")?)?,
+            "--chaos" => args.chaos = Some(value("--chaos")?),
+            "--min-concurrent" => {
+                args.min_concurrent = num("--min-concurrent", value("--min-concurrent")?)?
             }
+            "--max-lag-ticks" => {
+                args.max_lag_ticks = num("--max-lag-ticks", value("--max-lag-ticks")?)?
+            }
+            "--out" => args.out = Some(value("--out")?),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
     Ok(args)
-}
-
-/// One client's observation of one request.
-#[derive(Debug, Default, Clone)]
-struct Sample {
-    status: u16,
-    tokens: u32,
-    /// Wall seconds from send to first token.
-    ttft: Option<f64>,
-    /// Wall seconds between consecutive tokens.
-    tbts: Vec<f64>,
-    io_error: bool,
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -103,44 +130,21 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[idx]
 }
 
-fn drive_one(addr: std::net::SocketAddr, body: &str) -> Sample {
-    let mut sample = Sample::default();
-    let sent = Instant::now();
-    let mut stream = match SseStream::post(addr, "/v1/completions", body, Duration::from_secs(120)) {
-        Ok(s) => s,
-        Err(_) => {
-            sample.io_error = true;
-            return sample;
-        }
+/// Open fds of this process right now (Linux; 0 elsewhere).
+fn current_fds() -> usize {
+    std::fs::read_dir("/proc/self/fd").map_or(0, |d| d.count())
+}
+
+/// Peak resident set of this process in bytes (Linux VmHWM; 0 elsewhere).
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
     };
-    sample.status = stream.status;
-    if stream.status != 200 {
-        return sample;
-    }
-    let mut last = sent;
-    loop {
-        match stream.next_data() {
-            Ok(Some(data)) => {
-                if data == sse::DONE {
-                    break;
-                }
-                let now = Instant::now();
-                if sample.tokens == 0 {
-                    sample.ttft = Some(now.duration_since(sent).as_secs_f64());
-                } else {
-                    sample.tbts.push(now.duration_since(last).as_secs_f64());
-                }
-                last = now;
-                sample.tokens += 1;
-            }
-            Ok(None) => break,
-            Err(_) => {
-                sample.io_error = true;
-                break;
-            }
-        }
-    }
-    sample
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().trim_end_matches("kB").trim().parse::<u64>().ok())
+        .map_or(0, |kb| kb * 1024)
 }
 
 fn main() {
@@ -151,7 +155,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    banner("gateway_bench", "open-loop load against the live gateway");
+    banner("gateway_bench", "open-loop soak against the live gateway");
 
     // The arrival schedule: a standard synthesized trace, compressed onto
     // the wall clock so `--secs` of simulated traffic plays out in
@@ -168,15 +172,26 @@ fn main() {
     let (addr, hosted) = match &args.addr {
         Some(a) => (a.parse().expect("--addr must be HOST:PORT"), None),
         None => {
-            let cfg = AegaeonConfig::small_testbed(1, 1);
+            let mut cfg = AegaeonConfig::small_testbed(args.prefill, args.decode);
+            cfg.seed = args.seed;
+            if let Some(plan) = &args.chaos {
+                cfg.faults = match plan.parse() {
+                    Ok(p) => p,
+                    Err(e) => {
+                        eprintln!("gateway_bench: --chaos: {e}");
+                        std::process::exit(2);
+                    }
+                };
+            }
             let models = market_models(args.models);
-            let gw = Gateway::start(&cfg, &models, GatewayConfig::local(ClockMode::Timewarp(args.warp)))
-                .expect("start in-process gateway");
+            let mut gw_cfg = GatewayConfig::local(ClockMode::Timewarp(args.warp));
+            gw_cfg.admission.max_inflight_total = args.max_inflight;
+            let gw = Gateway::start(&cfg, &models, gw_cfg).expect("start in-process gateway");
             (gw.addr(), Some(gw))
         }
     };
     println!(
-        "driving {} requests over {:.1}s wall ({} models, offered {:.2} rps sim, warp {}x) -> {}",
+        "driving {} requests over {:.1}s wall ({} models, offered {:.2} rps/model sim, warp {}x) -> {}",
         n,
         args.secs / args.warp,
         args.models,
@@ -186,8 +201,7 @@ fn main() {
     );
 
     // Pre-render the schedule (time-ordered: the synthesizer emits sorted
-    // arrivals and time scaling preserves order), then fire it from a
-    // bounded client pool claiming requests off a shared cursor.
+    // arrivals and time scaling preserves order).
     let schedule: Vec<(Duration, String)> = wall_plan
         .requests
         .iter()
@@ -201,57 +215,79 @@ fn main() {
             (Duration::from_nanos(r.arrival_ns), body)
         })
         .collect();
-    let clients = args.clients.clamp(1, n);
-    let started = Instant::now();
-    let token_count = AtomicU64::new(0);
-    let fire_lag_ns = AtomicU64::new(0);
-    let cursor = AtomicUsize::new(0);
-    let (tx, rx) = std::sync::mpsc::channel::<(usize, Sample)>();
-    let mut samples: Vec<Sample> = vec![Sample::default(); n];
-    std::thread::scope(|scope| {
-        for _ in 0..clients {
-            let tx = tx.clone();
-            let (cursor, schedule) = (&cursor, &schedule);
-            let (token_count, fire_lag_ns) = (&token_count, &fire_lag_ns);
-            scope.spawn(move || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some((offset, body)) = schedule.get(i) else { break };
-                let now = started.elapsed();
-                if *offset > now {
-                    std::thread::sleep(*offset - now);
-                } else {
-                    fire_lag_ns.fetch_max((now - *offset).as_nanos() as u64, Ordering::Relaxed);
-                }
-                let s = drive_one(addr, body);
-                token_count.fetch_add(s.tokens as u64, Ordering::Relaxed);
-                if tx.send((i, s)).is_err() {
-                    break;
-                }
-            });
-        }
-        drop(tx);
-        for (i, s) in rx {
-            samples[i] = s;
-        }
-    });
-    let wall_secs = started.elapsed().as_secs_f64();
-    let max_fire_lag = Duration::from_nanos(fire_lag_ns.load(Ordering::Relaxed)).as_secs_f64();
 
-    let completed = samples.iter().filter(|s| s.status == 200 && !s.io_error).count();
+    let started = Instant::now();
+    let opts = SwarmOptions {
+        connectors: args.connectors.max(1),
+        ..SwarmOptions::default()
+    };
+    let connectors = opts.connectors;
+    let swarm = Swarm::launch(addr, schedule, opts).expect("launch swarm");
+
+    // Progress + resource high-water loop until every stream resolves.
+    let mut peak_fds = current_fds();
+    let mut last_print = Instant::now();
+    while swarm.gauges().finished() < n {
+        std::thread::sleep(Duration::from_millis(100));
+        peak_fds = peak_fds.max(current_fds());
+        if last_print.elapsed() >= Duration::from_secs(2) {
+            let g = swarm.gauges();
+            println!(
+                "  t={:6.1}s fired {}/{} open {} (peak {}) finished {} lag {:.3}s fds {}",
+                started.elapsed().as_secs_f64(),
+                g.fired(),
+                n,
+                g.open(),
+                g.peak_open(),
+                g.finished(),
+                g.max_fire_lag().as_secs_f64(),
+                peak_fds,
+            );
+            last_print = Instant::now();
+        }
+    }
+    let peak_open = swarm.gauges().peak_open();
+    let max_fire_lag = swarm.gauges().max_fire_lag().as_secs_f64();
+    let samples: Vec<StreamSample> = swarm.join();
+    let wall_secs = started.elapsed().as_secs_f64();
+    let rss = peak_rss_bytes();
+
+    // Outcome taxonomy: `dropped` streams got a 200 head but no [DONE] —
+    // the server's slow-reader backpressure (or a truncation fault) cut
+    // them; they are *accounted*, not failures of the harness contract.
+    let completed = samples
+        .iter()
+        .filter(|s| s.status == 200 && s.done && !s.io_error)
+        .count();
     let rejected = samples.iter().filter(|s| s.status == 429).count();
-    let failed = n - completed - rejected;
-    let total_tokens = token_count.load(Ordering::Relaxed);
-    let mut ttfts: Vec<f64> = samples.iter().filter_map(|s| s.ttft).collect();
+    let dropped = samples
+        .iter()
+        .filter(|s| s.status == 200 && !(s.done && !s.io_error))
+        .count();
+    let failed = n - completed - rejected - dropped;
+    let total_tokens: u64 = samples.iter().map(|s| s.tokens as u64).sum();
+    let mut ttfts: Vec<f64> = samples
+        .iter()
+        .filter_map(|s| s.ttft.map(|d| d.as_secs_f64()))
+        .collect();
     ttfts.sort_by(|a, b| a.total_cmp(b));
-    let mut tbts: Vec<f64> = samples.iter().flat_map(|s| s.tbts.iter().copied()).collect();
+    let mut tbts: Vec<f64> = samples
+        .iter()
+        .flat_map(|s| s.tbts.iter().map(|d| d.as_secs_f64()))
+        .collect();
     tbts.sort_by(|a, b| a.total_cmp(b));
 
     let offered_rps = n as f64 / wall_secs;
     let goodput = total_tokens as f64 / wall_secs;
+    // One timewarped tick = one simulated second on the wall clock.
+    let lag_limit = args.max_lag_ticks / args.warp.max(f64::MIN_POSITIVE);
     println!("\nresults over {wall_secs:.2}s wall:");
-    println!("  offered   : {n} requests ({offered_rps:.2} rps wall, {clients} clients)");
-    println!("  fire lag  : worst {max_fire_lag:.3}s behind schedule");
-    println!("  completed : {completed}   rejected(429): {rejected}   failed: {failed}");
+    println!("  offered   : {n} requests ({offered_rps:.2} rps wall, {connectors} connectors)");
+    println!("  concurrent: peak {peak_open} streams open at once");
+    println!("  fire lag  : worst {max_fire_lag:.4}s behind schedule (gate {lag_limit:.4}s)");
+    println!(
+        "  completed : {completed}   rejected(429): {rejected}   dropped: {dropped}   failed: {failed}"
+    );
     println!("  goodput   : {goodput:.1} tokens/s ({total_tokens} tokens)");
     println!(
         "  TTFT      : p50 {:.3}s  p90 {:.3}s  p99 {:.3}s",
@@ -265,13 +301,19 @@ fn main() {
         percentile(&tbts, 0.90),
         percentile(&tbts, 0.99)
     );
+    println!(
+        "  client    : peak {} fds, peak RSS {:.1} MiB",
+        peak_fds,
+        rss as f64 / (1024.0 * 1024.0)
+    );
 
     if let Some(gw) = hosted {
         let report = gw.shutdown();
         println!(
-            "  gateway   : admitted {} completed {} (audit rejections {})",
+            "  gateway   : admitted {} completed {} slow_drops {} (audit rejections {})",
             report.trace.requests.len(),
             report.result.completed,
+            report.slow_drops,
             report.audit.as_ref().map_or(0, |a| a.rejections)
         );
         if let Some(audit) = &report.audit {
@@ -284,13 +326,19 @@ fn main() {
         "offered_rps_wall": offered_rps,
         "wall_secs": wall_secs,
         "warp": args.warp,
-        "clients": clients as u64,
+        "connectors": connectors as u64,
         "max_fire_lag_secs": max_fire_lag,
+        "fire_lag_gate_secs": lag_limit,
+        "peak_concurrent_streams": peak_open as u64,
+        "min_concurrent_gate": args.min_concurrent as u64,
         "completed": completed as u64,
         "rejected": rejected as u64,
+        "dropped": dropped as u64,
         "failed": failed as u64,
         "total_tokens": total_tokens,
         "goodput_tokens_per_sec": goodput,
+        "peak_client_fds": peak_fds as u64,
+        "peak_client_rss_bytes": rss,
         "ttft_secs": serde_json::json!({
             "p50": percentile(&ttfts, 0.50),
             "p90": percentile(&ttfts, 0.90),
@@ -302,12 +350,36 @@ fn main() {
             "p99": percentile(&tbts, 0.99),
         }),
     });
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gateway_throughput.json");
+    let default_path =
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gateway_throughput.json").to_string();
+    let path = args.out.unwrap_or(default_path);
     match serde_json::to_string_pretty(&json) {
         Ok(s) => {
-            std::fs::write(path, s + "\n").expect("write BENCH_gateway_throughput.json");
+            std::fs::write(&path, s + "\n").expect("write bench report");
             println!("\n[json] {path}");
         }
         Err(e) => eprintln!("failed to serialize report: {e}"),
+    }
+
+    // Honesty gates, in blame order: a late generator invalidates the
+    // measurement entirely; a missed concurrency target means the soak
+    // proved nothing; failed streams are a server defect.
+    if max_fire_lag > lag_limit {
+        eprintln!(
+            "gateway_bench: FAIL: fire lag {max_fire_lag:.4}s exceeds one timewarped tick \
+             ({lag_limit:.4}s) — the load generator fell behind its own schedule"
+        );
+        std::process::exit(3);
+    }
+    if peak_open < args.min_concurrent {
+        eprintln!(
+            "gateway_bench: FAIL: peak concurrency {peak_open} never reached --min-concurrent {}",
+            args.min_concurrent
+        );
+        std::process::exit(4);
+    }
+    if failed > 0 {
+        eprintln!("gateway_bench: FAIL: {failed} streams failed");
+        std::process::exit(1);
     }
 }

@@ -141,6 +141,19 @@ pub trait Auditor {
 /// 6. **Bandwidth conservation** — delegated to [`AuditView::link_audit`]
 ///    (per-link started = delivered + in-flight; delivered never exceeds
 ///    nominal capacity × busy time).
+///
+/// # Scaling
+///
+/// A full per-request sweep on every event is O(requests·events) —
+/// quadratic once the gateway holds tens of thousands of streams in
+/// flight. Above [`InvariantAuditor::FULL_SCAN_MAX`] requests the auditor
+/// switches to a bounded round-robin window per event (every request is
+/// still revisited every `n / window` events, and the per-request
+/// high-water marks make regression checks *delayed, never lost*), and
+/// the memory/bandwidth book audits run on a fixed event cadence instead
+/// of every event. The exact `completed == done-requests` cross-count
+/// needs a full sweep, so in windowed mode it runs only at finish. All of
+/// this is deterministic (purely event-count driven) and observer-only.
 #[derive(Debug, Default)]
 pub struct InvariantAuditor {
     last_now: SimTime,
@@ -150,9 +163,20 @@ pub struct InvariantAuditor {
     report: AuditReport,
     /// Cap on recorded violations so a broken run cannot OOM the auditor.
     max_violations: usize,
+    /// Round-robin position for windowed scans.
+    cursor: usize,
+    /// Events since the last memory/link book audit in windowed mode.
+    since_books: u32,
 }
 
 impl InvariantAuditor {
+    /// Largest request count still fully swept on every event.
+    pub const FULL_SCAN_MAX: usize = 2048;
+    /// Requests validated per event in windowed mode.
+    const WINDOW: usize = 128;
+    /// Event cadence of the memory/link book audits in windowed mode.
+    const BOOKS_EVERY: u32 = 256;
+
     /// A fresh auditor.
     pub fn new() -> Self {
         InvariantAuditor {
@@ -168,6 +192,10 @@ impl InvariantAuditor {
     }
 
     fn check(&mut self, now: SimTime, view: &dyn AuditView) {
+        self.check_inner(now, view, false);
+    }
+
+    fn check_inner(&mut self, now: SimTime, view: &dyn AuditView, force_full: bool) {
         self.report.events_checked += 1;
         if now < self.last_now {
             self.flag(
@@ -205,87 +233,115 @@ impl InvariantAuditor {
             );
         }
 
-        let mut done_count = 0u64;
-        for i in 0..n {
-            let r = view.request(i);
-            if r.done {
-                done_count += 1;
-            }
-            let (seen_produced, seen_tokens) = self.progress[i];
-            if r.produced < seen_produced {
-                self.flag(
-                    now,
-                    format!(
-                        "progress: request {i} produced regressed {seen_produced} -> {}",
-                        r.produced
-                    ),
-                );
-            }
-            if r.produced > r.target {
-                self.flag(
-                    now,
-                    format!(
-                        "progress: request {i} produced {} beyond target {}",
-                        r.produced, r.target
-                    ),
-                );
-            }
-            if r.token_times.len() != r.produced as usize {
-                self.flag(
-                    now,
-                    format!(
-                        "progress: request {i} has {} token timestamps for {} produced tokens",
-                        r.token_times.len(),
-                        r.produced
-                    ),
-                );
-            }
-            // Only the newly appended timestamps need checking; the prefix
-            // was validated on earlier events.
-            let start = seen_tokens.saturating_sub(1).min(r.token_times.len());
-            for w in r.token_times[start..].windows(2) {
-                if w[1] < w[0] {
-                    self.flag(
-                        now,
-                        format!(
-                            "token order: request {i} timestamps go backwards ({:.6}s after {:.6}s)",
-                            w[1].as_secs_f64(),
-                            w[0].as_secs_f64()
-                        ),
-                    );
+        if force_full || n <= Self::FULL_SCAN_MAX {
+            let mut done_count = 0u64;
+            for i in 0..n {
+                if self.scan_request(now, view, i) {
+                    done_count += 1;
                 }
             }
-            if let Some(&last) = r.token_times.last() {
-                if r.token_times.len() > seen_tokens && last > now {
-                    self.flag(
-                        now,
-                        format!(
-                            "token order: request {i} token stamped {:.6}s in the future of {:.6}s",
-                            last.as_secs_f64(),
-                            now.as_secs_f64()
-                        ),
-                    );
-                }
+            if completed != done_count {
+                self.flag(
+                    now,
+                    format!(
+                        "conservation: completed counter {completed} disagrees with {done_count} done requests"
+                    ),
+                );
             }
-            self.progress[i] = (
-                seen_produced.max(r.produced),
-                seen_tokens.max(r.token_times.len()),
-            );
+            self.audit_books(now, view);
+        } else {
+            // Windowed mode: revisit WINDOW requests per event round-robin.
+            // High-water marks make regressions delayed, never lost; the
+            // exact completed == done-requests cross-count needs a full
+            // sweep and runs at finish instead.
+            let span = Self::WINDOW.min(n);
+            for k in 0..span {
+                let i = (self.cursor + k) % n;
+                self.scan_request(now, view, i);
+            }
+            self.cursor = (self.cursor + span) % n;
+            self.since_books += 1;
+            if self.since_books >= Self::BOOKS_EVERY {
+                self.since_books = 0;
+                self.audit_books(now, view);
+            }
         }
-        if completed != done_count {
-            self.flag(
-                now,
-                format!(
-                    "conservation: completed counter {completed} disagrees with {done_count} done requests"
-                ),
-            );
-        }
+    }
+
+    fn audit_books(&mut self, now: SimTime, view: &dyn AuditView) {
         if let Some(what) = view.memory_audit() {
             self.flag(now, format!("memory: {what}"));
         }
         if let Some(what) = view.link_audit() {
             self.flag(now, format!("bandwidth: {what}"));
         }
+    }
+
+    /// Validate one request against its high-water marks; returns whether
+    /// the request is done.
+    fn scan_request(&mut self, now: SimTime, view: &dyn AuditView, i: usize) -> bool {
+        let r = view.request(i);
+        let (seen_produced, seen_tokens) = self.progress[i];
+        if r.produced < seen_produced {
+            self.flag(
+                now,
+                format!(
+                    "progress: request {i} produced regressed {seen_produced} -> {}",
+                    r.produced
+                ),
+            );
+        }
+        if r.produced > r.target {
+            self.flag(
+                now,
+                format!(
+                    "progress: request {i} produced {} beyond target {}",
+                    r.produced, r.target
+                ),
+            );
+        }
+        if r.token_times.len() != r.produced as usize {
+            self.flag(
+                now,
+                format!(
+                    "progress: request {i} has {} token timestamps for {} produced tokens",
+                    r.token_times.len(),
+                    r.produced
+                ),
+            );
+        }
+        // Only the newly appended timestamps need checking; the prefix
+        // was validated on earlier events.
+        let start = seen_tokens.saturating_sub(1).min(r.token_times.len());
+        for w in r.token_times[start..].windows(2) {
+            if w[1] < w[0] {
+                self.flag(
+                    now,
+                    format!(
+                        "token order: request {i} timestamps go backwards ({:.6}s after {:.6}s)",
+                        w[1].as_secs_f64(),
+                        w[0].as_secs_f64()
+                    ),
+                );
+            }
+        }
+        if let Some(&last) = r.token_times.last() {
+            if r.token_times.len() > seen_tokens && last > now {
+                self.flag(
+                    now,
+                    format!(
+                        "token order: request {i} token stamped {:.6}s in the future of {:.6}s",
+                        last.as_secs_f64(),
+                        now.as_secs_f64()
+                    ),
+                );
+            }
+        }
+        self.progress[i] = (
+            seen_produced.max(r.produced),
+            seen_tokens.max(r.token_times.len()),
+        );
+        r.done
     }
 }
 
@@ -295,7 +351,8 @@ impl Auditor for InvariantAuditor {
     }
 
     fn at_finish(&mut self, now: SimTime, view: &dyn AuditView) {
-        self.check(now, view);
+        // The final sweep is always exhaustive, even in windowed mode.
+        self.check_inner(now, view, true);
         // End-of-run conservation: every request completed, rejected, or
         // handed off to another shard.
         let n = view.request_count() as u64;
@@ -440,7 +497,10 @@ mod tests {
         a.at_finish(SimTime::from_secs_f64(9.0), &fin);
         let report = a.take_report();
         assert!(
-            report.violations.iter().any(|v| v.what.contains("at finish")),
+            report
+                .violations
+                .iter()
+                .any(|v| v.what.contains("at finish")),
             "{report}"
         );
     }
@@ -455,7 +515,10 @@ mod tests {
         worse.reqs[0].3.pop();
         a.after_event(SimTime::from_secs_f64(2.5), &worse);
         let report = a.take_report();
-        assert!(report.violations.iter().any(|v| v.what.contains("regressed")));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.what.contains("regressed")));
 
         let mut a = InvariantAuditor::new();
         let mut bad = clean_view();
@@ -463,7 +526,10 @@ mod tests {
         a.after_event(SimTime::from_secs_f64(3.0), &bad);
         let report = a.take_report();
         assert!(
-            report.violations.iter().any(|v| v.what.contains("token order")),
+            report
+                .violations
+                .iter()
+                .any(|v| v.what.contains("token order")),
             "{report}"
         );
     }

@@ -286,7 +286,10 @@ impl fmt::Display for FaultPlan {
             ));
         }
         if self.stage_oom_rate > 0.0 {
-            parts.push(format!("oom={}:{}", self.stage_oom_rate, self.stage_oom_secs));
+            parts.push(format!(
+                "oom={}:{}",
+                self.stage_oom_rate, self.stage_oom_secs
+            ));
         }
         if self.stall_rate > 0.0 {
             parts.push(format!("stall={}:{}", self.stall_rate, self.stall_secs));
@@ -335,9 +338,7 @@ impl FromStr for FaultPlan {
                     let kind = match *kind {
                         "p" => InstKind::Prefill,
                         "d" => InstKind::Decode,
-                        other => {
-                            return Err(PlanParseError(format!("bad crash kind {other:?}")))
-                        }
+                        other => return Err(PlanParseError(format!("bad crash kind {other:?}"))),
                     };
                     let idx = idx
                         .parse::<u32>()
@@ -434,18 +435,37 @@ mod tests {
         let events = plan.materialize(3, 1000.0, 3, 4, 0, 0);
         let prefill_crashes = events
             .iter()
-            .filter(|e| matches!(e.kind, FaultKind::Crash { kind: InstKind::Prefill, .. }))
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    FaultKind::Crash {
+                        kind: InstKind::Prefill,
+                        ..
+                    }
+                )
+            })
             .count();
         let decode_crashes = events
             .iter()
-            .filter(|e| matches!(e.kind, FaultKind::Crash { kind: InstKind::Decode, .. }))
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    FaultKind::Crash {
+                        kind: InstKind::Decode,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(prefill_crashes, 2, "must stop at one survivor");
         assert_eq!(decode_crashes, 3, "must stop at one survivor");
         let mut victims: Vec<u32> = events
             .iter()
             .filter_map(|e| match e.kind {
-                FaultKind::Crash { kind: InstKind::Decode, idx } => Some(idx),
+                FaultKind::Crash {
+                    kind: InstKind::Decode,
+                    idx,
+                } => Some(idx),
                 _ => None,
             })
             .collect();
@@ -456,7 +476,11 @@ mod tests {
 
     #[test]
     fn spec_string_roundtrips() {
-        for plan in [FaultPlan::none(), busy_plan(), FaultPlan::crashes(&[(5.0, InstKind::Prefill, 0)])] {
+        for plan in [
+            FaultPlan::none(),
+            busy_plan(),
+            FaultPlan::crashes(&[(5.0, InstKind::Prefill, 0)]),
+        ] {
             let spec = plan.to_string();
             let back: FaultPlan = spec.parse().unwrap_or_else(|e| panic!("{spec:?}: {e}"));
             assert_eq!(plan, back, "spec {spec:?}");

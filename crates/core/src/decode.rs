@@ -160,11 +160,7 @@ pub fn dispatch_decode(
     let mut best: Option<Candidate> = None;
     for (i, wl) in lists.iter().enumerate() {
         let join = wl.find_joinable(model, |b| can_accept(i, b));
-        let key = (
-            u8::from(join.is_none()),
-            wl.len(),
-            u8::from(!same_node(i)),
-        );
+        let key = (u8::from(join.is_none()), wl.len(), u8::from(!same_node(i)));
         if best.as_ref().is_none_or(|(_, _, k)| key < *k) {
             best = Some((i, join, key));
         }

@@ -71,7 +71,10 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(1);
         let d = ModelDeploy::new(zoo.get("LLaMA-13B").unwrap(), &GpuSpec::h800(), 2, &mut rng);
         assert_eq!(d.spec.tp, 2);
-        assert_eq!(d.shard_bytes, zoo.get("LLaMA-13B").unwrap().weight_bytes() / 2);
+        assert_eq!(
+            d.shard_bytes,
+            zoo.get("LLaMA-13B").unwrap().weight_bytes() / 2
+        );
         assert_eq!(d.kv_token_bytes, 800 * 1024 / 2);
         assert!(d.fitted.r2_decode > 0.9);
     }

@@ -201,7 +201,11 @@ mod tests {
             let base = zoo.get(large_bases[i % large_bases.len()]).unwrap();
             large.push(ModelDemand {
                 spec: base.with_tp(4),
-                rate: if i == 0 { 1.13 } else { 0.01 + 0.015 * (i as f64 % 4.0) },
+                rate: if i == 0 {
+                    1.13
+                } else {
+                    0.01 + 0.015 * (i as f64 % 4.0)
+                },
                 mean_output: 250.0,
                 mean_input: 330.0,
             });
@@ -245,7 +249,10 @@ mod tests {
             16,
         )
         .expect("a pool within 16 GPUs must suffice");
-        assert!(gpus <= 6, "8 sporadic models should pool onto few GPUs, got {gpus}");
+        assert!(
+            gpus <= 6,
+            "8 sporadic models should pool onto few GPUs, got {gpus}"
+        );
         assert!(att >= 0.9);
     }
 

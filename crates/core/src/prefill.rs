@@ -238,7 +238,10 @@ mod tests {
         q.push_group(mid(0), rid(3));
         // current = Some(0): switches at m1 and back at m0 → 2 switches.
         let load = q.load_estimate(Some(mid(0)), |_, _| 0.5, |_| 10.0);
-        assert!((load - (4.0 * 0.5 + 2.0 * 10.0)).abs() < 1e-9, "load {load}");
+        assert!(
+            (load - (4.0 * 0.5 + 2.0 * 10.0)).abs() < 1e-9,
+            "load {load}"
+        );
         // current = None: also pay the initial scale to m0.
         let load2 = q.load_estimate(None, |_, _| 0.5, |_| 10.0);
         assert!((load2 - (2.0 + 30.0)).abs() < 1e-9);

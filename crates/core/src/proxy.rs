@@ -7,7 +7,6 @@
 //! proxy reads them with a small RPC latency and declares an instance dead
 //! after missing heartbeats.
 
-
 use aegaeon_model::ModelId;
 use aegaeon_sim::{FxHashMap, SimDur, SimTime};
 

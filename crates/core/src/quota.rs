@@ -47,7 +47,10 @@ pub struct RoundQuotas {
 ///
 /// Panics if any step time, the TBT or QMAX is not strictly positive.
 pub fn decode_quotas(inp: &QuotaInputs) -> RoundQuotas {
-    assert!(inp.tbt > 0.0 && inp.qmax > 0.0, "d and QMAX must be positive");
+    assert!(
+        inp.tbt > 0.0 && inp.qmax > 0.0,
+        "d and QMAX must be positive"
+    );
     if inp.step_times.is_empty() {
         return RoundQuotas {
             quotas: Vec::new(),

@@ -1,7 +1,7 @@
 //! Run results and derived reports.
 
-use aegaeon_metrics::{attainment, AttainmentReport, BreakdownAcc, RequestOutcome};
 use aegaeon_mem::frag::FragRow;
+use aegaeon_metrics::{attainment, AttainmentReport, BreakdownAcc, RequestOutcome};
 use aegaeon_sim::{SimTime, TraceLog};
 use aegaeon_workload::SloSpec;
 

@@ -104,6 +104,8 @@ pub struct ServingSession {
     halted: bool,
     /// Gateway admission rejections (429s), surfaced on the audit report.
     rejections: u64,
+    /// Gateway slow-reader drops (bounded output queue overflows).
+    slow_drops: u64,
     /// Event-dispatch runaway cap (matches the historical run loop).
     cap: u64,
 }
@@ -127,6 +129,7 @@ impl ServingSession {
             open: false,
             halted: false,
             rejections: 0,
+            slow_drops: 0,
             cap: 400_000_000,
         }
     }
@@ -135,7 +138,11 @@ impl ServingSession {
     /// materialized against `live_horizon`) and accepts requests through
     /// [`ServingSession::injector`]. The token tap is enabled so sinks
     /// receive every produced token.
-    pub fn open(cfg: &AegaeonConfig, models: &[ModelSpec], live_horizon: SimTime) -> ServingSession {
+    pub fn open(
+        cfg: &AegaeonConfig,
+        models: &[ModelSpec],
+        live_horizon: SimTime,
+    ) -> ServingSession {
         let trace = Trace {
             requests: Vec::new(),
             horizon: live_horizon,
@@ -156,6 +163,7 @@ impl ServingSession {
             open: true,
             halted: false,
             rejections: 0,
+            slow_drops: 0,
             cap: 400_000_000,
         }
     }
@@ -267,6 +275,18 @@ impl ServingSession {
     /// additionally stop at quiescence (see module docs) so the stopping
     /// point is a function of simulation state alone, never of wall time.
     pub fn step_until(&mut self, limit: SimTime) -> u64 {
+        self.step_bounded(limit, u64::MAX).0
+    }
+
+    /// [`ServingSession::step_until`] with an event budget: dispatches at
+    /// most `max_events` events, so a caller that also owns an I/O loop
+    /// (the gateway reactor) can interleave stepping with socket service
+    /// instead of starving it during a backlog burn-down. Returns
+    /// `(dispatched, truncated)` where `truncated` means the budget ran
+    /// out while events at or before `limit` were still due. Stepping
+    /// cadence never changes simulation outcomes, so slicing by budget is
+    /// as determinism-safe as slicing by time.
+    pub fn step_bounded(&mut self, limit: SimTime, max_events: u64) -> (u64, bool) {
         let mut dispatched: u64 = 0;
         loop {
             self.admit_pending();
@@ -278,6 +298,9 @@ impl ServingSession {
             };
             if at > limit {
                 break;
+            }
+            if dispatched >= max_events {
+                return (dispatched, true);
             }
             let (t, ev) = self.q.pop().expect("peeked event");
             if t > self.sys.hard_stop || self.q.events_dispatched() > self.cap {
@@ -300,7 +323,7 @@ impl ServingSession {
             }
             self.flush_tokens();
         }
-        dispatched
+        (dispatched, false)
     }
 
     /// Pumps the injection channel and admits every request whose stamp
@@ -390,6 +413,31 @@ impl ServingSession {
     /// Total rejections recorded via [`ServingSession::note_rejection`].
     pub fn rejections(&self) -> u64 {
         self.rejections
+    }
+
+    /// Counts one slow-reader drop: a streaming connection whose bounded
+    /// output queue overflowed because the client stopped reading. The
+    /// simulated request still runs to completion (a hung-up client never
+    /// perturbs the simulation); only the gateway-side stream is severed.
+    pub fn note_slow_drop(&mut self) {
+        self.slow_drops += 1;
+        let id = self.sys.tm.c_gw_slow_drops;
+        self.sys.tel.metrics.inc(id, 1);
+    }
+
+    /// Total slow-reader drops recorded via
+    /// [`ServingSession::note_slow_drop`].
+    pub fn slow_drops(&self) -> u64 {
+        self.slow_drops
+    }
+
+    /// Sets the reactor health gauges: currently registered descriptors
+    /// and the size of the last readiness batch the event loop serviced.
+    pub fn set_reactor_gauges(&mut self, registered_fds: usize, ready_depth: usize) {
+        let fds = self.sys.tm.g_reactor_fds;
+        let ready = self.sys.tm.g_reactor_ready;
+        self.sys.tel.metrics.set(fds, registered_fds as f64);
+        self.sys.tel.metrics.set(ready, ready_depth as f64);
     }
 
     /// Reads a counter total by name (e.g. `"proxy_retries"`); 0.0 when the
@@ -540,6 +588,42 @@ mod tests {
         let report = report.expect("auditor installed");
         assert!(report.ok(), "live audit failed:\n{report}");
         assert_eq!(result.completed, plan.len());
+    }
+
+    /// Regression: a request whose entire output is the prefill's first
+    /// token must retire there. Dispatching it to decode parked it
+    /// forever (decode batches skip done requests), leaking its
+    /// admission slot and tripping the auditor's conservation check.
+    #[test]
+    fn single_token_requests_retire_at_prefill() {
+        let cfg = AegaeonConfig::small_testbed(1, 1);
+        let specs = models(2);
+        let n = 40;
+        let mut live = ServingSession::open(&cfg, &specs, SimTime::from_secs_f64(120.0));
+        live.install_auditor(Box::new(crate::audit::InvariantAuditor::new()));
+        let inj = live.injector();
+        let (tx, rx) = mpsc::channel();
+        for i in 0..n {
+            inj.send(
+                SimTime::from_secs_f64(1.0 + i as f64 * 0.25),
+                LiveRequest {
+                    model: ModelId((i % 2) as u32),
+                    input_tokens: 32,
+                    output_tokens: 1,
+                    sink: Some(tx.clone()),
+                },
+            );
+        }
+        drop(tx);
+        live.step_until(SimTime::MAX);
+        assert!(live.quiescent(), "single-token requests must not park");
+        let toks: Vec<TokenEv> = rx.iter().collect();
+        assert_eq!(toks.len(), n, "each request streams exactly one token");
+        assert!(toks.iter().all(|t| t.index == 0 && t.done));
+        let (result, report) = live.finish();
+        assert_eq!(result.completed, n);
+        let report = report.expect("auditor installed");
+        assert!(report.ok(), "audit failed:\n{report}");
     }
 
     /// Token sinks stream every produced token in order and close after

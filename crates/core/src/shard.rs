@@ -143,8 +143,7 @@ impl ShardPlan {
             .iter()
             .map(|&inst| {
                 assert!(inst >= 2, "a shard needs at least two instances");
-                let ideal =
-                    (cfg.prefill_instances * inst + total_inst / 2) / total_inst;
+                let ideal = (cfg.prefill_instances * inst + total_inst / 2) / total_inst;
                 ideal.clamp(1, inst - 1)
             })
             .collect();
@@ -381,8 +380,7 @@ impl Coordinator<'_> {
                 for (tx, batch) in task_txs.iter().zip(batches) {
                     tx.send((batch, w.limit)).expect("worker alive");
                 }
-                let mut slots: Vec<Option<ServingSession>> =
-                    (0..shards).map(|_| None).collect();
+                let mut slots: Vec<Option<ServingSession>> = (0..shards).map(|_| None).collect();
                 for _ in 0..workers {
                     let batch = back_rx.recv().expect("worker alive");
                     for (i, s) in batch {
@@ -587,8 +585,7 @@ mod tests {
             assert!(sub.prefill_instances >= 1);
             assert!(sub.prefill_instances < sub.instance_count());
         }
-        let seeds: std::collections::HashSet<u64> =
-            plan.cfgs.iter().map(|c| c.seed).collect();
+        let seeds: std::collections::HashSet<u64> = plan.cfgs.iter().map(|c| c.seed).collect();
         assert_eq!(seeds.len(), 4, "per-shard seeds decorrelate");
     }
 
@@ -620,7 +617,10 @@ mod tests {
         // then clamps... computed below from the plan itself).
         cfg.faults.crashes = vec![(5.0, InstKind::Prefill, 0)];
         let plan = ShardPlan::partition(&cfg, &toy_trace(4, 4), 4);
-        assert_eq!(plan.cfgs[0].faults.crashes, vec![(5.0, InstKind::Prefill, 0)]);
+        assert_eq!(
+            plan.cfgs[0].faults.crashes,
+            vec![(5.0, InstKind::Prefill, 0)]
+        );
         for sub in &plan.cfgs[1..] {
             assert!(sub.faults.crashes.is_empty());
         }

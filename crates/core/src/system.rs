@@ -11,11 +11,9 @@
 
 use std::collections::VecDeque;
 
-use aegaeon_engine::{scale_up_plan, KvCache, KvCacheConfig, ScaleCost};
 use aegaeon_engine::init::PIPELINED_LOAD_EFFICIENCY;
-use aegaeon_gpu::{
-    ClusterTopology, Completion, EventId, Fabric, GpuId, LinkId, StreamOp,
-};
+use aegaeon_engine::{scale_up_plan, KvCache, KvCacheConfig, ScaleCost};
+use aegaeon_gpu::{ClusterTopology, Completion, EventId, Fabric, GpuId, LinkId, StreamOp};
 use aegaeon_mem::{BlockRef, BumpBuffer, FragSampler, ModelCache, MoveList, ShapeKey};
 use aegaeon_metrics::{RequestOutcome, Stage};
 use aegaeon_model::ModelId;
@@ -128,7 +126,10 @@ pub(crate) struct TelIds {
     pub(crate) c_http_metrics: CounterId,
     pub(crate) c_http_healthz: CounterId,
     pub(crate) c_gw_rejected: CounterId,
+    pub(crate) c_gw_slow_drops: CounterId,
     pub(crate) g_wall_lag: GaugeId,
+    pub(crate) g_reactor_fds: GaugeId,
+    pub(crate) g_reactor_ready: GaugeId,
     g_prefill_queue_depth: GaugeId,
     g_decode_work: GaugeId,
     g_decode_batches: GaugeId,
@@ -161,7 +162,10 @@ impl TelIds {
             c_http_metrics: reg.counter("http_metrics_requests"),
             c_http_healthz: reg.counter("http_healthz_requests"),
             c_gw_rejected: reg.counter("gateway_rejected_requests"),
+            c_gw_slow_drops: reg.counter("gateway_slow_drops"),
             g_wall_lag: reg.gauge("wall_clock_lag_secs"),
+            g_reactor_fds: reg.gauge("reactor_registered_fds"),
+            g_reactor_ready: reg.gauge("reactor_ready_depth"),
             g_prefill_queue_depth: reg.gauge("prefill_queue_depth"),
             g_decode_work: reg.gauge("decode_work_requests"),
             g_decode_batches: reg.gauge("decode_batches"),
@@ -169,10 +173,8 @@ impl TelIds {
             g_cpu_kv_used: reg.gauge("cpu_kv_used_bytes"),
             g_link_bytes_in_flight: reg.gauge("link_bytes_in_flight"),
             g_active_models: reg.gauge("active_models"),
-            h_scale_latency: reg.histogram(
-                "scale_latency_secs",
-                &[0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0],
-            ),
+            h_scale_latency: reg
+                .histogram("scale_latency_secs", &[0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0]),
             h_batch_size: reg.histogram("batch_size", &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0]),
         }
     }
@@ -305,7 +307,11 @@ impl ServingSystem {
     ///
     /// Panics if the configuration is inconsistent (e.g. a model's TP shard
     /// does not fit in VRAM).
-    pub fn run(cfg: &AegaeonConfig, models: &[aegaeon_model::ModelSpec], trace: &Trace) -> RunResult {
+    pub fn run(
+        cfg: &AegaeonConfig,
+        models: &[aegaeon_model::ModelSpec],
+        trace: &Trace,
+    ) -> RunResult {
         if cfg.audit {
             let (result, report) = Self::run_audited(cfg, models, trace);
             assert!(
@@ -379,8 +385,8 @@ impl ServingSystem {
         }
         // With 2+ slots the spare slot IS the prefetch target; a separate
         // prefetch region only exists in the single-slot configuration.
-        let prefetch_enabled = cfg.opts.prefetch
-            && (weight_slots > 1 || usable >= max_shard * 2 + min_kv);
+        let prefetch_enabled =
+            cfg.opts.prefetch && (weight_slots > 1 || usable >= max_shard * 2 + min_kv);
         let prefetch_cap = if weight_slots == 1 && prefetch_enabled {
             max_shard
         } else {
@@ -596,8 +602,7 @@ impl ServingSystem {
     }
 
     pub(crate) fn live(&self) -> bool {
-        self.arrivals_left > 0
-            || self.completed + (self.migrated_out as usize) < self.trace.len()
+        self.arrivals_left > 0 || self.completed + (self.migrated_out as usize) < self.trace.len()
     }
 
     fn ensure_ticks(&mut self, q: &mut Q) {
@@ -628,7 +633,13 @@ impl ServingSystem {
                     // Proxy metadata path is stalled: retry with backoff
                     // instead of dispatching against stale state.
                     let wait = self.meta.retry_backoff(1);
-                    q.schedule_after(wait, Ev::Retry { req: idx, attempt: 1 });
+                    q.schedule_after(
+                        wait,
+                        Ev::Retry {
+                            req: idx,
+                            attempt: 1,
+                        },
+                    );
                 } else {
                     q.schedule_after(self.cfg.proxy_latency, Ev::DispatchPrefill { idx });
                 }
@@ -700,7 +711,9 @@ impl ServingSystem {
     }
 
     fn submit(&mut self, stream: aegaeon_gpu::StreamId, op: StreamOp<Tag>, q: &mut Q) {
-        let cs = self.fabric.submit(stream, op, &mut Lift::new(q, Ev::Fabric));
+        let cs = self
+            .fabric
+            .submit(stream, op, &mut Lift::new(q, Ev::Fabric));
         self.ready.extend(cs);
     }
 
@@ -818,7 +831,13 @@ impl ServingSystem {
     /// previous phase first (robust across failover and preemption, where
     /// phases end at re-dispatch rather than at a clean boundary). Consumes
     /// the pending scheduler-decision instant as the cause link.
-    fn tel_begin_phase(&mut self, req: RequestId, kind: SpanKind, label: &'static str, now: SimTime) {
+    fn tel_begin_phase(
+        &mut self,
+        req: RequestId,
+        kind: SpanKind,
+        label: &'static str,
+        now: SimTime,
+    ) {
         if !self.tel.is_enabled() {
             return;
         }
@@ -827,14 +846,10 @@ impl ServingSystem {
         if !rt.phase.is_none() {
             self.tel.spans.end(rt.phase, now);
         }
-        let id = self.tel.spans.start(
-            || format!("req{i}"),
-            kind,
-            now,
-            rt.root,
-            rt.cause,
-            || label,
-        );
+        let id = self
+            .tel
+            .spans
+            .start(|| format!("req{i}"), kind, now, rt.root, rt.cause, || label);
         self.req_tel[i].phase = id;
         self.req_tel[i].cause = SpanId::NONE;
     }
@@ -871,10 +886,10 @@ impl ServingSystem {
         if !self.tel.is_enabled() {
             return;
         }
-        let id = self
-            .tel
-            .spans
-            .instant(|| "scheduler", SpanKind::Decision, now, SpanId::NONE, label);
+        let id =
+            self.tel
+                .spans
+                .instant(|| "scheduler", SpanKind::Decision, now, SpanId::NONE, label);
         self.req_tel[req.0 as usize].cause = id;
     }
 
@@ -1084,7 +1099,14 @@ impl ServingSystem {
         let tag = self.multi(gpus.len() as u32, inner);
         for g in gpus {
             let s = self.topo.gpu(g).default_stream;
-            self.submit(s, StreamOp::Compute { dur, tag: tag.clone() }, q);
+            self.submit(
+                s,
+                StreamOp::Compute {
+                    dur,
+                    tag: tag.clone(),
+                },
+                q,
+            );
         }
     }
 
@@ -1147,8 +1169,7 @@ impl ServingSystem {
                     .unwrap_or_else(|| trace.requests[r.0 as usize].input_tokens);
                 deploys[m.0 as usize].fitted.estimate_prefill(&[input])
             };
-            let est_switch =
-                |m: ModelId| deploys[m.0 as usize].est_switch_secs(pcie, cfg.beta);
+            let est_switch = |m: ModelId| deploys[m.0 as usize].est_switch_secs(pcie, cfg.beta);
             let mut best = usize::MAX;
             let mut min_load = f64::INFINITY;
             for (i, p) in self.prefills.iter().enumerate() {
@@ -1203,11 +1224,7 @@ impl ServingSystem {
         // token); failure-recovered requests rebuild their full context.
         let fresh = self.reqs[req.0 as usize].produced == 0;
         let ptokens = self.reqs[req.0 as usize].ctx_tokens() + u32::from(fresh);
-        if self.prefills[pi]
-            .gpu_kv
-            .alloc(req, model, ptokens)
-            .is_err()
-        {
+        if self.prefills[pi].gpu_kv.alloc(req, model, ptokens).is_err() {
             // VRAM KV backpressure: requeue and retry after reclamation.
             self.prefills[pi].queue.push_front(model, req);
             self.prefills[pi].retry = true;
@@ -1265,19 +1282,33 @@ impl ServingSystem {
         let start = self.reqs[req.0 as usize]
             .prefill_start
             .expect("prefill started");
-        self.breakdown
-            .add_secs(Stage::PrefillExec, now.saturating_since(start).as_secs_f64());
+        self.breakdown.add_secs(
+            Stage::PrefillExec,
+            now.saturating_since(start).as_secs_f64(),
+        );
         if self.schedule.is_enabled() {
             let lane = self.primary(InstRef::prefill(pi)).to_string();
             self.schedule
-                .record_with(lane, start, now, TraceKind::Prefill, || format!("P:{model}"));
+                .record_with(lane, start, now, TraceKind::Prefill, || {
+                    format!("P:{model}")
+                });
         }
         self.tel_end_phase(req, now);
         self.prefills[pi].active = None;
-        // Offload the fresh KV to the unified CPU cache, then hand the
-        // request to a decoding instance (the swap-in will synchronize on
-        // the offload event, §5.3 rule ❷).
-        if self.issue_offload(InstRef::prefill(pi), req, q) {
+        if self.reqs[req.0 as usize].is_done() {
+            // Single-token request: the prefill's first token is also its
+            // last. Retire here — decode batches skip done requests, so
+            // dispatching it would park it (and its admission slot) forever.
+            self.prefills[pi].gpu_kv.free(req);
+            let rs = &mut self.reqs[req.0 as usize];
+            rs.kv = KvPlace::None;
+            rs.kv_ready = false;
+            self.completed += 1;
+            self.tel_req_done(req, now);
+        } else if self.issue_offload(InstRef::prefill(pi), req, q) {
+            // Offload the fresh KV to the unified CPU cache, then hand the
+            // request to a decoding instance (the swap-in will synchronize
+            // on the offload event, §5.3 rule ❷).
             self.dispatch_decode_req(req, q);
         } else {
             let node = self.prefills[pi].node as usize;
@@ -1292,8 +1323,7 @@ impl ServingSystem {
 
     fn dispatch_decode_req(&mut self, req: RequestId, q: &mut Q) {
         let model = self.trace.requests[req.0 as usize].model;
-        let expected_ctx = self.reqs[req.0 as usize].input_tokens
-            + self.cfg.expected_output_tokens;
+        let expected_ctx = self.reqs[req.0 as usize].input_tokens + self.cfg.expected_output_tokens;
         let req_node = match self.reqs[req.0 as usize].kv {
             KvPlace::Cpu { node } => node,
             _ => self.prefills.first().map(|p| p.node).unwrap_or(0),
@@ -1474,7 +1504,9 @@ impl ServingSystem {
         };
         debug_assert!(gen > 0);
         let now = q.now();
-        self.tel.metrics.observe(self.tm.h_batch_size, reqs.len() as f64);
+        self.tel
+            .metrics
+            .observe(self.tm.h_batch_size, reqs.len() as f64);
         if self.tel.is_enabled() {
             let span = self.tel.spans.start(
                 || format!("decode{di}"),
@@ -1534,8 +1566,8 @@ impl ServingSystem {
         else {
             return;
         };
-        let scaler_ready = self.scaler(at).current == Some(batch_model)
-            && self.scaler(at).scaling.is_none();
+        let scaler_ready =
+            self.scaler(at).current == Some(batch_model) && self.scaler(at).scaling.is_none();
         let d = &mut self.decodes[di];
         let Some(turn) = d.turn.as_mut() else { return };
         if turn.stepping {
@@ -1552,7 +1584,11 @@ impl ServingSystem {
             .filter(|r| self.reqs[r.0 as usize].kv_ready)
             .count();
         let need_all = !self.cfg.opts.fine_sync;
-        let can_start = if need_all { ready == total && total > 0 } else { ready > 0 };
+        let can_start = if need_all {
+            ready == total && total > 0
+        } else {
+            ready > 0
+        };
         if !can_start {
             if turn.kv_stall_since.is_none() {
                 turn.kv_stall_since = Some(now);
@@ -1601,7 +1637,9 @@ impl ServingSystem {
                 b.reqs
                     .iter()
                     .copied()
-                    .filter(|r| self.reqs[r.0 as usize].kv_ready && !self.reqs[r.0 as usize].is_done())
+                    .filter(|r| {
+                        self.reqs[r.0 as usize].kv_ready && !self.reqs[r.0 as usize].is_done()
+                    })
                     .collect(),
             )
         };
@@ -1748,8 +1786,7 @@ impl ServingSystem {
                     .iter()
                     .map(|r| self.reqs[r.0 as usize].ctx_tokens() as u64)
                     .sum();
-                skip_offload =
-                    self.decodes[di].gpu_kv.token_capacity(b.model) > ctx * 2;
+                skip_offload = self.decodes[di].gpu_kv.token_capacity(b.model) > ctx * 2;
             }
         }
         if !skip_offload {
@@ -2027,9 +2064,11 @@ impl ServingSystem {
             let h = self.topo.gpu(*g).clone();
             if let Some(evs) = &wait_events {
                 if let Some(ev) = evs.get(gi) {
-                    let cs = self
-                        .fabric
-                        .wait_event(h.default_stream, *ev, &mut Lift::new(q, Ev::Fabric));
+                    let cs = self.fabric.wait_event(
+                        h.default_stream,
+                        *ev,
+                        &mut Lift::new(q, Ev::Fabric),
+                    );
                     self.ready.extend(cs);
                 }
             }
@@ -2053,9 +2092,7 @@ impl ServingSystem {
                         }
                     }
                     ScaleCost::DeviceCopy { bytes } => StreamOp::Compute {
-                        dur: SimDur::from_secs_f64(
-                            bytes as f64 / h.spec.device_copy_bw(),
-                        ),
+                        dur: SimDur::from_secs_f64(bytes as f64 / h.spec.device_copy_bw()),
                         tag,
                     },
                 };
@@ -2114,15 +2151,18 @@ impl ServingSystem {
         }
         self.scale_latencies
             .push(now.saturating_since(started).as_secs_f64());
-        self.tel
-            .metrics
-            .observe(self.tm.h_scale_latency, now.saturating_since(started).as_secs_f64());
+        self.tel.metrics.observe(
+            self.tm.h_scale_latency,
+            now.saturating_since(started).as_secs_f64(),
+        );
         let switch_span = std::mem::replace(&mut self.scaler_mut(at).switch_span, SpanId::NONE);
         self.tel.spans.end(switch_span, now);
         if self.schedule.is_enabled() {
             let lane = self.primary(at).to_string();
             self.schedule
-                .record_with(lane, started, now, TraceKind::Switch, || format!("S:{target}"));
+                .record_with(lane, started, now, TraceKind::Switch, || {
+                    format!("S:{target}")
+                });
         }
         // Exercise the self-managed buffer bookkeeping on prefill
         // instances (weights region reset + realloc, §5.2).
@@ -2372,8 +2412,7 @@ impl ServingSystem {
             kv_sync.push(rs.data_wait_secs + rs.control_secs);
             if let (Some(d), Some(f)) = (rs.decode_dispatch, rs.finished_at) {
                 let total = f.saturating_since(d).as_secs_f64();
-                let wait =
-                    (total - rs.decode_exec_secs - rs.data_wait_secs).max(0.0);
+                let wait = (total - rs.decode_exec_secs - rs.data_wait_secs).max(0.0);
                 self.breakdown.add_secs(Stage::DecodeWait, wait);
             }
         }
@@ -2390,8 +2429,12 @@ impl ServingSystem {
             .metrics
             .set_counter(self.tm.c_events_dispatched, q.events_dispatched());
         let (meta_reads, meta_writes) = self.meta.stats();
-        self.tel.metrics.set_counter(self.tm.c_meta_reads, meta_reads);
-        self.tel.metrics.set_counter(self.tm.c_meta_writes, meta_writes);
+        self.tel
+            .metrics
+            .set_counter(self.tm.c_meta_reads, meta_reads);
+        self.tel
+            .metrics
+            .set_counter(self.tm.c_meta_writes, meta_writes);
         self.tel
             .metrics
             .set_counter(self.tm.c_completed, self.completed as u64);
@@ -2535,8 +2578,16 @@ mod tests {
         let b = ServingSystem::run(&cfg, &models(3), &trace);
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.events, b.events);
-        let ta: Vec<_> = a.outcomes.iter().flat_map(|o| o.token_times.clone()).collect();
-        let tb: Vec<_> = b.outcomes.iter().flat_map(|o| o.token_times.clone()).collect();
+        let ta: Vec<_> = a
+            .outcomes
+            .iter()
+            .flat_map(|o| o.token_times.clone())
+            .collect();
+        let tb: Vec<_> = b
+            .outcomes
+            .iter()
+            .flat_map(|o| o.token_times.clone())
+            .collect();
         assert_eq!(ta, tb);
     }
 
@@ -2597,8 +2648,7 @@ mod tests {
         let trace = small_trace(6, 0.08, 120.0, 5);
         let r = ServingSystem::run(&cfg, &models(6), &trace);
         assert!(!r.scale_latencies.is_empty());
-        let mean: f64 =
-            r.scale_latencies.iter().sum::<f64>() / r.scale_latencies.len() as f64;
+        let mean: f64 = r.scale_latencies.iter().sum::<f64>() / r.scale_latencies.len() as f64;
         assert!(mean < 1.5, "mean scale latency {mean}s");
     }
 }

@@ -343,7 +343,12 @@ pub fn run_unified(policy: UnifiedPolicy, cfg: &MicroCfg, reqs: &[MicroReq]) -> 
                 violations += 1;
             }
         }
-        ttft.push(r.times.first().map(|t| t - r.spec.arrival).unwrap_or(f64::INFINITY));
+        ttft.push(
+            r.times
+                .first()
+                .map(|t| t - r.spec.arrival)
+                .unwrap_or(f64::INFINITY),
+        );
     }
     // The microbenchmark bypasses the event-driven audit hook, so enforce
     // the auditor's token-order invariant inline before reporting.

@@ -28,6 +28,9 @@ struct Args {
     horizon_secs: f64,
     max_inflight: u32,
     seed: u64,
+    chaos: Option<String>,
+    report_out: Option<String>,
+    max_connections: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -40,6 +43,9 @@ fn parse_args() -> Result<Args, String> {
         horizon_secs: 3600.0,
         max_inflight: 64,
         seed: 7,
+        chaos: None,
+        report_out: None,
+        max_connections: 16 * 1024,
     };
     let mut factor = 10.0;
     let mut timewarp = false;
@@ -91,11 +97,19 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?
             }
+            "--chaos" => args.chaos = Some(value("--chaos")?),
+            "--report-out" => args.report_out = Some(value("--report-out")?),
+            "--max-connections" => {
+                args.max_connections = value("--max-connections")?
+                    .parse()
+                    .map_err(|e| format!("--max-connections: {e}"))?
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: gateway [--addr HOST:PORT] [--mode realtime|timewarp] [--factor K] \
                      [--models N] [--prefill N] [--decode N] [--horizon-secs S] \
-                     [--max-inflight N] [--seed S]"
+                     [--max-inflight N] [--seed S] [--chaos PLAN] [--report-out FILE] \
+                     [--max-connections N]"
                 );
                 std::process::exit(0);
             }
@@ -120,12 +134,22 @@ fn main() {
 
     let mut cfg = AegaeonConfig::small_testbed(args.prefill, args.decode);
     cfg.seed = args.seed;
+    if let Some(plan) = &args.chaos {
+        cfg.faults = match plan.parse() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("gateway: --chaos: {e}");
+                std::process::exit(2);
+            }
+        };
+    }
     let zoo = Zoo::standard();
     let models: Vec<ModelSpec> = Zoo::replicate(&zoo.market_band(), args.models);
     let mut gw_cfg = GatewayConfig::local(args.mode);
     gw_cfg.addr = args.addr;
     gw_cfg.live_horizon = SimTime::from_secs_f64(args.horizon_secs);
     gw_cfg.admission.max_inflight_total = args.max_inflight;
+    gw_cfg.max_connections = args.max_connections;
 
     let gateway = match Gateway::start(&cfg, &models, gw_cfg) {
         Ok(g) => g,
@@ -146,14 +170,43 @@ fn main() {
     }
 
     eprintln!("gateway: shutdown requested, draining...");
+    let peak_connections = gateway.peak_connections();
     let report = gateway.shutdown();
     let r = &report.result;
     eprintln!(
-        "gateway: drained. requests={} completed={} sim_end={:.3}s",
+        "gateway: drained. requests={} completed={} slow_drops={} sim_end={:.3}s",
         report.trace.requests.len(),
         r.completed,
+        report.slow_drops,
         r.end_time.as_secs_f64(),
     );
+    if let Some(out) = &args.report_out {
+        // Gateway-side half of the two-process soak: the bench harness
+        // merges this with its client-side samples.
+        let (events_checked, violations, rejections) = report
+            .audit
+            .as_ref()
+            .map(|a| (a.events_checked, a.violations.len(), a.rejections))
+            .unwrap_or_default();
+        let json = format!(
+            "{{\n  \"requests\": {},\n  \"completed\": {},\n  \"rejections\": {},\n  \
+             \"slow_drops\": {},\n  \"peak_connections\": {},\n  \"sim_end_secs\": {:.6},\n  \
+             \"audit_events_checked\": {},\n  \"audit_violations\": {}\n}}\n",
+            report.trace.requests.len(),
+            r.completed,
+            rejections,
+            report.slow_drops,
+            peak_connections,
+            r.end_time.as_secs_f64(),
+            events_checked,
+            violations,
+        );
+        if let Err(e) = std::fs::write(out, json) {
+            eprintln!("gateway: failed to write {out}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("gateway: report written to {out}");
+    }
     if let Some(audit) = &report.audit {
         eprintln!(
             "gateway: audit events_checked={} violations={} rejections={}",

@@ -26,9 +26,12 @@ pub mod api;
 pub mod client;
 pub mod clock;
 pub mod http;
+pub mod outbuf;
+pub mod poll;
 pub mod server;
 pub mod signal;
 pub mod sse;
+pub mod swarm;
 
 pub use clock::{ClockDriver, ClockMode};
 pub use server::{Gateway, GatewayConfig, GatewayReport};

@@ -1,0 +1,619 @@
+//! Minimal nonblocking readiness poller — the reactor's only OS surface.
+//!
+//! Same vendoring discipline as the rest of the gateway: no `libc` crate,
+//! no async runtime. On Linux this wraps epoll (edge-triggered) plus an
+//! `eventfd` waker; on other unixes it falls back to `poll(2)` plus a
+//! self-pipe. Both backends present the identical [`Poller`] API, so the
+//! reactor in `server.rs` is platform-agnostic.
+//!
+//! Edge-triggered contract: after a [`PollEvent`] reports an fd readable or
+//! writable, the owner must read/write/accept **until `WouldBlock`** before
+//! the next readiness edge will be reported. The `poll(2)` fallback is
+//! level-triggered underneath, which only means spurious extra events — the
+//! drain-until-`WouldBlock` discipline is correct under both.
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+/// Token reserved for the internal waker; never hand this to `register`.
+pub const WAKE_TOKEN: u64 = u64::MAX;
+
+/// One readiness notification.
+#[derive(Debug, Clone, Copy)]
+pub struct PollEvent {
+    /// The token passed at registration ([`WAKE_TOKEN`] for waker pokes).
+    pub token: u64,
+    /// Reading will make progress (data, EOF, or a pending accept).
+    pub readable: bool,
+    /// Writing will make progress.
+    pub writable: bool,
+    /// Peer closed or the fd errored; the connection should be torn down
+    /// after draining whatever is still readable.
+    pub hangup: bool,
+}
+
+/// A cloneable, thread-safe handle that interrupts a blocked
+/// [`Poller::wait`]. The fd behind it stays valid until the `Poller` is
+/// dropped — the gateway keeps the reactor thread (and thus the poller)
+/// alive until after the last `wake()` during shutdown.
+#[derive(Debug, Clone)]
+pub struct Waker {
+    fd: RawFd,
+}
+
+impl Waker {
+    /// Wake the poller. Best-effort: an already-pending wake is fine, and a
+    /// full pipe/counter just means a wake is already queued.
+    pub fn wake(&self) {
+        sys::waker_signal(self.fd);
+    }
+}
+
+/// Readiness poller over a set of registered fds. Single-owner: lives on
+/// the reactor thread; only [`Waker`] handles escape it.
+#[derive(Debug)]
+pub struct Poller {
+    inner: sys::Backend,
+    registered: usize,
+}
+
+impl Poller {
+    /// Build a poller plus its internal waker fd.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            inner: sys::Backend::new()?,
+            registered: 0,
+        })
+    }
+
+    /// Register `fd` under `token` with read+write interest, edge-triggered.
+    /// The fd must already be nonblocking.
+    pub fn register(&mut self, fd: RawFd, token: u64) -> io::Result<()> {
+        assert!(token != WAKE_TOKEN, "WAKE_TOKEN is reserved");
+        self.inner.register(fd, token)?;
+        self.registered += 1;
+        Ok(())
+    }
+
+    /// Remove `fd` from the interest set. Must be called before the fd is
+    /// closed (closing first is usually benign with epoll but leaks slots
+    /// in the poll fallback).
+    pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        self.inner.deregister(fd)?;
+        self.registered = self.registered.saturating_sub(1);
+        Ok(())
+    }
+
+    /// Count of currently registered fds (excluding the waker).
+    pub fn registered(&self) -> usize {
+        self.registered
+    }
+
+    /// Handle for waking a blocked `wait` from another thread.
+    pub fn waker(&self) -> Waker {
+        Waker {
+            fd: self.inner.waker_fd(),
+        }
+    }
+
+    /// Block until readiness or timeout, filling `out` (cleared first).
+    /// `None` blocks indefinitely; `Some(0)` polls without blocking.
+    /// Waker pokes surface as events with [`WAKE_TOKEN`] and are already
+    /// drained. EINTR retries internally.
+    pub fn wait(&mut self, out: &mut Vec<PollEvent>, timeout: Option<Duration>) -> io::Result<()> {
+        out.clear();
+        let ms: i32 = match timeout {
+            None => -1,
+            Some(d) if d.is_zero() => 0,
+            // Round up so a sub-millisecond timeout still sleeps.
+            Some(d) => d
+                .as_millis()
+                .saturating_add(1)
+                .min(i32::MAX as u128) as i32,
+        };
+        self.inner.wait(out, ms)
+    }
+}
+
+/// Shrink a socket's kernel buffers (Linux only; no-op elsewhere). Used by
+/// tests that need a slow reader to exert real backpressure without
+/// hundreds of kilobytes of kernel buffering absorbing the stream. The
+/// kernel doubles the value it is given and enforces a floor, so the
+/// effective size is "small", not exact.
+pub fn shrink_socket_buffers(fd: RawFd, sndbuf: Option<u32>, rcvbuf: Option<u32>) -> io::Result<()> {
+    sys::shrink_socket_buffers(fd, sndbuf, rcvbuf)
+}
+
+/// Deepen the accept backlog of an already-listening socket.
+///
+/// `std::net::TcpListener::bind` hardcodes a backlog of 128, which a swarm
+/// connecting at thousands of sockets per second overflows in ~100 ms if
+/// the reactor is mid-way through a long simulation step. On Linux,
+/// calling `listen(2)` again on a listening socket updates the backlog in
+/// place (the kernel clamps to `net.core.somaxconn`). Best-effort on other
+/// unixes, where re-listen may be a no-op.
+pub fn widen_listen_backlog(fd: RawFd, backlog: u32) -> io::Result<()> {
+    extern "C" {
+        fn listen(fd: i32, backlog: i32) -> i32;
+    }
+    let ret = unsafe { listen(fd, backlog.min(i32::MAX as u32) as i32) };
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::{PollEvent, WAKE_TOKEN};
+    use std::io;
+    use std::os::unix::io::RawFd;
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLLET: u32 = 1 << 31;
+
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+    const EFD_NONBLOCK: i32 = 0o4000;
+    const EFD_CLOEXEC: i32 = 0o2000000;
+
+    const SOL_SOCKET: i32 = 1;
+    const SO_SNDBUF: i32 = 7;
+    const SO_RCVBUF: i32 = 8;
+
+    /// Kernel epoll_event. Packed on x86 so the 64-bit payload sits at
+    /// offset 4, matching the kernel ABI; naturally aligned elsewhere.
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(C, packed))]
+    #[cfg_attr(not(any(target_arch = "x86", target_arch = "x86_64")), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+        fn close(fd: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn setsockopt(fd: i32, level: i32, optname: i32, optval: *const u8, optlen: u32) -> i32;
+    }
+
+    fn cvt(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    #[derive(Debug)]
+    pub struct Backend {
+        epfd: RawFd,
+        efd: RawFd,
+    }
+
+    impl Backend {
+        pub fn new() -> io::Result<Backend> {
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            let efd = match cvt(unsafe { eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC) }) {
+                Ok(fd) => fd,
+                Err(e) => {
+                    unsafe { close(epfd) };
+                    return Err(e);
+                }
+            };
+            let b = Backend { epfd, efd };
+            let mut ev = EpollEvent {
+                events: EPOLLIN | EPOLLET,
+                data: WAKE_TOKEN,
+            };
+            cvt(unsafe { epoll_ctl(b.epfd, EPOLL_CTL_ADD, b.efd, &mut ev) })?;
+            Ok(b)
+        }
+
+        pub fn register(&mut self, fd: RawFd, token: u64) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET,
+                data: token,
+            };
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_ADD, fd, &mut ev) })?;
+            Ok(())
+        }
+
+        pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) })?;
+            Ok(())
+        }
+
+        pub fn waker_fd(&self) -> RawFd {
+            self.efd
+        }
+
+        fn drain_waker(&self) {
+            let mut buf = [0u8; 8];
+            loop {
+                let n = unsafe { read(self.efd, buf.as_mut_ptr(), 8) };
+                if n <= 0 {
+                    break;
+                }
+            }
+        }
+
+        pub fn wait(&mut self, out: &mut Vec<PollEvent>, timeout_ms: i32) -> io::Result<()> {
+            const CAP: usize = 1024;
+            let mut buf = [EpollEvent { events: 0, data: 0 }; CAP];
+            loop {
+                let n = unsafe { epoll_wait(self.epfd, buf.as_mut_ptr(), CAP as i32, timeout_ms) };
+                if n < 0 {
+                    let e = io::Error::last_os_error();
+                    if e.kind() == io::ErrorKind::Interrupted {
+                        continue;
+                    }
+                    return Err(e);
+                }
+                for ev in buf.iter().take(n as usize) {
+                    // Copy out of the (possibly packed) struct first.
+                    let events = ev.events;
+                    let token = ev.data;
+                    if token == WAKE_TOKEN {
+                        self.drain_waker();
+                    }
+                    out.push(PollEvent {
+                        token,
+                        readable: events & (EPOLLIN | EPOLLHUP | EPOLLERR | EPOLLRDHUP) != 0,
+                        writable: events & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0,
+                        hangup: events & (EPOLLHUP | EPOLLERR | EPOLLRDHUP) != 0,
+                    });
+                }
+                return Ok(());
+            }
+        }
+    }
+
+    impl Drop for Backend {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.efd);
+                close(self.epfd);
+            }
+        }
+    }
+
+    pub fn waker_signal(fd: RawFd) {
+        let one: u64 = 1;
+        unsafe { write(fd, &one as *const u64 as *const u8, 8) };
+    }
+
+    pub fn shrink_socket_buffers(
+        fd: RawFd,
+        sndbuf: Option<u32>,
+        rcvbuf: Option<u32>,
+    ) -> io::Result<()> {
+        for (opt, val) in [(SO_SNDBUF, sndbuf), (SO_RCVBUF, rcvbuf)] {
+            if let Some(v) = val {
+                let v = v as i32;
+                cvt(unsafe {
+                    setsockopt(
+                        fd,
+                        SOL_SOCKET,
+                        opt,
+                        &v as *const i32 as *const u8,
+                        std::mem::size_of::<i32>() as u32,
+                    )
+                })?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    use super::{PollEvent, WAKE_TOKEN};
+    use std::io;
+    use std::os::unix::io::RawFd;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    const F_SETFL: i32 = 4;
+    // BSD/macOS O_NONBLOCK (this module never compiles on Linux).
+    const O_NONBLOCK: i32 = 0x0004;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u32, timeout: i32) -> i32;
+        fn pipe(fds: *mut i32) -> i32;
+        fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+        fn close(fd: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    }
+
+    #[derive(Debug)]
+    pub struct Backend {
+        /// (fd, token) interest set; the waker pipe read end is entry 0.
+        slots: Vec<(RawFd, u64)>,
+        pipe_r: RawFd,
+        pipe_w: RawFd,
+    }
+
+    impl Backend {
+        pub fn new() -> io::Result<Backend> {
+            let mut fds = [0i32; 2];
+            if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            for fd in fds {
+                if unsafe { fcntl(fd, F_SETFL, O_NONBLOCK) } < 0 {
+                    let e = io::Error::last_os_error();
+                    unsafe {
+                        close(fds[0]);
+                        close(fds[1]);
+                    }
+                    return Err(e);
+                }
+            }
+            Ok(Backend {
+                slots: vec![(fds[0], WAKE_TOKEN)],
+                pipe_r: fds[0],
+                pipe_w: fds[1],
+            })
+        }
+
+        pub fn register(&mut self, fd: RawFd, token: u64) -> io::Result<()> {
+            self.slots.push((fd, token));
+            Ok(())
+        }
+
+        pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            match self.slots.iter().rposition(|&(f, _)| f == fd) {
+                Some(i) if i > 0 => {
+                    self.slots.swap_remove(i);
+                    Ok(())
+                }
+                _ => Err(io::Error::from(io::ErrorKind::NotFound)),
+            }
+        }
+
+        pub fn waker_fd(&self) -> RawFd {
+            self.pipe_w
+        }
+
+        fn drain_waker(&self) {
+            let mut buf = [0u8; 64];
+            loop {
+                let n = unsafe { read(self.pipe_r, buf.as_mut_ptr(), buf.len()) };
+                if n <= 0 {
+                    break;
+                }
+            }
+        }
+
+        pub fn wait(&mut self, out: &mut Vec<PollEvent>, timeout_ms: i32) -> io::Result<()> {
+            let mut fds: Vec<PollFd> = self
+                .slots
+                .iter()
+                .map(|&(fd, token)| PollFd {
+                    fd,
+                    events: if token == WAKE_TOKEN {
+                        POLLIN
+                    } else {
+                        POLLIN | POLLOUT
+                    },
+                    revents: 0,
+                })
+                .collect();
+            loop {
+                let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u32, timeout_ms) };
+                if n < 0 {
+                    let e = io::Error::last_os_error();
+                    if e.kind() == io::ErrorKind::Interrupted {
+                        continue;
+                    }
+                    return Err(e);
+                }
+                for (pfd, &(_, token)) in fds.iter().zip(self.slots.iter()) {
+                    let r = pfd.revents;
+                    if r == 0 {
+                        continue;
+                    }
+                    if token == WAKE_TOKEN {
+                        self.drain_waker();
+                    }
+                    out.push(PollEvent {
+                        token,
+                        readable: r & (POLLIN | POLLHUP | POLLERR) != 0,
+                        writable: r & (POLLOUT | POLLHUP | POLLERR) != 0,
+                        hangup: r & (POLLHUP | POLLERR) != 0,
+                    });
+                }
+                return Ok(());
+            }
+        }
+    }
+
+    impl Drop for Backend {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.pipe_r);
+                close(self.pipe_w);
+            }
+        }
+    }
+
+    pub fn waker_signal(fd: RawFd) {
+        let one = [1u8];
+        unsafe { write(fd, one.as_ptr(), 1) };
+    }
+
+    pub fn shrink_socket_buffers(
+        _fd: RawFd,
+        _sndbuf: Option<u32>,
+        _rcvbuf: Option<u32>,
+    ) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    use super::PollEvent;
+    use std::io;
+    use std::os::unix::io::RawFd;
+
+    #[derive(Debug)]
+    pub struct Backend;
+
+    impl Backend {
+        pub fn new() -> io::Result<Backend> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "gateway reactor requires a unix poller",
+            ))
+        }
+        pub fn register(&mut self, _fd: RawFd, _token: u64) -> io::Result<()> {
+            unreachable!()
+        }
+        pub fn deregister(&mut self, _fd: RawFd) -> io::Result<()> {
+            unreachable!()
+        }
+        pub fn waker_fd(&self) -> RawFd {
+            unreachable!()
+        }
+        pub fn wait(&mut self, _out: &mut Vec<PollEvent>, _ms: i32) -> io::Result<()> {
+            unreachable!()
+        }
+    }
+
+    pub fn waker_signal(_fd: RawFd) {}
+
+    pub fn shrink_socket_buffers(
+        _fd: RawFd,
+        _sndbuf: Option<u32>,
+        _rcvbuf: Option<u32>,
+    ) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+    use std::time::Instant;
+
+    #[test]
+    fn listener_accept_readiness() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.register(listener.as_raw_fd(), 7).unwrap();
+
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.iter().all(|e| !e.readable || e.token != 7));
+
+        let _client = TcpStream::connect(addr).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.readable));
+        let (s, _) = listener.accept().unwrap();
+        drop(s);
+    }
+
+    #[test]
+    fn edge_triggered_write_then_read() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+        client.set_nonblocking(true).unwrap();
+
+        let mut poller = Poller::new().unwrap();
+        poller.register(client.as_raw_fd(), 1).unwrap();
+
+        // Fresh socket: writable edge reported.
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.writable));
+
+        // Data arrives: readable edge reported.
+        server.write_all(b"ping").unwrap();
+        server.flush().unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut saw_read = false;
+        while Instant::now() < deadline && !saw_read {
+            poller
+                .wait(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            saw_read = events.iter().any(|e| e.token == 1 && e.readable);
+        }
+        assert!(saw_read);
+        let mut buf = [0u8; 4];
+        let mut c = &client;
+        c.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+
+        poller.deregister(client.as_raw_fd()).unwrap();
+        assert_eq!(poller.registered(), 0);
+    }
+
+    #[test]
+    fn waker_interrupts_blocked_wait() {
+        let mut poller = Poller::new().unwrap();
+        let waker = poller.waker();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            waker.wake();
+        });
+        let mut events = Vec::new();
+        let start = Instant::now();
+        poller.wait(&mut events, Some(Duration::from_secs(30))).unwrap();
+        assert!(start.elapsed() < Duration::from_secs(10));
+        assert!(events.iter().any(|e| e.token == WAKE_TOKEN));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn zero_timeout_polls_without_blocking() {
+        let mut poller = Poller::new().unwrap();
+        let mut events = Vec::new();
+        let start = Instant::now();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(0)))
+            .unwrap();
+        assert!(start.elapsed() < Duration::from_secs(1));
+        assert!(events.is_empty());
+    }
+}

@@ -1,49 +1,84 @@
-//! The gateway server: a threaded accept loop, per-connection handlers,
-//! and the single driver thread that owns the [`ServingSession`].
+//! The gateway server: a single-threaded nonblocking reactor that owns the
+//! [`ServingSession`], the listener, and every connection.
 //!
 //! # Threading model
 //!
-//! * **Driver thread** — sole owner of the open [`ServingSession`] and the
-//!   [`ClockDriver`]. It alternates between stepping simulated time up to
-//!   the current wall-clock target and blocking on one control channel
-//!   (std has no `select`, so *everything* — injections, metrics
-//!   snapshots, endpoint counters, drain — arrives as a [`GwMsg`]).
-//! * **Accept thread** — `TcpListener::accept` loop; spawns one handler
-//!   thread per connection (one request per connection,
-//!   `Connection: close`).
-//! * **Handler threads** — parse the request, run admission control, send
-//!   an injection to the driver, and stream tokens back as SSE from the
-//!   per-request channel the driver's session feeds.
+//! One **reactor thread** owns everything: the [`Poller`] (epoll on Linux),
+//! the open [`ServingSession`], the [`ClockDriver`], admission control, and
+//! a generation-tagged connection slab. There are no per-connection
+//! threads and no locks on the request path — thread count is *independent
+//! of connection count*, which is what lets the gateway hold tens of
+//! thousands of concurrent SSE streams. The only cross-thread surfaces are
+//! the [`Waker`] (shutdown pokes) and two atomics (`active`, `draining`).
+//!
+//! # Reactor cycle
+//!
+//! Each iteration: step simulated time toward the wall-clock target in
+//! bounded event chunks (so a burst of sim work cannot starve socket
+//! readiness), drain the per-request token channels into per-connection
+//! output queues, pump writable sockets, then block on the poller until
+//! the next simulated event is due or an fd becomes ready. Edge-triggered
+//! readiness means every fd is read/written **until `WouldBlock`** before
+//! the reactor sleeps again.
+//!
+//! # Backpressure contract
+//!
+//! Token write-back is buffered through a bounded [`WriteQueue`] per
+//! connection ([`GatewayConfig::max_conn_buffer`] unsent bytes). A reader
+//! that falls so far behind that its queue would overflow is **dropped**:
+//! the connection closes without the `[DONE]` sentinel, the admission slot
+//! is released, and the drop is counted (`gateway_slow_drops` in
+//! `/metrics`, [`GatewayReport::slow_drops`] at shutdown). Memory per
+//! connection is therefore strictly bounded; a slow reader can never back
+//! up into the simulation or other streams.
 //!
 //! # Graceful drain
 //!
-//! [`Gateway::shutdown`] stops the accept loop, tells the driver to drain,
-//! and the driver fast-forwards the session to quiescence: every admitted
-//! request completes (stepping speed never changes simulation outcomes)
-//! and its tokens flush to the still-open SSE streams before the session
-//! drops the sinks. In-flight clients therefore observe complete streams,
-//! not resets.
+//! [`Gateway::shutdown`] sets the drain flag and wakes the reactor, which
+//! stops accepting, fast-forwards the session to quiescence (stepping
+//! speed never changes simulation outcomes), flushes every in-flight SSE
+//! stream through its output queue, and only then finishes the session.
+//! In-flight clients observe complete streams, not resets.
 
-use std::io::{Read, Write};
+use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, RecvTimeoutError, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{Receiver, TryRecvError};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use aegaeon::proxy::{Admission, AdmissionPolicy};
 use aegaeon::session::{Endpoint, LiveRequest, ServingSession};
-use aegaeon::{AegaeonConfig, AuditReport, InvariantAuditor, RunResult};
-use aegaeon_model::ModelSpec;
+use aegaeon::{AegaeonConfig, AuditReport, InvariantAuditor, RunResult, TokenEv};
+use aegaeon_model::{ModelId, ModelSpec};
+use aegaeon_sim::queue::Injector;
 use aegaeon_sim::SimTime;
 use aegaeon_telemetry::prometheus_text;
 use aegaeon_workload::Trace;
 
 use crate::api::{self, ApiError};
 use crate::clock::{ClockDriver, ClockMode};
-use crate::http::{self, HttpParser};
-use crate::sse;
+use crate::http::HttpParser;
+use crate::outbuf::WriteQueue;
+use crate::poll::{self, PollEvent, Poller, Waker, WAKE_TOKEN};
+use crate::{http, sse};
+
+/// Poller token for the listening socket.
+const LISTEN_TOKEN: u64 = u64::MAX - 1;
+/// Simulation events dispatched per reactor iteration before readiness is
+/// re-checked; bounds how long sockets can starve behind sim work.
+const STEP_CHUNK: u64 = 8192;
+/// Longest the reactor sleeps with nothing due (keeps gauges fresh).
+const MAX_WAIT: Duration = Duration::from_millis(100);
+/// Idle connections (no complete request, or unflushed response with a
+/// dead peer) are reaped after this long.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+/// Cadence of the idle-reap sweep.
+const SWEEP_EVERY: Duration = Duration::from_secs(5);
+/// Hard cap on the graceful-drain flush phase.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(60);
 
 /// Gateway deployment settings.
 #[derive(Debug, Clone)]
@@ -58,11 +93,21 @@ pub struct GatewayConfig {
     pub admission: AdmissionPolicy,
     /// Install the invariant auditor (observer only).
     pub audit: bool,
+    /// Hard cap on simultaneously open connections; excess accepts are
+    /// shed immediately (fd budget guard).
+    pub max_connections: usize,
+    /// Bounded unsent bytes per connection — the backpressure threshold at
+    /// which a slow reader is dropped.
+    pub max_conn_buffer: usize,
+    /// Shrink each accepted socket's kernel send buffer (Linux only).
+    /// Tests use this to make app-level backpressure observable without
+    /// hundreds of kilobytes of kernel buffering in the way.
+    pub sock_sndbuf: Option<u32>,
 }
 
 impl GatewayConfig {
     /// Loopback on an ephemeral port, a 1-hour horizon, default admission,
-    /// auditor on.
+    /// auditor on, 16k connection cap, 256 KiB write buffers.
     pub fn local(mode: ClockMode) -> GatewayConfig {
         GatewayConfig {
             addr: "127.0.0.1:0".to_string(),
@@ -70,11 +115,14 @@ impl GatewayConfig {
             live_horizon: SimTime::from_secs_f64(3600.0),
             admission: AdmissionPolicy::default_gateway(),
             audit: true,
+            max_connections: 16 * 1024,
+            max_conn_buffer: 256 * 1024,
+            sock_sndbuf: None,
         }
     }
 }
 
-/// Everything the driver hands back at shutdown.
+/// Everything the reactor hands back at shutdown.
 #[derive(Debug)]
 pub struct GatewayReport {
     /// The run result, fingerprint-comparable with an offline replay of
@@ -86,54 +134,39 @@ pub struct GatewayReport {
     /// Every admitted request with its simulated arrival stamp — replay it
     /// with [`ServingSession::replay`] to reproduce the run offline.
     pub trace: Trace,
+    /// Streams dropped by write-back backpressure (slow readers).
+    pub slow_drops: u64,
 }
 
-/// The single control-channel message type (see module docs).
-enum GwMsg {
-    /// A handler requests injection of a live request.
-    Inject {
-        not_before: SimTime,
-        req: LiveRequest,
-    },
-    /// A handler wants a Prometheus snapshot.
-    Metrics { reply: Sender<String> },
-    /// Count one request on an endpoint.
-    Note(Endpoint),
-    /// Count one admission rejection.
-    Rejected,
-    /// Begin the graceful drain.
-    Drain,
-}
-
-/// State shared by the accept loop and every handler thread.
+/// State shared between the reactor thread and the [`Gateway`] handle.
 struct Shared {
-    clock: ClockDriver,
-    epoch: Instant,
-    n_models: u32,
-    admission: Mutex<Admission>,
     active: AtomicUsize,
+    peak: AtomicUsize,
     draining: AtomicBool,
 }
 
-/// A running gateway; dropping it without [`Gateway::shutdown`] aborts
-/// ungracefully (threads are detached).
+/// A running gateway; dropping it without [`Gateway::shutdown`] leaves the
+/// reactor thread serving (detached).
 pub struct Gateway {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    ctl: Sender<GwMsg>,
-    driver: Option<JoinHandle<(RunResult, Option<AuditReport>, Trace)>>,
-    accept: Option<JoinHandle<()>>,
+    waker: Waker,
+    reactor: Option<JoinHandle<(RunResult, Option<AuditReport>, Trace, u64)>>,
 }
 
 impl Gateway {
-    /// Binds, spawns the driver and accept threads, and returns
-    /// immediately; the gateway is serving once this returns.
+    /// Binds, spawns the reactor thread, and returns immediately; the
+    /// gateway is serving once this returns.
     pub fn start(
         sys_cfg: &AegaeonConfig,
         models: &[ModelSpec],
         gw: GatewayConfig,
-    ) -> std::io::Result<Gateway> {
+    ) -> io::Result<Gateway> {
         let listener = TcpListener::bind(&gw.addr)?;
+        listener.set_nonblocking(true)?;
+        // Best-effort: std's 128-deep backlog overflows under swarm-rate
+        // connect bursts while the reactor is inside a simulation step.
+        let _ = poll::widen_listen_backlog(listener.as_raw_fd(), 4096);
         let addr = listener.local_addr()?;
         // `/metrics` needs live instruments; telemetry is observer-only
         // (excluded from fingerprints), so forcing it on cannot perturb
@@ -144,33 +177,46 @@ impl Gateway {
         if gw.audit {
             session.install_auditor(Box::new(InvariantAuditor::new()));
         }
-        let clock = ClockDriver::new(gw.mode);
-        let epoch = Instant::now();
-        let (ctl_tx, ctl_rx) = mpsc::channel();
+        let mut poller = Poller::new()?;
+        poller.register(listener.as_raw_fd(), LISTEN_TOKEN)?;
+        let waker = poller.waker();
         let shared = Arc::new(Shared {
-            clock,
-            epoch,
-            n_models: models.len() as u32,
-            admission: Mutex::new(Admission::new(gw.admission)),
             active: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
             draining: AtomicBool::new(false),
         });
-        let driver = thread::Builder::new()
-            .name("gw-driver".into())
-            .spawn(move || driver_loop(session, clock, epoch, ctl_rx))?;
-        let accept = {
+        let injector = session.injector();
+        let reactor = {
             let shared = Arc::clone(&shared);
-            let ctl = ctl_tx.clone();
+            let n_models = models.len() as u32;
+            let reactor = Reactor {
+                listener,
+                poller,
+                session,
+                injector,
+                clock: ClockDriver::new(gw.mode),
+                epoch: Instant::now(),
+                n_models,
+                admission: Admission::new(gw.admission),
+                max_connections: gw.max_connections,
+                max_conn_buffer: gw.max_conn_buffer,
+                sock_sndbuf: gw.sock_sndbuf,
+                shared,
+                slab: Vec::new(),
+                gen: Vec::new(),
+                free: Vec::new(),
+                streaming: Vec::new(),
+                pending_write: Vec::new(),
+            };
             thread::Builder::new()
-                .name("gw-accept".into())
-                .spawn(move || accept_loop(listener, shared, ctl))?
+                .name("gw-reactor".into())
+                .spawn(move || reactor.run())?
         };
         Ok(Gateway {
             addr,
             shared,
-            ctl: ctl_tx,
-            driver: Some(driver),
-            accept: Some(accept),
+            waker,
+            reactor: Some(reactor),
         })
     }
 
@@ -184,295 +230,604 @@ impl Gateway {
         self.shared.active.load(Ordering::SeqCst)
     }
 
+    /// High-water mark of simultaneously open connections.
+    pub fn peak_connections(&self) -> usize {
+        self.shared.peak.load(Ordering::SeqCst)
+    }
+
     /// Graceful drain: stop accepting, complete every admitted request
     /// (fast-forwarded — wall pacing no longer applies), flush all token
     /// streams, and return the final report.
     pub fn shutdown(mut self) -> GatewayReport {
         self.shared.draining.store(true, Ordering::SeqCst);
-        // Wake the accept loop so it observes the flag.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
-        }
-        let _ = self.ctl.send(GwMsg::Drain);
-        let (result, audit, trace) = self
-            .driver
+        self.waker.wake();
+        let (result, audit, trace, slow_drops) = self
+            .reactor
             .take()
             .expect("shutdown runs once")
             .join()
-            .expect("gateway driver panicked");
-        // Handlers finish their streams from tokens already delivered;
-        // give them a bounded window to flush.
-        let deadline = Instant::now() + Duration::from_secs(10);
-        while self.shared.active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
-            thread::sleep(Duration::from_millis(5));
-        }
+            .expect("gateway reactor panicked");
         GatewayReport {
             result,
             audit,
             trace,
+            slow_drops,
         }
     }
 }
 
-fn driver_loop(
-    mut session: ServingSession,
+/// Per-connection protocol state.
+enum ConnState {
+    /// Accumulating the request head/body.
+    Reading,
+    /// SSE stream in flight; tokens arrive on `rx`.
+    Streaming {
+        rx: Receiver<TokenEv>,
+        model: ModelId,
+        /// Final token seen (or channel closed) and admission released;
+        /// the connection closes once the output queue drains.
+        done: bool,
+    },
+    /// Response fully queued; close once flushed.
+    Closing,
+}
+
+struct Conn {
+    stream: TcpStream,
+    out: WriteQueue,
+    /// Last readiness edge said the socket accepts writes.
+    writable: bool,
+    /// Queued in `pending_write` (dedupe flag).
+    queued: bool,
+    parser: HttpParser,
+    state: ConnState,
+    last_activity: Instant,
+}
+
+struct Reactor {
+    listener: TcpListener,
+    poller: Poller,
+    session: ServingSession,
+    injector: Injector<LiveRequest>,
     clock: ClockDriver,
     epoch: Instant,
-    rx: mpsc::Receiver<GwMsg>,
-) -> (RunResult, Option<AuditReport>, Trace) {
-    let injector = session.injector();
-    let forward = |session: &mut ServingSession, msg: GwMsg| -> bool {
-        match msg {
-            GwMsg::Inject { not_before, req } => {
-                injector.send(not_before, req);
+    n_models: u32,
+    admission: Admission,
+    max_connections: usize,
+    max_conn_buffer: usize,
+    sock_sndbuf: Option<u32>,
+    shared: Arc<Shared>,
+    /// Generation-tagged connection slab: token = (gen << 32) | idx, so a
+    /// stale readiness event for a recycled slot can never touch the new
+    /// occupant.
+    slab: Vec<Option<Conn>>,
+    gen: Vec<u32>,
+    free: Vec<usize>,
+    /// Slab indices currently in `Streaming` state (token-pump worklist).
+    streaming: Vec<usize>,
+    /// Slab indices with queued output awaiting a pump (deduped).
+    pending_write: Vec<usize>,
+}
+
+impl Reactor {
+    fn run(mut self) -> (RunResult, Option<AuditReport>, Trace, u64) {
+        let mut events: Vec<PollEvent> = Vec::new();
+        let mut last_sweep = Instant::now();
+        loop {
+            if self.shared.draining.load(Ordering::SeqCst) {
+                break;
             }
-            GwMsg::Metrics { reply } => {
-                let _ = reply.send(prometheus_text(session.metrics()));
+            let target = self.clock.sim_at(self.epoch.elapsed());
+            let (dispatched, truncated) = self.session.step_bounded(target, STEP_CHUNK);
+            self.session
+                .set_wall_lag(self.clock.lag_secs(self.session.now(), self.epoch.elapsed()));
+            if dispatched > 0 {
+                self.pump_tokens();
             }
-            GwMsg::Note(ep) => session.note_endpoint(ep),
-            GwMsg::Rejected => session.note_rejection(),
-            GwMsg::Drain => return false,
-        }
-        true
-    };
-    loop {
-        let target = clock.sim_at(epoch.elapsed());
-        session.step_until(target);
-        session.set_wall_lag(clock.lag_secs(session.now(), epoch.elapsed()));
-        let timeout = match session.next_due() {
-            // Work is pending: sleep exactly until it is due (zero when
-            // already behind, which loops straight back into stepping).
-            Some(t) => clock.delay_for(t, epoch.elapsed()),
-            // Quiescent: nothing can happen until a message arrives, but
-            // cap the wait so the wall-lag gauge stays fresh.
-            None => Duration::from_millis(100),
-        };
-        match rx.recv_timeout(timeout) {
-            Ok(msg) => {
-                if !forward(&mut session, msg) {
-                    break;
+            self.pump_writes();
+            self.session
+                .set_reactor_gauges(self.poller.registered(), events.len());
+            let timeout = if truncated {
+                Duration::ZERO
+            } else {
+                match self.session.next_due() {
+                    Some(t) => self.clock.delay_for(t, self.epoch.elapsed()).min(MAX_WAIT),
+                    None => MAX_WAIT,
+                }
+            };
+            if self.poller.wait(&mut events, Some(timeout)).is_err() {
+                break;
+            }
+            for i in 0..events.len() {
+                let ev = events[i];
+                match ev.token {
+                    WAKE_TOKEN => {}
+                    LISTEN_TOKEN => self.accept_ready(),
+                    tok => self.conn_event(tok, ev),
                 }
             }
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => break,
-        }
-    }
-    // Drain: absorb control messages already queued (injections sent
-    // before the drain message are FIFO-ordered ahead of it, so none are
-    // lost), then fast-forward to quiescence.
-    while let Ok(msg) = rx.try_recv() {
-        forward(&mut session, msg);
-    }
-    session.step_until(SimTime::MAX);
-    let trace = session.injected_trace();
-    let (result, report) = session.finish();
-    (result, report, trace)
-}
-
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>, ctl: Sender<GwMsg>) {
-    for conn in listener.incoming() {
-        if shared.draining.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = conn else { continue };
-        let shared = Arc::clone(&shared);
-        let ctl = ctl.clone();
-        shared.active.fetch_add(1, Ordering::SeqCst);
-        let counted = Arc::clone(&shared);
-        let spawned = thread::Builder::new().name("gw-conn".into()).spawn(move || {
-            let _ = handle_connection(stream, &shared, &ctl);
-            shared.active.fetch_sub(1, Ordering::SeqCst);
-        });
-        if spawned.is_err() {
-            // Spawn failed (resource exhaustion): the closure never ran, so
-            // the connection is shed and the count must be undone here.
-            counted.active.fetch_sub(1, Ordering::SeqCst);
-        }
-    }
-}
-
-fn handle_connection(
-    mut stream: TcpStream,
-    shared: &Shared,
-    ctl: &Sender<GwMsg>,
-) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-    let mut parser = HttpParser::new();
-    let mut buf = [0u8; 4096];
-    let req = loop {
-        let n = stream.read(&mut buf)?;
-        if n == 0 {
-            return Ok(()); // client left before completing a request
-        }
-        match parser.feed(&buf[..n]) {
-            Ok(Some(req)) => break req,
-            Ok(None) => continue,
-            Err(e) => {
-                let (code, reason) = e.status();
-                let body = api::error_body("invalid_request", e.detail());
-                stream.write_all(&http::response(code, reason, "application/json", &body, &[]))?;
-                return Ok(());
+            if last_sweep.elapsed() >= SWEEP_EVERY {
+                self.sweep_idle();
+                last_sweep = Instant::now();
             }
         }
-    };
-    let path = req.target.split('?').next().unwrap_or("");
-    match (req.method.as_str(), path) {
-        ("GET", "/healthz") => {
-            let _ = ctl.send(GwMsg::Note(Endpoint::Healthz));
-            stream.write_all(&http::response(200, "OK", "text/plain", "ok\n", &[]))
+        self.drain()
+    }
+
+    /// Graceful drain: fast-forward the session to quiescence while
+    /// flushing every stream, then force-close stragglers and finish.
+    fn drain(mut self) -> (RunResult, Option<AuditReport>, Trace, u64) {
+        let _ = self.poller.deregister(self.listener.as_raw_fd());
+        let deadline = Instant::now() + DRAIN_DEADLINE;
+        let mut events: Vec<PollEvent> = Vec::new();
+        loop {
+            let (dispatched, _) = self.session.step_bounded(SimTime::MAX, u64::MAX);
+            if dispatched > 0 || !self.streaming.is_empty() {
+                self.pump_tokens();
+            }
+            self.pump_writes();
+            let flushed = self.slab.iter().flatten().all(|c| {
+                c.out.is_empty() && !matches!(c.state, ConnState::Streaming { done: false, .. })
+            });
+            if (self.session.quiescent() && flushed) || Instant::now() >= deadline {
+                break;
+            }
+            // Only writability can unblock us now; wait briefly for it.
+            if self.poller.wait(&mut events, Some(Duration::from_millis(20))).is_err() {
+                break;
+            }
+            for i in 0..events.len() {
+                let ev = events[i];
+                if ev.token != WAKE_TOKEN && ev.token != LISTEN_TOKEN {
+                    self.conn_event(ev.token, ev);
+                }
+            }
         }
-        ("GET", "/metrics") => {
-            let _ = ctl.send(GwMsg::Note(Endpoint::Metrics));
-            let (tx, rx) = mpsc::channel();
-            let text = if ctl.send(GwMsg::Metrics { reply: tx }).is_ok() {
-                rx.recv_timeout(Duration::from_secs(5)).ok()
-            } else {
-                None
+        for idx in 0..self.slab.len() {
+            self.close(idx);
+        }
+        let trace = self.session.injected_trace();
+        let slow_drops = self.session.slow_drops();
+        let (result, audit) = self.session.finish();
+        (result, audit, trace, slow_drops)
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.shared.draining.load(Ordering::SeqCst)
+                        || self.shared.active.load(Ordering::SeqCst) >= self.max_connections
+                    {
+                        drop(stream); // shed: over the fd budget
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                        continue;
+                    }
+                    if let Some(snd) = self.sock_sndbuf {
+                        let _ =
+                            poll::shrink_socket_buffers(stream.as_raw_fd(), Some(snd), None);
+                    }
+                    let idx = match self.free.pop() {
+                        Some(i) => i,
+                        None => {
+                            self.slab.push(None);
+                            self.gen.push(0);
+                            self.slab.len() - 1
+                        }
+                    };
+                    let token = ((self.gen[idx] as u64) << 32) | idx as u64;
+                    if self.poller.register(stream.as_raw_fd(), token).is_err() {
+                        self.free.push(idx);
+                        continue;
+                    }
+                    self.slab[idx] = Some(Conn {
+                        stream,
+                        out: WriteQueue::new(self.max_conn_buffer),
+                        writable: true,
+                        queued: false,
+                        parser: HttpParser::new(),
+                        state: ConnState::Reading,
+                        last_activity: Instant::now(),
+                    });
+                    let now_active = self.shared.active.fetch_add(1, Ordering::SeqCst) + 1;
+                    self.shared.peak.fetch_max(now_active, Ordering::SeqCst);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Resolve a generation-tagged token to a live slab index.
+    fn resolve(&self, token: u64) -> Option<usize> {
+        let idx = (token & 0xFFFF_FFFF) as usize;
+        if idx < self.slab.len()
+            && self.gen[idx] as u64 == token >> 32
+            && self.slab[idx].is_some()
+        {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    fn conn_event(&mut self, token: u64, ev: PollEvent) {
+        let Some(idx) = self.resolve(token) else {
+            return; // stale event for a recycled slot
+        };
+        if ev.writable {
+            let has_out = {
+                let conn = self.slab[idx].as_mut().expect("resolved");
+                conn.writable = true;
+                !conn.out.is_empty()
             };
-            match text {
-                Some(text) => stream.write_all(&http::response(
-                    200,
-                    "OK",
-                    "text/plain; version=0.0.4",
-                    &text,
-                    &[],
-                )),
-                None => stream.write_all(&http::response(
-                    503,
-                    "Service Unavailable",
-                    "application/json",
-                    &api::error_body("unavailable", "metrics unavailable during shutdown"),
-                    &[],
-                )),
+            if has_out {
+                self.mark_pending(idx);
             }
         }
-        ("POST", "/v1/completions") => handle_completions(req.body, stream, shared, ctl),
-        (_, "/healthz") | (_, "/metrics") | (_, "/v1/completions") => stream.write_all(
-            &http::response(
-                405,
-                "Method Not Allowed",
-                "application/json",
-                &api::error_body("method_not_allowed", "wrong method for this endpoint"),
-                &[],
-            ),
-        ),
-        _ => stream.write_all(&http::response(
-            404,
-            "Not Found",
-            "application/json",
-            &api::error_body("not_found", "no such endpoint"),
-            &[],
-        )),
-    }
-}
-
-fn handle_completions(
-    body: Vec<u8>,
-    mut stream: TcpStream,
-    shared: &Shared,
-    ctl: &Sender<GwMsg>,
-) -> std::io::Result<()> {
-    let params = match api::parse_completion(&body, shared.n_models) {
-        Ok(p) => p,
-        Err(ApiError::Bad(msg)) => {
-            return stream.write_all(&http::response(
-                400,
-                "Bad Request",
-                "application/json",
-                &api::error_body("invalid_request", &msg),
-                &[],
-            ));
+        if ev.readable {
+            self.conn_readable(idx);
         }
-        Err(ApiError::UnknownModel(m)) => {
-            return stream.write_all(&http::response(
-                404,
-                "Not Found",
-                "application/json",
-                &api::error_body("model_not_found", &format!("model {m} is not deployed")),
-                &[],
-            ));
+        // Flush progress (and any close-on-flush transition) right away.
+        self.pump_writes();
+        // A hung-up peer with nothing left to flush is reaped immediately;
+        // streams rely on write errors so a half-closed reader still gets
+        // its tokens.
+        if ev.hangup {
+            let reap = self
+                .slab
+                .get(idx)
+                .and_then(|c| c.as_ref())
+                .is_some_and(|c| matches!(c.state, ConnState::Closing) && c.out.is_empty());
+            if reap {
+                self.close(idx);
+            }
         }
-    };
-    if shared.draining.load(Ordering::SeqCst) {
-        return stream.write_all(&http::response(
-            503,
-            "Service Unavailable",
-            "application/json",
-            &api::error_body("unavailable", "gateway is draining"),
-            &[],
-        ));
     }
-    // Admission control: over-quota requests are turned away with a
-    // backoff hint and never reach the simulation.
-    if let Err(retry_after) = shared.admission.lock().expect("admission").try_admit(params.model) {
-        let _ = ctl.send(GwMsg::Rejected);
-        let retry = retry_after.to_string();
-        return stream.write_all(&http::response(
-            429,
-            "Too Many Requests",
-            "application/json",
-            &api::error_body("rate_limit_exceeded", "per-model quota exhausted"),
-            &[("Retry-After", retry.as_str())],
-        ));
-    }
-    let _ = ctl.send(GwMsg::Note(Endpoint::Completions));
-    let (tx, rx) = mpsc::channel();
-    let not_before = shared.clock.sim_at(shared.epoch.elapsed());
-    let injected = ctl.send(GwMsg::Inject {
-        not_before,
-        req: LiveRequest {
-            model: params.model,
-            input_tokens: params.input_tokens,
-            output_tokens: params.output_tokens,
-            sink: Some(tx),
-        },
-    });
-    let streamed = if injected.is_err() {
-        stream.write_all(&http::response(
-            503,
-            "Service Unavailable",
-            "application/json",
-            &api::error_body("unavailable", "gateway is draining"),
-            &[],
-        ))
-    } else {
-        stream_tokens(&mut stream, params, rx)
-    };
-    shared
-        .admission
-        .lock()
-        .expect("admission")
-        .release(params.model);
-    streamed
-}
 
-fn stream_tokens(
-    stream: &mut TcpStream,
-    params: api::CompletionParams,
-    rx: mpsc::Receiver<aegaeon::TokenEv>,
-) -> std::io::Result<()> {
-    stream.write_all(&http::sse_head())?;
-    stream.flush()?;
-    // recv() returning Err means every sender is gone: either the final
-    // token was delivered (sink removed) or the session shut down mid
-    // stream — in the latter case the stream simply ends without the DONE
-    // sentinel and the client sees a truncated response.
-    while let Ok(tok) = rx.recv() {
-        let chunk = api::completion_chunk(
-            tok.req.0,
-            params.model,
-            tok.index,
-            tok.at.as_nanos(),
-            tok.done,
+    /// Edge-triggered read: consume until `WouldBlock`, feeding the parser
+    /// while the connection still awaits a request.
+    fn conn_readable(&mut self, idx: usize) {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            let conn = match self.slab[idx].as_mut() {
+                Some(c) => c,
+                None => return, // closed mid-loop (error response etc.)
+            };
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    // EOF. A streaming/closing peer may only have shut its
+                    // write side down; the write path handles true death.
+                    if matches!(conn.state, ConnState::Reading) {
+                        self.close(idx);
+                    }
+                    return;
+                }
+                Ok(n) => {
+                    conn.last_activity = Instant::now();
+                    if !matches!(conn.state, ConnState::Reading) {
+                        continue; // pipelined bytes after the request: ignore
+                    }
+                    match conn.parser.feed(&buf[..n]) {
+                        Ok(Some(req)) => {
+                            self.route(idx, req.method, req.target, req.body);
+                            // One request per connection: keep draining the
+                            // socket (ET) but no further routing.
+                        }
+                        Ok(None) => {}
+                        Err(e) => {
+                            let (code, reason) = e.status();
+                            let body = api::error_body("invalid_request", e.detail());
+                            self.respond(idx, code, reason, "application/json", &body, &[]);
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(idx);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn route(&mut self, idx: usize, method: String, target: String, body: Vec<u8>) {
+        let path = target.split('?').next().unwrap_or("");
+        match (method.as_str(), path) {
+            ("GET", "/healthz") => {
+                self.session.note_endpoint(Endpoint::Healthz);
+                self.respond(idx, 200, "OK", "text/plain", "ok\n", &[]);
+            }
+            ("GET", "/metrics") => {
+                self.session.note_endpoint(Endpoint::Metrics);
+                let text = prometheus_text(self.session.metrics());
+                self.respond(idx, 200, "OK", "text/plain; version=0.0.4", &text, &[]);
+            }
+            ("POST", "/v1/completions") => self.route_completion(idx, &body),
+            (_, "/healthz" | "/metrics" | "/v1/completions") => {
+                self.respond(
+                    idx,
+                    405,
+                    "Method Not Allowed",
+                    "application/json",
+                    &api::error_body("method_not_allowed", "wrong method for this endpoint"),
+                    &[],
+                );
+            }
+            _ => {
+                self.respond(
+                    idx,
+                    404,
+                    "Not Found",
+                    "application/json",
+                    &api::error_body("not_found", "no such endpoint"),
+                    &[],
+                );
+            }
+        }
+    }
+
+    fn route_completion(&mut self, idx: usize, body: &[u8]) {
+        let params = match api::parse_completion(body, self.n_models) {
+            Ok(p) => p,
+            Err(ApiError::Bad(msg)) => {
+                return self.respond(
+                    idx,
+                    400,
+                    "Bad Request",
+                    "application/json",
+                    &api::error_body("invalid_request", &msg),
+                    &[],
+                );
+            }
+            Err(ApiError::UnknownModel(m)) => {
+                return self.respond(
+                    idx,
+                    404,
+                    "Not Found",
+                    "application/json",
+                    &api::error_body("model_not_found", &format!("model {m} is not deployed")),
+                    &[],
+                );
+            }
+        };
+        if self.shared.draining.load(Ordering::SeqCst) {
+            return self.respond(
+                idx,
+                503,
+                "Service Unavailable",
+                "application/json",
+                &api::error_body("unavailable", "gateway is draining"),
+                &[],
+            );
+        }
+        // Admission control: over-quota requests are turned away with a
+        // backoff hint and never reach the simulation.
+        if let Err(retry_after) = self.admission.try_admit(params.model) {
+            self.session.note_rejection();
+            let retry = retry_after.to_string();
+            return self.respond(
+                idx,
+                429,
+                "Too Many Requests",
+                "application/json",
+                &api::error_body("rate_limit_exceeded", "per-model quota exhausted"),
+                &[("Retry-After", retry.as_str())],
+            );
+        }
+        self.session.note_endpoint(Endpoint::Completions);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let not_before = self.clock.sim_at(self.epoch.elapsed());
+        self.injector.send(
+            not_before,
+            LiveRequest {
+                model: params.model,
+                input_tokens: params.input_tokens,
+                output_tokens: params.output_tokens,
+                sink: Some(tx),
+            },
         );
-        stream.write_all(sse::event(&chunk).as_bytes())?;
-        stream.flush()?;
-        if tok.done {
-            stream.write_all(sse::DONE_FRAME.as_bytes())?;
-            stream.flush()?;
-            break;
+        let conn = self.slab[idx].as_mut().expect("routed conn");
+        // The head is finite and the queue is empty here; cap-exempt so a
+        // test-sized cap can never truncate the protocol preamble.
+        conn.out.push_unchecked(&http::sse_head());
+        conn.state = ConnState::Streaming {
+            rx,
+            model: params.model,
+            done: false,
+        };
+        self.streaming.push(idx);
+        self.mark_pending(idx);
+    }
+
+    /// Queue a complete response and transition to `Closing`.
+    fn respond(
+        &mut self,
+        idx: usize,
+        code: u16,
+        reason: &str,
+        content_type: &str,
+        body: &str,
+        extra: &[(&str, &str)],
+    ) {
+        let bytes = http::response(code, reason, content_type, body, extra);
+        let conn = self.slab[idx].as_mut().expect("responding conn");
+        // Cap-exempt: a one-shot response is bounded by its own size and
+        // the connection closes once it flushes — the cap exists to bound
+        // *streams*, not to reject a `/metrics` body larger than a
+        // test-sized cap.
+        conn.out.push_unchecked(&bytes);
+        conn.state = ConnState::Closing;
+        self.mark_pending(idx);
+    }
+
+    fn mark_pending(&mut self, idx: usize) {
+        let conn = self.slab[idx].as_mut().expect("pending conn");
+        if !conn.queued {
+            conn.queued = true;
+            self.pending_write.push(idx);
         }
     }
-    Ok(())
+
+    /// Drain every streaming connection's token channel into its output
+    /// queue. Overflow = slow reader = drop (the backpressure contract).
+    fn pump_tokens(&mut self) {
+        let mut j = 0;
+        while j < self.streaming.len() {
+            let idx = self.streaming[j];
+            j += 1;
+            enum Outcome {
+                Keep,
+                Done,
+                SlowDrop,
+            }
+            let mut outcome = Outcome::Keep;
+            let mut newly_queued = false;
+            {
+                let Some(conn) = self.slab[idx].as_mut() else {
+                    continue;
+                };
+                let ConnState::Streaming { rx, model, done } = &mut conn.state else {
+                    continue;
+                };
+                if *done {
+                    continue;
+                }
+                loop {
+                    match rx.try_recv() {
+                        Ok(tok) => {
+                            let chunk = api::completion_chunk(
+                                tok.req.0,
+                                *model,
+                                tok.index,
+                                tok.at.as_nanos(),
+                                tok.done,
+                            );
+                            let mut frame = sse::event(&chunk);
+                            if tok.done {
+                                frame.push_str(sse::DONE_FRAME);
+                            }
+                            if conn.out.push(frame.as_bytes()).is_err() {
+                                outcome = Outcome::SlowDrop;
+                                break;
+                            }
+                            newly_queued = true;
+                            if tok.done {
+                                outcome = Outcome::Done;
+                                break;
+                            }
+                        }
+                        Err(TryRecvError::Empty) => break,
+                        // Session gone mid-stream: truncated stream, no
+                        // DONE sentinel; flush what was queued and close.
+                        Err(TryRecvError::Disconnected) => {
+                            outcome = Outcome::Done;
+                            break;
+                        }
+                    }
+                }
+            }
+            match outcome {
+                Outcome::Keep => {
+                    if newly_queued {
+                        self.mark_pending(idx);
+                    }
+                }
+                Outcome::Done => {
+                    let conn = self.slab[idx].as_mut().expect("streaming conn");
+                    if let ConnState::Streaming { model, done, .. } = &mut conn.state {
+                        self.admission.release(*model);
+                        *done = true;
+                    }
+                    self.mark_pending(idx);
+                }
+                Outcome::SlowDrop => {
+                    self.session.note_slow_drop();
+                    self.close(idx);
+                }
+            }
+        }
+        // Compact the worklist: drop closed and finished entries.
+        let slab = &self.slab;
+        self.streaming.retain(|&i| {
+            matches!(
+                slab[i].as_ref().map(|c| &c.state),
+                Some(ConnState::Streaming { done: false, .. })
+            )
+        });
+    }
+
+    /// Flush pending output queues on writable connections; close the ones
+    /// that finished their lifecycle.
+    fn pump_writes(&mut self) {
+        let mut work = std::mem::take(&mut self.pending_write);
+        for idx in work.drain(..) {
+            let should_close = {
+                let Some(conn) = self.slab[idx].as_mut() else {
+                    continue;
+                };
+                conn.queued = false;
+                if !conn.writable {
+                    continue; // re-queued by the next writable edge
+                }
+                match conn.out.pump(&mut conn.stream) {
+                    Ok(true) => {
+                        conn.last_activity = Instant::now();
+                        // Fully flushed: is the connection finished?
+                        matches!(
+                            conn.state,
+                            ConnState::Closing | ConnState::Streaming { done: true, .. }
+                        )
+                    }
+                    Ok(false) => {
+                        conn.last_activity = Instant::now();
+                        conn.writable = false;
+                        false
+                    }
+                    Err(_) => true,
+                }
+            };
+            if should_close {
+                self.close(idx);
+            }
+        }
+        // Reuse the allocation.
+        if self.pending_write.is_empty() {
+            self.pending_write = work;
+        }
+    }
+
+    /// Reap connections that have sat idle without completing a request
+    /// (or without flushing their final response).
+    fn sweep_idle(&mut self) {
+        let now = Instant::now();
+        for idx in 0..self.slab.len() {
+            let Some(conn) = self.slab[idx].as_ref() else {
+                continue;
+            };
+            let stale = now.duration_since(conn.last_activity) >= IDLE_TIMEOUT;
+            if stale && !matches!(conn.state, ConnState::Streaming { .. }) {
+                self.close(idx);
+            }
+        }
+    }
+
+    fn close(&mut self, idx: usize) {
+        let Some(conn) = self.slab[idx].take() else {
+            return;
+        };
+        let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        if let ConnState::Streaming { model, done: false, .. } = conn.state {
+            self.admission.release(model);
+        }
+        self.gen[idx] = self.gen[idx].wrapping_add(1);
+        self.free.push(idx);
+        self.shared.active.fetch_sub(1, Ordering::SeqCst);
+        // Dropping `conn.stream` closes the fd; the session keeps feeding
+        // any still-live sink into a dropped receiver, which is harmless.
+    }
 }

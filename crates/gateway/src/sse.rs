@@ -24,9 +24,65 @@ pub fn parse_data_lines(raw: &str) -> Vec<String> {
         .collect()
 }
 
+/// Incremental SSE scanner for nonblocking clients: feed arbitrary byte
+/// chunks (however the socket split them) and collect complete `data:`
+/// payloads as they close. Equivalent to [`parse_data_lines`] over the
+/// concatenation of all chunks, minus any trailing unterminated line.
+#[derive(Debug, Default)]
+pub struct SseScanner {
+    partial: Vec<u8>,
+}
+
+impl SseScanner {
+    /// A scanner with no buffered partial line.
+    pub fn new() -> SseScanner {
+        SseScanner::default()
+    }
+
+    /// Consume one chunk, appending any newly completed payloads to `out`.
+    pub fn feed(&mut self, chunk: &[u8], out: &mut Vec<String>) {
+        for &b in chunk {
+            if b == b'\n' {
+                let line = String::from_utf8_lossy(&self.partial);
+                let line = line.strip_suffix('\r').unwrap_or(&line);
+                if let Some(p) = line.strip_prefix("data:") {
+                    out.push(p.trim_start().to_string());
+                }
+                self.partial.clear();
+            } else {
+                self.partial.push(b);
+            }
+        }
+    }
+
+    /// Bytes of the current unterminated line (diagnostics).
+    pub fn pending(&self) -> usize {
+        self.partial.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scanner_matches_batch_parser_across_splits() {
+        let raw = format!(
+            "{}{}: keepalive\n{}{}",
+            event("{\"a\":1}"),
+            event("{\"b\":2}"),
+            event("x"),
+            DONE_FRAME
+        );
+        let want = parse_data_lines(&raw);
+        for cut in 0..raw.len() {
+            let mut sc = SseScanner::new();
+            let mut got = Vec::new();
+            sc.feed(&raw.as_bytes()[..cut], &mut got);
+            sc.feed(&raw.as_bytes()[cut..], &mut got);
+            assert_eq!(got, want, "split at {cut}");
+        }
+    }
 
     #[test]
     fn frames_round_trip() {

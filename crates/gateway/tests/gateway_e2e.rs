@@ -1,13 +1,15 @@
 //! End-to-end gateway tests over real sockets: SSE streaming in both
-//! clock modes, live-vs-replay determinism, admission control, and
-//! graceful drain. std-only — every client is `std::net`.
+//! clock modes, live-vs-replay determinism, admission control, slow-reader
+//! backpressure, and graceful drain (including under four-digit stream
+//! counts). std-only — every client is `std::net`.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use aegaeon::session::ServingSession;
 use aegaeon::AegaeonConfig;
 use aegaeon_gateway::client::{request, SseStream};
 use aegaeon_gateway::server::{Gateway, GatewayConfig};
+use aegaeon_gateway::swarm::{Swarm, SwarmOptions};
 use aegaeon_gateway::{sse, ClockMode};
 use aegaeon_model::{ModelSpec, Zoo};
 use aegaeon_sim::SimTime;
@@ -262,6 +264,155 @@ fn graceful_drain_completes_inflight_streams() {
         Err(_) => {}
         Ok(resp) => assert_ne!(resp.status, 200),
     }
+}
+
+/// Backpressure contract: a client that stops reading mid-stream fills its
+/// bounded output queue and is *dropped* — bounded buffering, a counted
+/// drop, zero auditor violations — instead of buffering without bound.
+#[test]
+fn slow_reader_is_dropped_after_bounded_buffering() {
+    use std::io::{Read, Write};
+    use std::os::unix::io::AsRawFd;
+
+    // Tiny app-level queue and a shrunken kernel send buffer so the
+    // overflow trips within one request's token volume; the client also
+    // clamps its receive buffer so the kernel cannot absorb the stream.
+    let mut gw_cfg = GatewayConfig::local(ClockMode::Timewarp(100.0));
+    gw_cfg.max_conn_buffer = 2 * 1024;
+    gw_cfg.sock_sndbuf = Some(4 * 1024);
+    let gw = Gateway::start(&cfg(), &models(1), gw_cfg).expect("gateway start");
+    let addr = gw.addr();
+
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    let _ = aegaeon_gateway::poll::shrink_socket_buffers(
+        stream.as_raw_fd(),
+        None,
+        Some(4 * 1024),
+    );
+    let body = r#"{"model":"m0","input_tokens":8,"max_tokens":2000}"#;
+    let req = format!(
+        "POST /v1/completions HTTP/1.1\r\nHost: gw\r\nConnection: close\r\n\
+         Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    stream.write_all(req.as_bytes()).unwrap();
+    // Read just the response head plus a frame or two, then stop reading
+    // entirely — the kernel buffers fill, then the gateway's bounded queue
+    // overflows, and the reactor drops us.
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut first = [0u8; 1024];
+    let n = stream.read(&mut first).unwrap();
+    assert!(String::from_utf8_lossy(&first[..n]).starts_with("HTTP/1.1 200"));
+
+    // The drop is observable in live metrics while the gateway keeps
+    // serving other clients.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut dropped = false;
+    while Instant::now() < deadline && !dropped {
+        let metrics = request(addr, "GET", "/metrics", None, RTT).unwrap();
+        assert_eq!(metrics.status, 200);
+        dropped = metrics
+            .text()
+            .lines()
+            .any(|l| l.starts_with("gateway_slow_drops") && l.ends_with(" 1"));
+        if !dropped {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+    assert!(dropped, "slow reader was never dropped");
+    drop(stream);
+
+    let report = gw.shutdown();
+    assert_eq!(report.slow_drops, 1, "exactly one counted drop");
+    // The request itself still completes inside the simulation (its sink
+    // is gone, which is harmless), and no rejection was booked: drops and
+    // 429s are distinct counters.
+    assert_eq!(report.result.completed, 1);
+    let audit = report.audit.expect("auditor installed");
+    assert_eq!(audit.rejections, 0);
+    assert!(audit.ok(), "violations: {:?}", audit.violations);
+}
+
+/// Drain regression at four-digit concurrency: a shutdown issued with ≥1k
+/// streams in flight must complete *every* stream — all tokens, all DONE
+/// sentinels, all buffers flushed — and the drained run must still replay
+/// fingerprint-identically.
+#[test]
+fn drain_under_load_completes_every_stream() {
+    const N: usize = 1400;
+    const TOKENS: u32 = 48;
+    const MODELS: usize = 8;
+
+    let mut gw_cfg = GatewayConfig::local(ClockMode::Timewarp(20.0));
+    gw_cfg.admission.max_inflight_total = 4096;
+    let gw = Gateway::start(&cfg(), &models(MODELS), gw_cfg).expect("gateway start");
+    let addr = gw.addr();
+
+    // Open-loop: fire all N within ~1.2s of wall time, spread over eight
+    // models thrashing the two-GPU testbed — the pooling-pressure regime
+    // the paper targets. Completions cannot keep up with arrivals, so
+    // in-flight concurrency climbs into the four digits.
+    let window = Duration::from_millis(1200);
+    let schedule: Vec<(Duration, String)> = (0..N)
+        .map(|i| {
+            (
+                window.mul_f64(i as f64 / N as f64),
+                format!(
+                    r#"{{"model":"m{}","input_tokens":64,"max_tokens":{TOKENS}}}"#,
+                    i % MODELS
+                ),
+            )
+        })
+        .collect();
+    let swarm = Swarm::launch(addr, schedule, SwarmOptions::default()).expect("swarm launch");
+
+    // Trigger the drain once every request has been admitted (the gateway
+    // sent its SSE head) and ≥1k streams are still mid-flight. Waiting for
+    // full admission keeps the contract crisp: every admitted stream must
+    // complete, with no post-drain 503s muddying the count.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while swarm.gauges().responded() < N || swarm.gauges().open() < 1000 {
+        assert!(
+            Instant::now() < deadline,
+            "never reached full admission at 1k concurrency \
+             (open={}, fired={}, responded={}, finished={})",
+            swarm.gauges().open(),
+            swarm.gauges().fired(),
+            swarm.gauges().responded(),
+            swarm.gauges().finished()
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let report = gw.shutdown();
+    let samples = swarm.join();
+
+    assert!(
+        samples.iter().filter(|s| s.status == 200).count() >= 1000,
+        "expected ≥1k accepted streams"
+    );
+    for (i, s) in samples.iter().enumerate() {
+        assert_eq!(s.status, 200, "stream {i} failed: {s:?}");
+        assert!(s.done, "stream {i} lost its DONE sentinel: {s:?}");
+        assert_eq!(s.tokens, TOKENS, "stream {i} dropped tokens: {s:?}");
+    }
+    assert_eq!(report.result.completed as usize, N);
+    assert_eq!(report.slow_drops, 0);
+    let audit = report.audit.expect("auditor installed");
+    assert_eq!(audit.rejections, 0);
+    assert!(audit.ok(), "violations: {:?}", audit.violations);
+
+    // The reactor path preserves replay identity at four-digit scale.
+    let mut replay = ServingSession::replay(&cfg(), &models(MODELS), &report.trace);
+    replay.step_until(SimTime::MAX);
+    let (offline, _) = replay.finish();
+    assert_eq!(
+        report.result.fingerprint(),
+        offline.fingerprint(),
+        "drained live run and offline replay must be indistinguishable"
+    );
 }
 
 #[test]

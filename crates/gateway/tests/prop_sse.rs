@@ -1,0 +1,182 @@
+//! Property tests for the SSE write-back path — the mirror image of
+//! `prop_http.rs`. The read side proved arbitrary socket splits reassemble
+//! into one HTTP request; here arbitrary *write* behavior (short writes,
+//! `EAGAIN` stalls, interrupts) must reassemble into byte-identical SSE
+//! frames on the wire, and the bounded queue's backpressure must be exact:
+//! all-or-nothing on overflow, never a torn frame.
+
+use std::io::{self, Write};
+
+use aegaeon_gateway::outbuf::WriteQueue;
+use aegaeon_gateway::sse::{self, SseScanner};
+use proptest::prelude::*;
+
+/// A socket stand-in driven by a plan of write behaviors. Each step is
+/// interpreted from a `u32`: value 0 = `WouldBlock`, value 1 =
+/// `Interrupted`, otherwise accept `value % 7 + 1` bytes (short writes).
+/// When the plan runs dry the writer accepts everything (so pumps
+/// eventually finish).
+struct PlannedWriter {
+    wire: Vec<u8>,
+    plan: Vec<u32>,
+    step: usize,
+}
+
+impl PlannedWriter {
+    fn new(plan: Vec<u32>) -> PlannedWriter {
+        PlannedWriter {
+            wire: Vec::new(),
+            plan,
+            step: 0,
+        }
+    }
+}
+
+impl Write for PlannedWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let behavior = self.plan.get(self.step).copied();
+        self.step += 1;
+        match behavior {
+            Some(0) => Err(io::Error::from(io::ErrorKind::WouldBlock)),
+            Some(1) => Err(io::Error::from(io::ErrorKind::Interrupted)),
+            Some(v) => {
+                let n = buf.len().min((v % 7 + 1) as usize);
+                self.wire.extend_from_slice(&buf[..n]);
+                Ok(n)
+            }
+            None => {
+                self.wire.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Frame payloads the way the reactor does (one SSE event per token, DONE
+/// sentinel appended to the last).
+fn frames(payloads: &[String]) -> Vec<String> {
+    let mut out: Vec<String> = payloads.iter().map(|p| sse::event(p)).collect();
+    out.push(sse::DONE_FRAME.to_string());
+    out
+}
+
+fn payload_from(raw: &[u32]) -> String {
+    // Printable ASCII minus nothing special — SSE payloads are one line.
+    raw.iter().map(|&i| (b' ' + (i % 95) as u8) as char).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Whatever sequence of short writes, EAGAINs, and interrupts the
+    /// socket produces, the bytes on the wire are exactly the queued
+    /// frames in order — never torn, never reordered, never duplicated —
+    /// and a client-side incremental scanner recovers the payloads.
+    #[test]
+    fn arbitrary_write_plans_reassemble_byte_identical_frames(
+        payload_raw in prop::collection::vec(
+            prop::collection::vec(0u32..1024, 0..40),
+            1..24,
+        ),
+        plan in prop::collection::vec(0u32..64, 0..64),
+        pump_every in 1usize..4,
+    ) {
+        let payloads: Vec<String> = payload_raw.iter().map(|r| payload_from(r)).collect();
+        let all = frames(&payloads);
+        let expected: String = all.concat();
+
+        let mut q = WriteQueue::new(1 << 20);
+        let mut w = PlannedWriter::new(plan);
+        for (k, frame) in all.iter().enumerate() {
+            q.push(frame.as_bytes()).expect("cap is ample");
+            if k % pump_every == 0 {
+                let _ = q.pump(&mut w).expect("planned writer never hard-fails");
+            }
+        }
+        // Drain: the plan eventually runs dry and accepts everything.
+        while !q.is_empty() {
+            let _ = q.pump(&mut w).expect("planned writer never hard-fails");
+        }
+        prop_assert_eq!(
+            String::from_utf8(w.wire.clone()).unwrap(),
+            expected,
+            "wire bytes differ from queued frames"
+        );
+
+        // And the client-side scanner reassembles the same payloads plus
+        // the DONE sentinel, regardless of how the wire is re-chunked.
+        // (The scanner, like `parse_data_lines`, strips leading payload
+        // whitespace — the `data: ` separator is ambiguous there.)
+        let mut scanner = SseScanner::new();
+        let mut got = Vec::new();
+        for chunk in w.wire.chunks(3) {
+            scanner.feed(chunk, &mut got);
+        }
+        let mut want: Vec<String> =
+            payloads.iter().map(|p| p.trim_start().to_string()).collect();
+        want.push(sse::DONE.to_string());
+        prop_assert_eq!(got, want);
+    }
+
+    /// Backpressure exactness: pushes fail precisely when the frame would
+    /// not fit, the queue never holds more than `cap` unsent bytes, and a
+    /// rejected push leaves no partial frame behind.
+    #[test]
+    fn bounded_queue_is_exact_under_interleaved_push_and_stall(
+        cap in 16usize..256,
+        frames_raw in prop::collection::vec(prop::collection::vec(0u32..1024, 0..40), 1..32),
+        drains in prop::collection::vec(0u32..48, 0..32),
+    ) {
+        let mut q = WriteQueue::new(cap);
+        let mut wire = Vec::new();
+        let mut accepted = Vec::new();
+        let mut di = 0;
+        for raw in &frames_raw {
+            let frame = sse::event(&payload_from(raw));
+            let fits = q.len() + frame.len() <= cap;
+            match q.push(frame.as_bytes()) {
+                Ok(()) => {
+                    prop_assert!(fits, "push succeeded past the cap");
+                    accepted.extend_from_slice(frame.as_bytes());
+                }
+                Err(over) => {
+                    prop_assert!(!fits, "push failed although the frame fit");
+                    prop_assert_eq!(over.cap, cap);
+                    prop_assert_eq!(over.queued, q.len());
+                }
+            }
+            prop_assert!(q.len() <= cap, "queue exceeded its cap");
+            // Occasionally let a throttled writer drain a few bytes.
+            if let Some(&d) = drains.get(di) {
+                di += 1;
+                struct Take(Vec<u8>, usize);
+                impl Write for Take {
+                    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                        if self.1 == 0 {
+                            return Err(io::Error::from(io::ErrorKind::WouldBlock));
+                        }
+                        let n = buf.len().min(self.1);
+                        self.0.extend_from_slice(&buf[..n]);
+                        self.1 -= n;
+                        Ok(n)
+                    }
+                    fn flush(&mut self) -> io::Result<()> { Ok(()) }
+                }
+                let mut t = Take(Vec::new(), d as usize);
+                let _ = q.pump(&mut t).unwrap();
+                wire.extend_from_slice(&t.0);
+            }
+        }
+        while !q.is_empty() {
+            let mut sink = Vec::new();
+            prop_assert!(q.pump(&mut sink).unwrap());
+            wire.extend_from_slice(&sink);
+        }
+        // Everything accepted — and nothing else — reached the wire, in
+        // order: rejected frames left no residue.
+        prop_assert_eq!(wire, accepted);
+    }
+}

@@ -24,20 +24,28 @@
 //! * Any failed stream (connect error, non-200/429 status, reset) exits 1.
 //!
 //! ```text
-//! gateway_bench [--addr HOST:PORT] [--models N] [--rps R] [--secs S]
-//!               [--warp K] [--cap-tokens N] [--seed S] [--connectors N]
-//!               [--prefill N] [--decode N] [--max-inflight N]
-//!               [--chaos PLAN] [--min-concurrent N] [--max-lag-ticks T]
-//!               [--out FILE]
+//! gateway_bench [--addr HOST:PORT[,HOST:PORT...]] [--models N] [--rps R]
+//!               [--secs S] [--warp K] [--cap-tokens N] [--seed S]
+//!               [--connectors N] [--reactors N|auto] [--prefill N]
+//!               [--decode N] [--max-inflight N] [--chaos PLAN]
+//!               [--min-concurrent N] [--max-lag-ticks T] [--out FILE]
 //! ```
 //!
 //! With `--addr`, drives an externally started gateway (two-process mode:
 //! the client's 10k+ stream fds and the server's live in one fd budget
 //! each); otherwise boots an in-process gateway in timewarp mode and
-//! drives that. Writes `BENCH_gateway_throughput.json` at the repository
-//! root (or `--out`), including the generator's own peak fd count and
-//! peak RSS so resource claims are part of the artifact.
+//! drives that. `--addr` accepts a comma-separated list: a single
+//! client→server address pair caps out at the ephemeral-port range (~28k
+//! concurrent streams), so 100k-class soaks list several loopback aliases
+//! of a gateway bound to `0.0.0.0` (round-robined per request). Writes
+//! `BENCH_gateway_throughput.json` at the repository root (or `--out`),
+//! including the generator's own peak fd count, peak RSS, the host's core
+//! count, and the per-reactor peak-stream balance scraped from the
+//! gateway's `/metrics` — so resource and sharding claims are part of the
+//! artifact.
 
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
 use aegaeon::AegaeonConfig;
@@ -63,6 +71,13 @@ struct Args {
     min_concurrent: usize,
     max_lag_ticks: f64,
     out: Option<String>,
+    reactors: usize,
+}
+
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -74,7 +89,7 @@ fn parse_args() -> Result<Args, String> {
         warp: 20.0,
         cap_tokens: 16,
         seed: SEED,
-        connectors: 8,
+        connectors: host_parallelism(),
         prefill: 1,
         decode: 1,
         max_inflight: 1024,
@@ -82,6 +97,7 @@ fn parse_args() -> Result<Args, String> {
         min_concurrent: 0,
         max_lag_ticks: 1.0,
         out: None,
+        reactors: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -116,6 +132,19 @@ fn parse_args() -> Result<Args, String> {
                 args.max_lag_ticks = num("--max-lag-ticks", value("--max-lag-ticks")?)?
             }
             "--out" => args.out = Some(value("--out")?),
+            // Reactor count for the in-process gateway (ignored with --addr;
+            // there the external gateway picks its own).
+            "--reactors" => {
+                let v = value("--reactors")?;
+                args.reactors = if v == "auto" {
+                    host_parallelism()
+                } else {
+                    num("--reactors", v)?
+                };
+                if args.reactors == 0 {
+                    return Err("--reactors must be >= 1".to_string());
+                }
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -133,6 +162,33 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 /// Open fds of this process right now (Linux; 0 elsewhere).
 fn current_fds() -> usize {
     std::fs::read_dir("/proc/self/fd").map_or(0, |d| d.count())
+}
+
+/// Scrape `reactor_peak_streams{reactor="i"}` gauges from the gateway's
+/// `/metrics` endpoint, in reactor order. Empty on any failure (the
+/// balance then reports as unavailable rather than failing the soak).
+fn scrape_reactor_peaks(addr: SocketAddr) -> Vec<u64> {
+    let body = (|| -> std::io::Result<String> {
+        let mut s = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+        s.set_read_timeout(Some(Duration::from_secs(5)))?;
+        s.write_all(b"GET /metrics HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n")?;
+        let mut text = String::new();
+        s.read_to_string(&mut text)?;
+        Ok(text)
+    })();
+    let Ok(text) = body else {
+        return Vec::new();
+    };
+    let mut peaks: Vec<(usize, u64)> = text
+        .lines()
+        .filter_map(|l| {
+            let rest = l.strip_prefix("reactor_peak_streams{reactor=\"")?;
+            let (id, rest) = rest.split_once("\"}")?;
+            Some((id.parse().ok()?, rest.trim().parse().ok()?))
+        })
+        .collect();
+    peaks.sort_by_key(|(id, _)| *id);
+    peaks.into_iter().map(|(_, v)| v).collect()
 }
 
 /// Peak resident set of this process in bytes (Linux VmHWM; 0 elsewhere).
@@ -168,9 +224,16 @@ fn main() {
         std::process::exit(2);
     }
 
-    // Self-host unless an external gateway was given.
-    let (addr, hosted) = match &args.addr {
-        Some(a) => (a.parse().expect("--addr must be HOST:PORT"), None),
+    // Self-host unless an external gateway was given. `--addr` may list
+    // several destinations (loopback aliases of one gateway) to widen the
+    // 4-tuple space past one ephemeral-port range.
+    let (addrs, hosted): (Vec<SocketAddr>, _) = match &args.addr {
+        Some(a) => (
+            a.split(',')
+                .map(|s| s.trim().parse().expect("--addr must be HOST:PORT[,HOST:PORT...]"))
+                .collect(),
+            None,
+        ),
         None => {
             let mut cfg = AegaeonConfig::small_testbed(args.prefill, args.decode);
             cfg.seed = args.seed;
@@ -186,18 +249,19 @@ fn main() {
             let models = market_models(args.models);
             let mut gw_cfg = GatewayConfig::local(ClockMode::Timewarp(args.warp));
             gw_cfg.admission.max_inflight_total = args.max_inflight;
+            gw_cfg.reactors = args.reactors;
             let gw = Gateway::start(&cfg, &models, gw_cfg).expect("start in-process gateway");
-            (gw.addr(), Some(gw))
+            (vec![gw.addr()], Some(gw))
         }
     };
     println!(
-        "driving {} requests over {:.1}s wall ({} models, offered {:.2} rps/model sim, warp {}x) -> {}",
+        "driving {} requests over {:.1}s wall ({} models, offered {:.2} rps/model sim, warp {}x) -> {:?}",
         n,
         args.secs / args.warp,
         args.models,
         args.rps,
         args.warp,
-        addr
+        addrs
     );
 
     // Pre-render the schedule (time-ordered: the synthesizer emits sorted
@@ -222,14 +286,27 @@ fn main() {
         ..SwarmOptions::default()
     };
     let connectors = opts.connectors;
-    let swarm = Swarm::launch(addr, schedule, opts).expect("launch swarm");
+    let swarm = Swarm::launch_multi(addrs.clone(), schedule, opts).expect("launch swarm");
 
     // Progress + resource high-water loop until every stream resolves.
+    // The per-reactor peak gauges are scraped *during* the run — in
+    // two-process mode the gateway may exit (SIGTERM + drain) before the
+    // last stream is accounted here; the gauges are monotone, so the last
+    // successful scrape is the honest value.
     let mut peak_fds = current_fds();
     let mut last_print = Instant::now();
+    let mut reactor_peaks: Vec<u64> = Vec::new();
+    let mut last_scrape = Instant::now();
     while swarm.gauges().finished() < n {
         std::thread::sleep(Duration::from_millis(100));
         peak_fds = peak_fds.max(current_fds());
+        if last_scrape.elapsed() >= Duration::from_secs(1) {
+            let scraped = scrape_reactor_peaks(addrs[0]);
+            if !scraped.is_empty() {
+                reactor_peaks = scraped;
+            }
+            last_scrape = Instant::now();
+        }
         if last_print.elapsed() >= Duration::from_secs(2) {
             let g = swarm.gauges();
             println!(
@@ -251,6 +328,19 @@ fn main() {
     let samples: Vec<StreamSample> = swarm.join();
     let wall_secs = started.elapsed().as_secs_f64();
     let rss = peak_rss_bytes();
+    // Accept-sharding evidence: prefer a final scrape (the gateway may
+    // still be up, e.g. in-process mode), else the last mid-run scrape.
+    let final_scrape = scrape_reactor_peaks(addrs[0]);
+    if !final_scrape.is_empty() {
+        reactor_peaks = final_scrape;
+    }
+    let balance = match (
+        reactor_peaks.iter().copied().max(),
+        reactor_peaks.iter().copied().min(),
+    ) {
+        (Some(max), Some(min)) if min > 0 => max as f64 / min as f64,
+        _ => 0.0,
+    };
 
     // Outcome taxonomy: `dropped` streams got a 200 head but no [DONE] —
     // the server's slow-reader backpressure (or a truncation fault) cut
@@ -262,7 +352,7 @@ fn main() {
     let rejected = samples.iter().filter(|s| s.status == 429).count();
     let dropped = samples
         .iter()
-        .filter(|s| s.status == 200 && !(s.done && !s.io_error))
+        .filter(|s| s.status == 200 && (!s.done || s.io_error))
         .count();
     let failed = n - completed - rejected - dropped;
     let total_tokens: u64 = samples.iter().map(|s| s.tokens as u64).sum();
@@ -306,6 +396,12 @@ fn main() {
         peak_fds,
         rss as f64 / (1024.0 * 1024.0)
     );
+    println!(
+        "  reactors  : {} peaks {:?} balance(max/min) {:.3}",
+        reactor_peaks.len(),
+        reactor_peaks,
+        balance
+    );
 
     if let Some(gw) = hosted {
         let report = gw.shutdown();
@@ -339,6 +435,10 @@ fn main() {
         "goodput_tokens_per_sec": goodput,
         "peak_client_fds": peak_fds as u64,
         "peak_client_rss_bytes": rss,
+        "host_parallelism": host_parallelism() as u64,
+        "reactors": reactor_peaks.len() as u64,
+        "per_reactor_peak_streams": reactor_peaks,
+        "reactor_balance_max_over_min": balance,
         "ttft_secs": serde_json::json!({
             "p50": percentile(&ttfts, 0.50),
             "p90": percentile(&ttfts, 0.90),

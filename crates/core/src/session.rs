@@ -58,8 +58,25 @@ use crate::events::{Ev, TokenEv};
 use crate::result::RunResult;
 use crate::system::ServingSystem;
 
+/// Destination for one request's tapped tokens. The session is the single
+/// producer (tokens are delivered from the dispatch loop, in order); the
+/// consumer side is whatever the embedder wires up — an [`mpsc`] receiver
+/// in tests, or one of the gateway's bounded SPSC rings fanning out to the
+/// I/O reactor that owns the client connection.
+pub trait TokenSink: Send {
+    /// Deliver one token. Returning `false` means the consumer is gone
+    /// (client hung up); the session drops the sink and the simulated
+    /// request still runs to completion.
+    fn deliver(&mut self, tok: TokenEv) -> bool;
+}
+
+impl TokenSink for mpsc::Sender<TokenEv> {
+    fn deliver(&mut self, tok: TokenEv) -> bool {
+        self.send(tok).is_ok()
+    }
+}
+
 /// A request injected into an open session from outside the simulation.
-#[derive(Debug)]
 pub struct LiveRequest {
     /// Target model.
     pub model: ModelId,
@@ -68,9 +85,20 @@ pub struct LiveRequest {
     /// Total output length in tokens (≥ 1).
     pub output_tokens: u32,
     /// Optional token sink: every produced token is forwarded here (SSE
-    /// streaming); the sender is dropped after the final token so the
+    /// streaming); the sink is dropped after the final token so the
     /// receiving side observes a clean end of stream.
-    pub sink: Option<mpsc::Sender<TokenEv>>,
+    pub sink: Option<Box<dyn TokenSink>>,
+}
+
+impl std::fmt::Debug for LiveRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveRequest")
+            .field("model", &self.model)
+            .field("input_tokens", &self.input_tokens)
+            .field("output_tokens", &self.output_tokens)
+            .field("sink", &self.sink.is_some())
+            .finish()
+    }
 }
 
 /// Per-endpoint request classes the gateway reports through the session's
@@ -85,6 +113,17 @@ pub enum Endpoint {
     Healthz,
 }
 
+/// Labeled instrument ids for one I/O reactor, registered by
+/// [`ServingSession::configure_reactors`]. The names carry a Prometheus
+/// `reactor="i"` label so `/metrics` exposes per-reactor health instead of
+/// one aggregate that N reactors would trample.
+struct ReactorIds {
+    fds: aegaeon_telemetry::GaugeId,
+    ready: aegaeon_telemetry::GaugeId,
+    peak: aegaeon_telemetry::GaugeId,
+    drops: aegaeon_telemetry::CounterId,
+}
+
 /// An incremental serving run: the [`ServingSystem`], its event queue, and
 /// (in open mode) the external-injection port. See module docs.
 pub struct ServingSession {
@@ -95,7 +134,10 @@ pub struct ServingSession {
     /// Admitted injected requests in arrival order (the replayable trace).
     injected: Vec<Request>,
     /// Token sinks keyed by request id; removed after the final token.
-    sinks: FxHashMap<u64, mpsc::Sender<TokenEv>>,
+    sinks: FxHashMap<u64, Box<dyn TokenSink>>,
+    /// Per-reactor labeled instruments (live gateway only; see
+    /// [`ServingSession::configure_reactors`]).
+    reactor_ids: Vec<ReactorIds>,
     /// Construction-time horizon: replay must materialize the identical
     /// fault schedule, so [`ServingSession::injected_trace`] reports this
     /// value rather than the grown `trace.horizon`.
@@ -125,6 +167,7 @@ impl ServingSession {
             injector,
             injected: Vec::new(),
             sinks: FxHashMap::default(),
+            reactor_ids: Vec::new(),
             live_horizon: trace.horizon,
             open: false,
             halted: false,
@@ -159,6 +202,7 @@ impl ServingSession {
             injector,
             injected: Vec::new(),
             sinks: FxHashMap::default(),
+            reactor_ids: Vec::new(),
             live_horizon,
             open: true,
             halted: false,
@@ -353,22 +397,34 @@ impl ServingSession {
         }
     }
 
-    /// Forwards tapped tokens to their sinks; a request's sender is dropped
-    /// after its final token so receivers observe end of stream.
+    /// Forwards tapped tokens to their sinks; a request's sink is dropped
+    /// after its final token so consumers observe end of stream.
     fn flush_tokens(&mut self) {
         if self.sys.tap.is_empty() {
             return;
         }
         for tok in self.sys.tap.drain(..) {
-            if let Some(tx) = self.sinks.get(&tok.req.0) {
-                // A dropped receiver (client hung up) is not an error: the
+            let req = tok.req.0;
+            let done = tok.done;
+            let gone = match self.sinks.get_mut(&req) {
+                // A gone consumer (client hung up) is not an error: the
                 // simulated request still runs to completion.
-                let _ = tx.send(tok);
-            }
-            if tok.done {
-                self.sinks.remove(&tok.req.0);
+                Some(sink) => !sink.deliver(tok),
+                None => false,
+            };
+            if done || gone {
+                self.sinks.remove(&req);
             }
         }
+    }
+
+    /// Drops every live token sink without consuming the session. Consumers
+    /// observe end of stream (any queued ring contents stay poppable). The
+    /// gateway's drain barrier calls this after the fast-forward reaches
+    /// quiescence so reactors never wait on tokens that will not come —
+    /// e.g. for streams truncated by a halt.
+    pub fn close_sinks(&mut self) {
+        self.sinks.clear();
     }
 
     /// The injected requests recorded so far as a replayable trace. The
@@ -415,29 +471,60 @@ impl ServingSession {
         self.rejections
     }
 
-    /// Counts one slow-reader drop: a streaming connection whose bounded
-    /// output queue overflowed because the client stopped reading. The
-    /// simulated request still runs to completion (a hung-up client never
-    /// perturbs the simulation); only the gateway-side stream is severed.
-    pub fn note_slow_drop(&mut self) {
+    /// Registers labeled per-reactor instruments for an N-reactor gateway:
+    /// `reactor_registered_fds{reactor="i"}`, `reactor_ready_depth{...}`,
+    /// `reactor_peak_streams{...}` gauges and a `gateway_slow_drops{...}`
+    /// counter per reactor. Prometheus text renders the label verbatim from
+    /// the registered name. Observer-only (the registry is excluded from
+    /// fingerprints) and never called on replay, so configuring any reactor
+    /// count cannot perturb the differential. Call once, before stepping.
+    pub fn configure_reactors(&mut self, n: usize) {
+        assert!(self.reactor_ids.is_empty(), "reactors already configured");
+        let reg = &mut self.sys.tel.metrics;
+        self.reactor_ids = (0..n)
+            .map(|i| ReactorIds {
+                fds: reg.gauge(&format!("reactor_registered_fds{{reactor=\"{i}\"}}")),
+                ready: reg.gauge(&format!("reactor_ready_depth{{reactor=\"{i}\"}}")),
+                peak: reg.gauge(&format!("reactor_peak_streams{{reactor=\"{i}\"}}")),
+                drops: reg.counter(&format!("gateway_slow_drops{{reactor=\"{i}\"}}")),
+            })
+            .collect();
+    }
+
+    /// Counts one slow-reader drop on a reactor: a streaming connection
+    /// whose bounded output queue overflowed because the client stopped
+    /// reading. The simulated request still runs to completion (a hung-up
+    /// client never perturbs the simulation); only the gateway-side stream
+    /// is severed.
+    pub fn note_slow_drop(&mut self, reactor: usize) {
         self.slow_drops += 1;
-        let id = self.sys.tm.c_gw_slow_drops;
-        self.sys.tel.metrics.inc(id, 1);
+        if let Some(ids) = self.reactor_ids.get(reactor) {
+            self.sys.tel.metrics.inc(ids.drops, 1);
+        }
     }
 
     /// Total slow-reader drops recorded via
-    /// [`ServingSession::note_slow_drop`].
+    /// [`ServingSession::note_slow_drop`] across all reactors.
     pub fn slow_drops(&self) -> u64 {
         self.slow_drops
     }
 
-    /// Sets the reactor health gauges: currently registered descriptors
-    /// and the size of the last readiness batch the event loop serviced.
-    pub fn set_reactor_gauges(&mut self, registered_fds: usize, ready_depth: usize) {
-        let fds = self.sys.tm.g_reactor_fds;
-        let ready = self.sys.tm.g_reactor_ready;
-        self.sys.tel.metrics.set(fds, registered_fds as f64);
-        self.sys.tel.metrics.set(ready, ready_depth as f64);
+    /// Sets one reactor's health gauges: currently registered descriptors,
+    /// the size of the last readiness batch its event loop serviced, and
+    /// its peak concurrent stream count so far.
+    pub fn set_reactor_gauges(
+        &mut self,
+        reactor: usize,
+        registered_fds: usize,
+        ready_depth: usize,
+        peak_streams: usize,
+    ) {
+        if let Some(ids) = self.reactor_ids.get(reactor) {
+            let (fds, ready, peak) = (ids.fds, ids.ready, ids.peak);
+            self.sys.tel.metrics.set(fds, registered_fds as f64);
+            self.sys.tel.metrics.set(ready, ready_depth as f64);
+            self.sys.tel.metrics.set(peak, peak_streams as f64);
+        }
     }
 
     /// Reads a counter total by name (e.g. `"proxy_retries"`); 0.0 when the
@@ -610,7 +697,7 @@ mod tests {
                     model: ModelId((i % 2) as u32),
                     input_tokens: 32,
                     output_tokens: 1,
-                    sink: Some(tx.clone()),
+                    sink: Some(Box::new(tx.clone())),
                 },
             );
         }
@@ -641,7 +728,7 @@ mod tests {
                 model: ModelId(0),
                 input_tokens: 64,
                 output_tokens: 7,
-                sink: Some(tx),
+                sink: Some(Box::new(tx)),
             },
         );
         live.step_until(SimTime::MAX);

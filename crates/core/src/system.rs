@@ -126,10 +126,7 @@ pub(crate) struct TelIds {
     pub(crate) c_http_metrics: CounterId,
     pub(crate) c_http_healthz: CounterId,
     pub(crate) c_gw_rejected: CounterId,
-    pub(crate) c_gw_slow_drops: CounterId,
     pub(crate) g_wall_lag: GaugeId,
-    pub(crate) g_reactor_fds: GaugeId,
-    pub(crate) g_reactor_ready: GaugeId,
     g_prefill_queue_depth: GaugeId,
     g_decode_work: GaugeId,
     g_decode_batches: GaugeId,
@@ -162,10 +159,7 @@ impl TelIds {
             c_http_metrics: reg.counter("http_metrics_requests"),
             c_http_healthz: reg.counter("http_healthz_requests"),
             c_gw_rejected: reg.counter("gateway_rejected_requests"),
-            c_gw_slow_drops: reg.counter("gateway_slow_drops"),
             g_wall_lag: reg.gauge("wall_clock_lag_secs"),
-            g_reactor_fds: reg.gauge("reactor_registered_fds"),
-            g_reactor_ready: reg.gauge("reactor_ready_depth"),
             g_prefill_queue_depth: reg.gauge("prefill_queue_depth"),
             g_decode_work: reg.gauge("decode_work_requests"),
             g_decode_batches: reg.gauge("decode_batches"),

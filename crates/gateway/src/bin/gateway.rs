@@ -30,7 +30,9 @@ struct Args {
     seed: u64,
     chaos: Option<String>,
     report_out: Option<String>,
+    trace_out: Option<String>,
     max_connections: usize,
+    reactors: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -45,7 +47,9 @@ fn parse_args() -> Result<Args, String> {
         seed: 7,
         chaos: None,
         report_out: None,
+        trace_out: None,
         max_connections: 16 * 1024,
+        reactors: 1,
     };
     let mut factor = 10.0;
     let mut timewarp = false;
@@ -99,17 +103,31 @@ fn parse_args() -> Result<Args, String> {
             }
             "--chaos" => args.chaos = Some(value("--chaos")?),
             "--report-out" => args.report_out = Some(value("--report-out")?),
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?),
             "--max-connections" => {
                 args.max_connections = value("--max-connections")?
                     .parse()
                     .map_err(|e| format!("--max-connections: {e}"))?
+            }
+            "--reactors" => {
+                let v = value("--reactors")?;
+                args.reactors = if v == "auto" {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                } else {
+                    v.parse().map_err(|e| format!("--reactors: {e}"))?
+                };
+                if args.reactors == 0 {
+                    return Err("--reactors must be >= 1".to_string());
+                }
             }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: gateway [--addr HOST:PORT] [--mode realtime|timewarp] [--factor K] \
                      [--models N] [--prefill N] [--decode N] [--horizon-secs S] \
                      [--max-inflight N] [--seed S] [--chaos PLAN] [--report-out FILE] \
-                     [--max-connections N]"
+                     [--trace-out FILE] [--max-connections N] [--reactors N|auto]"
                 );
                 std::process::exit(0);
             }
@@ -150,6 +168,7 @@ fn main() {
     gw_cfg.live_horizon = SimTime::from_secs_f64(args.horizon_secs);
     gw_cfg.admission.max_inflight_total = args.max_inflight;
     gw_cfg.max_connections = args.max_connections;
+    gw_cfg.reactors = args.reactors;
 
     let gateway = match Gateway::start(&cfg, &models, gw_cfg) {
         Ok(g) => g,
@@ -159,10 +178,11 @@ fn main() {
         }
     };
     eprintln!(
-        "gateway: serving {} models on http://{} (mode: {:?})",
+        "gateway: serving {} models on http://{} (mode: {:?}, reactors: {})",
         models.len(),
         gateway.addr(),
-        args.mode
+        args.mode,
+        args.reactors,
     );
 
     while !signal::shutdown_requested() {
@@ -188,10 +208,27 @@ fn main() {
             .as_ref()
             .map(|a| (a.events_checked, a.violations.len(), a.rejections))
             .unwrap_or_default();
+        let peaks = report
+            .per_reactor_peak
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        // Accept-sharding balance: max/min per-reactor peak (1.0 = even).
+        let max_peak = report.per_reactor_peak.iter().copied().max().unwrap_or(0);
+        let min_peak = report.per_reactor_peak.iter().copied().min().unwrap_or(0);
+        let balance = if min_peak > 0 {
+            max_peak as f64 / min_peak as f64
+        } else {
+            0.0
+        };
         let json = format!(
             "{{\n  \"requests\": {},\n  \"completed\": {},\n  \"rejections\": {},\n  \
              \"slow_drops\": {},\n  \"peak_connections\": {},\n  \"sim_end_secs\": {:.6},\n  \
-             \"audit_events_checked\": {},\n  \"audit_violations\": {}\n}}\n",
+             \"audit_events_checked\": {},\n  \"audit_violations\": {},\n  \
+             \"reactors\": {},\n  \"per_reactor_peak\": [{}],\n  \
+             \"reactor_balance_max_over_min\": {:.3},\n  \
+             \"fingerprint\": \"{:#018x}\"\n}}\n",
             report.trace.requests.len(),
             r.completed,
             rejections,
@@ -200,12 +237,26 @@ fn main() {
             r.end_time.as_secs_f64(),
             events_checked,
             violations,
+            args.reactors,
+            peaks,
+            balance,
+            r.fingerprint(),
         );
         if let Err(e) = std::fs::write(out, json) {
             eprintln!("gateway: failed to write {out}: {e}");
             std::process::exit(1);
         }
         eprintln!("gateway: report written to {out}");
+    }
+    if let Some(out) = &args.trace_out {
+        // Replayable arrival trace: `ServingSession::replay` on this file
+        // (same config/seed/chaos) must reproduce the fingerprint above —
+        // regardless of how many reactors served the live run.
+        if let Err(e) = std::fs::write(out, report.trace.to_json()) {
+            eprintln!("gateway: failed to write {out}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("gateway: trace written to {out}");
     }
     if let Some(audit) = &report.audit {
         eprintln!(

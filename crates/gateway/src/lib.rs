@@ -28,6 +28,7 @@ pub mod clock;
 pub mod http;
 pub mod outbuf;
 pub mod poll;
+pub mod ring;
 pub mod server;
 pub mod signal;
 pub mod sse;

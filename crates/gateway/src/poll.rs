@@ -13,6 +13,7 @@
 //! drain-until-`WouldBlock` discipline is correct under both.
 
 use std::io;
+use std::net::{SocketAddr, TcpListener};
 use std::os::unix::io::RawFd;
 use std::time::Duration;
 
@@ -145,11 +146,46 @@ pub fn widen_listen_backlog(fd: RawFd, backlog: u32) -> io::Result<()> {
     }
 }
 
+/// Effective accept backlog of a listening socket, read back from the
+/// kernel. On Linux this comes from `getsockopt(IPPROTO_TCP, TCP_INFO)`:
+/// for sockets in `LISTEN` state the kernel reports
+/// `sk_max_ack_backlog` in the `tcpi_sacked` field, which is exactly the
+/// (somaxconn-clamped) value the last `listen(2)` installed. Unsupported
+/// elsewhere — callers treat that as "cannot verify", not as failure.
+pub fn listen_backlog(fd: RawFd) -> io::Result<u32> {
+    sys::listen_backlog(fd)
+}
+
+/// Builds `n` nonblocking listeners bound to the same address via
+/// `SO_REUSEPORT`, so the kernel shards incoming connections across them
+/// by 4-tuple hash — one listener per I/O reactor, zero user-space accept
+/// locking. The option must be set **before** `bind(2)`, which
+/// `std::net::TcpListener` gives no hook for, hence the raw
+/// `socket`/`setsockopt`/`bind`/`listen` FFI (same no-`libc` discipline as
+/// the epoll backend above).
+///
+/// Port 0 is resolved once: the first listener binds ephemeral, and the
+/// remaining `n - 1` join its group on the concrete port returned by
+/// `getsockname(2)`. Every listener starts with the kernel-default backlog;
+/// callers widen each one via [`widen_listen_backlog`].
+///
+/// Returns the listeners plus the resolved local address. With `n == 1`
+/// on non-Linux unixes this falls back to a plain `TcpListener::bind`;
+/// `n > 1` requires Linux.
+pub fn reuseport_listener_group(
+    addr: SocketAddr,
+    n: usize,
+) -> io::Result<(Vec<TcpListener>, SocketAddr)> {
+    assert!(n >= 1, "listener group needs at least one member");
+    sys::reuseport_listener_group(addr, n)
+}
+
 #[cfg(target_os = "linux")]
 mod sys {
     use super::{PollEvent, WAKE_TOKEN};
     use std::io;
-    use std::os::unix::io::RawFd;
+    use std::net::{SocketAddr, TcpListener};
+    use std::os::unix::io::{FromRawFd, RawFd};
 
     const EPOLLIN: u32 = 0x001;
     const EPOLLOUT: u32 = 0x004;
@@ -166,8 +202,19 @@ mod sys {
     const EFD_CLOEXEC: i32 = 0o2000000;
 
     const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
     const SO_SNDBUF: i32 = 7;
     const SO_RCVBUF: i32 = 8;
+    const SO_REUSEPORT: i32 = 15;
+
+    const AF_INET: i32 = 2;
+    const AF_INET6: i32 = 10;
+    const SOCK_STREAM: i32 = 1;
+    const SOCK_NONBLOCK: i32 = 0o4000;
+    const SOCK_CLOEXEC: i32 = 0o2000000;
+
+    const IPPROTO_TCP: i32 = 6;
+    const TCP_INFO: i32 = 11;
 
     /// Kernel epoll_event. Packed on x86 so the 64-bit payload sits at
     /// offset 4, matching the kernel ABI; naturally aligned elsewhere.
@@ -188,6 +235,11 @@ mod sys {
         fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
         fn write(fd: i32, buf: *const u8, count: usize) -> isize;
         fn setsockopt(fd: i32, level: i32, optname: i32, optval: *const u8, optlen: u32) -> i32;
+        fn getsockopt(fd: i32, level: i32, optname: i32, optval: *mut u8, optlen: *mut u32) -> i32;
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn bind(fd: i32, addr: *const u8, addrlen: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn getsockname(fd: i32, addr: *mut u8, addrlen: *mut u32) -> i32;
     }
 
     fn cvt(ret: i32) -> io::Result<i32> {
@@ -317,6 +369,97 @@ mod sys {
             }
         }
         Ok(())
+    }
+
+    /// Linux `sockaddr_in` / `sockaddr_in6` wire layout, built by hand.
+    /// Returns (bytes, length).
+    fn encode_sockaddr(addr: SocketAddr) -> ([u8; 28], u32) {
+        let mut buf = [0u8; 28];
+        match addr {
+            SocketAddr::V4(v4) => {
+                buf[0..2].copy_from_slice(&(AF_INET as u16).to_ne_bytes());
+                buf[2..4].copy_from_slice(&v4.port().to_be_bytes());
+                buf[4..8].copy_from_slice(&v4.ip().octets());
+                (buf, 16)
+            }
+            SocketAddr::V6(v6) => {
+                buf[0..2].copy_from_slice(&(AF_INET6 as u16).to_ne_bytes());
+                buf[2..4].copy_from_slice(&v6.port().to_be_bytes());
+                buf[4..8].copy_from_slice(&v6.flowinfo().to_ne_bytes());
+                buf[8..24].copy_from_slice(&v6.ip().octets());
+                buf[24..28].copy_from_slice(&v6.scope_id().to_ne_bytes());
+                (buf, 28)
+            }
+        }
+    }
+
+    /// Reads the bound port back out of `getsockname(2)`.
+    fn bound_port(fd: RawFd) -> io::Result<u16> {
+        let mut buf = [0u8; 28];
+        let mut len = buf.len() as u32;
+        cvt(unsafe { getsockname(fd, buf.as_mut_ptr(), &mut len) })?;
+        // Port sits at the same offset (2) in sockaddr_in and sockaddr_in6.
+        Ok(u16::from_be_bytes([buf[2], buf[3]]))
+    }
+
+    fn set_opt_one(fd: RawFd, level: i32, opt: i32) -> io::Result<()> {
+        let one: i32 = 1;
+        cvt(unsafe {
+            setsockopt(
+                fd,
+                level,
+                opt,
+                &one as *const i32 as *const u8,
+                std::mem::size_of::<i32>() as u32,
+            )
+        })?;
+        Ok(())
+    }
+
+    pub fn reuseport_listener_group(
+        addr: SocketAddr,
+        n: usize,
+    ) -> io::Result<(Vec<TcpListener>, SocketAddr)> {
+        let family = if addr.is_ipv4() { AF_INET } else { AF_INET6 };
+        let mut listeners = Vec::with_capacity(n);
+        let mut bound = addr;
+        for _ in 0..n {
+            let fd = cvt(unsafe {
+                socket(family, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0)
+            })?;
+            // From-raw before anything fallible so the fd is owned (closed
+            // on error drop) from here on.
+            let listener = unsafe { TcpListener::from_raw_fd(fd) };
+            set_opt_one(fd, SOL_SOCKET, SO_REUSEADDR)?;
+            set_opt_one(fd, SOL_SOCKET, SO_REUSEPORT)?;
+            let (sa, sa_len) = encode_sockaddr(bound);
+            cvt(unsafe { bind(fd, sa.as_ptr(), sa_len) })?;
+            cvt(unsafe { listen(fd, 128) })?;
+            if bound.port() == 0 {
+                // First member resolved the ephemeral port; the rest join
+                // its group on the concrete port.
+                bound.set_port(bound_port(fd)?);
+            }
+            listeners.push(listener);
+        }
+        Ok((listeners, bound))
+    }
+
+    pub fn listen_backlog(fd: RawFd) -> io::Result<u32> {
+        // struct tcp_info: 8 one-byte fields, then u32 rto/ato/snd_mss/
+        // rcv_mss, then tcpi_unacked @24 and tcpi_sacked @28. For LISTEN
+        // sockets the kernel fills unacked = current queue depth and
+        // sacked = max backlog (sk_max_ack_backlog).
+        let mut info = [0u8; 128];
+        let mut len = info.len() as u32;
+        cvt(unsafe { getsockopt(fd, IPPROTO_TCP, TCP_INFO, info.as_mut_ptr(), &mut len) })?;
+        if len < 32 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "tcp_info too short for tcpi_sacked",
+            ));
+        }
+        Ok(u32::from_ne_bytes([info[28], info[29], info[30], info[31]]))
     }
 }
 
@@ -476,6 +619,26 @@ mod sys {
     ) -> io::Result<()> {
         Ok(())
     }
+
+    pub fn reuseport_listener_group(
+        addr: std::net::SocketAddr,
+        n: usize,
+    ) -> io::Result<(Vec<std::net::TcpListener>, std::net::SocketAddr)> {
+        if n > 1 {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "SO_REUSEPORT listener groups require Linux",
+            ));
+        }
+        let l = std::net::TcpListener::bind(addr)?;
+        l.set_nonblocking(true)?;
+        let bound = l.local_addr()?;
+        Ok((vec![l], bound))
+    }
+
+    pub fn listen_backlog(_fd: RawFd) -> io::Result<u32> {
+        Err(io::Error::from(io::ErrorKind::Unsupported))
+    }
 }
 
 #[cfg(not(unix))]
@@ -516,6 +679,17 @@ mod sys {
         _rcvbuf: Option<u32>,
     ) -> io::Result<()> {
         Ok(())
+    }
+
+    pub fn reuseport_listener_group(
+        _addr: std::net::SocketAddr,
+        _n: usize,
+    ) -> io::Result<(Vec<std::net::TcpListener>, std::net::SocketAddr)> {
+        Err(io::Error::from(io::ErrorKind::Unsupported))
+    }
+
+    pub fn listen_backlog(_fd: RawFd) -> io::Result<u32> {
+        Err(io::Error::from(io::ErrorKind::Unsupported))
     }
 }
 
@@ -603,6 +777,64 @@ mod tests {
         assert!(start.elapsed() < Duration::from_secs(10));
         assert!(events.iter().any(|e| e.token == WAKE_TOKEN));
         t.join().unwrap();
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn reuseport_group_shares_one_port_and_accepts() {
+        let (listeners, addr) =
+            reuseport_listener_group("127.0.0.1:0".parse().unwrap(), 4).unwrap();
+        assert_eq!(listeners.len(), 4);
+        for l in &listeners {
+            assert_eq!(l.local_addr().unwrap().port(), addr.port());
+        }
+        // Every connection lands on exactly one group member.
+        let clients: Vec<TcpStream> =
+            (0..32).map(|_| TcpStream::connect(addr).unwrap()).collect();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut accepted = 0;
+        while accepted < clients.len() && Instant::now() < deadline {
+            let mut progressed = false;
+            for l in &listeners {
+                match l.accept() {
+                    Ok((s, _)) => {
+                        drop(s);
+                        accepted += 1;
+                        progressed = true;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                    Err(e) => panic!("accept failed: {e}"),
+                }
+            }
+            if !progressed {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        assert_eq!(accepted, clients.len());
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn widened_backlog_is_observable_via_getsockopt() {
+        let somaxconn: u32 = std::fs::read_to_string("/proc/sys/net/core/somaxconn")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(4096);
+        let (listeners, _addr) =
+            reuseport_listener_group("127.0.0.1:0".parse().unwrap(), 2).unwrap();
+        for l in &listeners {
+            let want = 1024.min(somaxconn);
+            widen_listen_backlog(l.as_raw_fd(), 1024).unwrap();
+            let got = listen_backlog(l.as_raw_fd()).unwrap();
+            assert_eq!(
+                got, want,
+                "listen(2) backlog did not take effect (somaxconn={somaxconn})"
+            );
+            // Widen again to prove re-listen updates in place.
+            let want2 = 2048.min(somaxconn);
+            widen_listen_backlog(l.as_raw_fd(), 2048).unwrap();
+            assert_eq!(listen_backlog(l.as_raw_fd()).unwrap(), want2);
+        }
     }
 
     #[test]

@@ -1,56 +1,78 @@
-//! The gateway server: a single-threaded nonblocking reactor that owns the
-//! [`ServingSession`], the listener, and every connection.
+//! The gateway server: an N-reactor I/O plane in front of a dedicated
+//! simulation thread.
 //!
 //! # Threading model
 //!
-//! One **reactor thread** owns everything: the [`Poller`] (epoll on Linux),
-//! the open [`ServingSession`], the [`ClockDriver`], admission control, and
-//! a generation-tagged connection slab. There are no per-connection
-//! threads and no locks on the request path — thread count is *independent
-//! of connection count*, which is what lets the gateway hold tens of
-//! thousands of concurrent SSE streams. The only cross-thread surfaces are
-//! the [`Waker`] (shutdown pokes) and two atomics (`active`, `draining`).
+//! **N I/O reactors** (`gw-io-<i>`) each own a private `SO_REUSEPORT`
+//! listener bound to the same address, a private [`Poller`] (epoll on
+//! Linux), and a private generation-tagged connection slab with bounded
+//! [`WriteQueue`]s. The kernel shards incoming connections across the
+//! listener group by 4-tuple hash, so accepts, reads, and writes spread
+//! over cores with zero cross-reactor locking — no reactor ever touches
+//! another reactor's connections.
 //!
-//! # Reactor cycle
+//! **One sim thread** (`gw-sim`) owns the open [`ServingSession`]
+//! exclusively: it steps simulated time toward the wall-clock target in
+//! bounded event chunks and is the only thread that mutates simulation
+//! state, so determinism needs no locks at all.
 //!
-//! Each iteration: step simulated time toward the wall-clock target in
-//! bounded event chunks (so a burst of sim work cannot starve socket
-//! readiness), drain the per-request token channels into per-connection
-//! output queues, pump writable sockets, then block on the poller until
-//! the next simulated event is due or an fd becomes ready. Edge-triggered
-//! readiness means every fd is read/written **until `WouldBlock`** before
-//! the reactor sleeps again.
+//! Work crosses the boundary exactly three ways:
+//!
+//! * **Arrivals** flow reactor → sim through the session's thread-safe
+//!   [`Injector`] (the existing injection port; stamps are assigned at pop
+//!   boundaries on the sim thread, so reactor count cannot perturb replay).
+//! * **Tokens** flow sim → reactor through one bounded SPSC
+//!   [`ring`](crate::ring) per request, created by the owning reactor and
+//!   sized to the request's maximum output, so a well-formed stream can
+//!   never overflow it. Each ring handle is tagged `(reactor, generation,
+//!   slot)`; a recycled connection bumps the slot generation, so a stale
+//!   delivery can never reach the wrong stream. A [`DirtyBoard`] flag per
+//!   reactor tells the sim loop exactly which reactor [`Waker`]s to poke
+//!   after a step flushes tokens.
+//! * **Observer-only notes** (endpoint counters, 429s, slow drops, health
+//!   gauges) flow reactor → sim over an unbounded control channel; they
+//!   touch only the metrics registry, which fingerprints exclude.
+//!
+//! `/metrics` is served from a snapshot the sim thread re-renders every
+//! [`METRICS_REFRESH`]; reactors never read the session directly.
 //!
 //! # Backpressure contract
 //!
-//! Token write-back is buffered through a bounded [`WriteQueue`] per
+//! Unchanged from the single-reactor design, now enforced per reactor:
+//! token write-back is buffered through a bounded [`WriteQueue`] per
 //! connection ([`GatewayConfig::max_conn_buffer`] unsent bytes). A reader
 //! that falls so far behind that its queue would overflow is **dropped**:
 //! the connection closes without the `[DONE]` sentinel, the admission slot
-//! is released, and the drop is counted (`gateway_slow_drops` in
-//! `/metrics`, [`GatewayReport::slow_drops`] at shutdown). Memory per
-//! connection is therefore strictly bounded; a slow reader can never back
-//! up into the simulation or other streams.
+//! is released, and the drop is counted (labeled
+//! `gateway_slow_drops{reactor="i"}` in `/metrics`,
+//! [`GatewayReport::slow_drops`] at shutdown). Admission quotas are shared
+//! across reactors behind a mutex taken once per request lifecycle, never
+//! per token.
 //!
 //! # Graceful drain
 //!
-//! [`Gateway::shutdown`] sets the drain flag and wakes the reactor, which
-//! stops accepting, fast-forwards the session to quiescence (stepping
-//! speed never changes simulation outcomes), flushes every in-flight SSE
-//! stream through its output queue, and only then finishes the session.
-//! In-flight clients observe complete streams, not resets.
+//! [`Gateway::shutdown`] sets the drain flag and wakes every thread. The
+//! sim thread fast-forwards the session to quiescence (stepping speed
+//! never changes simulation outcomes), pokes reactors as tokens flush,
+//! then drops all remaining token sinks so no reactor can wait on a stream
+//! that will never finish (e.g. after a halt). Each reactor stops
+//! accepting, flushes every in-flight stream through its output queue,
+//! force-closes stragglers at the deadline, and posts a `Drained` barrier
+//! message. Only after every reactor checks in does the sim thread finish
+//! the session and emit the report — in-flight clients on every reactor
+//! observe complete streams, not resets.
 
 use std::io::{self, Read};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{Receiver, TryRecvError};
-use std::sync::Arc;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use aegaeon::proxy::{Admission, AdmissionPolicy};
-use aegaeon::session::{Endpoint, LiveRequest, ServingSession};
+use aegaeon::session::{Endpoint, LiveRequest, ServingSession, TokenSink};
 use aegaeon::{AegaeonConfig, AuditReport, InvariantAuditor, RunResult, TokenEv};
 use aegaeon_model::{ModelId, ModelSpec};
 use aegaeon_sim::queue::Injector;
@@ -63,14 +85,16 @@ use crate::clock::{ClockDriver, ClockMode};
 use crate::http::HttpParser;
 use crate::outbuf::WriteQueue;
 use crate::poll::{self, PollEvent, Poller, Waker, WAKE_TOKEN};
+use crate::ring::{self, DirtyBoard, PushError, RingTag};
 use crate::{http, sse};
 
 /// Poller token for the listening socket.
 const LISTEN_TOKEN: u64 = u64::MAX - 1;
-/// Simulation events dispatched per reactor iteration before readiness is
-/// re-checked; bounds how long sockets can starve behind sim work.
+/// Simulation events dispatched per sim-loop iteration before the control
+/// channel is re-checked; bounds how long arrivals/notes can queue behind
+/// sim work.
 const STEP_CHUNK: u64 = 8192;
-/// Longest the reactor sleeps with nothing due (keeps gauges fresh).
+/// Longest either loop sleeps with nothing due (keeps gauges fresh).
 const MAX_WAIT: Duration = Duration::from_millis(100);
 /// Idle connections (no complete request, or unflushed response with a
 /// dead peer) are reaped after this long.
@@ -79,6 +103,10 @@ const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
 const SWEEP_EVERY: Duration = Duration::from_secs(5);
 /// Hard cap on the graceful-drain flush phase.
 const DRAIN_DEADLINE: Duration = Duration::from_secs(60);
+/// Cadence of the sim thread's `/metrics` snapshot re-render.
+const METRICS_REFRESH: Duration = Duration::from_millis(200);
+/// Cadence of each reactor's health-gauge report to the sim thread.
+const GAUGE_EVERY: Duration = Duration::from_millis(250);
 
 /// Gateway deployment settings.
 #[derive(Debug, Clone)]
@@ -89,12 +117,17 @@ pub struct GatewayConfig {
     pub mode: ClockMode,
     /// Fault/hard-stop horizon for the open session.
     pub live_horizon: SimTime,
-    /// Admission quotas.
+    /// Admission quotas (shared across reactors).
     pub admission: AdmissionPolicy,
     /// Install the invariant auditor (observer only).
     pub audit: bool,
-    /// Hard cap on simultaneously open connections; excess accepts are
-    /// shed immediately (fd budget guard).
+    /// Number of I/O reactor threads, each with its own `SO_REUSEPORT`
+    /// listener. 1 reproduces the single-reactor layout (and is the only
+    /// value supported off Linux); reactor count never changes simulation
+    /// outcomes, only I/O capacity.
+    pub reactors: usize,
+    /// Hard cap on simultaneously open connections across all reactors;
+    /// excess accepts are shed immediately (fd budget guard).
     pub max_connections: usize,
     /// Bounded unsent bytes per connection — the backpressure threshold at
     /// which a slow reader is dropped.
@@ -107,7 +140,7 @@ pub struct GatewayConfig {
 
 impl GatewayConfig {
     /// Loopback on an ephemeral port, a 1-hour horizon, default admission,
-    /// auditor on, 16k connection cap, 256 KiB write buffers.
+    /// auditor on, one reactor, 16k connection cap, 256 KiB write buffers.
     pub fn local(mode: ClockMode) -> GatewayConfig {
         GatewayConfig {
             addr: "127.0.0.1:0".to_string(),
@@ -115,6 +148,7 @@ impl GatewayConfig {
             live_horizon: SimTime::from_secs_f64(3600.0),
             admission: AdmissionPolicy::default_gateway(),
             audit: true,
+            reactors: 1,
             max_connections: 16 * 1024,
             max_conn_buffer: 256 * 1024,
             sock_sndbuf: None,
@@ -122,7 +156,7 @@ impl GatewayConfig {
     }
 }
 
-/// Everything the reactor hands back at shutdown.
+/// Everything the gateway hands back at shutdown.
 #[derive(Debug)]
 pub struct GatewayReport {
     /// The run result, fingerprint-comparable with an offline replay of
@@ -132,91 +166,179 @@ pub struct GatewayReport {
     /// gateway rejection book.
     pub audit: Option<AuditReport>,
     /// Every admitted request with its simulated arrival stamp — replay it
-    /// with [`ServingSession::replay`] to reproduce the run offline.
+    /// with [`ServingSession::replay`] to reproduce the run offline. The
+    /// trace format is reactor-count invariant: stamps are assigned by the
+    /// injection port on the sim thread, never by an I/O thread.
     pub trace: Trace,
-    /// Streams dropped by write-back backpressure (slow readers).
+    /// Streams dropped by write-back backpressure (slow readers), summed
+    /// across reactors.
     pub slow_drops: u64,
+    /// Peak simultaneously-open connections per reactor, indexed by
+    /// reactor id — the accept-sharding balance evidence.
+    pub per_reactor_peak: Vec<usize>,
 }
 
-/// State shared between the reactor thread and the [`Gateway`] handle.
+/// State shared between the threads and the [`Gateway`] handle.
 struct Shared {
     active: AtomicUsize,
     peak: AtomicUsize,
     draining: AtomicBool,
+    /// Per-reactor peak of simultaneously open connections.
+    reactor_peaks: Vec<AtomicUsize>,
+}
+
+/// Reactor → sim-thread control messages. Everything here is
+/// observer-only (metrics registry traffic) or pure signaling; simulation
+/// state is exclusively the sim thread's.
+enum Ctl {
+    /// Poke: a reactor injected an arrival (or the gateway wants the sim
+    /// loop to notice the drain flag).
+    Ping,
+    /// One request served on an endpoint.
+    Note(Endpoint),
+    /// One admission rejection (429).
+    Rejection,
+    /// One slow-reader drop on a reactor.
+    SlowDrop(usize),
+    /// Periodic reactor health gauges.
+    Gauges {
+        reactor: usize,
+        fds: usize,
+        ready: usize,
+    },
+    /// Drain barrier: the reactor has flushed (or force-closed) every
+    /// connection and exited. Sent exactly once, after its final messages.
+    Drained,
 }
 
 /// A running gateway; dropping it without [`Gateway::shutdown`] leaves the
-/// reactor thread serving (detached).
+/// serving threads detached.
 pub struct Gateway {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    waker: Waker,
-    reactor: Option<JoinHandle<(RunResult, Option<AuditReport>, Trace, u64)>>,
+    wakers: Vec<Waker>,
+    ctl: Sender<Ctl>,
+    reactors: Vec<JoinHandle<()>>,
+    sim: Option<JoinHandle<SimOutcome>>,
 }
 
+/// What the sim thread hands back at join: the run result, the audit
+/// verdict, the injected trace for replay, and the slow-drop tally.
+type SimOutcome = (RunResult, Option<AuditReport>, Trace, u64);
+
 impl Gateway {
-    /// Binds, spawns the reactor thread, and returns immediately; the
+    /// Binds the `SO_REUSEPORT` listener group, spawns the sim thread and
+    /// one reactor thread per listener, and returns immediately; the
     /// gateway is serving once this returns.
     pub fn start(
         sys_cfg: &AegaeonConfig,
         models: &[ModelSpec],
         gw: GatewayConfig,
     ) -> io::Result<Gateway> {
-        let listener = TcpListener::bind(&gw.addr)?;
-        listener.set_nonblocking(true)?;
-        // Best-effort: std's 128-deep backlog overflows under swarm-rate
-        // connect bursts while the reactor is inside a simulation step.
-        let _ = poll::widen_listen_backlog(listener.as_raw_fd(), 4096);
-        let addr = listener.local_addr()?;
+        assert!(gw.reactors >= 1, "need at least one reactor");
+        let sock_addr = gw
+            .addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "unresolvable address"))?;
+        let (listeners, addr) = poll::reuseport_listener_group(sock_addr, gw.reactors)?;
+        // std's 128-deep backlog overflows under swarm-rate connect bursts;
+        // every group member gets the deep backlog (best-effort — the
+        // kernel clamps to net.core.somaxconn).
+        for l in &listeners {
+            let _ = poll::widen_listen_backlog(l.as_raw_fd(), 4096);
+        }
         // `/metrics` needs live instruments; telemetry is observer-only
         // (excluded from fingerprints), so forcing it on cannot perturb
         // the simulation or break replay equivalence.
         let mut sys_cfg = sys_cfg.clone();
         sys_cfg.telemetry = aegaeon_telemetry::TelemetrySpec::enabled();
         let mut session = ServingSession::open(&sys_cfg, models, gw.live_horizon);
+        session.configure_reactors(gw.reactors);
         if gw.audit {
             session.install_auditor(Box::new(InvariantAuditor::new()));
         }
-        let mut poller = Poller::new()?;
-        poller.register(listener.as_raw_fd(), LISTEN_TOKEN)?;
-        let waker = poller.waker();
         let shared = Arc::new(Shared {
             active: AtomicUsize::new(0),
             peak: AtomicUsize::new(0),
             draining: AtomicBool::new(false),
+            reactor_peaks: (0..gw.reactors).map(|_| AtomicUsize::new(0)).collect(),
         });
+        let board = Arc::new(DirtyBoard::new(gw.reactors));
+        let snapshot = Arc::new(Mutex::new(prometheus_text(session.metrics())));
+        let (ctl_tx, ctl_rx) = std::sync::mpsc::channel::<Ctl>();
+        let clock = ClockDriver::new(gw.mode);
+        let epoch = Instant::now();
         let injector = session.injector();
-        let reactor = {
-            let shared = Arc::clone(&shared);
-            let n_models = models.len() as u32;
+
+        // Pollers (and their wakers) exist before any thread starts, so
+        // the sim thread can wake reactors from its very first step.
+        let mut pollers = Vec::with_capacity(gw.reactors);
+        let mut wakers = Vec::with_capacity(gw.reactors);
+        for l in &listeners {
+            let mut p = Poller::new()?;
+            p.register(l.as_raw_fd(), LISTEN_TOKEN)?;
+            wakers.push(p.waker());
+            pollers.push(p);
+        }
+
+        let sim = {
+            let sim = SimThread {
+                session,
+                clock,
+                epoch,
+                ctl_rx,
+                board: Arc::clone(&board),
+                wakers: wakers.clone(),
+                shared: Arc::clone(&shared),
+                snapshot: Arc::clone(&snapshot),
+                n_reactors: gw.reactors,
+                drained: 0,
+            };
+            thread::Builder::new()
+                .name("gw-sim".into())
+                .spawn(move || sim.run())?
+        };
+
+        let admission = Arc::new(Mutex::new(Admission::new(gw.admission)));
+        let mut reactor_handles = Vec::with_capacity(gw.reactors);
+        for (id, (listener, poller)) in listeners.into_iter().zip(pollers).enumerate() {
             let reactor = Reactor {
+                id,
                 listener,
                 poller,
-                session,
-                injector,
-                clock: ClockDriver::new(gw.mode),
-                epoch: Instant::now(),
-                n_models,
-                admission: Admission::new(gw.admission),
+                injector: injector.clone(),
+                ctl: ctl_tx.clone(),
+                clock,
+                epoch,
+                board: Arc::clone(&board),
+                n_models: models.len() as u32,
+                admission: Arc::clone(&admission),
                 max_connections: gw.max_connections,
                 max_conn_buffer: gw.max_conn_buffer,
                 sock_sndbuf: gw.sock_sndbuf,
-                shared,
+                shared: Arc::clone(&shared),
+                snapshot: Arc::clone(&snapshot),
                 slab: Vec::new(),
                 gen: Vec::new(),
                 free: Vec::new(),
                 streaming: Vec::new(),
                 pending_write: Vec::new(),
+                local_active: 0,
             };
-            thread::Builder::new()
-                .name("gw-reactor".into())
-                .spawn(move || reactor.run())?
-        };
+            reactor_handles.push(
+                thread::Builder::new()
+                    .name(format!("gw-io-{id}"))
+                    .spawn(move || reactor.run())?,
+            );
+        }
         Ok(Gateway {
             addr,
             shared,
-            waker,
-            reactor: Some(reactor),
+            wakers,
+            ctl: ctl_tx,
+            reactors: reactor_handles,
+            sim: Some(sim),
         })
     }
 
@@ -225,47 +347,218 @@ impl Gateway {
         self.addr
     }
 
-    /// Currently open connections.
+    /// Currently open connections across all reactors.
     pub fn active_connections(&self) -> usize {
         self.shared.active.load(Ordering::SeqCst)
     }
 
-    /// High-water mark of simultaneously open connections.
+    /// High-water mark of simultaneously open connections (global).
     pub fn peak_connections(&self) -> usize {
         self.shared.peak.load(Ordering::SeqCst)
     }
 
-    /// Graceful drain: stop accepting, complete every admitted request
-    /// (fast-forwarded — wall pacing no longer applies), flush all token
-    /// streams, and return the final report.
+    /// Graceful drain: stop accepting on every reactor, complete every
+    /// admitted request (fast-forwarded — wall pacing no longer applies),
+    /// flush all token streams on all reactors, and return the final
+    /// report once the drain barrier completes.
     pub fn shutdown(mut self) -> GatewayReport {
         self.shared.draining.store(true, Ordering::SeqCst);
-        self.waker.wake();
+        for w in &self.wakers {
+            w.wake();
+        }
+        let _ = self.ctl.send(Ctl::Ping);
+        for r in self.reactors.drain(..) {
+            let _ = r.join();
+        }
         let (result, audit, trace, slow_drops) = self
-            .reactor
+            .sim
             .take()
             .expect("shutdown runs once")
             .join()
-            .expect("gateway reactor panicked");
+            .expect("gateway sim thread panicked");
+        let per_reactor_peak = self
+            .shared
+            .reactor_peaks
+            .iter()
+            .map(|p| p.load(Ordering::SeqCst))
+            .collect();
         GatewayReport {
             result,
             audit,
             trace,
             slow_drops,
+            per_reactor_peak,
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Sim thread
+// ---------------------------------------------------------------------------
+
+/// Token sink handed to the session for one request: pushes into the
+/// request's SPSC ring and marks the destination reactor dirty so the sim
+/// loop wakes it after the step.
+struct RingSink {
+    prod: ring::Producer<TokenEv>,
+    board: Arc<DirtyBoard>,
+}
+
+impl TokenSink for RingSink {
+    fn deliver(&mut self, tok: TokenEv) -> bool {
+        match self.prod.push(tok) {
+            Ok(()) => {
+                self.board.mark(self.prod.tag.reactor as usize);
+                true
+            }
+            // Consumer gone: the client hung up (or was slow-dropped); the
+            // simulated request still runs to completion.
+            Err(PushError::Closed(_)) => false,
+            // Rings are sized to the request's max output, so Full means a
+            // protocol bug upstream; sever the stream rather than corrupt.
+            Err(PushError::Full(_)) => {
+                debug_assert!(false, "token ring overflow (ring under-sized?)");
+                false
+            }
+        }
+    }
+}
+
+struct SimThread {
+    session: ServingSession,
+    clock: ClockDriver,
+    epoch: Instant,
+    ctl_rx: Receiver<Ctl>,
+    board: Arc<DirtyBoard>,
+    wakers: Vec<Waker>,
+    shared: Arc<Shared>,
+    snapshot: Arc<Mutex<String>>,
+    n_reactors: usize,
+    drained: usize,
+}
+
+impl SimThread {
+    fn run(mut self) -> SimOutcome {
+        let mut last_render = Instant::now();
+        loop {
+            if self.shared.draining.load(Ordering::SeqCst) {
+                break;
+            }
+            let target = self.clock.sim_at(self.epoch.elapsed());
+            let (_, truncated) = self.session.step_bounded(target, STEP_CHUNK);
+            self.session
+                .set_wall_lag(self.clock.lag_secs(self.session.now(), self.epoch.elapsed()));
+            self.wake_dirty();
+            if last_render.elapsed() >= METRICS_REFRESH {
+                self.render_snapshot();
+                last_render = Instant::now();
+            }
+            let timeout = if truncated {
+                Duration::ZERO
+            } else {
+                match self.session.next_due() {
+                    Some(t) => self.clock.delay_for(t, self.epoch.elapsed()).min(MAX_WAIT),
+                    None => MAX_WAIT,
+                }
+            };
+            match self.ctl_rx.recv_timeout(timeout) {
+                Ok(msg) => {
+                    self.handle_ctl(msg);
+                    while let Ok(m) = self.ctl_rx.try_recv() {
+                        self.handle_ctl(m);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        self.drain()
+    }
+
+    /// Drain: fast-forward to quiescence (waking reactors as their rings
+    /// fill), cut every remaining sink, then hold the barrier until all
+    /// reactors have flushed and checked in.
+    fn drain(mut self) -> SimOutcome {
+        let deadline = Instant::now() + DRAIN_DEADLINE;
+        loop {
+            let (_, truncated) = self.session.step_bounded(SimTime::MAX, STEP_CHUNK);
+            self.wake_dirty();
+            if !truncated || Instant::now() >= deadline {
+                break;
+            }
+        }
+        // No further tokens will be produced (quiescent, halted, or past
+        // the deadline): drop the remaining sinks so ring consumers observe
+        // end of stream instead of waiting on tokens that never come.
+        self.session.close_sinks();
+        self.render_snapshot();
+        for w in &self.wakers {
+            w.wake();
+        }
+        // Barrier: reactors post their final notes and then `Drained`; the
+        // per-sender FIFO of the channel guarantees nothing is lost.
+        while self.drained < self.n_reactors && Instant::now() < deadline {
+            match self.ctl_rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(msg) => self.handle_ctl(msg),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        self.render_snapshot();
+        let trace = self.session.injected_trace();
+        let slow_drops = self.session.slow_drops();
+        let (result, audit) = self.session.finish();
+        (result, audit, trace, slow_drops)
+    }
+
+    fn handle_ctl(&mut self, msg: Ctl) {
+        match msg {
+            Ctl::Ping => {}
+            Ctl::Note(ep) => self.session.note_endpoint(ep),
+            Ctl::Rejection => self.session.note_rejection(),
+            Ctl::SlowDrop(reactor) => self.session.note_slow_drop(reactor),
+            Ctl::Gauges {
+                reactor,
+                fds,
+                ready,
+            } => {
+                let peak = self.shared.reactor_peaks[reactor].load(Ordering::SeqCst);
+                self.session.set_reactor_gauges(reactor, fds, ready, peak);
+            }
+            Ctl::Drained => self.drained += 1,
+        }
+    }
+
+    /// Wake exactly the reactors whose rings received tokens this step.
+    fn wake_dirty(&self) {
+        for (r, w) in self.wakers.iter().enumerate() {
+            if self.board.take(r) {
+                w.wake();
+            }
+        }
+    }
+
+    fn render_snapshot(&self) {
+        let text = prometheus_text(self.session.metrics());
+        *self.snapshot.lock().expect("snapshot lock") = text;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// I/O reactors
+// ---------------------------------------------------------------------------
 
 /// Per-connection protocol state.
 enum ConnState {
     /// Accumulating the request head/body.
     Reading,
-    /// SSE stream in flight; tokens arrive on `rx`.
+    /// SSE stream in flight; tokens arrive on the request's SPSC ring.
     Streaming {
-        rx: Receiver<TokenEv>,
+        ring: ring::Consumer<TokenEv>,
         model: ModelId,
-        /// Final token seen (or channel closed) and admission released;
-        /// the connection closes once the output queue drains.
+        /// Final token seen (or ring drained after the producer left) and
+        /// admission released; the connection closes once the output
+        /// queue drains.
         done: bool,
     },
     /// Response fully queued; close once flushed.
@@ -285,21 +578,24 @@ struct Conn {
 }
 
 struct Reactor {
+    id: usize,
     listener: TcpListener,
     poller: Poller,
-    session: ServingSession,
     injector: Injector<LiveRequest>,
+    ctl: Sender<Ctl>,
     clock: ClockDriver,
     epoch: Instant,
+    board: Arc<DirtyBoard>,
     n_models: u32,
-    admission: Admission,
+    admission: Arc<Mutex<Admission>>,
     max_connections: usize,
     max_conn_buffer: usize,
     sock_sndbuf: Option<u32>,
     shared: Arc<Shared>,
+    snapshot: Arc<Mutex<String>>,
     /// Generation-tagged connection slab: token = (gen << 32) | idx, so a
-    /// stale readiness event for a recycled slot can never touch the new
-    /// occupant.
+    /// stale readiness event (or ring tag) for a recycled slot can never
+    /// touch the new occupant.
     slab: Vec<Option<Conn>>,
     gen: Vec<u32>,
     free: Vec<usize>,
@@ -307,40 +603,35 @@ struct Reactor {
     streaming: Vec<usize>,
     /// Slab indices with queued output awaiting a pump (deduped).
     pending_write: Vec<usize>,
+    /// Connections this reactor currently owns (its share of `shared.active`).
+    local_active: usize,
 }
 
 impl Reactor {
-    fn run(mut self) -> (RunResult, Option<AuditReport>, Trace, u64) {
+    fn run(mut self) {
         let mut events: Vec<PollEvent> = Vec::new();
         let mut last_sweep = Instant::now();
+        let mut last_gauges = Instant::now();
         loop {
             if self.shared.draining.load(Ordering::SeqCst) {
                 break;
             }
-            let target = self.clock.sim_at(self.epoch.elapsed());
-            let (dispatched, truncated) = self.session.step_bounded(target, STEP_CHUNK);
-            self.session
-                .set_wall_lag(self.clock.lag_secs(self.session.now(), self.epoch.elapsed()));
-            if dispatched > 0 {
-                self.pump_tokens();
-            }
+            self.pump_tokens();
             self.pump_writes();
-            self.session
-                .set_reactor_gauges(self.poller.registered(), events.len());
-            let timeout = if truncated {
-                Duration::ZERO
-            } else {
-                match self.session.next_due() {
-                    Some(t) => self.clock.delay_for(t, self.epoch.elapsed()).min(MAX_WAIT),
-                    None => MAX_WAIT,
-                }
-            };
-            if self.poller.wait(&mut events, Some(timeout)).is_err() {
+            if last_gauges.elapsed() >= GAUGE_EVERY {
+                let _ = self.ctl.send(Ctl::Gauges {
+                    reactor: self.id,
+                    fds: self.poller.registered(),
+                    ready: events.len(),
+                });
+                last_gauges = Instant::now();
+            }
+            if self.poller.wait(&mut events, Some(MAX_WAIT)).is_err() {
                 break;
             }
-            for i in 0..events.len() {
-                let ev = events[i];
+            for &ev in events.iter() {
                 match ev.token {
+                    // Sim thread poke: rings have tokens; pumped at loop top.
                     WAKE_TOKEN => {}
                     LISTEN_TOKEN => self.accept_ready(),
                     tok => self.conn_event(tok, ev),
@@ -351,33 +642,33 @@ impl Reactor {
                 last_sweep = Instant::now();
             }
         }
-        self.drain()
+        self.drain_flush();
     }
 
-    /// Graceful drain: fast-forward the session to quiescence while
-    /// flushing every stream, then force-close stragglers and finish.
-    fn drain(mut self) -> (RunResult, Option<AuditReport>, Trace, u64) {
+    /// Drain: stop accepting, flush every in-flight stream (the sim thread
+    /// is concurrently fast-forwarding tokens into our rings), force-close
+    /// stragglers at the deadline, then post the barrier message.
+    fn drain_flush(&mut self) {
         let _ = self.poller.deregister(self.listener.as_raw_fd());
         let deadline = Instant::now() + DRAIN_DEADLINE;
         let mut events: Vec<PollEvent> = Vec::new();
         loop {
-            let (dispatched, _) = self.session.step_bounded(SimTime::MAX, u64::MAX);
-            if dispatched > 0 || !self.streaming.is_empty() {
-                self.pump_tokens();
-            }
+            self.pump_tokens();
             self.pump_writes();
             let flushed = self.slab.iter().flatten().all(|c| {
                 c.out.is_empty() && !matches!(c.state, ConnState::Streaming { done: false, .. })
             });
-            if (self.session.quiescent() && flushed) || Instant::now() >= deadline {
+            if flushed || Instant::now() >= deadline {
                 break;
             }
-            // Only writability can unblock us now; wait briefly for it.
-            if self.poller.wait(&mut events, Some(Duration::from_millis(20))).is_err() {
+            if self
+                .poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .is_err()
+            {
                 break;
             }
-            for i in 0..events.len() {
-                let ev = events[i];
+            for &ev in events.iter() {
                 if ev.token != WAKE_TOKEN && ev.token != LISTEN_TOKEN {
                     self.conn_event(ev.token, ev);
                 }
@@ -386,10 +677,14 @@ impl Reactor {
         for idx in 0..self.slab.len() {
             self.close(idx);
         }
-        let trace = self.session.injected_trace();
-        let slow_drops = self.session.slow_drops();
-        let (result, audit) = self.session.finish();
-        (result, audit, trace, slow_drops)
+        // Final health report, then the barrier message — per-sender FIFO
+        // means the sim thread sees every note before `Drained`.
+        let _ = self.ctl.send(Ctl::Gauges {
+            reactor: self.id,
+            fds: self.poller.registered(),
+            ready: 0,
+        });
+        let _ = self.ctl.send(Ctl::Drained);
     }
 
     fn accept_ready(&mut self) {
@@ -406,8 +701,7 @@ impl Reactor {
                         continue;
                     }
                     if let Some(snd) = self.sock_sndbuf {
-                        let _ =
-                            poll::shrink_socket_buffers(stream.as_raw_fd(), Some(snd), None);
+                        let _ = poll::shrink_socket_buffers(stream.as_raw_fd(), Some(snd), None);
                     }
                     let idx = match self.free.pop() {
                         Some(i) => i,
@@ -433,6 +727,8 @@ impl Reactor {
                     });
                     let now_active = self.shared.active.fetch_add(1, Ordering::SeqCst) + 1;
                     self.shared.peak.fetch_max(now_active, Ordering::SeqCst);
+                    self.local_active += 1;
+                    self.shared.reactor_peaks[self.id].fetch_max(self.local_active, Ordering::SeqCst);
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -539,12 +835,12 @@ impl Reactor {
         let path = target.split('?').next().unwrap_or("");
         match (method.as_str(), path) {
             ("GET", "/healthz") => {
-                self.session.note_endpoint(Endpoint::Healthz);
+                let _ = self.ctl.send(Ctl::Note(Endpoint::Healthz));
                 self.respond(idx, 200, "OK", "text/plain", "ok\n", &[]);
             }
             ("GET", "/metrics") => {
-                self.session.note_endpoint(Endpoint::Metrics);
-                let text = prometheus_text(self.session.metrics());
+                let _ = self.ctl.send(Ctl::Note(Endpoint::Metrics));
+                let text = self.snapshot.lock().expect("snapshot lock").clone();
                 self.respond(idx, 200, "OK", "text/plain; version=0.0.4", &text, &[]);
             }
             ("POST", "/v1/completions") => self.route_completion(idx, &body),
@@ -606,9 +902,16 @@ impl Reactor {
             );
         }
         // Admission control: over-quota requests are turned away with a
-        // backoff hint and never reach the simulation.
-        if let Err(retry_after) = self.admission.try_admit(params.model) {
-            self.session.note_rejection();
+        // backoff hint and never reach the simulation. The quota book is
+        // shared across reactors; the lock is taken once per request
+        // lifecycle (admit/release), never per token.
+        let admit = self
+            .admission
+            .lock()
+            .expect("admission lock")
+            .try_admit(params.model);
+        if let Err(retry_after) = admit {
+            let _ = self.ctl.send(Ctl::Rejection);
             let retry = retry_after.to_string();
             return self.respond(
                 idx,
@@ -619,8 +922,12 @@ impl Reactor {
                 &[("Retry-After", retry.as_str())],
             );
         }
-        self.session.note_endpoint(Endpoint::Completions);
-        let (tx, rx) = std::sync::mpsc::channel();
+        let _ = self.ctl.send(Ctl::Note(Endpoint::Completions));
+        // The ring holds the request's entire output, so the sim thread
+        // can fast-forward an arbitrary backlog without ever blocking on
+        // this reactor; the tag pins the delivery to this (gen, slot).
+        let tag = RingTag::new(self.id as u32, self.gen[idx], idx as u32);
+        let (prod, cons) = ring::ring::<TokenEv>(params.output_tokens as usize, tag);
         let not_before = self.clock.sim_at(self.epoch.elapsed());
         self.injector.send(
             not_before,
@@ -628,15 +935,20 @@ impl Reactor {
                 model: params.model,
                 input_tokens: params.input_tokens,
                 output_tokens: params.output_tokens,
-                sink: Some(tx),
+                sink: Some(Box::new(RingSink {
+                    prod,
+                    board: Arc::clone(&self.board),
+                })),
             },
         );
+        // The sim thread may be idle-sleeping on its control channel.
+        let _ = self.ctl.send(Ctl::Ping);
         let conn = self.slab[idx].as_mut().expect("routed conn");
         // The head is finite and the queue is empty here; cap-exempt so a
         // test-sized cap can never truncate the protocol preamble.
         conn.out.push_unchecked(&http::sse_head());
         conn.state = ConnState::Streaming {
-            rx,
+            ring: cons,
             model: params.model,
             done: false,
         };
@@ -673,7 +985,7 @@ impl Reactor {
         }
     }
 
-    /// Drain every streaming connection's token channel into its output
+    /// Drain every streaming connection's token ring into its output
     /// queue. Overflow = slow reader = drop (the backpressure contract).
     fn pump_tokens(&mut self) {
         let mut j = 0;
@@ -691,15 +1003,15 @@ impl Reactor {
                 let Some(conn) = self.slab[idx].as_mut() else {
                     continue;
                 };
-                let ConnState::Streaming { rx, model, done } = &mut conn.state else {
+                let ConnState::Streaming { ring, model, done } = &mut conn.state else {
                     continue;
                 };
                 if *done {
                     continue;
                 }
                 loop {
-                    match rx.try_recv() {
-                        Ok(tok) => {
+                    match ring.pop() {
+                        Some(tok) => {
                             let chunk = api::completion_chunk(
                                 tok.req.0,
                                 *model,
@@ -721,13 +1033,14 @@ impl Reactor {
                                 break;
                             }
                         }
-                        Err(TryRecvError::Empty) => break,
-                        // Session gone mid-stream: truncated stream, no
+                        // Producer gone with the ring empty: truncated
+                        // stream (session finished/halted mid-stream), no
                         // DONE sentinel; flush what was queued and close.
-                        Err(TryRecvError::Disconnected) => {
+                        None if ring.is_drained() => {
                             outcome = Outcome::Done;
                             break;
                         }
+                        None => break,
                     }
                 }
             }
@@ -740,13 +1053,16 @@ impl Reactor {
                 Outcome::Done => {
                     let conn = self.slab[idx].as_mut().expect("streaming conn");
                     if let ConnState::Streaming { model, done, .. } = &mut conn.state {
-                        self.admission.release(*model);
+                        self.admission
+                            .lock()
+                            .expect("admission lock")
+                            .release(*model);
                         *done = true;
                     }
                     self.mark_pending(idx);
                 }
                 Outcome::SlowDrop => {
-                    self.session.note_slow_drop();
+                    let _ = self.ctl.send(Ctl::SlowDrop(self.id));
                     self.close(idx);
                 }
             }
@@ -822,12 +1138,20 @@ impl Reactor {
         };
         let _ = self.poller.deregister(conn.stream.as_raw_fd());
         if let ConnState::Streaming { model, done: false, .. } = conn.state {
-            self.admission.release(model);
+            self.admission
+                .lock()
+                .expect("admission lock")
+                .release(model);
         }
+        // Bumping the generation retires every outstanding tag for this
+        // slot: stale poller events and stale ring deliveries both fail
+        // the generation check. Dropping the ring consumer (inside `conn`)
+        // tells the sim-side producer to stop pushing.
         self.gen[idx] = self.gen[idx].wrapping_add(1);
         self.free.push(idx);
         self.shared.active.fetch_sub(1, Ordering::SeqCst);
+        self.local_active = self.local_active.saturating_sub(1);
         // Dropping `conn.stream` closes the fd; the session keeps feeding
-        // any still-live sink into a dropped receiver, which is harmless.
+        // any still-live sink into a closed ring, which is harmless.
     }
 }

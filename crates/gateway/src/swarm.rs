@@ -23,7 +23,7 @@ use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, TryRecvError};
+use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -48,7 +48,12 @@ pub struct SwarmOptions {
 impl Default for SwarmOptions {
     fn default() -> SwarmOptions {
         SwarmOptions {
-            connectors: 8,
+            // One firing thread per core: connect(2) + write(2) are the
+            // hot path, and matching the host keeps firing lag flat as
+            // the schedule rate climbs.
+            connectors: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(8),
             connect_timeout: Duration::from_secs(5),
             connect_retries: 10,
             sock_rcvbuf: None,
@@ -130,6 +135,24 @@ impl Swarm {
         schedule: Vec<(Duration, String)>,
         opts: SwarmOptions,
     ) -> io::Result<Swarm> {
+        Swarm::launch_multi(vec![addr], schedule, opts)
+    }
+
+    /// Like [`Swarm::launch`] but round-robins connections across several
+    /// destination addresses (request `i` → `addrs[i % addrs.len()]`).
+    ///
+    /// A single client→server 4-tuple family caps out at the ephemeral
+    /// port range (~28k concurrent streams on a default Linux). Pointing
+    /// the swarm at several loopback aliases of a gateway bound to
+    /// `0.0.0.0` (`127.0.0.1`, `127.0.0.2`, …) multiplies the tuple space
+    /// — the 100k-stream soak needs this.
+    pub fn launch_multi(
+        addrs: Vec<SocketAddr>,
+        schedule: Vec<(Duration, String)>,
+        opts: SwarmOptions,
+    ) -> io::Result<Swarm> {
+        assert!(!addrs.is_empty(), "need at least one destination address");
+        let addrs = Arc::new(addrs);
         let n = schedule.len();
         let gauges = Arc::new(SwarmGauges::default());
         let samples = Arc::new(Mutex::new(vec![None; n]));
@@ -155,6 +178,7 @@ impl Swarm {
                 let samples = Arc::clone(&samples);
                 let schedule = Arc::clone(&schedule);
                 let cursor = Arc::clone(&cursor);
+                let addrs = Arc::clone(&addrs);
                 let handoff = handoff_tx.clone();
                 let waker = waker.clone();
                 let opts = opts.clone();
@@ -162,7 +186,7 @@ impl Swarm {
                     .name(format!("swarm-fire-{c}"))
                     .spawn(move || {
                         connector_loop(
-                            addr, &schedule, &cursor, epoch, &opts, &gauges, &samples, &handoff,
+                            &addrs, &schedule, &cursor, epoch, &opts, &gauges, &samples, &handoff,
                             &waker,
                         )
                     })
@@ -200,7 +224,7 @@ impl Swarm {
 
 #[allow(clippy::too_many_arguments)]
 fn connector_loop(
-    addr: SocketAddr,
+    addrs: &[SocketAddr],
     schedule: &[(Duration, String)],
     cursor: &AtomicUsize,
     epoch: Instant,
@@ -226,7 +250,7 @@ fn connector_loop(
             .fetch_max(fire_lag.as_nanos() as u64, Ordering::SeqCst);
         gauges.fired.fetch_add(1, Ordering::SeqCst);
 
-        match open_stream(addr, body, opts) {
+        match open_stream(addrs[i % addrs.len()], body, opts) {
             Ok(stream) => {
                 // Pre-seed the lag before the handoff so the reader can
                 // never finalize first and then be overwritten.
@@ -352,54 +376,49 @@ fn reader_loop(
     let mut payloads: Vec<String> = Vec::new();
     while gauges.finished.load(Ordering::SeqCst) < total {
         // Adopt newly fired streams.
-        loop {
-            match handoff.try_recv() {
-                Ok((i, stream, fired_at)) => {
-                    let fire_lag = {
-                        let samples = samples.lock().expect("swarm samples");
-                        samples
-                            .get(i)
-                            .and_then(|s| s.as_ref())
-                            .map(|s| s.fire_lag)
-                            .unwrap_or_default()
-                    };
-                    let slot = slots.pop_front().unwrap_or_else(|| {
-                        live.push(None);
-                        live.len() - 1
-                    });
-                    let token = ((slot as u64) << 32) | i as u64;
-                    if poller.register(stream.as_raw_fd(), token).is_err() {
-                        slots.push_back(slot);
-                        gauges.open.fetch_sub(1, Ordering::SeqCst);
-                        finalize(
-                            &samples,
-                            &gauges,
-                            i,
-                            StreamSample {
-                                io_error: true,
-                                fire_lag,
-                                ..Default::default()
-                            },
-                        );
-                        continue;
-                    }
-                    live[slot] = Some(Live {
-                        stream,
-                        fired_at,
-                        head: Vec::new(),
-                        status: 0,
-                        in_body: false,
-                        scanner: SseScanner::new(),
-                        tokens: 0,
-                        ttft: None,
-                        tbts: Vec::new(),
-                        last_token_at: None,
-                        done: false,
+        while let Ok((i, stream, fired_at)) = handoff.try_recv() {
+            let fire_lag = {
+                let samples = samples.lock().expect("swarm samples");
+                samples
+                    .get(i)
+                    .and_then(|s| s.as_ref())
+                    .map(|s| s.fire_lag)
+                    .unwrap_or_default()
+            };
+            let slot = slots.pop_front().unwrap_or_else(|| {
+                live.push(None);
+                live.len() - 1
+            });
+            let token = ((slot as u64) << 32) | i as u64;
+            if poller.register(stream.as_raw_fd(), token).is_err() {
+                slots.push_back(slot);
+                gauges.open.fetch_sub(1, Ordering::SeqCst);
+                finalize(
+                    &samples,
+                    &gauges,
+                    i,
+                    StreamSample {
+                        io_error: true,
                         fire_lag,
-                    });
-                }
-                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+                        ..Default::default()
+                    },
+                );
+                continue;
             }
+            live[slot] = Some(Live {
+                stream,
+                fired_at,
+                head: Vec::new(),
+                status: 0,
+                in_body: false,
+                scanner: SseScanner::new(),
+                tokens: 0,
+                ttft: None,
+                tbts: Vec::new(),
+                last_token_at: None,
+                done: false,
+                fire_lag,
+            });
         }
 
         if poller
@@ -408,8 +427,7 @@ fn reader_loop(
         {
             break;
         }
-        for e in 0..events.len() {
-            let ev = events[e];
+        for &ev in events.iter() {
             if ev.token == WAKE_TOKEN {
                 continue;
             }

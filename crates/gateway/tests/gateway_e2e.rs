@@ -398,7 +398,7 @@ fn drain_under_load_completes_every_stream() {
         assert!(s.done, "stream {i} lost its DONE sentinel: {s:?}");
         assert_eq!(s.tokens, TOKENS, "stream {i} dropped tokens: {s:?}");
     }
-    assert_eq!(report.result.completed as usize, N);
+    assert_eq!(report.result.completed, N);
     assert_eq!(report.slow_drops, 0);
     let audit = report.audit.expect("auditor installed");
     assert_eq!(audit.rejections, 0);
@@ -413,6 +413,242 @@ fn drain_under_load_completes_every_stream() {
         offline.fingerprint(),
         "drained live run and offline replay must be indistinguishable"
     );
+}
+
+/// Tentpole acceptance for the multi-reactor I/O plane, in-process: four
+/// `SO_REUSEPORT` reactors share one port under three-digit concurrency,
+/// every reactor's connections drain to completion at shutdown, the
+/// labeled per-reactor gauges appear in `/metrics`, and the run still
+/// replays fingerprint-identically — reactor count is an I/O-plane knob,
+/// never a simulation input.
+#[test]
+#[cfg(target_os = "linux")]
+fn four_reactor_drain_under_load_is_fingerprint_identical() {
+    const N: usize = 600;
+    const TOKENS: u32 = 24;
+    const MODELS: usize = 6;
+    const REACTORS: usize = 4;
+
+    let mut gw_cfg = GatewayConfig::local(ClockMode::Timewarp(20.0));
+    gw_cfg.admission.max_inflight_total = 4096;
+    gw_cfg.reactors = REACTORS;
+    let gw = Gateway::start(&cfg(), &models(MODELS), gw_cfg).expect("gateway start");
+    let addr = gw.addr();
+
+    let window = Duration::from_millis(900);
+    let schedule: Vec<(Duration, String)> = (0..N)
+        .map(|i| {
+            (
+                window.mul_f64(i as f64 / N as f64),
+                format!(
+                    r#"{{"model":"m{}","input_tokens":48,"max_tokens":{TOKENS}}}"#,
+                    i % MODELS
+                ),
+            )
+        })
+        .collect();
+    let swarm = Swarm::launch(addr, schedule, SwarmOptions::default()).expect("swarm launch");
+
+    // Wait for full admission with a few hundred streams still open, then
+    // check the observability satellite: every reactor's labeled gauges
+    // are present in one scrape.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while swarm.gauges().responded() < N || swarm.gauges().open() < 300 {
+        assert!(
+            Instant::now() < deadline,
+            "never reached full admission at 300 concurrency \
+             (open={}, responded={}, finished={})",
+            swarm.gauges().open(),
+            swarm.gauges().responded(),
+            swarm.gauges().finished()
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let metrics = request(addr, "GET", "/metrics", None, RTT).unwrap();
+    assert_eq!(metrics.status, 200);
+    let text = metrics.text();
+    for r in 0..REACTORS {
+        for gauge in ["reactor_registered_fds", "reactor_ready_depth", "reactor_peak_streams"] {
+            assert!(
+                text.contains(&format!("{gauge}{{reactor=\"{r}\"}}")),
+                "missing {gauge} for reactor {r} in:\n{text}"
+            );
+        }
+    }
+
+    // Drain with streams in flight on every reactor.
+    let report = gw.shutdown();
+    let samples = swarm.join();
+    for (i, s) in samples.iter().enumerate() {
+        assert_eq!(s.status, 200, "stream {i} failed: {s:?}");
+        assert!(s.done, "stream {i} lost its DONE sentinel: {s:?}");
+        assert_eq!(s.tokens, TOKENS, "stream {i} dropped tokens: {s:?}");
+    }
+    assert_eq!(report.result.completed, N);
+    assert_eq!(report.slow_drops, 0);
+    let audit = report.audit.expect("auditor installed");
+    assert!(audit.ok(), "violations: {:?}", audit.violations);
+
+    // The kernel sharded accepts across the group: with 600 connections
+    // over 4 listeners every reactor must have seen some (the hash spread
+    // is not exactly even, but zero on a reactor means the group broke).
+    assert_eq!(report.per_reactor_peak.len(), REACTORS);
+    assert!(
+        report.per_reactor_peak.iter().all(|&p| p > 0),
+        "a reactor accepted nothing: {:?}",
+        report.per_reactor_peak
+    );
+
+    let mut replay = ServingSession::replay(&cfg(), &models(MODELS), &report.trace);
+    replay.step_until(SimTime::MAX);
+    let (offline, _) = replay.finish();
+    assert_eq!(
+        report.result.fingerprint(),
+        offline.fingerprint(),
+        "4-reactor live run and offline replay must be indistinguishable"
+    );
+}
+
+/// The full deployment shape: the `gateway` binary with four reactors and
+/// an active chaos plan, driven over real sockets, drained by a real
+/// SIGTERM — then its recorded trace replayed in-process. The subprocess's
+/// reported fingerprint and the offline replay's must match, and the
+/// process must exit 0 (its own audit gate).
+#[test]
+#[cfg(target_os = "linux")]
+fn gateway_binary_sigterm_drain_replays_fingerprint_identical() {
+    use std::io::{BufRead, BufReader};
+    use std::process::{Command, Stdio};
+
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    const SIGTERM: i32 = 15;
+    const MODELS: usize = 4;
+    const SEED: u64 = 7;
+    const CHAOS: &str = "cp=0.002;cd=0.002;stall=0.02:1";
+
+    let dir = std::env::temp_dir().join(format!("gw_sigterm_e2e_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let report_path = dir.join("report.json");
+    let trace_path = dir.join("trace.json");
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_gateway"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--mode",
+            "timewarp",
+            "--factor",
+            "100",
+            "--models",
+            "4",
+            "--seed",
+            "7",
+            "--reactors",
+            "4",
+            "--max-inflight",
+            "4096",
+            "--chaos",
+            CHAOS,
+        ])
+        .arg("--report-out")
+        .arg(&report_path)
+        .arg("--trace-out")
+        .arg(&trace_path)
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn gateway binary");
+
+    // The binary logs its bound address on stderr; keep draining the pipe
+    // afterwards so the child never blocks on it.
+    let stderr = BufReader::new(child.stderr.take().unwrap());
+    let (addr_tx, addr_rx) = std::sync::mpsc::channel();
+    let logger = std::thread::spawn(move || {
+        let mut log = String::new();
+        for line in stderr.lines() {
+            let Ok(line) = line else { break };
+            if let Some(rest) = line.split("http://").nth(1) {
+                let _ = addr_tx.send(rest.split_whitespace().next().unwrap().to_string());
+            }
+            log.push_str(&line);
+            log.push('\n');
+        }
+        log
+    });
+    let addr: std::net::SocketAddr = addr_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("gateway never logged its address")
+        .parse()
+        .unwrap();
+
+    // Drive real traffic at the subprocess across its models.
+    let mut streams = Vec::new();
+    for i in 0..24 {
+        let body = format!(
+            r#"{{"model":"m{}","input_tokens":{},"max_tokens":{}}}"#,
+            i % MODELS,
+            8 + i,
+            2 + i % 5
+        );
+        streams.push(SseStream::post(addr, "/v1/completions", &body, RTT).unwrap());
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // SIGTERM while the tail of the batch is still streaming: the drain
+    // must still complete every admitted stream.
+    assert_eq!(unsafe { kill(child.id() as i32, SIGTERM) }, 0);
+    for mut s in streams {
+        assert_eq!(s.status, 200);
+        let (chunks, done) = consume_stream(&mut s);
+        assert!(done, "drained subprocess stream lost its DONE sentinel");
+        assert!(!chunks.is_empty());
+    }
+
+    let status = child.wait().expect("wait on gateway binary");
+    let log = logger.join().unwrap();
+    assert!(
+        status.success(),
+        "gateway binary exited {status:?} (audit gate); log:\n{log}"
+    );
+
+    // The subprocess's own report: 4 reactors, audit clean.
+    let report_text = std::fs::read_to_string(&report_path).unwrap();
+    let Ok(Value::Object(report)) = serde_json::from_str::<Value>(&report_text) else {
+        panic!("unparseable report: {report_text}");
+    };
+    let field = |name: &str| -> u64 {
+        match report.get(name) {
+            Some(Value::U64(n)) => *n,
+            other => panic!("report field {name} = {other:?} in: {report_text}"),
+        }
+    };
+    assert_eq!(field("reactors"), 4, "report: {report_text}");
+    assert_eq!(field("audit_violations"), 0, "report: {report_text}");
+    assert_eq!(field("requests"), 24, "report: {report_text}");
+    let Some(Value::String(fp)) = report.get("fingerprint") else {
+        panic!("report missing fingerprint: {report_text}");
+    };
+    let live_fp = u64::from_str_radix(fp.trim_start_matches("0x"), 16).unwrap();
+
+    // Replay the recorded trace in-process under the identical config
+    // (seed, chaos plan, testbed, models) — 4 live reactors must be
+    // indistinguishable from a reactor-free offline run.
+    let trace = aegaeon_workload::Trace::from_json(
+        &std::fs::read_to_string(&trace_path).unwrap(),
+    )
+    .unwrap();
+    let mut replay_cfg = cfg();
+    replay_cfg.seed = SEED;
+    replay_cfg.faults = CHAOS.parse().expect("chaos plan parses");
+    let mut replay = ServingSession::replay(&replay_cfg, &models(MODELS), &trace);
+    replay.step_until(SimTime::MAX);
+    let (offline, _) = replay.finish();
+    assert_eq!(
+        live_fp,
+        offline.fingerprint(),
+        "SIGTERM-drained 4-reactor binary and offline replay must be indistinguishable"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

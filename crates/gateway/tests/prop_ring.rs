@@ -1,0 +1,178 @@
+//! Property tests for the SPSC token ring that carries tokens from the
+//! sim thread to the I/O reactors. The unit tests in `ring.rs` pin the
+//! happy paths; here arbitrary push/pop interleavings (same-thread and
+//! cross-thread), capacities small enough to wrap the index space many
+//! times over, and random generation churn must uphold the contract: FIFO
+//! order, no loss, no duplication, exact Full/Closed errors, and stale
+//! generation tags never validating against a recycled slot.
+
+use std::thread;
+
+use aegaeon_gateway::ring::{self, PushError, RingTag};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Drive an arbitrary interleaving of pushes and pops against a
+    /// capacity small enough that the indices wrap many times. A model
+    /// queue predicts every observable: push results (including exact
+    /// `Full` rejections), pop results, lengths, and final drain order.
+    #[test]
+    fn arbitrary_interleavings_match_a_model_queue(
+        cap in 1usize..33,
+        plan in prop::collection::vec((0u32..2).prop_map(|v| v == 1), 0..512),
+    ) {
+        let (prod, cons) = ring::ring::<u64>(cap, RingTag::new(0, 0, 0));
+        // The implementation rounds up to a power of two; observable
+        // capacity is whatever it reports, not what we asked for.
+        let eff_cap = cap.next_power_of_two();
+        let mut model = std::collections::VecDeque::new();
+        let mut next = 0u64;
+        for do_push in plan {
+            if do_push {
+                match prod.push(next) {
+                    Ok(()) => {
+                        prop_assert!(model.len() < eff_cap, "push accepted past capacity");
+                        model.push_back(next);
+                    }
+                    Err(PushError::Full(v)) => {
+                        prop_assert_eq!(v, next, "Full must return the rejected item");
+                        prop_assert_eq!(model.len(), eff_cap, "Full fired before capacity");
+                    }
+                    Err(PushError::Closed(_)) => prop_assert!(false, "consumer is alive"),
+                }
+                next += 1;
+            } else {
+                prop_assert_eq!(cons.pop(), model.pop_front());
+            }
+            prop_assert_eq!(prod.len(), model.len());
+            prop_assert_eq!(prod.is_empty(), model.is_empty());
+        }
+        // Drain: everything the model holds comes out in order, then None.
+        drop(prod);
+        while let Some(want) = model.pop_front() {
+            prop_assert_eq!(cons.pop(), Some(want));
+        }
+        prop_assert_eq!(cons.pop(), None);
+        prop_assert!(cons.is_drained(), "empty ring with a dead producer must drain");
+    }
+
+    /// Cross-thread: a producer pushing in arbitrary bursts (spinning on
+    /// Full) and a consumer popping in arbitrary bursts must transfer the
+    /// exact sequence, whatever the scheduler does — this is the test that
+    /// gives the unsafe Acquire/Release code its miles.
+    #[test]
+    fn cross_thread_bursts_preserve_the_sequence(
+        cap in 1usize..17,
+        total in 0usize..600,
+        push_bursts in prop::collection::vec(1usize..32, 1..16),
+        pop_bursts in prop::collection::vec(1usize..32, 1..16),
+    ) {
+        let (prod, cons) = ring::ring::<usize>(cap, RingTag::new(1, 7, 42));
+        let producer = thread::spawn(move || {
+            let mut sent = 0;
+            let mut b = 0;
+            while sent < total {
+                let burst = push_bursts[b % push_bursts.len()].min(total - sent);
+                b += 1;
+                let mut pushed = 0;
+                while pushed < burst {
+                    match prod.push(sent) {
+                        Ok(()) => {
+                            sent += 1;
+                            pushed += 1;
+                        }
+                        Err(PushError::Full(_)) => thread::yield_now(),
+                        Err(PushError::Closed(_)) => return,
+                    }
+                }
+            }
+        });
+        let mut got = Vec::with_capacity(total);
+        let mut b = 0;
+        while !(cons.is_drained() && got.len() >= total) {
+            let burst = pop_bursts[b % pop_bursts.len()];
+            b += 1;
+            for _ in 0..burst {
+                match cons.pop() {
+                    Some(v) => got.push(v),
+                    None => {
+                        thread::yield_now();
+                        break;
+                    }
+                }
+            }
+        }
+        producer.join().unwrap();
+        prop_assert_eq!(got.len(), total);
+        prop_assert!(got.iter().enumerate().all(|(i, &v)| i == v), "sequence corrupted");
+    }
+
+    /// Generation staleness: a tag minted for (slot, generation) validates
+    /// against exactly that generation of that slot and nothing else — the
+    /// property that makes recycled connection slots immune to deliveries
+    /// from their previous life.
+    #[test]
+    fn stale_generation_tags_never_validate(
+        reactor in 0u32..64,
+        slot in 0u32..10_000,
+        generation in 0u32..u32::MAX,
+        probe in 0u32..u32::MAX,
+    ) {
+        let tag = RingTag::new(reactor, generation, slot);
+        prop_assert_eq!(tag.reactor, reactor);
+        prop_assert_eq!(tag.slot(), slot as usize);
+        prop_assert_eq!(tag.generation(), generation);
+        prop_assert!(tag.is_current(generation));
+        if probe != generation {
+            prop_assert!(
+                !tag.is_current(probe),
+                "tag for generation {} validated against {}",
+                generation,
+                probe
+            );
+        }
+        // The post-close bump — exactly what `Reactor::close` does —
+        // retires the tag even when the counter wraps.
+        prop_assert!(!tag.is_current(generation.wrapping_add(1)));
+    }
+
+    /// Closed-side exactness: after the consumer leaves, every push is
+    /// rejected with the item handed back; after the producer leaves, the
+    /// consumer still pops everything already queued before draining.
+    #[test]
+    fn close_semantics_are_exact(
+        cap in 1usize..17,
+        queued in 0usize..16,
+        late_pushes in 1usize..8,
+    ) {
+        // Consumer leaves first.
+        let (prod, cons) = ring::ring::<usize>(cap, RingTag::new(0, 0, 0));
+        let queued = queued.min(cap.next_power_of_two());
+        for i in 0..queued {
+            prod.push(i).unwrap();
+        }
+        drop(cons);
+        prop_assert!(prod.is_closed());
+        for i in 0..late_pushes {
+            match prod.push(1000 + i) {
+                Err(PushError::Closed(v)) => prop_assert_eq!(v, 1000 + i),
+                other => prop_assert!(false, "expected Closed, got {:?}", other.is_ok()),
+            }
+        }
+
+        // Producer leaves first: queued items survive it.
+        let (prod, cons) = ring::ring::<usize>(cap, RingTag::new(0, 0, 0));
+        for i in 0..queued {
+            prod.push(i).unwrap();
+        }
+        drop(prod);
+        for i in 0..queued {
+            prop_assert!(!cons.is_drained(), "drained with items still queued");
+            prop_assert_eq!(cons.pop(), Some(i));
+        }
+        prop_assert_eq!(cons.pop(), None);
+        prop_assert!(cons.is_drained());
+    }
+}

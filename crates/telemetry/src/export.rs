@@ -250,11 +250,14 @@ pub fn jsonl(spans: &SpanLog, metrics: &MetricsRegistry) -> String {
 }
 
 /// Renders the registry's current state in the Prometheus text exposition
-/// format (version 0.0.4): one `# TYPE` header per instrument, counters and
-/// gauges as their live values, histograms as cumulative `_bucket{le=...}`
-/// series plus `_sum` and `_count`. Deterministic: instruments appear in
-/// registration order and values are formatted with Rust's default float
-/// formatting.
+/// format (version 0.0.4): one `# TYPE` header per instrument *family*,
+/// counters and gauges as their live values, histograms as cumulative
+/// `_bucket{le=...}` series plus `_sum` and `_count`. Instrument names may
+/// embed a label set verbatim (e.g. `reactor_ready_depth{reactor="3"}`):
+/// the sample line carries the full name while the `# TYPE` header uses the
+/// base name before the `{` and is emitted once per family. Deterministic:
+/// instruments appear in registration order and values are formatted with
+/// Rust's default float formatting.
 pub fn prometheus_text(metrics: &MetricsRegistry) -> String {
     fn push_value(out: &mut String, v: f64) {
         if v.is_finite() {
@@ -267,16 +270,30 @@ pub fn prometheus_text(metrics: &MetricsRegistry) -> String {
             out.push_str("-Inf");
         }
     }
+    // Base name of a possibly-labeled instrument: `a{l="1"}` → `a`.
+    fn family(name: &str) -> &str {
+        name.split('{').next().unwrap_or(name)
+    }
     let mut out = String::new();
+    let mut typed: Vec<&str> = Vec::new();
     for (name, value) in metrics.counter_totals() {
-        let _ = writeln!(out, "# TYPE {name} counter");
+        let fam = family(name);
+        if !typed.contains(&fam) {
+            typed.push(fam);
+            let _ = writeln!(out, "# TYPE {fam} counter");
+        }
         out.push_str(name);
         out.push(' ');
         push_value(&mut out, value);
         out.push('\n');
     }
+    typed.clear();
     for (name, value) in metrics.gauge_values() {
-        let _ = writeln!(out, "# TYPE {name} gauge");
+        let fam = family(name);
+        if !typed.contains(&fam) {
+            typed.push(fam);
+            let _ = writeln!(out, "# TYPE {fam} gauge");
+        }
         out.push_str(name);
         out.push(' ');
         push_value(&mut out, value);

@@ -19,7 +19,7 @@
 use aegaeon::chaos::FaultPlan;
 use aegaeon::{AegaeonConfig, ServingSystem};
 use aegaeon_baselines::{MuxServe, ServerlessLlm, SllmConfig};
-use aegaeon_bench::sweep;
+use aegaeon_bench::{analyze, sweep};
 use aegaeon_bench::{banner, market_models, uniform_trace, SEED};
 use aegaeon_sim::{SimDur, SimRng};
 use aegaeon_workload::LengthDist;
@@ -149,6 +149,54 @@ fn dump_failing_trace(scenario: u64, seed: u64, plan: &FaultPlan) -> Option<Stri
     Some(path)
 }
 
+/// Re-runs the base scenario's Aegaeon leg with the SLO observatory on and
+/// writes the analyzer artifacts under `target/experiments/`: the raw
+/// `/v1/slo`-shaped document (for `aegaeon-analyze --check` in CI) and the
+/// rendered markdown report. Telemetry is observer-only, so the re-run
+/// matches the audited execution exactly. Exits non-zero on any internal
+/// consistency failure (malformed quantiles or attainment out of range).
+fn dump_slo_report(base: u64) {
+    let seed = sweep::derive_seed(base, 0);
+    let plan = scenario_plan(seed);
+    let models = market_models(N_MODELS);
+    let trace = uniform_trace(N_MODELS, PER_MODEL_RATE, HORIZON, seed, LengthDist::sharegpt());
+    let mut cfg = AegaeonConfig::small_testbed(2, 3);
+    cfg.seed = seed;
+    cfg.faults = plan;
+    cfg.drain_window = SimDur::from_secs(DRAIN_SECS);
+    cfg.telemetry = aegaeon_telemetry::TelemetrySpec::enabled();
+    let r = ServingSystem::run(&cfg, &models, &trace);
+
+    let dir = std::path::Path::new("target/experiments");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let slo_path = dir.join("crash_sweep.slo.json");
+    let doc = aegaeon_telemetry::slo_json(&r.telemetry.slo, &r.telemetry.attrib);
+    if std::fs::write(&slo_path, &doc).is_ok() {
+        println!("[slo] {}", slo_path.display());
+    }
+    match analyze::analyze_run(&r) {
+        Ok(a) => {
+            let md_path = dir.join("crash_sweep.slo.md");
+            if std::fs::write(&md_path, a.to_markdown()).is_ok() {
+                println!("[slo] {}", md_path.display());
+            }
+            let errs = a.consistency_errors();
+            if !errs.is_empty() {
+                for e in &errs {
+                    eprintln!("[consistency] {e}");
+                }
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("[slo] analysis failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn parse_args() -> (usize, u64, Option<u64>, Option<FaultPlan>) {
     let mut scenarios = 200usize;
     let mut base = SEED;
@@ -236,4 +284,6 @@ fn main() {
     if !failed.is_empty() {
         std::process::exit(1);
     }
+    // Clean sweep: leave the SLO-under-chaos artifacts for CI to verify.
+    dump_slo_report(base);
 }

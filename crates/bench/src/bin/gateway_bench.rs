@@ -49,11 +49,17 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
 use aegaeon::AegaeonConfig;
+use aegaeon_bench::analyze::Analysis;
 use aegaeon_bench::{banner, market_models, uniform_trace, SEED};
 use aegaeon_gateway::server::{Gateway, GatewayConfig};
 use aegaeon_gateway::swarm::{StreamSample, Swarm, SwarmOptions};
 use aegaeon_gateway::ClockMode;
+use aegaeon_telemetry::QuantileSketch;
 use aegaeon_workload::LengthDist;
+
+/// Relative accuracy of the client-side latency sketches (matches the
+/// server-side observatory, so client and server quantiles are comparable).
+const SKETCH_ALPHA: f64 = 0.01;
 
 struct Args {
     addr: Option<String>,
@@ -151,12 +157,26 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// Sorted-vector percentile: the exact oracle the sketch-based path is
+/// tested against (rank convention matches [`QuantileSketch::quantile`]).
+#[cfg(test)]
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return f64::NAN;
     }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    let idx = ((sorted.len() - 1) as f64 * p).floor() as usize;
     sorted[idx]
+}
+
+/// Folds an iterator of seconds into a quantile sketch. Replaces the old
+/// sort-the-whole-vector percentile path: memory is O(buckets) instead of
+/// O(streams), and per-connector sketches could be merged exactly.
+fn sketch_of(vals: impl Iterator<Item = f64>) -> QuantileSketch {
+    let mut s = QuantileSketch::new(SKETCH_ALPHA);
+    for v in vals {
+        s.insert(v);
+    }
+    s
 }
 
 /// Open fds of this process right now (Linux; 0 elsewhere).
@@ -164,21 +184,33 @@ fn current_fds() -> usize {
     std::fs::read_dir("/proc/self/fd").map_or(0, |d| d.count())
 }
 
-/// Scrape `reactor_peak_streams{reactor="i"}` gauges from the gateway's
-/// `/metrics` endpoint, in reactor order. Empty on any failure (the
-/// balance then reports as unavailable rather than failing the soak).
-fn scrape_reactor_peaks(addr: SocketAddr) -> Vec<u64> {
-    let body = (|| -> std::io::Result<String> {
+/// One blocking HTTP GET against the gateway; whole response text (headers
+/// included) on success.
+fn http_get(addr: SocketAddr, path: &str) -> Option<String> {
+    (|| -> std::io::Result<String> {
         let mut s = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
         s.set_read_timeout(Some(Duration::from_secs(5)))?;
-        s.write_all(b"GET /metrics HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n")?;
+        s.write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n").as_bytes(),
+        )?;
         let mut text = String::new();
         s.read_to_string(&mut text)?;
         Ok(text)
-    })();
-    let Ok(text) = body else {
-        return Vec::new();
-    };
+    })()
+    .ok()
+}
+
+/// Body of one HTTP GET (everything after the header terminator).
+fn http_get_body(addr: SocketAddr, path: &str) -> Option<String> {
+    let text = http_get(addr, path)?;
+    let at = text.find("\r\n\r\n")?;
+    Some(text[at + 4..].to_string())
+}
+
+/// `reactor_peak_streams{reactor="i"}` gauges out of a `/metrics` body, in
+/// reactor order. Empty when absent (the balance then reports as
+/// unavailable rather than failing the soak).
+fn parse_reactor_peaks(text: &str) -> Vec<u64> {
     let mut peaks: Vec<(usize, u64)> = text
         .lines()
         .filter_map(|l| {
@@ -189,6 +221,36 @@ fn scrape_reactor_peaks(addr: SocketAddr) -> Vec<u64> {
         .collect();
     peaks.sort_by_key(|(id, _)| *id);
     peaks.into_iter().map(|(_, v)| v).collect()
+}
+
+/// Per-model SLO evidence scraped from the gateway's `/metrics` summaries:
+/// `(model, slo_attainment, ttft p50/p90/p99, tbt p50/p90/p99)`, in model
+/// order. Models with no completed requests report NaN quantiles.
+fn scrape_per_model_slo(text: &str, n_models: usize) -> Vec<(String, f64, [f64; 3], [f64; 3])> {
+    fn quantile_line(text: &str, fam: &str, model: &str, q: &str) -> f64 {
+        let prefix = format!("{fam}{{model=\"{model}\",quantile=\"{q}\"}} ");
+        text.lines()
+            .find_map(|l| l.strip_prefix(prefix.as_str()))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(f64::NAN)
+    }
+    (0..n_models)
+        .map(|m| {
+            let model = format!("m{m}");
+            let attain = {
+                let prefix = format!("slo_attainment{{model=\"{model}\"}} ");
+                text.lines()
+                    .find_map(|l| l.strip_prefix(prefix.as_str()))
+                    .and_then(|v| v.trim().parse().ok())
+                    .unwrap_or(f64::NAN)
+            };
+            let q3 = |fam: &str| {
+                ["0.5", "0.9", "0.99"].map(|q| quantile_line(text, fam, &model, q))
+            };
+            let (ttft, tbt) = (q3("ttft_seconds"), q3("tbt_seconds"));
+            (model, attain, ttft, tbt)
+        })
+        .collect()
 }
 
 /// Peak resident set of this process in bytes (Linux VmHWM; 0 elsewhere).
@@ -289,21 +351,30 @@ fn main() {
     let swarm = Swarm::launch_multi(addrs.clone(), schedule, opts).expect("launch swarm");
 
     // Progress + resource high-water loop until every stream resolves.
-    // The per-reactor peak gauges are scraped *during* the run — in
-    // two-process mode the gateway may exit (SIGTERM + drain) before the
-    // last stream is accounted here; the gauges are monotone, so the last
+    // The per-reactor peak gauges and the SLO observatory snapshots are
+    // scraped *during* the run — in two-process mode the gateway may exit
+    // (SIGTERM + drain) before the last stream is accounted here; gauges
+    // are monotone and the observatory is cumulative, so the last
     // successful scrape is the honest value.
     let mut peak_fds = current_fds();
     let mut last_print = Instant::now();
     let mut reactor_peaks: Vec<u64> = Vec::new();
+    let mut metrics_text = String::new();
+    let mut slo_doc = String::new();
     let mut last_scrape = Instant::now();
     while swarm.gauges().finished() < n {
         std::thread::sleep(Duration::from_millis(100));
         peak_fds = peak_fds.max(current_fds());
         if last_scrape.elapsed() >= Duration::from_secs(1) {
-            let scraped = scrape_reactor_peaks(addrs[0]);
-            if !scraped.is_empty() {
-                reactor_peaks = scraped;
+            if let Some(text) = http_get_body(addrs[0], "/metrics") {
+                let scraped = parse_reactor_peaks(&text);
+                if !scraped.is_empty() {
+                    reactor_peaks = scraped;
+                }
+                metrics_text = text;
+            }
+            if let Some(doc) = http_get_body(addrs[0], "/v1/slo") {
+                slo_doc = doc;
             }
             last_scrape = Instant::now();
         }
@@ -328,12 +399,23 @@ fn main() {
     let samples: Vec<StreamSample> = swarm.join();
     let wall_secs = started.elapsed().as_secs_f64();
     let rss = peak_rss_bytes();
-    // Accept-sharding evidence: prefer a final scrape (the gateway may
-    // still be up, e.g. in-process mode), else the last mid-run scrape.
-    let final_scrape = scrape_reactor_peaks(addrs[0]);
-    if !final_scrape.is_empty() {
-        reactor_peaks = final_scrape;
+    // Accept-sharding + SLO evidence: prefer a final scrape (the gateway
+    // may still be up, e.g. in-process mode), else the last mid-run scrape.
+    // The first fetch nudges a stale snapshot (`Ctl::ForceRender`); the
+    // retry one refresh interval later reads the fresh render.
+    let _ = http_get(addrs[0], "/metrics");
+    std::thread::sleep(Duration::from_millis(300));
+    if let Some(text) = http_get_body(addrs[0], "/metrics") {
+        let scraped = parse_reactor_peaks(&text);
+        if !scraped.is_empty() {
+            reactor_peaks = scraped;
+        }
+        metrics_text = text;
     }
+    if let Some(doc) = http_get_body(addrs[0], "/v1/slo") {
+        slo_doc = doc;
+    }
+    let per_model = scrape_per_model_slo(&metrics_text, args.models);
     let balance = match (
         reactor_peaks.iter().copied().max(),
         reactor_peaks.iter().copied().min(),
@@ -356,16 +438,12 @@ fn main() {
         .count();
     let failed = n - completed - rejected - dropped;
     let total_tokens: u64 = samples.iter().map(|s| s.tokens as u64).sum();
-    let mut ttfts: Vec<f64> = samples
-        .iter()
-        .filter_map(|s| s.ttft.map(|d| d.as_secs_f64()))
-        .collect();
-    ttfts.sort_by(|a, b| a.total_cmp(b));
-    let mut tbts: Vec<f64> = samples
-        .iter()
-        .flat_map(|s| s.tbts.iter().map(|d| d.as_secs_f64()))
-        .collect();
-    tbts.sort_by(|a, b| a.total_cmp(b));
+    let ttfts = sketch_of(samples.iter().filter_map(|s| s.ttft.map(|d| d.as_secs_f64())));
+    let tbts = sketch_of(
+        samples
+            .iter()
+            .flat_map(|s| s.tbts.iter().map(|d| d.as_secs_f64())),
+    );
 
     let offered_rps = n as f64 / wall_secs;
     let goodput = total_tokens as f64 / wall_secs;
@@ -381,16 +459,23 @@ fn main() {
     println!("  goodput   : {goodput:.1} tokens/s ({total_tokens} tokens)");
     println!(
         "  TTFT      : p50 {:.3}s  p90 {:.3}s  p99 {:.3}s",
-        percentile(&ttfts, 0.50),
-        percentile(&ttfts, 0.90),
-        percentile(&ttfts, 0.99)
+        ttfts.quantile(0.50),
+        ttfts.quantile(0.90),
+        ttfts.quantile(0.99)
     );
     println!(
         "  TBT       : p50 {:.3}s  p90 {:.3}s  p99 {:.3}s",
-        percentile(&tbts, 0.50),
-        percentile(&tbts, 0.90),
-        percentile(&tbts, 0.99)
+        tbts.quantile(0.50),
+        tbts.quantile(0.90),
+        tbts.quantile(0.99)
     );
+    for (model, attain, ttft, tbt) in &per_model {
+        println!(
+            "  {model:<9} : attain {attain:.4}  ttft p50/p90/p99 {:.3}/{:.3}/{:.3}s  \
+             tbt {:.3}/{:.3}/{:.3}s",
+            ttft[0], ttft[1], ttft[2], tbt[0], tbt[1], tbt[2]
+        );
+    }
     println!(
         "  client    : peak {} fds, peak RSS {:.1} MiB",
         peak_fds,
@@ -440,15 +525,30 @@ fn main() {
         "per_reactor_peak_streams": reactor_peaks,
         "reactor_balance_max_over_min": balance,
         "ttft_secs": serde_json::json!({
-            "p50": percentile(&ttfts, 0.50),
-            "p90": percentile(&ttfts, 0.90),
-            "p99": percentile(&ttfts, 0.99),
+            "p50": ttfts.quantile(0.50),
+            "p90": ttfts.quantile(0.90),
+            "p99": ttfts.quantile(0.99),
         }),
         "tbt_secs": serde_json::json!({
-            "p50": percentile(&tbts, 0.50),
-            "p90": percentile(&tbts, 0.90),
-            "p99": percentile(&tbts, 0.99),
+            "p50": tbts.quantile(0.50),
+            "p90": tbts.quantile(0.90),
+            "p99": tbts.quantile(0.99),
         }),
+        "per_model_slo": per_model
+            .iter()
+            .map(|(model, attain, ttft, tbt)| {
+                serde_json::json!({
+                    "model": model.clone(),
+                    "slo_attainment": *attain,
+                    "ttft_p50": ttft[0],
+                    "ttft_p90": ttft[1],
+                    "ttft_p99": ttft[2],
+                    "tbt_p50": tbt[0],
+                    "tbt_p90": tbt[1],
+                    "tbt_p99": tbt[2],
+                })
+            })
+            .collect::<Vec<serde_json::Value>>(),
     });
     let default_path =
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gateway_throughput.json").to_string();
@@ -459,6 +559,32 @@ fn main() {
             println!("\n[json] {path}");
         }
         Err(e) => eprintln!("failed to serialize report: {e}"),
+    }
+
+    // Combined server+client report: the scraped /v1/slo document plus this
+    // bench's own numbers, through the same analyzer CI runs post-hoc. The
+    // raw document is kept next to the report so `aegaeon-analyze --check`
+    // can re-verify it offline.
+    if !slo_doc.is_empty() {
+        let slo_path = format!("{path}.slo.json");
+        match std::fs::write(&slo_path, &slo_doc) {
+            Ok(()) => println!("[slo] {slo_path}"),
+            Err(e) => eprintln!("[slo] failed to write {slo_path}: {e}"),
+        }
+        match Analysis::from_slo_text(&slo_doc) {
+            Ok(a) => {
+                let a = a.with_bench_value(&json);
+                let md_path = format!("{path}.slo.md");
+                match std::fs::write(&md_path, a.to_markdown()) {
+                    Ok(()) => println!("[slo] {md_path}"),
+                    Err(e) => eprintln!("[slo] failed to write {md_path}: {e}"),
+                }
+                for e in a.consistency_errors() {
+                    eprintln!("[consistency] {e}");
+                }
+            }
+            Err(e) => eprintln!("[slo] failed to parse /v1/slo body: {e}"),
+        }
     }
 
     // Honesty gates, in blame order: a late generator invalidates the
@@ -481,5 +607,43 @@ fn main() {
     if failed > 0 {
         eprintln!("gateway_bench: FAIL: {failed} streams failed");
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The sketch path that replaced the sort-based percentiles must agree
+    /// with the sorted-vector oracle within the sketch's relative-accuracy
+    /// contract at every reported quantile.
+    #[test]
+    fn sketch_quantiles_match_sorted_oracle() {
+        // Deterministic latency-shaped values spanning ~4 decades.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let vals: Vec<f64> = (0..5000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+                0.001 * (1.0 / (1.0 - u * 0.9999)).powi(2)
+            })
+            .collect();
+        let sketch = sketch_of(vals.iter().copied());
+        let mut sorted = vals;
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        for q in [0.50, 0.90, 0.99] {
+            let exact = percentile(&sorted, q);
+            let approx = sketch.quantile(q);
+            assert!(
+                (approx - exact).abs() <= SKETCH_ALPHA * 1.01 * exact,
+                "q={q}: sketch {approx} vs oracle {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_inputs_agree_on_nan() {
+        assert!(percentile(&[], 0.5).is_nan());
+        assert!(sketch_of(std::iter::empty()).quantile(0.5).is_nan());
     }
 }

@@ -5,6 +5,7 @@
 //! paper; it prints the series the paper plots and writes a JSON copy under
 //! `target/experiments/` so EXPERIMENTS.md stays regenerable.
 
+pub mod analyze;
 pub mod sweep;
 
 use aegaeon::{AegaeonConfig, RunResult, ServingSystem};
@@ -61,6 +62,18 @@ pub fn maybe_dump_trace(r: &RunResult) {
     match std::fs::write(&path, json) {
         Ok(()) => println!("[trace] {path}"),
         Err(e) => eprintln!("[trace] failed to write {path}: {e}"),
+    }
+    // The same telemetry-enabled run feeds the SLO observatory; drop the
+    // analyzer's markdown report next to the trace.
+    match analyze::analyze_run(r) {
+        Ok(a) => {
+            let md_path = format!("{path}.slo.md");
+            match std::fs::write(&md_path, a.to_markdown()) {
+                Ok(()) => println!("[slo] {md_path}"),
+                Err(e) => eprintln!("[slo] failed to write {md_path}: {e}"),
+            }
+        }
+        Err(e) => eprintln!("[slo] analysis failed: {e}"),
     }
 }
 

@@ -111,6 +111,8 @@ pub enum Endpoint {
     Metrics,
     /// `GET /healthz`.
     Healthz,
+    /// `GET /v1/slo`.
+    Slo,
 }
 
 /// Labeled instrument ids for one I/O reactor, registered by
@@ -138,6 +140,10 @@ pub struct ServingSession {
     /// Per-reactor labeled instruments (live gateway only; see
     /// [`ServingSession::configure_reactors`]).
     reactor_ids: Vec<ReactorIds>,
+    /// Age of the gateway's rendered `/metrics` snapshot at scrape time
+    /// (live gateway only; registered by
+    /// [`ServingSession::configure_reactors`]).
+    g_snapshot_age: aegaeon_telemetry::GaugeId,
     /// Construction-time horizon: replay must materialize the identical
     /// fault schedule, so [`ServingSession::injected_trace`] reports this
     /// value rather than the grown `trace.horizon`.
@@ -168,6 +174,7 @@ impl ServingSession {
             injected: Vec::new(),
             sinks: FxHashMap::default(),
             reactor_ids: Vec::new(),
+            g_snapshot_age: aegaeon_telemetry::GaugeId::NONE,
             live_horizon: trace.horizon,
             open: false,
             halted: false,
@@ -203,6 +210,7 @@ impl ServingSession {
             injected: Vec::new(),
             sinks: FxHashMap::default(),
             reactor_ids: Vec::new(),
+            g_snapshot_age: aegaeon_telemetry::GaugeId::NONE,
             live_horizon,
             open: true,
             halted: false,
@@ -454,6 +462,7 @@ impl ServingSession {
             Endpoint::Completions => self.sys.tm.c_http_completions,
             Endpoint::Metrics => self.sys.tm.c_http_metrics,
             Endpoint::Healthz => self.sys.tm.c_http_healthz,
+            Endpoint::Slo => self.sys.tm.c_http_slo,
         };
         self.sys.tel.metrics.inc(id, 1);
     }
@@ -489,6 +498,23 @@ impl ServingSession {
                 drops: reg.counter(&format!("gateway_slow_drops{{reactor=\"{i}\"}}")),
             })
             .collect();
+        self.g_snapshot_age = reg.gauge("metrics_snapshot_age_ms");
+    }
+
+    /// Sets the `metrics_snapshot_age_ms` gauge: how stale the rendered
+    /// `/metrics` snapshot was when the sim thread last (re-)rendered it.
+    /// The gateway records the age observed *at render time*, so a scrape
+    /// that forced a refresh reports the staleness it actually saw.
+    pub fn note_snapshot_age(&mut self, age_ms: f64) {
+        let id = self.g_snapshot_age;
+        self.sys.tel.metrics.set(id, age_ms);
+    }
+
+    /// Renders the SLO observatory and switch-cost attribution ledger as a
+    /// JSON document (the `GET /v1/slo` body). Observer-only: reads
+    /// telemetry state that result fingerprints exclude.
+    pub fn slo_snapshot_json(&self) -> String {
+        aegaeon_telemetry::slo_json(&self.sys.tel.slo, &self.sys.tel.attrib)
     }
 
     /// Counts one slow-reader drop on a reactor: a streaming connection

@@ -20,8 +20,11 @@ use aegaeon_model::ModelId;
 use aegaeon_sim::{
     EventQueue, FxHashMap, Lift, SimDur, SimRng, SimTime, Timeline, TraceKind, TraceLog,
 };
-use aegaeon_telemetry::{CounterId, GaugeId, HistId, SpanId, SpanKind, Telemetry};
-use aegaeon_workload::{Request, RequestId, Trace};
+use aegaeon_telemetry::{
+    labeled, CostKind, CounterId, GaugeId, HistId, SketchId, SloObservatory, SpanId, SpanKind,
+    Telemetry,
+};
+use aegaeon_workload::{Request, RequestId, SloSpec, Trace};
 
 use crate::audit::{AuditReport, AuditView, Auditor, InvariantAuditor, ReqAudit};
 use crate::chaos::{FaultEvent, FaultKind};
@@ -92,6 +95,13 @@ struct ReqTel {
     /// Scheduler decision that placed the request's next phase; consumed
     /// as the `cause` link when that phase span opens.
     cause: SpanId,
+    /// Ledger instance of the open offload (`u32::MAX` = none) and when it
+    /// started, for switch-cost attribution at transfer close.
+    kv_out_inst: u32,
+    kv_out_start: SimTime,
+    /// Same for the open swap-in.
+    kv_in_inst: u32,
+    kv_in_start: SimTime,
 }
 
 impl ReqTel {
@@ -101,6 +111,10 @@ impl ReqTel {
         kv_out: SpanId::NONE,
         kv_in: SpanId::NONE,
         cause: SpanId::NONE,
+        kv_out_inst: u32::MAX,
+        kv_out_start: SimTime::ZERO,
+        kv_in_inst: u32::MAX,
+        kv_in_start: SimTime::ZERO,
     };
 }
 
@@ -125,6 +139,7 @@ pub(crate) struct TelIds {
     pub(crate) c_http_completions: CounterId,
     pub(crate) c_http_metrics: CounterId,
     pub(crate) c_http_healthz: CounterId,
+    pub(crate) c_http_slo: CounterId,
     pub(crate) c_gw_rejected: CounterId,
     pub(crate) g_wall_lag: GaugeId,
     g_prefill_queue_depth: GaugeId,
@@ -136,12 +151,33 @@ pub(crate) struct TelIds {
     g_active_models: GaugeId,
     h_scale_latency: HistId,
     h_batch_size: HistId,
+    /// Per-model TTFT/TBT quantile sketches (summary instruments), fed at
+    /// request retirement.
+    s_ttft: Vec<SketchId>,
+    s_tbt: Vec<SketchId>,
+    /// Per-model cumulative SLO-attainment gauges, refreshed every poll.
+    g_slo_attain: Vec<GaugeId>,
 }
+
+/// Relative accuracy of the per-model latency sketches (1%).
+const SKETCH_ALPHA: f64 = aegaeon_telemetry::observatory::SLO_SKETCH_ALPHA;
 
 impl TelIds {
     /// Registers every instrument; on a disabled registry all ids are null.
-    fn register(reg: &mut aegaeon_telemetry::MetricsRegistry) -> TelIds {
+    fn register(reg: &mut aegaeon_telemetry::MetricsRegistry, n_models: usize) -> TelIds {
+        let mut s_ttft = Vec::with_capacity(n_models);
+        let mut s_tbt = Vec::with_capacity(n_models);
+        let mut g_slo_attain = Vec::with_capacity(n_models);
+        for m in 0..n_models {
+            let model = ModelId(m as u32).to_string();
+            s_ttft.push(reg.sketch(&labeled("ttft_seconds", "model", &model), SKETCH_ALPHA));
+            s_tbt.push(reg.sketch(&labeled("tbt_seconds", "model", &model), SKETCH_ALPHA));
+            g_slo_attain.push(reg.gauge(&labeled("slo_attainment", "model", &model)));
+        }
         TelIds {
+            s_ttft,
+            s_tbt,
+            g_slo_attain,
             c_switches: reg.counter("switches"),
             c_prefetch_hits: reg.counter("prefetch_hits"),
             c_swaps: reg.counter("kv_swaps"),
@@ -158,6 +194,7 @@ impl TelIds {
             c_http_completions: reg.counter("http_completions_requests"),
             c_http_metrics: reg.counter("http_metrics_requests"),
             c_http_healthz: reg.counter("http_healthz_requests"),
+            c_http_slo: reg.counter("http_slo_requests"),
             c_gw_rejected: reg.counter("gateway_rejected_requests"),
             g_wall_lag: reg.gauge("wall_clock_lag_secs"),
             g_prefill_queue_depth: reg.gauge("prefill_queue_depth"),
@@ -268,6 +305,9 @@ pub struct ServingSystem {
     pub(crate) tm: TelIds,
     /// Per-request span handles; empty when telemetry is off.
     req_tel: Vec<ReqTel>,
+    /// Scratch for inter-token gaps at retirement (observer only; reused
+    /// across requests so the hot path stays allocation-free after warmup).
+    tbt_scratch: Vec<f64>,
     pub(crate) completed: usize,
     arrivals_left: usize,
     swaps: u64,
@@ -479,7 +519,19 @@ impl ServingSystem {
             TraceLog::disabled()
         };
         let mut tel = Telemetry::new(&cfg.telemetry);
-        let tm = TelIds::register(&mut tel.metrics);
+        let tm = TelIds::register(&mut tel.metrics, deploys.len());
+        if tel.is_enabled() {
+            // The SLO observatory and the attribution ledger are sized by
+            // the host (model count, instance roster) after construction.
+            tel.slo =
+                SloObservatory::new(deploys.len(), cfg.telemetry.slo_window.as_nanos().max(1));
+            for i in 0..prefills.len() {
+                tel.attrib.instance(&format!("p{i}"));
+            }
+            for i in 0..decodes.len() {
+                tel.attrib.instance(&format!("d{i}"));
+            }
+        }
         let req_tel = if tel.is_enabled() {
             vec![ReqTel::EMPTY; trace.len()]
         } else {
@@ -526,6 +578,7 @@ impl ServingSystem {
             tel,
             tm,
             req_tel,
+            tbt_scratch: Vec::new(),
             completed: 0,
             arrivals_left,
             swaps: 0,
@@ -791,6 +844,10 @@ impl ServingSystem {
             .collect();
         models.sort_unstable_by_key(|m| m.0);
         models.dedup();
+        for mi in 0..self.tm.g_slo_attain.len() {
+            let v = self.tel.slo.attainment(mi);
+            self.tel.metrics.set(self.tm.g_slo_attain[mi], v);
+        }
         let m = &mut self.tel.metrics;
         m.set_counter(self.tm.c_completed, self.completed as u64);
         m.set(self.tm.g_prefill_queue_depth, pq as f64);
@@ -858,7 +915,10 @@ impl ServingSystem {
         self.tel.spans.end(id, now);
     }
 
-    /// Ends the request's phase and root spans (completion).
+    /// Ends the request's phase and root spans (completion) and feeds the
+    /// SLO observatory: retirement is the only moment all token timings are
+    /// final, so the per-model sketches, deadline counts and windowed
+    /// series are all fed from this one site.
     fn tel_req_done(&mut self, req: RequestId, now: SimTime) {
         if !self.tel.is_enabled() {
             return;
@@ -867,6 +927,37 @@ impl ServingSystem {
         let i = req.0 as usize;
         let id = std::mem::replace(&mut self.req_tel[i].root, SpanId::NONE);
         self.tel.spans.end(id, now);
+
+        let model = self.trace.requests[i].model;
+        let slo = SloSpec::paper_default();
+        let rs = &self.reqs[i];
+        let arrival = rs.arrival;
+        let mut met = 0u64;
+        let mut prev: Option<SimTime> = None;
+        self.tbt_scratch.clear();
+        for (k, &t) in rs.token_times.iter().enumerate() {
+            if t <= slo.token_deadline(arrival, k as u32) {
+                met += 1;
+            }
+            if let Some(p) = prev {
+                self.tbt_scratch.push(t.saturating_since(p).as_secs_f64());
+            }
+            prev = Some(t);
+        }
+        let ttft = rs
+            .token_times
+            .first()
+            .map_or(f64::NAN, |&t| t.saturating_since(arrival).as_secs_f64());
+        let tokens = rs.token_times.len() as u64;
+        let mi = model.0 as usize;
+        self.tel.metrics.observe_sketch(self.tm.s_ttft[mi], ttft);
+        for k in 0..self.tbt_scratch.len() {
+            let v = self.tbt_scratch[k];
+            self.tel.metrics.observe_sketch(self.tm.s_tbt[mi], v);
+        }
+        self.tel
+            .slo
+            .observe_request(now.as_nanos(), model.0, ttft, &self.tbt_scratch, tokens, met);
     }
 
     /// Records a scheduler-decision instant and remembers it as the cause
@@ -890,18 +981,16 @@ impl ServingSystem {
     /// Opens a KV-transfer span on the request's `kv-out` / `kv-in`
     /// subtrack (separate subtracks: an offload and the matching swap-in
     /// can overlap under §5.3 rule ❷).
-    fn tel_kv_start(&mut self, req: RequestId, now: SimTime, out: bool) {
+    fn tel_kv_start(&mut self, req: RequestId, now: SimTime, out: bool, inst: u32) {
         if !self.tel.is_enabled() {
             return;
         }
+        // A crash can strand an in-flight transfer whose completion tag
+        // never fires; the replacement transfer closes it here (and settles
+        // its partial time in the attribution ledger).
+        self.tel_kv_end(req, now, out);
         let i = req.0 as usize;
-        let rt = self.req_tel[i];
-        let slot = if out { rt.kv_out } else { rt.kv_in };
-        if !slot.is_none() {
-            // A crash can strand an in-flight transfer whose completion tag
-            // never fires; the replacement transfer closes it here.
-            self.tel.spans.end(slot, now);
-        }
+        let root = self.req_tel[i].root;
         let dir = if out { "kv-out" } else { "kv-in" };
         // Cause, not parent: a transfer stranded on a slow link can outlive
         // the root span when the request re-prefills and completes first.
@@ -910,29 +999,66 @@ impl ServingSystem {
             SpanKind::KvTransfer,
             now,
             SpanId::NONE,
-            rt.root,
+            root,
             || dir,
         );
+        let rt = &mut self.req_tel[i];
         if out {
-            self.req_tel[i].kv_out = id;
+            rt.kv_out = id;
+            rt.kv_out_inst = inst;
+            rt.kv_out_start = now;
         } else {
-            self.req_tel[i].kv_in = id;
+            rt.kv_in = id;
+            rt.kv_in_inst = inst;
+            rt.kv_in_start = now;
         }
     }
 
-    /// Closes the request's open KV-transfer span.
+    /// Closes the request's open KV-transfer span and books its wall time
+    /// against the issuing instance in the attribution ledger.
     fn tel_kv_end(&mut self, req: RequestId, now: SimTime, out: bool) {
         if !self.tel.is_enabled() {
             return;
         }
         let i = req.0 as usize;
-        let slot = if out {
-            &mut self.req_tel[i].kv_out
-        } else {
-            &mut self.req_tel[i].kv_in
+        let (id, inst, start) = {
+            let rt = &mut self.req_tel[i];
+            if out {
+                (
+                    std::mem::replace(&mut rt.kv_out, SpanId::NONE),
+                    std::mem::replace(&mut rt.kv_out_inst, u32::MAX),
+                    rt.kv_out_start,
+                )
+            } else {
+                (
+                    std::mem::replace(&mut rt.kv_in, SpanId::NONE),
+                    std::mem::replace(&mut rt.kv_in_inst, u32::MAX),
+                    rt.kv_in_start,
+                )
+            }
         };
-        let id = std::mem::replace(slot, SpanId::NONE);
         self.tel.spans.end(id, now);
+        if inst != u32::MAX {
+            let model = self.trace.requests[i].model;
+            let kind = if out {
+                CostKind::KvSwapOut
+            } else {
+                CostKind::KvSwapIn
+            };
+            self.tel
+                .attrib
+                .add(inst, model.0, kind, now.saturating_since(start).as_secs_f64());
+        }
+    }
+
+    /// Dense attribution-ledger id of an instance (prefills first, then
+    /// decodes — the registration order used at construction).
+    #[inline]
+    fn ledger_inst(&self, at: InstRef) -> u32 {
+        match at.kind {
+            InstKind::Prefill => at.idx,
+            InstKind::Decode => self.prefills.len() as u32 + at.idx,
+        }
     }
 
     // ----- Fault tolerance (Fig. 5 status sync) -------------------------
@@ -1278,6 +1404,12 @@ impl ServingSystem {
             .expect("prefill started");
         self.breakdown.add_secs(
             Stage::PrefillExec,
+            now.saturating_since(start).as_secs_f64(),
+        );
+        self.tel.attrib.add(
+            pi as u32,
+            model.0,
+            CostKind::PrefillExec,
             now.saturating_since(start).as_secs_f64(),
         );
         if self.schedule.is_enabled() {
@@ -1701,6 +1833,15 @@ impl ServingSystem {
         }
         self.breakdown
             .add_secs(Stage::DecodeExec, dur * step_reqs.len() as f64);
+        if let Some(&r0) = step_reqs.first() {
+            // A decode step batches one model's requests; attribute the
+            // instance's busy seconds (per request, like the breakdown).
+            let m = self.trace.requests[r0.0 as usize].model;
+            let inst = self.ledger_inst(InstRef::decode(di));
+            self.tel
+                .attrib
+                .add(inst, m.0, CostKind::DecodeExec, dur * step_reqs.len() as f64);
+        }
         let mut overflow = false;
         for req in step_reqs {
             let rs = &mut self.reqs[req.0 as usize];
@@ -1871,7 +2012,8 @@ impl ServingSystem {
         );
         self.swaps += 1;
         self.tel.metrics.inc(self.tm.c_swaps, 1);
-        self.tel_kv_start(req, q.now(), true);
+        let inst = self.ledger_inst(at);
+        self.tel_kv_start(req, q.now(), true, inst);
         true
     }
 
@@ -1959,7 +2101,8 @@ impl ServingSystem {
         );
         self.swaps += 1;
         self.tel.metrics.inc(self.tm.c_swaps, 1);
-        self.tel_kv_start(req, q.now(), false);
+        let inst = self.ledger_inst(InstRef::decode(di));
+        self.tel_kv_start(req, q.now(), false, inst);
     }
 
     // ----- Auto-scaling -------------------------------------------------
@@ -2147,6 +2290,13 @@ impl ServingSystem {
             .push(now.saturating_since(started).as_secs_f64());
         self.tel.metrics.observe(
             self.tm.h_scale_latency,
+            now.saturating_since(started).as_secs_f64(),
+        );
+        let inst = self.ledger_inst(at);
+        self.tel.attrib.add(
+            inst,
+            target.0,
+            CostKind::ModelSwitch,
             now.saturating_since(started).as_secs_f64(),
         );
         let switch_span = std::mem::replace(&mut self.scaler_mut(at).switch_span, SpanId::NONE);

@@ -33,8 +33,13 @@
 //!   gauges) flow reactor → sim over an unbounded control channel; they
 //!   touch only the metrics registry, which fingerprints exclude.
 //!
-//! `/metrics` is served from a snapshot the sim thread re-renders every
-//! [`METRICS_REFRESH`]; reactors never read the session directly.
+//! `/metrics` and `/v1/slo` are served from snapshots the sim thread
+//! re-renders every [`METRICS_REFRESH`]; reactors never read the session
+//! directly. A scrape that finds the snapshot older than the refresh
+//! cadence (the sim thread only renders on its own loop iterations, which
+//! an idle or busy loop can stretch) posts a [`Ctl::ForceRender`] so the
+//! sim thread re-renders promptly; the observed staleness is exported as
+//! the `metrics_snapshot_age_ms` gauge.
 //!
 //! # Backpressure contract
 //!
@@ -206,6 +211,10 @@ enum Ctl {
         fds: usize,
         ready: usize,
     },
+    /// A scrape found the `/metrics` (or `/v1/slo`) snapshot older than
+    /// [`METRICS_REFRESH`]: re-render promptly instead of waiting for the
+    /// next sim-loop iteration to notice.
+    ForceRender,
     /// Drain barrier: the reactor has flushed (or force-closed) every
     /// connection and exited. Sent exactly once, after its final messages.
     Drained,
@@ -266,6 +275,8 @@ impl Gateway {
         });
         let board = Arc::new(DirtyBoard::new(gw.reactors));
         let snapshot = Arc::new(Mutex::new(prometheus_text(session.metrics())));
+        let slo_snapshot = Arc::new(Mutex::new(session.slo_snapshot_json()));
+        let render_stamp = Arc::new(Mutex::new(Instant::now()));
         let (ctl_tx, ctl_rx) = std::sync::mpsc::channel::<Ctl>();
         let clock = ClockDriver::new(gw.mode);
         let epoch = Instant::now();
@@ -292,6 +303,9 @@ impl Gateway {
                 wakers: wakers.clone(),
                 shared: Arc::clone(&shared),
                 snapshot: Arc::clone(&snapshot),
+                slo_snapshot: Arc::clone(&slo_snapshot),
+                render_stamp: Arc::clone(&render_stamp),
+                force_render: false,
                 n_reactors: gw.reactors,
                 drained: 0,
             };
@@ -319,6 +333,8 @@ impl Gateway {
                 sock_sndbuf: gw.sock_sndbuf,
                 shared: Arc::clone(&shared),
                 snapshot: Arc::clone(&snapshot),
+                slo_snapshot: Arc::clone(&slo_snapshot),
+                render_stamp: Arc::clone(&render_stamp),
                 slab: Vec::new(),
                 gen: Vec::new(),
                 free: Vec::new(),
@@ -433,13 +449,18 @@ struct SimThread {
     wakers: Vec<Waker>,
     shared: Arc<Shared>,
     snapshot: Arc<Mutex<String>>,
+    slo_snapshot: Arc<Mutex<String>>,
+    /// When the snapshots were last rendered; reactors read it to decide
+    /// whether a scrape should post [`Ctl::ForceRender`].
+    render_stamp: Arc<Mutex<Instant>>,
+    /// A stale scrape asked for a prompt re-render (deduped per ctl batch).
+    force_render: bool,
     n_reactors: usize,
     drained: usize,
 }
 
 impl SimThread {
     fn run(mut self) -> SimOutcome {
-        let mut last_render = Instant::now();
         loop {
             if self.shared.draining.load(Ordering::SeqCst) {
                 break;
@@ -449,9 +470,8 @@ impl SimThread {
             self.session
                 .set_wall_lag(self.clock.lag_secs(self.session.now(), self.epoch.elapsed()));
             self.wake_dirty();
-            if last_render.elapsed() >= METRICS_REFRESH {
+            if self.force_render || self.snapshot_age() >= METRICS_REFRESH {
                 self.render_snapshot();
-                last_render = Instant::now();
             }
             let timeout = if truncated {
                 Duration::ZERO
@@ -525,6 +545,7 @@ impl SimThread {
                 let peak = self.shared.reactor_peaks[reactor].load(Ordering::SeqCst);
                 self.session.set_reactor_gauges(reactor, fds, ready, peak);
             }
+            Ctl::ForceRender => self.force_render = true,
             Ctl::Drained => self.drained += 1,
         }
     }
@@ -538,9 +559,24 @@ impl SimThread {
         }
     }
 
-    fn render_snapshot(&self) {
+    /// Age of the rendered snapshots (how long since the last render).
+    fn snapshot_age(&self) -> Duration {
+        self.render_stamp.lock().expect("render stamp lock").elapsed()
+    }
+
+    /// Re-renders the `/metrics` and `/v1/slo` snapshots. The age of the
+    /// snapshot being replaced is recorded first (as
+    /// `metrics_snapshot_age_ms`), so the fresh snapshot reports the
+    /// staleness a concurrent scrape could actually have observed.
+    fn render_snapshot(&mut self) {
+        let age = self.snapshot_age();
+        self.session.note_snapshot_age(age.as_secs_f64() * 1e3);
         let text = prometheus_text(self.session.metrics());
         *self.snapshot.lock().expect("snapshot lock") = text;
+        let slo = self.session.slo_snapshot_json();
+        *self.slo_snapshot.lock().expect("slo snapshot lock") = slo;
+        *self.render_stamp.lock().expect("render stamp lock") = Instant::now();
+        self.force_render = false;
     }
 }
 
@@ -593,6 +629,8 @@ struct Reactor {
     sock_sndbuf: Option<u32>,
     shared: Arc<Shared>,
     snapshot: Arc<Mutex<String>>,
+    slo_snapshot: Arc<Mutex<String>>,
+    render_stamp: Arc<Mutex<Instant>>,
     /// Generation-tagged connection slab: token = (gen << 32) | idx, so a
     /// stale readiness event (or ring tag) for a recycled slot can never
     /// touch the new occupant.
@@ -840,11 +878,18 @@ impl Reactor {
             }
             ("GET", "/metrics") => {
                 let _ = self.ctl.send(Ctl::Note(Endpoint::Metrics));
+                self.nudge_stale_snapshot();
                 let text = self.snapshot.lock().expect("snapshot lock").clone();
                 self.respond(idx, 200, "OK", "text/plain; version=0.0.4", &text, &[]);
             }
+            ("GET", "/v1/slo") => {
+                let _ = self.ctl.send(Ctl::Note(Endpoint::Slo));
+                self.nudge_stale_snapshot();
+                let json = self.slo_snapshot.lock().expect("slo snapshot lock").clone();
+                self.respond(idx, 200, "OK", "application/json", &json, &[]);
+            }
             ("POST", "/v1/completions") => self.route_completion(idx, &body),
-            (_, "/healthz" | "/metrics" | "/v1/completions") => {
+            (_, "/healthz" | "/metrics" | "/v1/completions" | "/v1/slo") => {
                 self.respond(
                     idx,
                     405,
@@ -864,6 +909,19 @@ impl Reactor {
                     &[],
                 );
             }
+        }
+    }
+
+    /// Staleness guard for scrape endpoints: the sim thread only re-renders
+    /// snapshots on its own loop iterations, so a scrape can observe a
+    /// snapshot arbitrarily older than [`METRICS_REFRESH`] while the loop
+    /// idles. When that happens, post a [`Ctl::ForceRender`] (and a ping is
+    /// implicit — the ctl recv wakes the sim thread) so the next scrape is
+    /// at most one loop iteration stale.
+    fn nudge_stale_snapshot(&self) {
+        let age = self.render_stamp.lock().expect("render stamp lock").elapsed();
+        if age >= METRICS_REFRESH {
+            let _ = self.ctl.send(Ctl::ForceRender);
         }
     }
 

@@ -178,6 +178,87 @@ fn live_gateway_run_replays_fingerprint_identical() {
     );
 }
 
+/// `GET /v1/slo` serves the observatory's JSON document — per-model
+/// cumulative attainment, windowed quantiles, and the switch-cost ledger —
+/// rendered by the sim thread, and `/metrics` carries the per-model
+/// summaries next to it.
+#[test]
+fn slo_endpoint_reports_per_model_attainment() {
+    let gw = start(ClockMode::Timewarp(100.0), 2);
+    let addr = gw.addr();
+
+    for i in 0..4 {
+        let body = format!(
+            r#"{{"model":"m{}","input_tokens":6,"max_tokens":4}}"#,
+            i % 2
+        );
+        let mut s = SseStream::post(addr, "/v1/completions", &body, RTT).unwrap();
+        assert_eq!(s.status, 200);
+        let (_, done) = consume_stream(&mut s);
+        assert!(done);
+    }
+
+    // First scrape may see a stale snapshot and nudges a re-render; the
+    // second (past the refresh interval) must carry the retired requests.
+    let _ = request(addr, "GET", "/v1/slo", None, RTT).unwrap();
+    std::thread::sleep(Duration::from_millis(400));
+    let slo = request(addr, "GET", "/v1/slo", None, RTT).unwrap();
+    assert_eq!(slo.status, 200);
+    assert!(slo
+        .header("content-type")
+        .unwrap()
+        .starts_with("application/json"));
+    let text = slo.text();
+    assert!(text.contains("\"models\""), "missing models: {text}");
+    assert!(text.contains("\"windows\""), "missing windows: {text}");
+    assert!(text.contains("\"attribution\""), "missing ledger: {text}");
+    assert!(
+        text.contains("\"model\":\"m0\"") && text.contains("\"model\":\"m1\""),
+        "both models must appear in the cumulative table: {text}"
+    );
+
+    let metrics = request(addr, "GET", "/metrics", None, RTT).unwrap().text();
+    for needle in [
+        "ttft_seconds{model=\"m0\",quantile=\"0.5\"} ",
+        "tbt_seconds{model=\"m0\",quantile=\"0.99\"} ",
+        "slo_attainment{model=\"m0\"} ",
+        "metrics_snapshot_age_ms ",
+    ] {
+        assert!(metrics.contains(needle), "missing {needle} in:\n{metrics}");
+    }
+
+    let report = gw.shutdown();
+    assert_eq!(report.result.completed, 4);
+}
+
+/// A scrape landing on a stale snapshot forces a re-render: the effects of
+/// the first scrape (its own request counter) are visible to a scrape one
+/// refresh interval later even with the simulation idle.
+#[test]
+fn stale_metrics_scrape_forces_a_rerender() {
+    let gw = start(ClockMode::Timewarp(50.0), 1);
+    let addr = gw.addr();
+
+    // Idle gateway: no streams in flight, so only the scrape path itself
+    // can trigger renders.
+    let _ = request(addr, "GET", "/metrics", None, RTT).unwrap();
+    std::thread::sleep(Duration::from_millis(400));
+    let text = request(addr, "GET", "/metrics", None, RTT).unwrap().text();
+    let scrapes: f64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("http_metrics_requests "))
+        .expect("scrape counter exported")
+        .trim()
+        .parse()
+        .expect("numeric counter");
+    assert!(
+        scrapes >= 1.0,
+        "first scrape never made it into a fresh snapshot:\n{text}"
+    );
+
+    gw.shutdown();
+}
+
 #[test]
 fn admission_quota_rejects_with_retry_after_and_books_match() {
     // One total slot: a held stream forces every concurrent POST to bounce.

@@ -17,7 +17,11 @@ use std::fmt::Write as _;
 use aegaeon_sim::{TraceKind, TraceLog};
 
 use crate::metrics::MetricsRegistry;
+use crate::observatory::{AttributionLedger, SloObservatory};
 use crate::span::{Span, SpanLog};
+
+/// Quantiles every sketch exposes (as summaries, in reports, in JSONL).
+pub const SUMMARY_QUANTILES: [(f64, &str); 3] = [(0.50, "0.5"), (0.90, "0.9"), (0.99, "0.99")];
 
 /// `pid` used for cluster-side tracks (GPU/link schedule lanes).
 pub const PID_CLUSTER: u32 = 1;
@@ -239,6 +243,17 @@ pub fn jsonl(spans: &SpanLog, metrics: &MetricsRegistry) -> String {
         push_json_f64(&mut out, h.sum);
         let _ = writeln!(out, ",\"n\":{}}}", h.n);
     }
+    for (name, sk) in metrics.sketches() {
+        out.push_str("{\"type\":\"sketch\",\"metric\":");
+        push_json_str(&mut out, name);
+        let _ = write!(out, ",\"alpha\":{},\"count\":{},\"sum\":", sk.alpha(), sk.count());
+        push_json_f64(&mut out, sk.sum());
+        for (q, label) in SUMMARY_QUANTILES {
+            let _ = write!(out, ",\"p{}\":", &label[2..]);
+            push_json_f64(&mut out, sk.quantile(q));
+        }
+        out.push_str("}\n");
+    }
     for (name, value) in metrics.counter_totals() {
         out.push_str("{\"type\":\"total\",\"metric\":");
         push_json_str(&mut out, name);
@@ -246,6 +261,112 @@ pub fn jsonl(spans: &SpanLog, metrics: &MetricsRegistry) -> String {
         push_json_f64(&mut out, value);
         out.push_str("}\n");
     }
+    out
+}
+
+/// Renders the SLO observatory and attribution ledger as line-delimited
+/// JSON (`slo_point`, `slo_cum`, and `attrib` lines), appendable to
+/// [`jsonl`] output. The analyzer consumes exactly these line types.
+pub fn slo_jsonl(slo: &SloObservatory, attrib: &AttributionLedger) -> String {
+    let mut out = String::new();
+    for p in slo.points() {
+        let _ = write!(
+            out,
+            "{{\"type\":\"slo_point\",\"window_end_ns\":{},\"model\":{},\"requests\":{},\"tokens\":{},\"tokens_met\":{}",
+            p.window_end_ns, p.model, p.requests, p.tokens, p.tokens_met
+        );
+        for (key, v) in [
+            ("ttft_p50", p.ttft_p50),
+            ("ttft_p90", p.ttft_p90),
+            ("ttft_p99", p.ttft_p99),
+            ("tbt_p50", p.tbt_p50),
+            ("tbt_p90", p.tbt_p90),
+            ("tbt_p99", p.tbt_p99),
+            ("attainment", p.attainment),
+            ("goodput_tps", p.goodput_tps),
+        ] {
+            let _ = write!(out, ",\"{key}\":");
+            push_json_f64(&mut out, v);
+        }
+        out.push_str("}\n");
+    }
+    for (m, c) in slo.cumulative().iter().enumerate() {
+        let _ = write!(
+            out,
+            "{{\"type\":\"slo_cum\",\"model\":{m},\"requests\":{},\"tokens\":{},\"tokens_met\":{},\"attainment\":",
+            c.requests, c.tokens, c.tokens_met
+        );
+        push_json_f64(&mut out, c.attainment());
+        out.push_str("}\n");
+    }
+    for (inst, model, kind, secs) in attrib.rows() {
+        out.push_str("{\"type\":\"attrib\",\"instance\":");
+        push_json_str(&mut out, inst);
+        let _ = write!(out, ",\"model\":{model},\"kind\":\"{}\",\"secs\":", kind.name());
+        push_json_f64(&mut out, secs);
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Renders the SLO observatory and attribution ledger as one JSON object —
+/// the body of the gateway's `GET /v1/slo` and the analyzer's native
+/// input. Deterministic for a given observatory state.
+pub fn slo_json(slo: &SloObservatory, attrib: &AttributionLedger) -> String {
+    let mut out = String::from("{\"models\":[");
+    for (m, c) in slo.cumulative().iter().enumerate() {
+        if m > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"model\":\"m{m}\",\"requests\":{},\"tokens\":{},\"tokens_met\":{},\"attainment\":",
+            c.requests, c.tokens, c.tokens_met
+        );
+        push_json_f64(&mut out, c.attainment());
+        out.push('}');
+    }
+    out.push_str("],\"windows\":[");
+    for (i, p) in slo.points().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"window_end_ns\":{},\"model\":\"m{}\",\"requests\":{},\"tokens\":{},\"tokens_met\":{}",
+            p.window_end_ns, p.model, p.requests, p.tokens, p.tokens_met
+        );
+        for (key, v) in [
+            ("ttft_p50", p.ttft_p50),
+            ("ttft_p90", p.ttft_p90),
+            ("ttft_p99", p.ttft_p99),
+            ("tbt_p50", p.tbt_p50),
+            ("tbt_p90", p.tbt_p90),
+            ("tbt_p99", p.tbt_p99),
+            ("attainment", p.attainment),
+            ("goodput_tps", p.goodput_tps),
+        ] {
+            let _ = write!(out, ",\"{key}\":");
+            push_json_f64(&mut out, v);
+        }
+        out.push('}');
+    }
+    out.push_str("],\"attribution\":[");
+    for (i, (inst, model, kind, secs)) in attrib.rows().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"instance\":");
+        push_json_str(&mut out, inst);
+        let _ = write!(out, ",\"model\":\"m{model}\",\"kind\":\"{}\",\"secs\":", kind.name());
+        push_json_f64(&mut out, secs);
+        out.push('}');
+    }
+    out.push_str("],\"useful_secs\":");
+    push_json_f64(&mut out, attrib.useful_secs());
+    out.push_str(",\"overhead_secs\":");
+    push_json_f64(&mut out, attrib.overhead_secs());
+    out.push_str("}\n");
     out
 }
 
@@ -298,6 +419,34 @@ pub fn prometheus_text(metrics: &MetricsRegistry) -> String {
         out.push(' ');
         push_value(&mut out, value);
         out.push('\n');
+    }
+    // Sketches render as summaries. A sketch's registered name may embed a
+    // label set (`ttft_seconds{model="m0"}`); the `quantile` label is
+    // merged into it, while `_sum`/`_count` keep the original labels.
+    typed.clear();
+    for (name, sk) in metrics.sketches() {
+        let (fam, labels) = match name.find('{') {
+            Some(i) => (&name[..i], &name[i..]),
+            None => (name, ""),
+        };
+        if !typed.contains(&fam) {
+            typed.push(fam);
+            let _ = writeln!(out, "# TYPE {fam} summary");
+        }
+        for (q, qlabel) in SUMMARY_QUANTILES {
+            if labels.is_empty() {
+                let _ = write!(out, "{fam}{{quantile=\"{qlabel}\"}} ");
+            } else {
+                let inner = &labels[1..labels.len() - 1];
+                let _ = write!(out, "{fam}{{{inner},quantile=\"{qlabel}\"}} ");
+            }
+            push_value(&mut out, sk.quantile(q));
+            out.push('\n');
+        }
+        let _ = write!(out, "{fam}_sum{labels} ");
+        push_value(&mut out, sk.sum());
+        out.push('\n');
+        let _ = writeln!(out, "{fam}_count{labels} {}", sk.count());
     }
     for h in metrics.histograms() {
         let name = &h.name;
@@ -416,6 +565,49 @@ mod tests {
         assert!(text.contains("latency_secs_sum 5.55"));
         assert!(text.contains("latency_secs_count 3"));
         assert_eq!(prometheus_text(&reg), text, "export must be deterministic");
+    }
+
+    #[test]
+    fn prometheus_text_renders_sketches_as_summaries() {
+        let mut reg = MetricsRegistry::enabled();
+        let plain = reg.sketch("e2e_seconds", 0.01);
+        let labeled = reg.sketch("ttft_seconds{model=\"m0\"}", 0.01);
+        for v in [0.1, 0.2, 0.4] {
+            reg.observe_sketch(plain, v);
+            reg.observe_sketch(labeled, v);
+        }
+        let text = prometheus_text(&reg);
+        assert!(text.contains("# TYPE e2e_seconds summary"));
+        assert!(text.contains("e2e_seconds{quantile=\"0.5\"} "));
+        assert!(text.contains("e2e_seconds_count 3"));
+        assert!(text.contains("# TYPE ttft_seconds summary"));
+        assert!(text.contains("ttft_seconds{model=\"m0\",quantile=\"0.99\"} "));
+        assert!(text.contains("ttft_seconds_sum{model=\"m0\"} "));
+        assert!(text.contains("ttft_seconds_count{model=\"m0\"} 3"));
+        assert_eq!(prometheus_text(&reg), text, "export must be deterministic");
+    }
+
+    #[test]
+    fn slo_exports_render_points_and_ledger() {
+        let mut slo = SloObservatory::new(2, 1_000_000_000);
+        slo.observe_request(10, 0, 0.25, &[0.05], 2, 1);
+        slo.finish();
+        let mut attrib = AttributionLedger::enabled();
+        let p0 = attrib.instance("p0");
+        attrib.add(p0, 0, crate::observatory::CostKind::ModelSwitch, 1.5);
+        attrib.add(p0, 0, crate::observatory::CostKind::PrefillExec, 3.0);
+        let json = slo_json(&slo, &attrib);
+        assert!(json.contains("\"attainment\":0.5"));
+        assert!(json.contains("\"kind\":\"model_switch\",\"secs\":1.5"));
+        assert!(json.contains("\"useful_secs\":3"));
+        assert!(json.contains("\"model\":\"m1\",\"requests\":0"));
+        let lines = slo_jsonl(&slo, &attrib);
+        for line in lines.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "bad line: {line}");
+        }
+        assert!(lines.contains("\"type\":\"slo_point\""));
+        assert!(lines.contains("\"type\":\"slo_cum\""));
+        assert!(lines.contains("\"type\":\"attrib\""));
     }
 
     #[test]

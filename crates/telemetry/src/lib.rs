@@ -22,13 +22,17 @@
 
 pub mod export;
 pub mod metrics;
+pub mod observatory;
+pub mod sketch;
 pub mod span;
 
 pub use export::{
-    chrome_trace, jsonl, looks_like_trace_event_json, prometheus_text, PID_CLUSTER, PID_METRICS,
-    PID_REQUESTS,
+    chrome_trace, jsonl, looks_like_trace_event_json, prometheus_text, slo_json, slo_jsonl,
+    PID_CLUSTER, PID_METRICS, PID_REQUESTS, SUMMARY_QUANTILES,
 };
-pub use metrics::{CounterId, GaugeId, HistId, Histogram, MetricsRegistry, Sample};
+pub use metrics::{labeled, CounterId, GaugeId, HistId, Histogram, MetricsRegistry, Sample, SketchId};
+pub use observatory::{AttributionLedger, CostKind, SloCum, SloObservatory, SloPoint};
+pub use sketch::QuantileSketch;
 pub use span::{Span, SpanId, SpanKind, SpanLog};
 
 use aegaeon_sim::{SimDur, SimTime};
@@ -40,6 +44,8 @@ pub struct TelemetrySpec {
     pub enabled: bool,
     /// Sim-time interval between registry samples.
     pub sample_every: SimDur,
+    /// Width of the SLO observatory's sim-time windows.
+    pub slo_window: SimDur,
 }
 
 impl TelemetrySpec {
@@ -48,6 +54,7 @@ impl TelemetrySpec {
         TelemetrySpec {
             enabled: false,
             sample_every: SimDur::from_millis(100),
+            slo_window: SimDur::from_secs(10),
         }
     }
 
@@ -64,6 +71,7 @@ impl TelemetrySpec {
         TelemetrySpec {
             enabled: true,
             sample_every,
+            ..TelemetrySpec::disabled()
         }
     }
 }
@@ -80,8 +88,14 @@ impl Default for TelemetrySpec {
 pub struct Telemetry {
     /// Request-lifecycle spans.
     pub spans: SpanLog,
-    /// Counters, gauges and histograms.
+    /// Counters, gauges, histograms and quantile sketches.
     pub metrics: MetricsRegistry,
+    /// Windowed per-model SLO series (configured by the host, which knows
+    /// the model count; stays inert until [`SloObservatory::new`] replaces
+    /// it).
+    pub slo: SloObservatory,
+    /// Switch-cost attribution ledger (instances registered by the host).
+    pub attrib: AttributionLedger,
     sample_every: SimDur,
     next_sample: SimTime,
 }
@@ -95,6 +109,8 @@ impl Telemetry {
         Telemetry {
             spans: SpanLog::enabled(),
             metrics: MetricsRegistry::enabled(),
+            slo: SloObservatory::disabled(),
+            attrib: AttributionLedger::enabled(),
             sample_every: spec.sample_every.max(SimDur::from_nanos(1)),
             next_sample: SimTime::ZERO,
         }
@@ -137,6 +153,7 @@ impl Telemetry {
             return;
         }
         self.spans.close_open(end);
+        self.slo.finish();
         let step = self.sample_every.as_nanos().max(1);
         let at = SimTime::from_nanos(end.as_nanos() / step * step);
         self.metrics.sample(at);

@@ -15,6 +15,30 @@
 
 use aegaeon_sim::SimTime;
 
+use crate::sketch::QuantileSketch;
+
+/// Builds a labeled instrument name (`name{label="value"}`) with the label
+/// value escaped per the Prometheus text exposition rules (`\\`, `\"`,
+/// `\n`). The registry treats the result as an opaque name; the exporter
+/// splits it back apart when it needs to merge extra labels (summaries).
+pub fn labeled(name: &str, label: &str, value: &str) -> String {
+    let mut out = String::with_capacity(name.len() + label.len() + value.len() + 6);
+    out.push_str(name);
+    out.push('{');
+    out.push_str(label);
+    out.push_str("=\"");
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push_str("\"}");
+    out
+}
+
 /// Handle to a registered counter (monotone, reset never).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CounterId(pub u16);
@@ -27,6 +51,10 @@ pub struct GaugeId(pub u16);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct HistId(pub u16);
 
+/// Handle to a registered quantile sketch (summary-style instrument).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SketchId(pub u16);
+
 impl CounterId {
     /// Null handle returned by a disabled registry; all ops on it no-op.
     pub const NONE: CounterId = CounterId(u16::MAX);
@@ -38,6 +66,10 @@ impl GaugeId {
 impl HistId {
     /// Null handle returned by a disabled registry; all ops on it no-op.
     pub const NONE: HistId = HistId(u16::MAX);
+}
+impl SketchId {
+    /// Null handle returned by a disabled registry; all ops on it no-op.
+    pub const NONE: SketchId = SketchId(u16::MAX);
 }
 
 /// One sampled point of a counter or gauge series.
@@ -83,6 +115,7 @@ pub struct MetricsRegistry {
     counters: Vec<Series>,
     gauges: Vec<Series>,
     hists: Vec<Histogram>,
+    sketches: Vec<(String, QuantileSketch)>,
 }
 
 impl MetricsRegistry {
@@ -155,6 +188,35 @@ impl MetricsRegistry {
             n: 0,
         });
         HistId((self.hists.len() - 1) as u16)
+    }
+
+    /// Registers a quantile sketch with relative accuracy `alpha` (setup
+    /// path). Sketches render as Prometheus summaries.
+    pub fn sketch(&mut self, name: &str, alpha: f64) -> SketchId {
+        if !self.enabled {
+            return SketchId::NONE;
+        }
+        debug_assert!(
+            !self.sketches.iter().any(|(n, _)| n == name),
+            "duplicate sketch {name}"
+        );
+        self.sketches
+            .push((name.to_string(), QuantileSketch::new(alpha)));
+        SketchId((self.sketches.len() - 1) as u16)
+    }
+
+    /// Records one sketch observation. One branch when disabled.
+    #[inline]
+    pub fn observe_sketch(&mut self, id: SketchId, value: f64) {
+        if !self.enabled || id == SketchId::NONE {
+            return;
+        }
+        self.sketches[id.0 as usize].1.insert(value);
+    }
+
+    /// All sketches as `(name, sketch)` in registration order.
+    pub fn sketches(&self) -> impl Iterator<Item = (&str, &QuantileSketch)> {
+        self.sketches.iter().map(|(n, s)| (n.as_str(), s))
     }
 
     /// Adds `by` to a counter. One branch when disabled or null-id.
@@ -305,6 +367,30 @@ mod tests {
         assert_eq!(hist.counts, vec![2, 1, 1]);
         assert_eq!(hist.n, 4);
         assert!((hist.sum - 56.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sketches_register_and_observe() {
+        let mut reg = MetricsRegistry::enabled();
+        let s = reg.sketch("ttft_seconds", 0.01);
+        reg.observe_sketch(s, 0.5);
+        reg.observe_sketch(s, 1.5);
+        let (name, sk) = reg.sketches().next().unwrap();
+        assert_eq!(name, "ttft_seconds");
+        assert_eq!(sk.count(), 2);
+        let mut off = MetricsRegistry::disabled();
+        assert_eq!(off.sketch("x", 0.01), SketchId::NONE);
+        off.observe_sketch(SketchId::NONE, 1.0);
+        assert_eq!(off.sketches().count(), 0);
+    }
+
+    #[test]
+    fn labeled_escapes_label_values() {
+        assert_eq!(labeled("ttft", "model", "m0"), "ttft{model=\"m0\"}");
+        assert_eq!(
+            labeled("x", "l", "a\"b\\c\nd"),
+            "x{l=\"a\\\"b\\\\c\\nd\"}"
+        );
     }
 
     #[test]

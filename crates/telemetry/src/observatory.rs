@@ -1,0 +1,457 @@
+//! The SLO observatory: windowed per-model SLO series and the
+//! switch-cost attribution ledger.
+//!
+//! Both live inside [`Telemetry`](crate::Telemetry), which run results
+//! exclude from their fingerprint — so, like spans and the metrics
+//! registry, everything here is observer-only by construction. Both follow
+//! the registry discipline: a disabled value costs one branch per call and
+//! allocates nothing.
+//!
+//! # Windowing
+//!
+//! The observatory slices sim time into fixed windows (`window_ns` wide,
+//! aligned to multiples of the width). A request is attributed to the
+//! window of its **retirement** instant — retirement is the only moment
+//! all of its token timings are known, and it keeps the feeding hook a
+//! single call site. Hosts call [`SloObservatory::observe_request`] with
+//! the retirement time; the observatory seals every window boundary that
+//! has passed first, so points are emitted in nondecreasing window order
+//! regardless of event jitter. Empty windows are skipped (a quiescent gap
+//! produces no points rather than a run of zeros).
+//!
+//! # Attribution
+//!
+//! The [`AttributionLedger`] answers the paper's auto-scaling-overhead
+//! question: of each instance's busy seconds, how many were useful
+//! (prefill/decode execution) versus overhead (model switches, KV swap
+//! traffic)? Cells are keyed `(instance, model, kind)` with instances
+//! registered once at setup, so the hot-path [`AttributionLedger::add`]
+//! is a BTreeMap bump on integer keys — deterministic to iterate and
+//! mergeable like everything else in this crate.
+
+use crate::sketch::QuantileSketch;
+
+/// Relative accuracy used by every observatory sketch (1%).
+pub const SLO_SKETCH_ALPHA: f64 = 0.01;
+
+/// One sealed window of one model's SLO series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloPoint {
+    /// Exclusive end of the window (a multiple of the window width, except
+    /// for the final partial window sealed by `finish`).
+    pub window_end_ns: u64,
+    /// Model index.
+    pub model: u32,
+    /// Requests retired in this window.
+    pub requests: u64,
+    /// Tokens produced by those requests.
+    pub tokens: u64,
+    /// Tokens that met their per-token deadline.
+    pub tokens_met: u64,
+    /// TTFT quantiles over requests retired in the window (NaN when none).
+    pub ttft_p50: f64,
+    /// 90th-percentile TTFT.
+    pub ttft_p90: f64,
+    /// 99th-percentile TTFT.
+    pub ttft_p99: f64,
+    /// Median time-between-tokens.
+    pub tbt_p50: f64,
+    /// 90th-percentile TBT.
+    pub tbt_p90: f64,
+    /// 99th-percentile TBT.
+    pub tbt_p99: f64,
+    /// `tokens_met / tokens` (1.0 for an all-met or empty window).
+    pub attainment: f64,
+    /// Tokens per simulated second of window width.
+    pub goodput_tps: f64,
+}
+
+/// Per-model accumulator for the currently open window.
+#[derive(Debug)]
+struct ModelWindow {
+    ttft: QuantileSketch,
+    tbt: QuantileSketch,
+    requests: u64,
+    tokens: u64,
+    tokens_met: u64,
+}
+
+impl ModelWindow {
+    fn new() -> ModelWindow {
+        ModelWindow {
+            ttft: QuantileSketch::new(SLO_SKETCH_ALPHA),
+            tbt: QuantileSketch::new(SLO_SKETCH_ALPHA),
+            requests: 0,
+            tokens: 0,
+            tokens_met: 0,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.ttft.clear();
+        self.tbt.clear();
+        self.requests = 0;
+        self.tokens = 0;
+        self.tokens_met = 0;
+    }
+}
+
+/// Cumulative (whole-run) per-model totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SloCum {
+    /// Requests retired.
+    pub requests: u64,
+    /// Tokens produced.
+    pub tokens: u64,
+    /// Tokens that met their deadline.
+    pub tokens_met: u64,
+}
+
+impl SloCum {
+    /// Cumulative attainment ratio (1.0 when no tokens yet).
+    pub fn attainment(&self) -> f64 {
+        if self.tokens == 0 {
+            1.0
+        } else {
+            self.tokens_met as f64 / self.tokens as f64
+        }
+    }
+}
+
+/// Windowed per-model SLO series (see module docs).
+#[derive(Debug, Default)]
+pub struct SloObservatory {
+    enabled: bool,
+    window_ns: u64,
+    /// Exclusive end of the currently open window.
+    next_roll: u64,
+    cur: Vec<ModelWindow>,
+    cum: Vec<SloCum>,
+    points: Vec<SloPoint>,
+}
+
+impl SloObservatory {
+    /// An enabled observatory for `n_models` models with `window_ns`-wide
+    /// windows (clamped to ≥ 1 ns).
+    pub fn new(n_models: usize, window_ns: u64) -> SloObservatory {
+        let window_ns = window_ns.max(1);
+        SloObservatory {
+            enabled: true,
+            window_ns,
+            next_roll: window_ns,
+            cur: (0..n_models).map(|_| ModelWindow::new()).collect(),
+            cum: vec![SloCum::default(); n_models],
+            points: Vec::new(),
+        }
+    }
+
+    /// An inert observatory (the `Default`).
+    pub fn disabled() -> SloObservatory {
+        SloObservatory::default()
+    }
+
+    /// True if this observatory records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Number of models tracked.
+    pub fn n_models(&self) -> usize {
+        self.cum.len()
+    }
+
+    /// Seals every window whose end is ≤ `now_ns`.
+    fn advance(&mut self, now_ns: u64) {
+        while self.next_roll <= now_ns {
+            let end = self.next_roll;
+            self.seal(end);
+            // Fast-forward across fully idle stretches instead of stepping
+            // one empty window at a time.
+            if self.cur.iter().all(|w| w.requests == 0) && self.next_roll + self.window_ns <= now_ns
+            {
+                let gap = (now_ns - self.next_roll) / self.window_ns;
+                self.next_roll += gap * self.window_ns;
+            }
+            self.next_roll += self.window_ns;
+        }
+    }
+
+    fn seal(&mut self, end_ns: u64) {
+        let window_secs = self.window_ns as f64 / 1e9;
+        for (m, w) in self.cur.iter_mut().enumerate() {
+            if w.requests == 0 {
+                continue;
+            }
+            let attainment = if w.tokens == 0 {
+                1.0
+            } else {
+                w.tokens_met as f64 / w.tokens as f64
+            };
+            self.points.push(SloPoint {
+                window_end_ns: end_ns,
+                model: m as u32,
+                requests: w.requests,
+                tokens: w.tokens,
+                tokens_met: w.tokens_met,
+                ttft_p50: w.ttft.quantile(0.50),
+                ttft_p90: w.ttft.quantile(0.90),
+                ttft_p99: w.ttft.quantile(0.99),
+                tbt_p50: w.tbt.quantile(0.50),
+                tbt_p90: w.tbt.quantile(0.90),
+                tbt_p99: w.tbt.quantile(0.99),
+                attainment,
+                goodput_tps: w.tokens as f64 / window_secs,
+            });
+            w.clear();
+        }
+    }
+
+    /// Records one retired request: its TTFT, each inter-token gap, and how
+    /// many of its `tokens` met their deadline. `retired_ns` drives window
+    /// sealing and must be nondecreasing across calls (event time is).
+    pub fn observe_request(
+        &mut self,
+        retired_ns: u64,
+        model: u32,
+        ttft_secs: f64,
+        tbts_secs: &[f64],
+        tokens: u64,
+        tokens_met: u64,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.advance(retired_ns);
+        let w = &mut self.cur[model as usize];
+        w.ttft.insert(ttft_secs);
+        for &t in tbts_secs {
+            w.tbt.insert(t);
+        }
+        w.requests += 1;
+        w.tokens += tokens;
+        w.tokens_met += tokens_met;
+        let c = &mut self.cum[model as usize];
+        c.requests += 1;
+        c.tokens += tokens;
+        c.tokens_met += tokens_met;
+    }
+
+    /// End-of-run hook: seals the final (possibly partial) window at its
+    /// natural boundary so no retired request is missing from the series.
+    pub fn finish(&mut self) {
+        if !self.enabled {
+            return;
+        }
+        let end = self.next_roll;
+        self.seal(end);
+        self.next_roll = end + self.window_ns;
+    }
+
+    /// Every sealed point, in (window, model) order.
+    pub fn points(&self) -> &[SloPoint] {
+        &self.points
+    }
+
+    /// Cumulative totals per model.
+    pub fn cumulative(&self) -> &[SloCum] {
+        &self.cum
+    }
+
+    /// Cumulative attainment for one model (1.0 when out of range or idle).
+    pub fn attainment(&self, model: usize) -> f64 {
+        self.cum.get(model).map_or(1.0, |c| c.attainment())
+    }
+}
+
+/// Where an instance's busy seconds went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CostKind {
+    /// Loading/activating a model's weights (auto-scaling switch).
+    ModelSwitch,
+    /// KV offload traffic GPU → host.
+    KvSwapOut,
+    /// KV swap-in traffic host → GPU.
+    KvSwapIn,
+    /// Useful prefill execution.
+    PrefillExec,
+    /// Useful decode execution.
+    DecodeExec,
+}
+
+impl CostKind {
+    /// Stable snake_case name for exports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CostKind::ModelSwitch => "model_switch",
+            CostKind::KvSwapOut => "kv_swap_out",
+            CostKind::KvSwapIn => "kv_swap_in",
+            CostKind::PrefillExec => "prefill_exec",
+            CostKind::DecodeExec => "decode_exec",
+        }
+    }
+
+    /// True for time spent making tokens rather than moving state.
+    pub fn is_useful(&self) -> bool {
+        matches!(self, CostKind::PrefillExec | CostKind::DecodeExec)
+    }
+
+    /// All kinds, in export order.
+    pub const ALL: [CostKind; 5] = [
+        CostKind::ModelSwitch,
+        CostKind::KvSwapOut,
+        CostKind::KvSwapIn,
+        CostKind::PrefillExec,
+        CostKind::DecodeExec,
+    ];
+}
+
+/// Seconds attributed per `(instance, model, kind)` cell (see module docs).
+#[derive(Debug, Default)]
+pub struct AttributionLedger {
+    enabled: bool,
+    instances: Vec<String>,
+    cells: std::collections::BTreeMap<(u32, u32, CostKind), f64>,
+}
+
+impl AttributionLedger {
+    /// An enabled, empty ledger.
+    pub fn enabled() -> AttributionLedger {
+        AttributionLedger {
+            enabled: true,
+            ..AttributionLedger::default()
+        }
+    }
+
+    /// True if this ledger records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Registers an instance (setup path) and returns its dense id.
+    pub fn instance(&mut self, name: &str) -> u32 {
+        if !self.enabled {
+            return u32::MAX;
+        }
+        self.instances.push(name.to_string());
+        (self.instances.len() - 1) as u32
+    }
+
+    /// Instance names in registration order.
+    pub fn instance_names(&self) -> &[String] {
+        &self.instances
+    }
+
+    /// Adds `secs` to the `(inst, model, kind)` cell. One branch when
+    /// disabled (null instance ids from a disabled ledger also no-op).
+    #[inline]
+    pub fn add(&mut self, inst: u32, model: u32, kind: CostKind, secs: f64) {
+        if !self.enabled || inst == u32::MAX {
+            return;
+        }
+        *self.cells.entry((inst, model, kind)).or_insert(0.0) += secs;
+    }
+
+    /// Every cell as `(instance name, model, kind, secs)` in key order.
+    pub fn rows(&self) -> impl Iterator<Item = (&str, u32, CostKind, f64)> {
+        self.cells
+            .iter()
+            .map(|(&(i, m, k), &s)| (self.instances[i as usize].as_str(), m, k, s))
+    }
+
+    /// Total seconds in useful (prefill/decode) cells.
+    pub fn useful_secs(&self) -> f64 {
+        self.cells
+            .iter()
+            .filter(|((_, _, k), _)| k.is_useful())
+            .map(|(_, &s)| s)
+            .sum()
+    }
+
+    /// Total seconds in overhead (switch/swap) cells.
+    pub fn overhead_secs(&self) -> f64 {
+        self.cells
+            .iter()
+            .filter(|((_, _, k), _)| !k.is_useful())
+            .map(|(_, &s)| s)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_observatory_is_inert() {
+        let mut o = SloObservatory::disabled();
+        o.observe_request(5_000_000_000, 0, 0.1, &[0.05], 3, 3);
+        o.finish();
+        assert!(o.points().is_empty());
+        assert_eq!(o.attainment(0), 1.0);
+    }
+
+    #[test]
+    fn windows_seal_in_order_and_skip_empty() {
+        let w = 10_000_000_000u64; // 10 s
+        let mut o = SloObservatory::new(2, w);
+        o.observe_request(1_000_000_000, 0, 0.2, &[0.05, 0.06], 3, 2);
+        o.observe_request(2_000_000_000, 0, 0.4, &[], 1, 1);
+        // Long idle gap, then traffic for model 1 in window [40s, 50s).
+        o.observe_request(41 * 1_000_000_000, 1, 1.0, &[0.2], 2, 0);
+        o.finish();
+        let pts = o.points();
+        assert_eq!(pts.len(), 2, "{pts:?}");
+        assert_eq!(pts[0].window_end_ns, w);
+        assert_eq!(pts[0].model, 0);
+        assert_eq!(pts[0].requests, 2);
+        assert_eq!(pts[0].tokens, 4);
+        assert_eq!(pts[0].tokens_met, 3);
+        assert!((pts[0].attainment - 0.75).abs() < 1e-12);
+        assert!((pts[0].goodput_tps - 0.4).abs() < 1e-12);
+        assert_eq!(pts[1].window_end_ns, 5 * w);
+        assert_eq!(pts[1].model, 1);
+        assert!((pts[1].attainment - 0.0).abs() < 1e-12);
+        // Cumulative totals survive sealing.
+        assert!((o.attainment(0) - 0.75).abs() < 1e-12);
+        assert_eq!(o.cumulative()[1].tokens, 2);
+    }
+
+    #[test]
+    fn quantiles_come_from_window_sketches() {
+        let mut o = SloObservatory::new(1, 1_000_000_000);
+        for i in 1..=100 {
+            o.observe_request(10, 0, i as f64 * 0.01, &[], 1, 1);
+        }
+        o.finish();
+        let p = &o.points()[0];
+        assert!((p.ttft_p50 - 0.50).abs() <= 0.50 * 0.01 + 1e-9);
+        assert!((p.ttft_p99 - 0.99).abs() <= 0.99 * 0.01 + 1e-9);
+        assert!(p.tbt_p50.is_nan(), "no TBT samples recorded");
+    }
+
+    #[test]
+    fn ledger_accumulates_and_splits_useful_vs_overhead() {
+        let mut l = AttributionLedger::enabled();
+        let p0 = l.instance("p0");
+        let d0 = l.instance("d0");
+        l.add(p0, 0, CostKind::PrefillExec, 2.0);
+        l.add(p0, 0, CostKind::ModelSwitch, 1.0);
+        l.add(p0, 0, CostKind::PrefillExec, 0.5);
+        l.add(d0, 1, CostKind::DecodeExec, 4.0);
+        l.add(d0, 1, CostKind::KvSwapIn, 0.25);
+        assert!((l.useful_secs() - 6.5).abs() < 1e-12);
+        assert!((l.overhead_secs() - 1.25).abs() < 1e-12);
+        let rows: Vec<_> = l.rows().collect();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0], ("p0", 0, CostKind::ModelSwitch, 1.0));
+    }
+
+    #[test]
+    fn disabled_ledger_is_inert() {
+        let mut l = AttributionLedger::default();
+        let i = l.instance("x");
+        assert_eq!(i, u32::MAX);
+        l.add(i, 0, CostKind::DecodeExec, 1.0);
+        assert_eq!(l.rows().count(), 0);
+    }
+}

@@ -1,0 +1,269 @@
+//! Mergeable streaming quantile sketch (DDSketch-style).
+//!
+//! Values are binned into logarithmic buckets: bucket `k` covers
+//! `(γ^(k-1), γ^k]` with `γ = (1+α)/(1-α)`, so any value in a bucket is
+//! within relative error `α` of the bucket's midpoint estimate
+//! `2·γ^k/(γ+1)`. Bucket indices are integers and counts are integers, so
+//! [`QuantileSketch::merge`] is exact: merging per-shard sketches in any
+//! order yields the same sketch as observing the combined stream in any
+//! order. That is the property the rest of the repo leans on — per-window,
+//! per-model and per-reactor sketches can be rolled up without resorting
+//! full sample vectors.
+//!
+//! Storage is a `BTreeMap<i32, u64>`, which keeps iteration (and therefore
+//! every rendered quantile and export) deterministic. Non-positive and
+//! sub-`MIN_VALUE` observations collapse into a dedicated zero bucket —
+//! latencies are never negative, and a zero latency has no meaningful
+//! relative error anyway.
+
+use std::collections::BTreeMap;
+
+/// Observations at or below this value land in the zero bucket. Keeps the
+/// bucket index range tiny (|k| ≲ 3500 at α = 0.01) and avoids `ln`
+/// blow-ups near zero.
+const MIN_VALUE: f64 = 1e-12;
+
+/// A mergeable log-bucketed quantile sketch with fixed relative error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    alpha: f64,
+    gamma: f64,
+    inv_ln_gamma: f64,
+    buckets: BTreeMap<i32, u64>,
+    zero: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl QuantileSketch {
+    /// Creates a sketch with relative accuracy `alpha` (e.g. `0.01` = every
+    /// reported quantile is within 1% of a true stream value at that rank).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha < 1`.
+    pub fn new(alpha: f64) -> QuantileSketch {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        QuantileSketch {
+            alpha,
+            gamma,
+            inv_ln_gamma: 1.0 / gamma.ln(),
+            buckets: BTreeMap::new(),
+            zero: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The configured relative accuracy.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest observation (`NaN` when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (`NaN` when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// True when no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Records one observation. NaN is ignored; values ≤ [`MIN_VALUE`]
+    /// (including all non-positive values) land in the zero bucket.
+    pub fn insert(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        if v <= MIN_VALUE {
+            self.zero += 1;
+        } else {
+            let k = (v.ln() * self.inv_ln_gamma).ceil() as i32;
+            *self.buckets.entry(k).or_insert(0) += 1;
+        }
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Merges another sketch into this one. Exact: the result is identical
+    /// to having observed both streams in any interleaving.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that both sketches share the same `alpha`.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        debug_assert_eq!(
+            self.alpha.to_bits(),
+            other.alpha.to_bits(),
+            "merging sketches with different accuracies"
+        );
+        for (&k, &c) in &other.buckets {
+            *self.buckets.entry(k).or_insert(0) += c;
+        }
+        self.zero += other.zero;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Resets to empty, keeping the configured accuracy (and the allocated
+    /// tree nodes' capacity is irrelevant for a BTreeMap — it is dropped).
+    pub fn clear(&mut self) {
+        self.buckets.clear();
+        self.zero = 0;
+        self.count = 0;
+        self.sum = 0.0;
+        self.min = f64::INFINITY;
+        self.max = f64::NEG_INFINITY;
+    }
+
+    /// Estimates the `q`-quantile (`q ∈ [0, 1]`): a value within relative
+    /// error `alpha` of the true stream value at rank `⌊q·(n-1)⌋`. Returns
+    /// `NaN` when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let target = (q.clamp(0.0, 1.0) * (self.count - 1) as f64).floor() as u64;
+        let mut cum = self.zero;
+        if target < cum {
+            // Zero-bucket values are all ≤ MIN_VALUE; min is exact for them.
+            return self.min.clamp(0.0, MIN_VALUE);
+        }
+        for (&k, &c) in &self.buckets {
+            cum += c;
+            if target < cum {
+                let est = 2.0 * self.gamma.powi(k) / (self.gamma + 1.0);
+                // Clamping to the observed range only tightens the estimate
+                // (the true ranked value lies inside it by definition).
+                return est.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+        sorted[(q * (sorted.len() - 1) as f64).floor() as usize]
+    }
+
+    #[test]
+    fn empty_sketch_reports_nan() {
+        let s = QuantileSketch::new(0.01);
+        assert!(s.quantile(0.5).is_nan());
+        assert!(s.min().is_nan());
+        assert!(s.max().is_nan());
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn quantiles_respect_relative_error() {
+        let mut s = QuantileSketch::new(0.01);
+        let mut vals: Vec<f64> = (1..=10_000).map(|i| (i as f64) * 0.37e-3).collect();
+        for &v in &vals {
+            s.insert(v);
+        }
+        vals.sort_by(|a, b| a.total_cmp(b));
+        for q in [0.0, 0.01, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let truth = exact_quantile(&vals, q);
+            let est = s.quantile(q);
+            assert!(
+                (est - truth).abs() <= 0.01 * truth + 1e-12,
+                "q={q}: est {est} vs truth {truth}"
+            );
+        }
+        assert_eq!(s.count(), 10_000);
+        assert!((s.sum() - vals.iter().sum::<f64>()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_equals_combined_stream() {
+        let mut a = QuantileSketch::new(0.02);
+        let mut b = QuantileSketch::new(0.02);
+        let mut all = QuantileSketch::new(0.02);
+        for i in 0..500 {
+            let v = ((i * 2654435761_u64) % 10_000) as f64 / 100.0 + 0.01;
+            if i % 3 == 0 {
+                a.insert(v);
+            } else {
+                b.insert(v);
+            }
+            all.insert(v);
+        }
+        // Bucket counts, ranks and extremes merge exactly (float `sum` can
+        // differ in the last ulp because addition is not associative).
+        let check = |m: &QuantileSketch| {
+            assert_eq!(m.count(), all.count());
+            assert_eq!(m.min().to_bits(), all.min().to_bits());
+            assert_eq!(m.max().to_bits(), all.max().to_bits());
+            for i in 0..=100 {
+                let q = i as f64 / 100.0;
+                assert_eq!(m.quantile(q).to_bits(), all.quantile(q).to_bits(), "q={q}");
+            }
+            assert!((m.sum() - all.sum()).abs() < 1e-9 * all.sum().abs());
+        };
+        let mut merged = a.clone();
+        merged.merge(&b);
+        check(&merged);
+        // Merge in the other order too.
+        let mut merged2 = b;
+        merged2.merge(&a);
+        check(&merged2);
+    }
+
+    #[test]
+    fn zero_and_negative_values_go_to_zero_bucket() {
+        let mut s = QuantileSketch::new(0.01);
+        s.insert(0.0);
+        s.insert(-3.0);
+        s.insert(1.0);
+        assert_eq!(s.count(), 3);
+        assert!(s.quantile(0.0) <= MIN_VALUE);
+        assert!((s.quantile(1.0) - 1.0).abs() <= 0.01);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = QuantileSketch::new(0.01);
+        s.insert(5.0);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(s.quantile(0.5).is_nan());
+    }
+}

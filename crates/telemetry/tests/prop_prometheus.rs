@@ -1,0 +1,172 @@
+//! Property tests for the Prometheus exposition path and the quantile
+//! sketch: arbitrary observation streams must always yield cumulative
+//! histogram buckets with a `+Inf` terminal equal to `_count`, label
+//! values must round-trip the exposition escaping, and the sketch must
+//! honor its relative-error contract — including after an exact merge.
+
+use proptest::prelude::*;
+
+use aegaeon_telemetry::{labeled, prometheus_text, MetricsRegistry, QuantileSketch};
+
+/// Parses every `name_bucket{le="..."} v` line of `family` out of the
+/// exposition text, in emission order, plus the `_sum` and `_count` lines.
+fn parse_histogram(text: &str, family: &str) -> (Vec<(String, u64)>, f64, u64) {
+    let bucket_prefix = format!("{family}_bucket{{le=\"");
+    let mut buckets = Vec::new();
+    let mut sum = f64::NAN;
+    let mut count = 0u64;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix(bucket_prefix.as_str()) {
+            let (le, v) = rest.split_once("\"} ").expect("bucket line shape");
+            buckets.push((le.to_string(), v.trim().parse().expect("bucket count")));
+        } else if let Some(rest) = line.strip_prefix(&format!("{family}_sum ")) {
+            sum = rest.trim().parse().expect("sum value");
+        } else if let Some(rest) = line.strip_prefix(&format!("{family}_count ")) {
+            count = rest.trim().parse().expect("count value");
+        }
+    }
+    (buckets, sum, count)
+}
+
+/// The exact rank the sketch estimates: the value at index `⌊q·(n-1)⌋` of
+/// the sorted stream.
+fn exact_rank(sorted: &[f64], q: f64) -> f64 {
+    sorted[(q * (sorted.len() - 1) as f64).floor() as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Histogram exposition is internally consistent for any observation
+    /// stream and bound set: bucket counts are monotone non-decreasing in
+    /// emission order, the terminal bucket is `+Inf` and equals `_count`,
+    /// and `_sum` matches the accumulated observations.
+    #[test]
+    fn histogram_buckets_are_cumulative_with_inf_terminal(
+        mut bounds in prop::collection::vec(0.001f64..100.0, 1..8),
+        obs in prop::collection::vec(0.0f64..200.0, 0..200),
+    ) {
+        bounds.sort_by(|a, b| a.total_cmp(b));
+        bounds.dedup();
+        let mut reg = MetricsRegistry::enabled();
+        let h = reg.histogram("lat_secs", &bounds);
+        for &v in &obs {
+            reg.observe(h, v);
+        }
+        let text = prometheus_text(&reg);
+        let (buckets, sum, count) = parse_histogram(&text, "lat_secs");
+        prop_assert_eq!(buckets.len(), bounds.len() + 1);
+        prop_assert!(buckets.windows(2).all(|w| w[0].1 <= w[1].1), "{buckets:?}");
+        let (last_le, last_count) = buckets.last().unwrap();
+        prop_assert_eq!(last_le.as_str(), "+Inf");
+        prop_assert_eq!(*last_count, obs.len() as u64);
+        prop_assert_eq!(count, obs.len() as u64);
+        let expect: f64 = obs.iter().sum();
+        prop_assert!((sum - expect).abs() <= 1e-6 * expect.abs().max(1.0));
+        // Each finite bucket holds exactly the observations ≤ its bound.
+        for (i, &b) in bounds.iter().enumerate() {
+            let expect = obs.iter().filter(|&&v| v <= b).count() as u64;
+            prop_assert_eq!(buckets[i].1, expect, "le={}", b);
+        }
+    }
+
+    /// `labeled()` escapes exactly the three characters the exposition
+    /// format requires, and unescaping its output recovers the input.
+    /// The palette over-weights the specials (`"`, `\`, newline) so every
+    /// case exercises the escaping path.
+    #[test]
+    fn label_values_round_trip_escaping(
+        codes in prop::collection::vec(0u32..96, 0..40),
+    ) {
+        let value: String = codes
+            .iter()
+            .map(|&c| match c {
+                0..=9 => '"',
+                10..=19 => '\\',
+                20..=29 => '\n',
+                c => char::from_u32(c + 3).unwrap(),
+            })
+            .collect();
+        let name = labeled("ttft_seconds", "model", &value);
+        let inner = name
+            .strip_prefix("ttft_seconds{model=\"")
+            .and_then(|s| s.strip_suffix("\"}"))
+            .expect("labeled() shape");
+        // No raw specials survive: every `"` and `\n` is escaped, and every
+        // backslash starts a valid escape.
+        let mut chars = inner.chars();
+        let mut unescaped = String::new();
+        while let Some(c) = chars.next() {
+            match c {
+                '"' | '\n' => prop_assert!(false, "raw special in {inner:?}"),
+                '\\' => match chars.next() {
+                    Some('\\') => unescaped.push('\\'),
+                    Some('"') => unescaped.push('"'),
+                    Some('n') => unescaped.push('\n'),
+                    other => prop_assert!(false, "dangling escape {other:?}"),
+                },
+                c => unescaped.push(c),
+            }
+        }
+        prop_assert_eq!(unescaped, value);
+    }
+
+    /// Every reported quantile of an arbitrary positive stream is within
+    /// the sketch's `alpha` relative-error bound of the exact rank value.
+    #[test]
+    fn sketch_respects_relative_error_bound(
+        vals in prop::collection::vec(1e-6f64..1e6, 1..400),
+        q in 0.0f64..1.0,
+    ) {
+        let alpha = 0.01;
+        let mut s = QuantileSketch::new(alpha);
+        for &v in &vals {
+            s.insert(v);
+        }
+        let mut sorted = vals;
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let exact = exact_rank(&sorted, q);
+        let approx = s.quantile(q);
+        prop_assert!(
+            (approx - exact).abs() <= alpha * 1.000001 * exact,
+            "q={q}: {approx} vs exact {exact}"
+        );
+    }
+
+    /// Merging two sketches is exact: the merged sketch answers every
+    /// quantile with the same error contract as one sketch fed the
+    /// concatenated stream — and bit-identically to that single sketch.
+    #[test]
+    fn merge_equals_single_stream(
+        a in prop::collection::vec(1e-6f64..1e6, 0..200),
+        b in prop::collection::vec(1e-6f64..1e6, 1..200),
+    ) {
+        let alpha = 0.02;
+        let mut sa = QuantileSketch::new(alpha);
+        let mut sb = QuantileSketch::new(alpha);
+        let mut whole = QuantileSketch::new(alpha);
+        for &v in &a {
+            sa.insert(v);
+            whole.insert(v);
+        }
+        for &v in &b {
+            sb.insert(v);
+            whole.insert(v);
+        }
+        sa.merge(&sb);
+        prop_assert_eq!(sa.count(), whole.count());
+        let mut combined = [a, b].concat();
+        combined.sort_by(|a, b| a.total_cmp(b));
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let merged_q = sa.quantile(q);
+            // Bit-identical to the single-stream sketch (bucket counts are
+            // integers; merge is exact addition).
+            prop_assert_eq!(merged_q.to_bits(), whole.quantile(q).to_bits(), "q={}", q);
+            let exact = exact_rank(&combined, q);
+            prop_assert!(
+                (merged_q - exact).abs() <= alpha * 1.000001 * exact,
+                "q={q}: merged {merged_q} vs exact {exact}"
+            );
+        }
+    }
+}

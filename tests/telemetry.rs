@@ -282,6 +282,69 @@ fn chaos_run_span_log_stays_well_formed() {
     assert_eq!(totals["events_dispatched"], r.events as f64);
 }
 
+// ----- SLO observatory ---------------------------------------------------
+
+#[test]
+fn slo_observatory_populates_on_telemetry_runs() {
+    let models = market_models(N_MODELS);
+    let trace = uniform_trace(N_MODELS, RATE, SECS, 42, LengthDist::sharegpt());
+    let r = ServingSystem::run(&aegaeon_cfg(42, true), &models, &trace);
+    let tel = &r.telemetry;
+
+    // Cumulative per-model accounting covers every retired token.
+    assert!(tel.slo.is_enabled());
+    assert_eq!(tel.slo.n_models(), N_MODELS);
+    let cum = tel.slo.cumulative();
+    let requests: u64 = cum.iter().map(|c| c.requests).sum();
+    assert_eq!(requests, r.completed as u64, "every completion observed");
+    for (m, c) in cum.iter().enumerate() {
+        assert!(c.tokens_met <= c.tokens, "model {m}: met > produced");
+        let a = tel.slo.attainment(m);
+        assert!((0.0..=1.0).contains(&a), "model {m}: attainment {a}");
+    }
+    assert!(!tel.slo.points().is_empty(), "no windowed SLO points");
+
+    // The per-model latency sketches carry one TTFT sample per completion.
+    let ttft_count: u64 = tel
+        .metrics
+        .sketches()
+        .filter(|(n, _)| n.starts_with("ttft_seconds{"))
+        .map(|(_, s)| s.count())
+        .sum();
+    assert_eq!(ttft_count, r.completed as u64);
+
+    // The attribution ledger saw both useful and overhead GPU time, and
+    // every cell is finite and non-negative.
+    assert!(tel.attrib.is_enabled());
+    assert!(tel.attrib.useful_secs() > 0.0, "no useful time attributed");
+    assert!(
+        r.scale_count == 0 || tel.attrib.overhead_secs() > 0.0,
+        "run switched {} times but attributed no overhead",
+        r.scale_count
+    );
+    for (inst, model, kind, secs) in tel.attrib.rows() {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "ledger cell {inst}/{model}/{} = {secs}",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn slo_exports_are_byte_identical_across_same_seed_runs() {
+    let models = market_models(N_MODELS);
+    let trace = uniform_trace(N_MODELS, RATE, SECS, 7, LengthDist::sharegpt());
+    let render = || {
+        let r = ServingSystem::run(&aegaeon_cfg(7, true), &models, &trace);
+        aegaeon_telemetry::slo_json(&r.telemetry.slo, &r.telemetry.attrib)
+    };
+    let a = render();
+    assert_eq!(a, render(), "SLO export must be deterministic");
+    assert!(a.contains("\"models\""));
+    assert!(a.contains("\"attribution\""));
+}
+
 // ----- Surfaced engine statistics ---------------------------------------
 
 #[test]

@@ -70,6 +70,24 @@ pub struct AttribRow {
     pub secs: f64,
 }
 
+/// One model's cumulative agentic-session standing.
+#[derive(Debug, Clone)]
+pub struct SessionRow {
+    /// Model name.
+    pub model: String,
+    /// Session turns retired.
+    pub turns: u64,
+    /// Turns that prefilled only their delta off a retained prefix.
+    pub prefix_hits: u64,
+    /// Deepest session (turn count) observed.
+    pub max_depth: u64,
+    /// `prefix_hits / turns`.
+    pub hit_rate: f64,
+    /// Turn-latency p50/p90/p99 seconds (arrival → final token per turn;
+    /// think gaps excluded by construction).
+    pub latency: [f64; 3],
+}
+
 /// The slice of a gateway bench report the analysis uses.
 #[derive(Debug, Clone, Default)]
 pub struct BenchRow {
@@ -100,6 +118,8 @@ pub struct Analysis {
     pub windows: Vec<WindowRow>,
     /// Attribution ledger rows (input order: instance, model, kind).
     pub attribution: Vec<AttribRow>,
+    /// Per-model agentic-session series (models with no turns omitted).
+    pub sessions: Vec<SessionRow>,
     /// Total useful seconds (prefill + decode execution).
     pub useful_secs: f64,
     /// Total overhead seconds (switches + KV swaps).
@@ -182,6 +202,17 @@ fn model_row(v: &Value) -> ModelRow {
     }
 }
 
+fn session_row(v: &Value) -> SessionRow {
+    SessionRow {
+        model: model_name(v, "model"),
+        turns: get_u64(v, "turns"),
+        prefix_hits: get_u64(v, "prefix_hits"),
+        max_depth: get_u64(v, "max_depth"),
+        hit_rate: get_f64(v, "prefix_hit_rate"),
+        latency: quantiles(v, "turn_latency"),
+    }
+}
+
 fn attrib_row(v: &Value) -> AttribRow {
     AttribRow {
         instance: get_str(v, "instance").to_string(),
@@ -227,6 +258,7 @@ impl Analysis {
                 "slo_point" => a.windows.push(window_row(&v)),
                 "slo_cum" => a.models.push(model_row(&v)),
                 "attrib" => a.attribution.push(attrib_row(&v)),
+                "session_turns" => a.sessions.push(session_row(&v)),
                 _ => {}
             }
         }
@@ -255,6 +287,7 @@ impl Analysis {
             models: rows(doc, "models", model_row),
             windows: rows(doc, "windows", window_row),
             attribution: rows(doc, "attribution", attrib_row),
+            sessions: rows(doc, "sessions", session_row),
             useful_secs: get_f64(doc, "useful_secs"),
             overhead_secs: get_f64(doc, "overhead_secs"),
             bench: None,
@@ -326,6 +359,24 @@ impl Analysis {
                 errs.push(format!(
                     "attribution {}/{}/{}: negative or non-finite seconds {}",
                     r.instance, r.model, r.kind, r.secs
+                ));
+            }
+        }
+        for s in &self.sessions {
+            let tag = format!("sessions {}", s.model);
+            if s.prefix_hits > s.turns {
+                errs.push(format!(
+                    "{tag}: prefix_hits {} > turns {}",
+                    s.prefix_hits, s.turns
+                ));
+            }
+            if !(0.0..=1.0).contains(&s.hit_rate) {
+                errs.push(format!("{tag}: hit rate {} outside [0, 1]", s.hit_rate));
+            }
+            if s.turns > 0 && !(s.latency[0] <= s.latency[1] && s.latency[1] <= s.latency[2]) {
+                errs.push(format!(
+                    "{tag}: turn-latency quantiles not monotone: {} / {} / {}",
+                    s.latency[0], s.latency[1], s.latency[2]
                 ));
             }
         }
@@ -454,6 +505,29 @@ impl Analysis {
             }
         }
 
+        if !self.sessions.is_empty() {
+            out.push_str("\n## Agentic sessions\n\n");
+            out.push_str(
+                "| model | turns | prefix hits | hit rate | max depth \
+                 | turn latency p50/p90/p99 (s) |\n",
+            );
+            out.push_str("|---|---:|---:|---:|---:|---|\n");
+            for s in &self.sessions {
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {} | {:.4} | {} | {:.4} / {:.4} / {:.4} |",
+                    s.model,
+                    s.turns,
+                    s.prefix_hits,
+                    s.hit_rate,
+                    s.max_depth,
+                    s.latency[0],
+                    s.latency[1],
+                    s.latency[2],
+                );
+            }
+        }
+
         if let Some(b) = &self.bench {
             out.push_str("\n## Gateway bench\n\n");
             out.push_str("| metric | value |\n|---|---:|\n");
@@ -558,6 +632,26 @@ impl Analysis {
                 Value::Object(o)
             })
             .collect();
+        let sessions: Vec<Value> = self
+            .sessions
+            .iter()
+            .map(|s| {
+                let mut o = Map::new();
+                o.insert("model".into(), Value::String(s.model.clone()));
+                o.insert("turns".into(), Value::U64(s.turns));
+                o.insert("prefix_hits".into(), Value::U64(s.prefix_hits));
+                o.insert("max_depth".into(), Value::U64(s.max_depth));
+                o.insert("prefix_hit_rate".into(), num(s.hit_rate));
+                for (k, v) in [
+                    ("turn_latency_p50", s.latency[0]),
+                    ("turn_latency_p90", s.latency[1]),
+                    ("turn_latency_p99", s.latency[2]),
+                ] {
+                    o.insert(k.into(), num(v));
+                }
+                Value::Object(o)
+            })
+            .collect();
         let mut attribution = Map::new();
         attribution.insert("kinds".into(), Value::Array(kinds));
         attribution.insert("cells".into(), Value::Array(cells));
@@ -599,6 +693,7 @@ impl Analysis {
         let mut root = Map::new();
         root.insert("models".into(), Value::Array(models));
         root.insert("windows".into(), Value::Array(windows));
+        root.insert("sessions".into(), Value::Array(sessions));
         root.insert("attribution".into(), Value::Object(attribution));
         root.insert("bench".into(), bench);
         root.insert("consistency".into(), Value::Object(consistency));
@@ -681,6 +776,49 @@ mod tests {
             },
             other => panic!("bad root: {other:?}"),
         }
+    }
+
+    #[test]
+    fn session_rows_parse_render_and_gate() {
+        // Object form carries a `sessions` array.
+        let doc = r#"{"models":[],"windows":[],
+            "sessions":[{"model":"m1","turns":8,"prefix_hits":5,"max_depth":4,
+            "prefix_hit_rate":0.625,"turn_latency_p50":0.4,"turn_latency_p90":0.9,
+            "turn_latency_p99":1.2}],
+            "attribution":[],"useful_secs":0,"overhead_secs":0}"#;
+        let a = Analysis::from_slo_text(doc).unwrap();
+        assert_eq!(a.sessions.len(), 1);
+        assert_eq!(a.sessions[0].prefix_hits, 5);
+        assert!(a.consistency_errors().is_empty());
+        let md = a.to_markdown();
+        assert!(md.contains("## Agentic sessions"));
+        assert!(md.contains("| m1 | 8 | 5 | 0.6250 | 4 | 0.4000 / 0.9000 / 1.2000 |"));
+        match &a.to_json() {
+            Value::Object(root) => match root.get("sessions") {
+                Some(Value::Array(rows)) => assert_eq!(rows.len(), 1),
+                other => panic!("bad sessions: {other:?}"),
+            },
+            other => panic!("bad root: {other:?}"),
+        }
+
+        // JSONL form carries `session_turns` lines; the gate catches
+        // impossible hit counts and non-monotone latency quantiles.
+        let lines = "\
+{\"type\":\"session_turns\",\"model\":1,\"turns\":3,\"prefix_hits\":7,\"max_depth\":3,\
+\"prefix_hit_rate\":2.3,\"turn_latency_p50\":0.9,\"turn_latency_p90\":0.2,\"turn_latency_p99\":0.3}\n";
+        let a = Analysis::from_slo_text(lines).unwrap();
+        assert_eq!(a.sessions.len(), 1);
+        assert_eq!(a.sessions[0].model, "m1");
+        let errs = a.consistency_errors();
+        assert!(errs.iter().any(|e| e.contains("prefix_hits 7 > turns 3")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("hit rate")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.contains("turn-latency quantiles not monotone")),
+            "{errs:?}"
+        );
+
+        // Session-free documents stay session-free.
+        assert!(Analysis::from_slo_text(SLO_DOC).unwrap().sessions.is_empty());
     }
 
     #[test]

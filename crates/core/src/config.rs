@@ -76,6 +76,18 @@ pub struct AegaeonConfig {
     /// Delay before the proxy's status sync notices a dead instance and
     /// recovers its requests (heartbeat period).
     pub failover_latency: SimDur,
+    /// Session-affinity scheduling for agentic multi-turn traffic: a
+    /// finished turn's KV is retained under its session's reserved handle
+    /// (on-GPU when the unified cache has headroom, spilled to the CPU
+    /// cache otherwise), and the next turn of the session prefills only its
+    /// fresh delta when the retained prefix can be claimed. Off by default:
+    /// with it off the subsystem is fully inert and every session turn
+    /// recomputes its prefix like a single-shot request.
+    pub session_affinity: bool,
+    /// How long retained session KV may sit idle across a think gap before
+    /// the reclamation daemon evicts it (the keep-vs-swap economics knob:
+    /// longer TTLs buy prefix hits with VRAM/DRAM residency).
+    pub session_kv_ttl: SimDur,
     /// Run the always-on invariant auditor alongside the dispatch loop.
     /// Purely observational: results are bit-identical either way.
     pub audit: bool,
@@ -116,6 +128,8 @@ impl AegaeonConfig {
             weight_slots: 1,
             faults: crate::chaos::FaultPlan::none(),
             failover_latency: SimDur::from_secs(2),
+            session_affinity: false,
+            session_kv_ttl: SimDur::from_secs(120),
             audit: false,
             telemetry: aegaeon_telemetry::TelemetrySpec::disabled(),
         }

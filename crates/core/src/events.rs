@@ -161,4 +161,7 @@ pub struct TokenEv {
     pub at: SimTime,
     /// True when this token completes the request.
     pub done: bool,
+    /// True when the request prefilled only its delta off a retained
+    /// session prefix (surfaced in the gateway's SSE done frame).
+    pub prefix_hit: bool,
 }

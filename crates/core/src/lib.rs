@@ -51,6 +51,7 @@ pub mod quota;
 pub mod reqstate;
 pub mod result;
 pub mod session;
+pub mod sessionbook;
 pub mod shard;
 pub mod system;
 pub mod unified;
@@ -63,5 +64,6 @@ pub use proxy::{Admission, AdmissionPolicy};
 pub use quota::{decode_quotas, QuotaInputs};
 pub use result::RunResult;
 pub use session::{Endpoint, LiveRequest, ServingSession};
+pub use sessionbook::{SessEntry, SessPlace, SessionBook};
 pub use shard::{run_sharded, run_sharded_audited, Handoff, ShardPlan};
 pub use system::ServingSystem;

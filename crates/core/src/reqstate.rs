@@ -2,6 +2,22 @@
 
 use aegaeon_gpu::EventId;
 use aegaeon_sim::SimTime;
+use aegaeon_workload::SessionId;
+
+use crate::sessionbook::SessPlace;
+
+/// An unabsorbed claim on a session's retained KV prefix: the claimant
+/// prefills only its delta and merges the retained blocks into its own KV
+/// entry at the first point both live in the same cache (the decode GPU at
+/// swap-in for GPU-resident prefixes, the node CPU cache at offload for
+/// spilled ones).
+#[derive(Debug, Clone, Copy)]
+pub struct PrefixClaim {
+    /// Retained tokens the claim covers (≤ the request's `prefix_tokens`).
+    pub tokens: u32,
+    /// Cache currently holding the session handle's blocks.
+    pub src: SessPlace,
+}
 
 /// Where a request's KV cache currently lives. Block lists are tracked by
 /// the owning [`aegaeon_engine::KvCache`]; this is only the location.
@@ -79,6 +95,21 @@ pub struct ReqState {
     /// resolved: it is never re-dispatched here and never completes here;
     /// the destination shard owns its outcome.
     pub migrated: bool,
+    /// Agentic session this request is a turn of ([`SessionId::NONE`] for
+    /// single-shot requests).
+    pub session: SessionId,
+    /// Zero-based turn index within the session.
+    pub turn_index: u32,
+    /// Leading prompt tokens shared with the session's prior turns.
+    pub prefix_tokens: u32,
+    /// Outstanding claim on the session's retained prefix, if any.
+    pub prefix_claim: Option<PrefixClaim>,
+    /// Set once the request prefilled only its delta off a claimed prefix.
+    pub prefix_hit: bool,
+    /// The claimed prefix was lost (its holder crashed) after prefill was
+    /// sized against it; the next prefill touchpoint must discard the
+    /// delta-only KV and recompute the full context.
+    pub prefix_lost: bool,
 }
 
 impl ReqState {
@@ -106,7 +137,18 @@ impl ReqState {
             finished_at: None,
             swapin_inflight: false,
             migrated: false,
+            session: SessionId::NONE,
+            turn_index: 0,
+            prefix_tokens: 0,
+            prefix_claim: None,
+            prefix_hit: false,
+            prefix_lost: false,
         }
+    }
+
+    /// Tokens covered by an outstanding prefix claim (0 when none).
+    pub fn claimed_tokens(&self) -> u32 {
+        self.prefix_claim.map_or(0, |c| c.tokens)
     }
 
     /// Context length (prompt plus produced tokens).

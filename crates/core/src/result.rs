@@ -38,6 +38,13 @@ pub struct RunResult {
     pub prefetch_hits: u64,
     /// KV swaps performed (in + out).
     pub swaps: u64,
+    /// Session turns that prefilled only their delta off a retained prefix.
+    pub prefix_hits: u64,
+    /// Prefill tokens skipped thanks to claimed session prefixes.
+    pub prefill_tokens_reused: u64,
+    /// Shared-prefix tokens that had to be prefilled again (affinity off,
+    /// miss, eviction, or crash-forced recomputation).
+    pub prefill_tokens_recomputed: u64,
     /// Simulation events dispatched.
     pub events: u64,
     /// Schedule trace (when enabled).
@@ -111,6 +118,9 @@ impl RunResult {
         self.scale_count.hash(&mut h);
         self.prefetch_hits.hash(&mut h);
         self.swaps.hash(&mut h);
+        self.prefix_hits.hash(&mut h);
+        self.prefill_tokens_reused.hash(&mut h);
+        self.prefill_tokens_recomputed.hash(&mut h);
         self.events.hash(&mut h);
         h.finish()
     }

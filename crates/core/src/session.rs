@@ -50,7 +50,7 @@ use aegaeon_model::{ModelId, ModelSpec};
 use aegaeon_sim::{
     injection_channel, EventQueue, FxHashMap, InjectionPort, Injector, SimTime, Timeline,
 };
-use aegaeon_workload::{Request, Trace};
+use aegaeon_workload::{Request, SessionId, Trace};
 
 use crate::audit::{AuditReport, Auditor};
 use crate::config::AegaeonConfig;
@@ -84,10 +84,38 @@ pub struct LiveRequest {
     pub input_tokens: u32,
     /// Total output length in tokens (≥ 1).
     pub output_tokens: u32,
+    /// Agentic session this request belongs to ([`SessionId::NONE`] for
+    /// standalone requests).
+    pub session: SessionId,
+    /// Zero-based turn index within the session.
+    pub turn_index: u32,
+    /// Leading tokens of the prompt shared verbatim with the session's
+    /// previous turn (0 for standalone requests and first turns).
+    pub prefix_tokens: u32,
     /// Optional token sink: every produced token is forwarded here (SSE
     /// streaming); the sink is dropped after the final token so the
     /// receiving side observes a clean end of stream.
     pub sink: Option<Box<dyn TokenSink>>,
+}
+
+impl LiveRequest {
+    /// A standalone (sessionless) request — the common gateway case.
+    pub fn single(
+        model: ModelId,
+        input_tokens: u32,
+        output_tokens: u32,
+        sink: Option<Box<dyn TokenSink>>,
+    ) -> LiveRequest {
+        LiveRequest {
+            model,
+            input_tokens,
+            output_tokens,
+            session: SessionId::NONE,
+            turn_index: 0,
+            prefix_tokens: 0,
+            sink,
+        }
+    }
 }
 
 impl std::fmt::Debug for LiveRequest {
@@ -96,6 +124,9 @@ impl std::fmt::Debug for LiveRequest {
             .field("model", &self.model)
             .field("input_tokens", &self.input_tokens)
             .field("output_tokens", &self.output_tokens)
+            .field("session", &self.session)
+            .field("turn_index", &self.turn_index)
+            .field("prefix_tokens", &self.prefix_tokens)
             .field("sink", &self.sink.is_some())
             .finish()
     }
@@ -235,6 +266,9 @@ impl ServingSession {
                     model: r.model,
                     input_tokens: r.input_tokens,
                     output_tokens: r.output_tokens,
+                    session: r.session,
+                    turn_index: r.turn_index,
+                    prefix_tokens: r.prefix_tokens,
                     sink: None,
                 },
             );
@@ -266,16 +300,27 @@ impl ServingSession {
     /// Admits a request handed off by a peer shard at simulated instant
     /// `at` (strictly in this shard's future — the conservative window
     /// guarantees it) and returns the local trace index it was assigned.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn migrate_in(
         &mut self,
         at: SimTime,
         model: ModelId,
         input_tokens: u32,
         output_tokens: u32,
+        session: SessionId,
+        turn_index: u32,
+        prefix_tokens: u32,
     ) -> u32 {
-        let id = self
-            .sys
-            .admit_live(at, model, input_tokens, output_tokens, &mut self.q);
+        let id = self.sys.admit_live(
+            at,
+            model,
+            input_tokens,
+            output_tokens,
+            session,
+            turn_index,
+            prefix_tokens,
+            &mut self.q,
+        );
         id.0 as u32
     }
 
@@ -390,6 +435,9 @@ impl ServingSession {
                 lr.model,
                 lr.input_tokens,
                 lr.output_tokens,
+                lr.session,
+                lr.turn_index,
+                lr.prefix_tokens,
                 &mut self.q,
             );
             self.injected.push(Request {
@@ -398,6 +446,9 @@ impl ServingSession {
                 arrival_ns: stamp.as_nanos(),
                 input_tokens: lr.input_tokens,
                 output_tokens: lr.output_tokens,
+                session: lr.session,
+                turn_index: lr.turn_index,
+                prefix_tokens: lr.prefix_tokens,
             });
             if let Some(sink) = lr.sink {
                 self.sinks.insert(id.0, sink);
@@ -645,12 +696,7 @@ mod tests {
         for (i, r) in plan.requests.iter().enumerate() {
             assert!(inj.send(
                 r.arrival(),
-                LiveRequest {
-                    model: r.model,
-                    input_tokens: r.input_tokens,
-                    output_tokens: r.output_tokens,
-                    sink: None,
-                },
+                LiveRequest::single(r.model, r.input_tokens, r.output_tokens, None),
             ));
             if i % 3 == 0 {
                 slice += SimDur::from_millis(700 * (i as u64 % 5 + 1));
@@ -687,12 +733,7 @@ mod tests {
         for r in &plan.requests {
             inj.send(
                 r.arrival(),
-                LiveRequest {
-                    model: r.model,
-                    input_tokens: r.input_tokens,
-                    output_tokens: r.output_tokens,
-                    sink: None,
-                },
+                LiveRequest::single(r.model, r.input_tokens, r.output_tokens, None),
             );
             live.step_until(live.now() + SimDur::from_secs(2));
         }
@@ -719,12 +760,12 @@ mod tests {
         for i in 0..n {
             inj.send(
                 SimTime::from_secs_f64(1.0 + i as f64 * 0.25),
-                LiveRequest {
-                    model: ModelId((i % 2) as u32),
-                    input_tokens: 32,
-                    output_tokens: 1,
-                    sink: Some(Box::new(tx.clone())),
-                },
+                LiveRequest::single(
+                    ModelId((i % 2) as u32),
+                    32,
+                    1,
+                    Some(Box::new(tx.clone())),
+                ),
             );
         }
         drop(tx);
@@ -750,12 +791,7 @@ mod tests {
         let (tx, rx) = mpsc::channel();
         inj.send(
             SimTime::from_secs_f64(1.0),
-            LiveRequest {
-                model: ModelId(0),
-                input_tokens: 64,
-                output_tokens: 7,
-                sink: Some(Box::new(tx)),
-            },
+            LiveRequest::single(ModelId(0), 64, 7, Some(Box::new(tx))),
         );
         live.step_until(SimTime::MAX);
         let toks: Vec<TokenEv> = rx.iter().collect(); // ends when sender drops
@@ -784,12 +820,7 @@ mod tests {
         for i in 0..12u64 {
             inj.send(
                 SimTime::from_secs_f64((1 + 3 * i) as f64),
-                LiveRequest {
-                    model: ModelId(0),
-                    input_tokens: 64,
-                    output_tokens: 4,
-                    sink: None,
-                },
+                LiveRequest::single(ModelId(0), 64, 4, None),
             );
         }
         live.step_until(SimTime::MAX);

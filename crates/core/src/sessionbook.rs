@@ -1,0 +1,214 @@
+//! Retained-KV bookkeeping for agentic sessions.
+//!
+//! When session affinity is on, a finished turn's KV is not freed: it is
+//! re-labeled under the session's reserved handle (bit 63 of the
+//! [`RequestId`] space, which real trace ids never reach) and stays in
+//! whichever [`aegaeon_engine::KvCache`] held it — on the decoding GPU when
+//! the unified cache has headroom, spilled into the node's CPU cache
+//! otherwise. The [`SessionBook`] maps each session to that retained
+//! prefix; the next turn *claims* it at prefill routing time and absorbs it
+//! into its own KV entry, prefilling only the fresh delta.
+//!
+//! Invariant: per session, at most one of {book entry, outstanding claim}
+//! exists at any instant — an entry is removed the moment a turn claims it,
+//! and a new entry may only be inserted once no claim is outstanding. This
+//! is what keeps the reserved handle unique across every cache and lets the
+//! KV double-entry audit treat retained prefixes as ordinary holdings.
+
+use std::collections::BTreeMap;
+
+use aegaeon_model::ModelId;
+use aegaeon_sim::SimTime;
+use aegaeon_workload::{RequestId, SessionId};
+
+/// Where a session's retained KV prefix lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessPlace {
+    /// Resident in decoding instance `di`'s unified GPU cache.
+    DecodeGpu(u32),
+    /// Spilled into node `node`'s unified CPU cache.
+    Cpu(u32),
+}
+
+/// One retained session prefix.
+#[derive(Debug, Clone, Copy)]
+pub struct SessEntry {
+    /// The session's (single) model; a claim requires an exact match.
+    pub model: ModelId,
+    /// Tokens of conversation KV retained under the handle.
+    pub tokens: u32,
+    /// Which cache holds the handle's blocks.
+    pub place: SessPlace,
+    /// When the turn that produced this prefix retired (TTL base).
+    pub retained_at: SimTime,
+    /// Event guarding an in-flight GPU→CPU spill copy; the entry is not
+    /// claimable until the copy lands (the CPU blocks are still filling).
+    pub guard: Option<aegaeon_gpu::EventId>,
+}
+
+/// Session → retained prefix map, plus outstanding claims.
+#[derive(Debug, Default)]
+pub struct SessionBook {
+    entries: BTreeMap<u64, SessEntry>,
+    /// Sessions whose retained prefix has been claimed by an in-flight
+    /// turn (entry removed; handle still live in some cache until the
+    /// claimant absorbs or abandons it).
+    claims: BTreeMap<u64, RequestId>,
+}
+
+impl SessionBook {
+    /// An empty book.
+    pub fn new() -> SessionBook {
+        SessionBook::default()
+    }
+
+    /// The reserved [`RequestId`] a session's retained KV is keyed under.
+    pub fn handle(s: SessionId) -> RequestId {
+        RequestId(1u64 << 63 | s.0)
+    }
+
+    /// True if `id` is a session handle rather than a real request id.
+    pub fn is_handle(id: RequestId) -> bool {
+        id.0 & (1u64 << 63) != 0
+    }
+
+    /// The session a handle belongs to.
+    pub fn session_of(id: RequestId) -> SessionId {
+        SessionId(id.0 & !(1u64 << 63))
+    }
+
+    /// Retained entry for a session, if any.
+    pub fn get(&self, s: SessionId) -> Option<&SessEntry> {
+        self.entries.get(&s.0)
+    }
+
+    /// Inserts a retained entry (the caller must have freed/claimed any
+    /// predecessor; see the module invariant).
+    pub fn insert(&mut self, s: SessionId, e: SessEntry) {
+        debug_assert!(
+            !self.claims.contains_key(&s.0),
+            "retaining {s} while a claim is outstanding"
+        );
+        self.entries.insert(s.0, e);
+    }
+
+    /// Removes and returns a session's entry.
+    pub fn remove(&mut self, s: SessionId) -> Option<SessEntry> {
+        self.entries.remove(&s.0)
+    }
+
+    /// Marks a session's prefix as claimed by `req` (after [`Self::remove`]).
+    pub fn claim(&mut self, s: SessionId, req: RequestId) {
+        self.claims.insert(s.0, req);
+    }
+
+    /// Clears an outstanding claim (absorbed or abandoned).
+    pub fn clear_claim(&mut self, s: SessionId) {
+        self.claims.remove(&s.0);
+    }
+
+    /// True while some in-flight turn holds this session's prefix.
+    pub fn is_claimed(&self, s: SessionId) -> bool {
+        self.claims.contains_key(&s.0)
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries in deterministic (session-id) order.
+    pub fn iter(&self) -> impl Iterator<Item = (SessionId, &SessEntry)> {
+        self.entries.iter().map(|(&k, e)| (SessionId(k), e))
+    }
+
+    /// Outstanding claims in deterministic order.
+    pub fn claims(&self) -> impl Iterator<Item = (SessionId, RequestId)> + '_ {
+        self.claims.iter().map(|(&k, &r)| (SessionId(k), r))
+    }
+
+    /// Removes every entry stored at `place` (instance death) and returns
+    /// them; the KV itself died with the holder, so nothing is freed here.
+    pub fn drain_place(&mut self, place: SessPlace) -> Vec<(SessionId, SessEntry)> {
+        let gone: Vec<u64> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.place == place)
+            .map(|(&k, _)| k)
+            .collect();
+        gone.into_iter()
+            .map(|k| (SessionId(k), self.entries.remove(&k).expect("just listed")))
+            .collect()
+    }
+
+    /// Sessions idle past `ttl` at `now`, in deterministic order.
+    pub fn expired(&self, now: SimTime, ttl: aegaeon_sim::SimDur) -> Vec<SessionId> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| now.saturating_since(e.retained_at) > ttl)
+            .map(|(&k, _)| SessionId(k))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aegaeon_sim::SimDur;
+
+    fn entry(place: SessPlace, at: f64) -> SessEntry {
+        SessEntry {
+            model: ModelId(0),
+            tokens: 100,
+            place,
+            retained_at: SimTime::from_secs_f64(at),
+            guard: None,
+        }
+    }
+
+    #[test]
+    fn handles_are_disjoint_from_trace_ids() {
+        let h = SessionBook::handle(SessionId(42));
+        assert!(SessionBook::is_handle(h));
+        assert!(!SessionBook::is_handle(RequestId(42)));
+        assert_eq!(SessionBook::session_of(h), SessionId(42));
+    }
+
+    #[test]
+    fn claim_lifecycle() {
+        let mut b = SessionBook::new();
+        let s = SessionId(3);
+        b.insert(s, entry(SessPlace::DecodeGpu(1), 0.0));
+        let e = b.remove(s).unwrap();
+        assert_eq!(e.place, SessPlace::DecodeGpu(1));
+        b.claim(s, RequestId(9));
+        assert!(b.is_claimed(s));
+        assert!(b.get(s).is_none());
+        b.clear_claim(s);
+        assert!(!b.is_claimed(s));
+    }
+
+    #[test]
+    fn drain_place_and_expiry() {
+        let mut b = SessionBook::new();
+        b.insert(SessionId(1), entry(SessPlace::DecodeGpu(0), 0.0));
+        b.insert(SessionId(2), entry(SessPlace::Cpu(0), 5.0));
+        b.insert(SessionId(3), entry(SessPlace::DecodeGpu(0), 9.0));
+        let gone = b.drain_place(SessPlace::DecodeGpu(0));
+        assert_eq!(
+            gone.iter().map(|(s, _)| s.0).collect::<Vec<_>>(),
+            vec![1, 3]
+        );
+        assert_eq!(b.len(), 1);
+        let ex = b.expired(SimTime::from_secs_f64(20.0), SimDur::from_secs(10));
+        assert_eq!(ex, vec![SessionId(2)]);
+        assert!(b
+            .expired(SimTime::from_secs_f64(10.0), SimDur::from_secs(10))
+            .is_empty());
+    }
+}

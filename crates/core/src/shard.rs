@@ -42,7 +42,7 @@ use std::sync::mpsc;
 use aegaeon_metrics::RequestOutcome;
 use aegaeon_model::{ModelId, ModelSpec};
 use aegaeon_sim::{GrantClock, SimDur, SimTime, TraceLog};
-use aegaeon_workload::{Request, RequestId, Trace};
+use aegaeon_workload::{Request, RequestId, SessionId, Trace};
 
 use crate::audit::{AuditReport, InvariantAuditor, Violation};
 use crate::config::AegaeonConfig;
@@ -60,6 +60,15 @@ pub struct Handoff {
     pub input_tokens: u32,
     /// Oracle output length.
     pub output_tokens: u32,
+    /// Agentic session identity, preserved across the migration. The
+    /// destination shard holds no retained KV for the session, so the
+    /// migrated turn recomputes its prefix; later turns of the same session
+    /// still route to the home shard and are unaffected.
+    pub session: SessionId,
+    /// Zero-based turn index within the session.
+    pub turn_index: u32,
+    /// Shared-prefix length of the migrated turn.
+    pub prefix_tokens: u32,
     /// Trace index of the request *in the emitting shard*.
     pub local_idx: u32,
 }
@@ -214,8 +223,22 @@ impl ShardPlan {
             .collect();
         let mut global_ids: Vec<Vec<u64>> = vec![Vec::new(); shards];
         let mut home_slot = Vec::with_capacity(trace.len());
+        // Sessions are single-model by construction (the lowering pins one
+        // model per AgentSession), so model-home routing is automatically
+        // session-stable. Check it anyway: a hand-built trace whose session
+        // straddles models would otherwise scatter its turns across shards
+        // and silently miss every retained prefix.
+        let mut session_home: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
         for (g, r) in trace.requests.iter().enumerate() {
             let s = Self::home_shard(r.model, shards);
+            if r.session.is_some() {
+                let prev = *session_home.entry(r.session.0).or_insert(s);
+                assert_eq!(
+                    prev, s,
+                    "session {} straddles shards {prev} and {s}: sessions must be single-model",
+                    r.session.0
+                );
+            }
             let local = traces[s].requests.len();
             traces[s].requests.push(Request {
                 id: RequestId(local as u64),
@@ -223,6 +246,9 @@ impl ShardPlan {
                 arrival_ns: r.arrival_ns,
                 input_tokens: r.input_tokens,
                 output_tokens: r.output_tokens,
+                session: r.session,
+                turn_index: r.turn_index,
+                prefix_tokens: r.prefix_tokens,
             });
             global_ids[s].push(g as u64);
             home_slot.push((s, local as u32));
@@ -309,8 +335,15 @@ impl Coordinator<'_> {
                 };
                 let dst = (src + 1) % shards;
                 let at = h.emitted + self.clock.lookahead();
-                let local =
-                    self.sessions[dst].migrate_in(at, h.model, h.input_tokens, h.output_tokens);
+                let local = self.sessions[dst].migrate_in(
+                    at,
+                    h.model,
+                    h.input_tokens,
+                    h.output_tokens,
+                    h.session,
+                    h.turn_index,
+                    h.prefix_tokens,
+                );
                 debug_assert_eq!(
                     local as usize,
                     self.base_len[dst] + self.migrant_globals[dst].len(),
@@ -511,6 +544,9 @@ fn merge(
         scale_count: results.iter().map(|r| r.scale_count).sum(),
         prefetch_hits: results.iter().map(|r| r.prefetch_hits).sum(),
         swaps: results.iter().map(|r| r.swaps).sum(),
+        prefix_hits: results.iter().map(|r| r.prefix_hits).sum(),
+        prefill_tokens_reused: results.iter().map(|r| r.prefill_tokens_reused).sum(),
+        prefill_tokens_recomputed: results.iter().map(|r| r.prefill_tokens_recomputed).sum(),
         events: results.iter().map(|r| r.events).sum(),
         schedule: TraceLog::disabled(),
         telemetry: aegaeon_telemetry::Telemetry::disabled(),
@@ -559,12 +595,14 @@ mod tests {
 
     fn toy_trace(n: usize, models: u32) -> Trace {
         let requests = (0..n)
-            .map(|i| Request {
-                id: RequestId(i as u64),
-                model: ModelId(i as u32 % models),
-                arrival_ns: 1_000_000_000 * (i as u64 + 1),
-                input_tokens: 64,
-                output_tokens: 8,
+            .map(|i| {
+                Request::single(
+                    RequestId(i as u64),
+                    ModelId(i as u32 % models),
+                    1_000_000_000 * (i as u64 + 1),
+                    64,
+                    8,
+                )
             })
             .collect();
         Trace {

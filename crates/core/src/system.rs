@@ -24,7 +24,7 @@ use aegaeon_telemetry::{
     labeled, CostKind, CounterId, GaugeId, HistId, SketchId, SloObservatory, SpanId, SpanKind,
     Telemetry,
 };
-use aegaeon_workload::{Request, RequestId, SloSpec, Trace};
+use aegaeon_workload::{Request, RequestId, SessionId, SloSpec, Trace};
 
 use crate::audit::{AuditReport, AuditView, Auditor, InvariantAuditor, ReqAudit};
 use crate::chaos::{FaultEvent, FaultKind};
@@ -35,8 +35,9 @@ use crate::events::{Ev, InstKind, InstRef, Tag};
 use crate::prefill::PrefillQueue;
 use crate::proxy::MetaStore;
 use crate::quota::{decode_quotas, QuotaInputs};
-use crate::reqstate::{KvPlace, Phase, ReqState};
+use crate::reqstate::{KvPlace, Phase, PrefixClaim, ReqState};
 use crate::result::RunResult;
+use crate::sessionbook::{SessEntry, SessPlace, SessionBook};
 
 /// Auto-scaling controller state shared by both instance kinds.
 #[derive(Debug)]
@@ -157,6 +158,20 @@ pub(crate) struct TelIds {
     s_tbt: Vec<SketchId>,
     /// Per-model cumulative SLO-attainment gauges, refreshed every poll.
     g_slo_attain: Vec<GaugeId>,
+    // Agentic-session instruments (prefix reuse + affinity scheduling).
+    c_sess_prefix_hits: CounterId,
+    c_sess_reused_tokens: CounterId,
+    c_sess_recomputed_tokens: CounterId,
+    c_sess_retained_gpu: CounterId,
+    c_sess_retained_cpu: CounterId,
+    c_sess_evicted: CounterId,
+    c_sess_expired: CounterId,
+    c_sess_affinity_routed: CounterId,
+    c_sess_affinity_fallback: CounterId,
+    /// End-to-end latency of individual session turns (arrival → last
+    /// token), think gaps excluded by construction: each turn is its own
+    /// request, so inter-turn idle time never enters a request's span.
+    s_session_turn: SketchId,
 }
 
 /// Relative accuracy of the per-model latency sketches (1%).
@@ -207,6 +222,16 @@ impl TelIds {
             h_scale_latency: reg
                 .histogram("scale_latency_secs", &[0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0]),
             h_batch_size: reg.histogram("batch_size", &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0]),
+            c_sess_prefix_hits: reg.counter("session_prefix_hits"),
+            c_sess_reused_tokens: reg.counter("session_prefill_tokens_reused"),
+            c_sess_recomputed_tokens: reg.counter("session_prefill_tokens_recomputed"),
+            c_sess_retained_gpu: reg.counter("session_kv_retained_gpu"),
+            c_sess_retained_cpu: reg.counter("session_kv_retained_cpu"),
+            c_sess_evicted: reg.counter("session_kv_evicted"),
+            c_sess_expired: reg.counter("session_kv_expired"),
+            c_sess_affinity_routed: reg.counter("session_affinity_routed"),
+            c_sess_affinity_fallback: reg.counter("session_affinity_fallback"),
+            s_session_turn: reg.sketch("session_turn_latency_seconds", SKETCH_ALPHA),
         }
     }
 }
@@ -313,6 +338,11 @@ pub struct ServingSystem {
     swaps: u64,
     scale_count: u64,
     prefetch_hits: u64,
+    /// Retained-prefix map + outstanding claims (session affinity).
+    sessions: SessionBook,
+    prefix_hits: u64,
+    prefill_tokens_reused: u64,
+    prefill_tokens_recomputed: u64,
     ticks_live: bool,
     /// Tick-stream generation: bumped each time ticks restart so an
     /// idle-stopped tick still in the queue cannot fork a second stream.
@@ -509,7 +539,15 @@ impl ServingSystem {
         let reqs = trace
             .requests
             .iter()
-            .map(|r| ReqState::new(r.arrival(), r.input_tokens, r.output_tokens))
+            .map(|r| {
+                let mut rs = ReqState::new(r.arrival(), r.input_tokens, r.output_tokens);
+                rs.session = r.session;
+                rs.turn_index = r.turn_index;
+                // A turn always carries at least one fresh token; clamp a
+                // malformed prefix rather than underflowing delta math.
+                rs.prefix_tokens = r.prefix_tokens.min(r.input_tokens.saturating_sub(1));
+                rs
+            })
             .collect();
         let arrivals_left = trace.len();
         let hard_stop = trace.horizon + cfg.drain_window;
@@ -584,6 +622,10 @@ impl ServingSystem {
             swaps: 0,
             scale_count: 0,
             prefetch_hits: 0,
+            sessions: SessionBook::new(),
+            prefix_hits: 0,
+            prefill_tokens_reused: 0,
+            prefill_tokens_recomputed: 0,
             ticks_live: false,
             tick_gen: 0,
             hard_stop,
@@ -615,12 +657,16 @@ impl ServingSystem {
     /// guarantees both) and returns the id it was assigned. Open-mode
     /// sessions grow the trace in place, so a later offline replay of the
     /// recorded trace walks an identical data structure.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn admit_live(
         &mut self,
         stamp: SimTime,
         model: ModelId,
         input_tokens: u32,
         output_tokens: u32,
+        session: SessionId,
+        turn_index: u32,
+        prefix_tokens: u32,
         q: &mut Q,
     ) -> RequestId {
         let idx = self.trace.requests.len();
@@ -631,6 +677,9 @@ impl ServingSystem {
             arrival_ns: stamp.as_nanos(),
             input_tokens,
             output_tokens,
+            session,
+            turn_index,
+            prefix_tokens,
         });
         // The horizon only grows; the fault schedule and hard stop were
         // materialized from the construction-time horizon, so live and
@@ -638,8 +687,11 @@ impl ServingSystem {
         if stamp > self.trace.horizon {
             self.trace.horizon = stamp;
         }
-        self.reqs
-            .push(ReqState::new(stamp, input_tokens, output_tokens));
+        let mut rs = ReqState::new(stamp, input_tokens, output_tokens);
+        rs.session = session;
+        rs.turn_index = turn_index;
+        rs.prefix_tokens = prefix_tokens.min(input_tokens.saturating_sub(1));
+        self.reqs.push(rs);
         if self.tel.is_enabled() {
             self.req_tel.push(ReqTel::EMPTY);
         }
@@ -958,6 +1010,23 @@ impl ServingSystem {
         self.tel
             .slo
             .observe_request(now.as_nanos(), model.0, ttft, &self.tbt_scratch, tokens, met);
+        // Session turns also feed the agentic lens. Think gaps can never
+        // pollute these TBT quantiles: each turn is its own request, so the
+        // inter-token gaps above are all intra-turn by construction.
+        let rs = &self.reqs[i];
+        if rs.session.is_some() {
+            let turn_latency = now.saturating_since(rs.arrival).as_secs_f64();
+            self.tel
+                .metrics
+                .observe_sketch(self.tm.s_session_turn, turn_latency);
+            self.tel.slo.observe_turn(
+                now.as_nanos(),
+                model.0,
+                rs.turn_index,
+                turn_latency,
+                rs.prefix_hit,
+            );
+        }
     }
 
     /// Records a scheduler-decision instant and remembers it as the cause
@@ -1116,6 +1185,14 @@ impl ServingSystem {
             }
         }
         for req in stranded {
+            // A request pinned to this dead decoder by an unabsorbed prefix
+            // claim lost that prefix with the instance: its delta-only KV
+            // (wherever it sits) is unusable, so recompute from scratch.
+            let lost_claim = kind == InstKind::Decode
+                && matches!(
+                    self.reqs[req.0 as usize].prefix_claim,
+                    Some(PrefixClaim { src: SessPlace::DecodeGpu(h), .. }) if h == idx
+                );
             let rs = &mut self.reqs[req.0 as usize];
             if rs.is_done() || rs.migrated {
                 continue;
@@ -1123,6 +1200,11 @@ impl ServingSystem {
             rs.kv_ready = false;
             rs.swapin_inflight = false;
             rs.decode_inst = None;
+            if lost_claim {
+                self.abandon_claim_and_recompute(req, q);
+                continue;
+            }
+            let rs = &mut self.reqs[req.0 as usize];
             match rs.kv {
                 KvPlace::Cpu { .. } if rs.phase == Phase::Decode => {
                     // KV survives in host memory: rejoin another decoder.
@@ -1134,6 +1216,32 @@ impl ServingSystem {
                     rs.phase = Phase::Prefill;
                     self.route_prefill(req, q);
                 }
+            }
+        }
+        if kind == InstKind::Decode {
+            // Retained prefixes on the dead instance died with its VRAM;
+            // drop their book entries (no KV to free — the dead cache keeps
+            // its stale holdings, which the audit knows to expect).
+            for (_, _e) in self.sessions.drain_place(SessPlace::DecodeGpu(idx)) {
+                self.tel.metrics.inc(self.tm.c_sess_evicted, 1);
+            }
+            // Claims against the dead holder whose owners were not in its
+            // work list (still prefilling, queued, or awaiting offload
+            // retry): flag them so the next prefill touchpoint recomputes.
+            for i in 0..self.reqs.len() {
+                let claims_dead = matches!(
+                    self.reqs[i].prefix_claim,
+                    Some(PrefixClaim { src: SessPlace::DecodeGpu(h), .. }) if h == idx
+                );
+                if !claims_dead || self.reqs[i].is_done() || self.reqs[i].migrated {
+                    continue;
+                }
+                let sess = self.reqs[i].session;
+                let rs = &mut self.reqs[i];
+                rs.prefix_claim = None;
+                rs.prefix_hit = false;
+                rs.prefix_lost = true;
+                self.sessions.clear_claim(sess);
             }
         }
     }
@@ -1160,6 +1268,9 @@ impl ServingSystem {
             model: r.model,
             input_tokens: r.input_tokens,
             output_tokens: r.output_tokens,
+            session: r.session,
+            turn_index: r.turn_index,
+            prefix_tokens: r.prefix_tokens,
             local_idx: i as u32,
         });
         self.migrated_out += 1;
@@ -1264,14 +1375,305 @@ impl ServingSystem {
         self.route_prefill(req, q);
     }
 
+    // ----- Agentic sessions: prefix claims & retention -------------------
+
+    /// Frees the KV retained under a session's handle at `e.place`. Stale
+    /// holdings on dead instances died with their VRAM and are skipped; a
+    /// CPU holding whose spill copy is still in flight is parked on the
+    /// node's move list instead of freed (§5.3 rule ❸).
+    fn free_sess_entry(&mut self, sess: SessionId, e: &SessEntry) {
+        let h = SessionBook::handle(sess);
+        match e.place {
+            SessPlace::DecodeGpu(di) => {
+                let di = di as usize;
+                if !self.decodes[di].dead && self.decodes[di].gpu_kv.holds(h) {
+                    self.decodes[di].gpu_kv.free(h);
+                }
+            }
+            SessPlace::Cpu(node) => {
+                let node = node as usize;
+                if !self.nodes[node].cpu_kv.holds(h) {
+                    return;
+                }
+                let (shape, blocks) = self.nodes[node].cpu_kv.take(h);
+                match e.guard {
+                    Some(ev) if !self.fabric.query_event(ev) => {
+                        self.nodes[node].cpu_parked.park(ev, vec![(shape, blocks)]);
+                    }
+                    _ => self.nodes[node].cpu_kv.free_blocks(shape, &blocks),
+                }
+            }
+        }
+    }
+
+    /// Tries to claim the session's retained prefix for `req` at prefill
+    /// routing time. On success the book entry becomes the request's
+    /// `prefix_claim`; the handle's blocks stay where they are until the
+    /// claimant absorbs them (at swap-in for GPU prefixes, at offload for
+    /// spilled ones).
+    fn try_claim_prefix(&mut self, req: RequestId) {
+        if !self.cfg.session_affinity {
+            return;
+        }
+        let i = req.0 as usize;
+        {
+            let rs = &self.reqs[i];
+            // Crash-recovered requests (produced > 0) rebuild their full
+            // context claimless.
+            if !rs.session.is_some()
+                || rs.prefix_tokens == 0
+                || rs.produced > 0
+                || rs.prefix_claim.is_some()
+                || rs.prefix_lost
+            {
+                return;
+            }
+        }
+        let sess = self.reqs[i].session;
+        if self.sessions.is_claimed(sess) {
+            return; // an overlapping turn already holds the prefix
+        }
+        let model = self.trace.requests[i].model;
+        let Some(e) = self.sessions.get(sess).copied() else {
+            return;
+        };
+        if e.model != model {
+            return; // a DAG fan-out child on another model shares no KV
+        }
+        if e.tokens > self.reqs[i].prefix_tokens {
+            // The retained KV outgrew this turn's shared prefix (an
+            // out-of-order turn); partial use is impossible, so evict.
+            let e = self.sessions.remove(sess).expect("entry just read");
+            self.free_sess_entry(sess, &e);
+            self.tel.metrics.inc(self.tm.c_sess_evicted, 1);
+            return;
+        }
+        match e.place {
+            SessPlace::DecodeGpu(di) if self.decodes[di as usize].dead => {
+                // The holder died; its VRAM (and this entry) are gone.
+                self.sessions.remove(sess);
+                self.tel.metrics.inc(self.tm.c_sess_evicted, 1);
+            }
+            SessPlace::Cpu(_) if e.guard.is_some_and(|ev| !self.fabric.query_event(ev)) => {
+                // Spill copy still in flight: a miss, but keep the entry.
+            }
+            place => {
+                self.sessions.remove(sess);
+                self.sessions.claim(sess, req);
+                let rs = &mut self.reqs[i];
+                rs.prefix_claim = Some(PrefixClaim {
+                    tokens: e.tokens,
+                    src: place,
+                });
+                rs.prefix_hit = true;
+                self.tel.metrics.inc(self.tm.c_sess_affinity_routed, 1);
+            }
+        }
+    }
+
+    /// Returns an unabsorbed claim to the book (routing fell back, or a
+    /// single-token turn retired without reaching a merge point). Does not
+    /// touch `prefix_hit`: the caller knows whether the claim sized a
+    /// prefill before coming back.
+    fn release_claim(&mut self, req: RequestId, now: SimTime) {
+        let i = req.0 as usize;
+        let Some(c) = self.reqs[i].prefix_claim.take() else {
+            return;
+        };
+        let sess = self.reqs[i].session;
+        self.sessions.clear_claim(sess);
+        let e = SessEntry {
+            model: self.trace.requests[i].model,
+            tokens: c.tokens,
+            place: c.src,
+            retained_at: now,
+            guard: None,
+        };
+        if self.sessions.get(sess).is_some() {
+            // A newer prefix appeared meanwhile; the handle must stay
+            // unique, so the older KV goes.
+            self.free_sess_entry(sess, &e);
+            self.tel.metrics.inc(self.tm.c_sess_evicted, 1);
+        } else {
+            self.sessions.insert(sess, e);
+        }
+    }
+
+    /// Abandons an unabsorbed claim whose holder died: the delta-only KV
+    /// computed against it is discarded and the request re-prefills its
+    /// full context (the chaos recovery path).
+    fn abandon_claim_and_recompute(&mut self, req: RequestId, q: &mut Q) {
+        let i = req.0 as usize;
+        let sess = self.reqs[i].session;
+        self.reqs[i].prefix_claim = None;
+        self.reqs[i].prefix_hit = false;
+        self.sessions.clear_claim(sess);
+        if let KvPlace::Cpu { node } = self.reqs[i].kv {
+            let node = node as usize;
+            if self.nodes[node].cpu_kv.holds(req) {
+                let (shape, blocks) = self.nodes[node].cpu_kv.take(req);
+                match self.reqs[i].offload_event {
+                    // The offload copy may still be writing these blocks.
+                    Some(ev) if !self.fabric.query_event(ev) => {
+                        self.nodes[node].cpu_parked.park(ev, vec![(shape, blocks)]);
+                    }
+                    _ => self.nodes[node].cpu_kv.free_blocks(shape, &blocks),
+                }
+            }
+        }
+        // KvPlace::Gpu can only mean the dead holder here (claimed requests
+        // are pinned to it), whose cache died with it: nothing to free.
+        let rs = &mut self.reqs[i];
+        rs.kv = KvPlace::None;
+        rs.kv_ready = false;
+        rs.swapin_inflight = false;
+        rs.offload_event = None;
+        rs.phase = Phase::Prefill;
+        self.tel.metrics.inc(self.tm.c_sess_affinity_fallback, 1);
+        self.route_prefill(req, q);
+    }
+
+    /// Clears any outstanding claim before a request leaves this shard,
+    /// returning the prefix to the book when its holder is still alive.
+    fn unclaim_for_migration(&mut self, req: RequestId, now: SimTime) {
+        let i = req.0 as usize;
+        let Some(c) = self.reqs[i].prefix_claim else {
+            return;
+        };
+        let holder_dead =
+            matches!(c.src, SessPlace::DecodeGpu(di) if self.decodes[di as usize].dead);
+        if holder_dead {
+            let sess = self.reqs[i].session;
+            self.reqs[i].prefix_claim = None;
+            self.reqs[i].prefix_hit = false;
+            self.sessions.clear_claim(sess);
+        } else {
+            self.release_claim(req, now);
+            self.reqs[i].prefix_hit = false;
+        }
+    }
+
+    /// Retires a finished decode request's KV: frees it, unless session
+    /// affinity retains it under the session's handle — resident on this
+    /// GPU when the unified cache keeps ample headroom (the same 2× rule as
+    /// the KV-residency extension), spilled to the node's CPU cache via a
+    /// real d2h copy otherwise.
+    fn retire_decode_kv(&mut self, di: usize, req: RequestId, q: &mut Q) {
+        let i = req.0 as usize;
+        let sess = self.reqs[i].session;
+        let retain = self.cfg.session_affinity
+            && sess.is_some()
+            && self.reqs[i].prefix_claim.is_none()
+            && !self.sessions.is_claimed(sess);
+        if !retain {
+            self.decodes[di].gpu_kv.free(req);
+            self.reqs[i].kv = KvPlace::None;
+            self.reqs[i].kv_ready = false;
+            return;
+        }
+        let now = q.now();
+        let model = self.trace.requests[i].model;
+        let tokens = self.decodes[di].gpu_kv.tokens_of(req);
+        // The handle must stay unique: retire any prior retention first.
+        if let Some(old) = self.sessions.remove(sess) {
+            self.free_sess_entry(sess, &old);
+            self.tel.metrics.inc(self.tm.c_sess_evicted, 1);
+        }
+        let h = SessionBook::handle(sess);
+        if self.decodes[di].gpu_kv.token_capacity(model) > tokens as u64 * 2 {
+            // Keep the conversation KV resident across the think gap: pure
+            // relabeling, no bytes move.
+            self.decodes[di].gpu_kv.rekey(req, h);
+            self.sessions.insert(
+                sess,
+                SessEntry {
+                    model,
+                    tokens,
+                    place: SessPlace::DecodeGpu(di as u32),
+                    retained_at: now,
+                    guard: None,
+                },
+            );
+            self.tel.metrics.inc(self.tm.c_sess_retained_gpu, 1);
+        } else {
+            let node = self.decodes[di].node as usize;
+            if self.nodes[node].cpu_kv.alloc(h, model, tokens).is_ok() {
+                let kv_bytes = self.deploys[model.0 as usize].kv_token_bytes * tokens as u64;
+                let g = self.topo.gpu(self.primary(InstRef::decode(di))).clone();
+                let stream = if self.cfg.opts.fine_sync {
+                    g.kv_out
+                } else {
+                    g.default_stream
+                };
+                self.submit(
+                    stream,
+                    StreamOp::Copy {
+                        link: g.d2h,
+                        bytes: kv_bytes,
+                        // Noop, not KvOut: the handle is not a request and
+                        // must not feed request-indexed telemetry.
+                        tag: Tag::Noop,
+                    },
+                    q,
+                );
+                let (ev, cs) = self
+                    .fabric
+                    .record_event(stream, &mut Lift::new(q, Ev::Fabric));
+                self.ready.extend(cs);
+                // §5.3 rule ❸ for the GPU-side source blocks.
+                let (shape, blocks) = self.decodes[di].gpu_kv.take(req);
+                self.decodes[di].parked.park(ev, vec![(shape, blocks)]);
+                self.sessions.insert(
+                    sess,
+                    SessEntry {
+                        model,
+                        tokens,
+                        place: SessPlace::Cpu(node as u32),
+                        retained_at: now,
+                        guard: Some(ev),
+                    },
+                );
+                self.tel.metrics.inc(self.tm.c_sess_retained_cpu, 1);
+            } else {
+                // Pressure on both tiers: give up retention.
+                self.decodes[di].gpu_kv.free(req);
+                self.tel.metrics.inc(self.tm.c_sess_evicted, 1);
+            }
+        }
+        self.reqs[i].kv = KvPlace::None;
+        self.reqs[i].kv_ready = false;
+    }
+
     /// Algorithm 1 placement for a (possibly re-prefilled) request.
     fn route_prefill(&mut self, req: RequestId, q: &mut Q) {
         let model = self.trace.requests[req.0 as usize].model;
         let max_gpsize = self.cfg.max_gpsize;
+        self.try_claim_prefix(req);
+        // A spilled prefix only merges on its own node: bias routing there,
+        // or release the claim when that node has no live prefill left.
+        let want_node: Option<u32> =
+            self.reqs[req.0 as usize]
+                .prefix_claim
+                .and_then(|c| match c.src {
+                    SessPlace::Cpu(n) => Some(n),
+                    SessPlace::DecodeGpu(_) => None,
+                });
+        let want_node = match want_node {
+            Some(n) if !self.prefills.iter().any(|p| !p.dead && p.node == n) => {
+                self.release_claim(req, q.now());
+                self.reqs[req.0 as usize].prefix_hit = false;
+                self.tel.metrics.inc(self.tm.c_sess_affinity_fallback, 1);
+                None
+            }
+            w => w,
+        };
         // Algorithm 1 lines 4–8: join an existing group anywhere.
         let mut placed: Option<usize> = None;
         for (i, p) in self.prefills.iter_mut().enumerate() {
-            if !p.dead && p.queue.try_join(model, req, max_gpsize) {
+            if !p.dead
+                && want_node.is_none_or(|n| p.node == n)
+                && p.queue.try_join(model, req, max_gpsize)
+            {
                 placed = Some(i);
                 break;
             }
@@ -1293,7 +1695,7 @@ impl ServingSystem {
             let mut best = usize::MAX;
             let mut min_load = f64::INFINITY;
             for (i, p) in self.prefills.iter().enumerate() {
-                if p.dead {
+                if p.dead || want_node.is_some_and(|n| p.node != n) {
                     continue;
                 }
                 let load = p
@@ -1306,6 +1708,7 @@ impl ServingSystem {
             }
             if best == usize::MAX {
                 assert!(self.shard_mode, "every prefill instance has failed");
+                self.unclaim_for_migration(req, q.now());
                 self.migrate_out(req, q.now());
                 return;
             }
@@ -1341,14 +1744,49 @@ impl ServingSystem {
             .pop_request()
             .expect("front model implies a pending request");
         // Fresh requests prefill their prompt (+1 slot for the first
-        // token); failure-recovered requests rebuild their full context.
+        // token); failure-recovered requests rebuild their full context. A
+        // request holding a prefix claim prefills only its delta — the
+        // retained blocks merge in downstream.
         let fresh = self.reqs[req.0 as usize].produced == 0;
-        let ptokens = self.reqs[req.0 as usize].ctx_tokens() + u32::from(fresh);
+        let claimed = self.reqs[req.0 as usize].claimed_tokens();
+        if claimed == 0 {
+            // Any lost-prefix flag is moot once the sizing below covers the
+            // full context (the claim was already dropped while queued).
+            self.reqs[req.0 as usize].prefix_lost = false;
+        }
+        let full = self.reqs[req.0 as usize].ctx_tokens() + u32::from(fresh);
+        let ptokens = full.saturating_sub(claimed);
         if self.prefills[pi].gpu_kv.alloc(req, model, ptokens).is_err() {
             // VRAM KV backpressure: requeue and retry after reclamation.
             self.prefills[pi].queue.push_front(model, req);
             self.prefills[pi].retry = true;
             return;
+        }
+        // Reuse accounting happens here, at compute issue, so alloc-retry
+        // loops cannot double-count and a crash-forced second prefill of
+        // the same turn honestly recounts its prefix as recomputed.
+        {
+            let rs = &self.reqs[req.0 as usize];
+            if rs.session.is_some() && rs.prefix_tokens > 0 {
+                if claimed > 0 {
+                    self.prefix_hits += 1;
+                    self.prefill_tokens_reused += claimed as u64;
+                    self.prefill_tokens_recomputed += (rs.prefix_tokens - claimed) as u64;
+                    self.tel.metrics.inc(self.tm.c_sess_prefix_hits, 1);
+                    self.tel
+                        .metrics
+                        .inc(self.tm.c_sess_reused_tokens, claimed as u64);
+                    self.tel.metrics.inc(
+                        self.tm.c_sess_recomputed_tokens,
+                        (rs.prefix_tokens - claimed) as u64,
+                    );
+                } else {
+                    self.prefill_tokens_recomputed += rs.prefix_tokens as u64;
+                    self.tel
+                        .metrics
+                        .inc(self.tm.c_sess_recomputed_tokens, rs.prefix_tokens as u64);
+                }
+            }
         }
         let now = q.now();
         {
@@ -1382,6 +1820,26 @@ impl ServingSystem {
         }
         let now = q.now();
         let model = self.trace.requests[req.0 as usize].model;
+        if self.reqs[req.0 as usize].prefix_lost {
+            // The claimed prefix died while this delta-only prefill ran:
+            // the KV just computed is unusable without it. Discard and
+            // recompute the full context (chaos recovery path).
+            self.tel_end_phase(req, now);
+            self.prefills[pi].gpu_kv.free(req);
+            {
+                let rs = &mut self.reqs[req.0 as usize];
+                rs.prefix_lost = false;
+                rs.prefix_hit = false;
+                rs.kv = KvPlace::None;
+                rs.kv_ready = false;
+                rs.prefill_start = None;
+            }
+            self.prefills[pi].active = None;
+            self.tel.metrics.inc(self.tm.c_sess_affinity_fallback, 1);
+            self.route_prefill(req, q);
+            self.prefill_try_start(pi, q);
+            return;
+        }
         {
             let rs = &mut self.reqs[req.0 as usize];
             if rs.produced == 0 {
@@ -1392,6 +1850,7 @@ impl ServingSystem {
                         index: 0,
                         at: now,
                         done: rs.is_done(),
+                        prefix_hit: rs.prefix_hit,
                     });
                 }
             }
@@ -1425,6 +1884,10 @@ impl ServingSystem {
             // Single-token request: the prefill's first token is also its
             // last. Retire here — decode batches skip done requests, so
             // dispatching it would park it (and its admission slot) forever.
+            // An unabsorbed claim goes back to the book (the reuse was
+            // real; the merge point simply never came), and the delta KV is
+            // freed without retention.
+            self.release_claim(req, now);
             self.prefills[pi].gpu_kv.free(req);
             let rs = &mut self.reqs[req.0 as usize];
             rs.kv = KvPlace::None;
@@ -1456,24 +1919,56 @@ impl ServingSystem {
         };
         if self.decodes.iter().all(|d| d.dead) {
             assert!(self.shard_mode, "every decoding instance has failed");
+            self.unclaim_for_migration(req, q.now());
             self.migrate_out(req, q.now());
             return;
         }
+        // A GPU-resident claimed prefix pins the request to its holder —
+        // that is the whole point of session affinity. A dead holder means
+        // the prefix is gone: fall back to a full recompute.
+        let forced: Option<usize> =
+            self.reqs[req.0 as usize]
+                .prefix_claim
+                .and_then(|c| match c.src {
+                    SessPlace::DecodeGpu(h) => Some(h as usize),
+                    SessPlace::Cpu(_) => None,
+                });
+        if let Some(h) = forced {
+            if self.decodes[h].dead {
+                self.abandon_claim_and_recompute(req, q);
+                return;
+            }
+        }
         let (di, join) = {
             let decodes = &self.decodes;
-            let alive: Vec<usize> = (0..decodes.len()).filter(|&i| !decodes[i].dead).collect();
-            let lists: Vec<&WorkList> = alive.iter().map(|&i| &decodes[i].work).collect();
-            let (k, join) = dispatch_decode(
-                &lists,
-                model,
-                |k, b| {
-                    let i = alive[k];
-                    let cap = decodes[i].gpu_kv.max_batch(model, expected_ctx);
-                    b.reqs.len() < cap.max(1)
-                },
-                |k| decodes[alive[k]].node == req_node,
-            );
-            (alive[k], join)
+            if let Some(h) = forced {
+                // Algorithm 2's join-or-new on the holder alone.
+                let lists = [&decodes[h].work];
+                let (_, join) = dispatch_decode(
+                    &lists,
+                    model,
+                    |_, b| {
+                        let cap = decodes[h].gpu_kv.max_batch(model, expected_ctx);
+                        b.reqs.len() < cap.max(1)
+                    },
+                    |_| true,
+                );
+                (h, join)
+            } else {
+                let alive: Vec<usize> = (0..decodes.len()).filter(|&i| !decodes[i].dead).collect();
+                let lists: Vec<&WorkList> = alive.iter().map(|&i| &decodes[i].work).collect();
+                let (k, join) = dispatch_decode(
+                    &lists,
+                    model,
+                    |k, b| {
+                        let i = alive[k];
+                        let cap = decodes[i].gpu_kv.max_batch(model, expected_ctx);
+                        b.reqs.len() < cap.max(1)
+                    },
+                    |k| decodes[alive[k]].node == req_node,
+                );
+                (alive[k], join)
+            }
         };
         let batch_id = match join {
             Some(b) => {
@@ -1855,12 +2350,11 @@ impl ServingSystem {
                     index: rs.produced - 1,
                     at: now,
                     done,
+                    prefix_hit: rs.prefix_hit,
                 });
             }
             if done {
-                self.decodes[di].gpu_kv.free(req);
-                self.reqs[req.0 as usize].kv = KvPlace::None;
-                self.reqs[req.0 as usize].kv_ready = false;
+                self.retire_decode_kv(di, req, q);
                 self.decodes[di].work.remove_request(req);
                 self.completed += 1;
                 self.tel_req_done(req, now);
@@ -1952,6 +2446,20 @@ impl ServingSystem {
             rs.swapin_inflight = false;
             rs.kv_ready = true;
         }
+        // The delta KV and the GPU-resident claimed prefix now share this
+        // GPU: merge them into one entry (token counts line up with the
+        // full context by the claim rule).
+        if let Some(c) = self.reqs[req.0 as usize].prefix_claim {
+            if let SessPlace::DecodeGpu(h) = c.src {
+                debug_assert_eq!(h as usize, di, "claimed request dispatched off-holder");
+                let sess = self.reqs[req.0 as usize].session;
+                self.decodes[di]
+                    .gpu_kv
+                    .absorb(req, SessionBook::handle(sess));
+                self.reqs[req.0 as usize].prefix_claim = None;
+                self.sessions.clear_claim(sess);
+            }
+        }
         self.maybe_start_stepping(di, q);
     }
 
@@ -1963,10 +2471,28 @@ impl ServingSystem {
         let node = self.inst_node(at) as usize;
         let model = self.trace.requests[req.0 as usize].model;
         let ctx = self.reqs[req.0 as usize].ctx_tokens();
-        if self.nodes[node].cpu_kv.alloc(req, model, ctx).is_err() {
+        // Only the freshly computed tokens move: a claimed prefix already
+        // lives in its own cache (and merges below when that cache is this
+        // node's).
+        let claimed = self.reqs[req.0 as usize].claimed_tokens();
+        let move_tokens = ctx.saturating_sub(claimed);
+        if self.nodes[node].cpu_kv.alloc(req, model, move_tokens).is_err() {
             return false;
         }
-        let kv_bytes = self.deploys[model.0 as usize].kv_token_bytes * ctx as u64;
+        // A spilled prefix on this node merges with the arriving delta into
+        // one CPU entry (routing pinned the prefill to this node).
+        if let Some(c) = self.reqs[req.0 as usize].prefix_claim {
+            if let SessPlace::Cpu(cn) = c.src {
+                debug_assert_eq!(cn as usize, node, "claimed request offloaded off-node");
+                let sess = self.reqs[req.0 as usize].session;
+                self.nodes[node]
+                    .cpu_kv
+                    .absorb(req, SessionBook::handle(sess));
+                self.reqs[req.0 as usize].prefix_claim = None;
+                self.sessions.clear_claim(sess);
+            }
+        }
+        let kv_bytes = self.deploys[model.0 as usize].kv_token_bytes * move_tokens as u64;
         let (shape, blocks) = match at.kind {
             InstKind::Prefill => self.prefills[at.idx as usize].gpu_kv.take(req),
             InstKind::Decode => self.decodes[at.idx as usize].gpu_kv.take(req),
@@ -2034,12 +2560,21 @@ impl ServingSystem {
                 self.trace.requests[req.0 as usize].model,
             )
         };
-        if self.decodes[di].gpu_kv.alloc(req, model, ctx).is_err() {
+        // A GPU-resident claimed prefix is already on this instance (the
+        // dispatch pinned us to its holder): only the delta moves up.
+        let claimed = self.reqs[req.0 as usize].claimed_tokens();
+        let move_tokens = ctx.saturating_sub(claimed);
+        if self
+            .decodes[di]
+            .gpu_kv
+            .alloc(req, model, move_tokens)
+            .is_err()
+        {
             // GPU KV pressure; the daemon retries after reclamation.
             return;
         }
         let (shape, blocks) = self.nodes[src_node].cpu_kv.take(req);
-        let kv_bytes = self.deploys[model.0 as usize].kv_token_bytes * ctx as u64;
+        let kv_bytes = self.deploys[model.0 as usize].kv_token_bytes * move_tokens as u64;
         let g = self.topo.gpu(self.primary(InstRef::decode(di))).clone();
         let stream = if self.cfg.opts.fine_sync {
             g.kv_in
@@ -2486,11 +3021,41 @@ impl ServingSystem {
             }
             let retries = std::mem::take(&mut self.nodes[ni].offload_retry);
             for (at, req) in retries {
+                // A retrying request whose claimed prefix died holds
+                // delta-only KV: discard it and recompute instead of
+                // offloading an incomplete context.
+                if self.reqs[req.0 as usize].prefix_lost {
+                    if at.kind == InstKind::Prefill {
+                        let pi = at.idx as usize;
+                        if !self.prefills[pi].dead && self.prefills[pi].gpu_kv.holds(req) {
+                            self.prefills[pi].gpu_kv.free(req);
+                        }
+                    }
+                    let rs = &mut self.reqs[req.0 as usize];
+                    rs.prefix_lost = false;
+                    rs.prefix_hit = false;
+                    rs.kv = KvPlace::None;
+                    rs.kv_ready = false;
+                    rs.phase = Phase::Prefill;
+                    self.tel.metrics.inc(self.tm.c_sess_affinity_fallback, 1);
+                    self.route_prefill(req, q);
+                    continue;
+                }
                 if self.issue_offload(at, req, q) {
                     self.dispatch_decode_req(req, q);
                 } else {
                     self.nodes[ni].offload_retry.push((at, req));
                 }
+            }
+        }
+        // Session-KV TTL: a retained prefix idle past the think-gap budget
+        // stops paying for its residency and is evicted.
+        if self.cfg.session_affinity && !self.sessions.is_empty() {
+            let now = q.now();
+            for sess in self.sessions.expired(now, self.cfg.session_kv_ttl) {
+                let e = self.sessions.remove(sess).expect("expired entry exists");
+                self.free_sess_entry(sess, &e);
+                self.tel.metrics.inc(self.tm.c_sess_expired, 1);
             }
         }
         self.drain(q);
@@ -2599,6 +3164,9 @@ impl ServingSystem {
             scale_count: self.scale_count,
             prefetch_hits: self.prefetch_hits,
             swaps: self.swaps,
+            prefix_hits: self.prefix_hits,
+            prefill_tokens_reused: self.prefill_tokens_reused,
+            prefill_tokens_recomputed: self.prefill_tokens_recomputed,
             events: q.events_dispatched(),
             schedule: self.schedule,
             telemetry: self.tel,
@@ -2657,7 +3225,62 @@ impl AuditView for ServingSystem {
                 return Some(format!("node {i} cpu kv: {e}"));
             }
         }
-        None
+        // Session-prefix double entry: every book entry must be backed by
+        // its cache with the recorded token count, and every reserved
+        // handle held anywhere must be owned by the book, an outstanding
+        // claim, or a dead instance (whose stale holdings are expected).
+        for (sess, e) in self.sessions.iter() {
+            let h = SessionBook::handle(sess);
+            let backed = match e.place {
+                SessPlace::DecodeGpu(di) => {
+                    let d = &self.decodes[di as usize];
+                    d.dead || d.gpu_kv.tokens_of(h) == e.tokens
+                }
+                SessPlace::Cpu(node) => self.nodes[node as usize].cpu_kv.tokens_of(h) == e.tokens,
+            };
+            if !backed {
+                return Some(format!(
+                    "session book entry {sess} ({} tokens at {:?}) not backed by its cache",
+                    e.tokens, e.place
+                ));
+            }
+        }
+        let owned: std::collections::HashSet<u64> = self
+            .sessions
+            .iter()
+            .map(|(s, _)| s.0)
+            .chain(self.sessions.claims().map(|(s, _)| s.0))
+            .collect();
+        let mut orphan: Option<String> = None;
+        let mut check_handles = |label: String, cache: &KvCache, dead: bool| {
+            if dead || orphan.is_some() {
+                return;
+            }
+            let mut ids: Vec<RequestId> = cache
+                .request_ids()
+                .filter(|id| SessionBook::is_handle(*id))
+                .collect();
+            ids.sort_unstable();
+            for id in ids {
+                if !owned.contains(&SessionBook::session_of(id).0) {
+                    orphan = Some(format!(
+                        "{label} holds session handle {} owned by no book entry or claim",
+                        SessionBook::session_of(id)
+                    ));
+                    return;
+                }
+            }
+        };
+        for (i, p) in self.prefills.iter().enumerate() {
+            check_handles(format!("prefill {i} gpu kv"), &p.gpu_kv, p.dead);
+        }
+        for (i, d) in self.decodes.iter().enumerate() {
+            check_handles(format!("decode {i} gpu kv"), &d.gpu_kv, d.dead);
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            check_handles(format!("node {i} cpu kv"), &n.cpu_kv, false);
+        }
+        orphan
     }
 
     fn link_audit(&self) -> Option<String> {

@@ -147,6 +147,38 @@ impl KvCache {
         self.pool.free(r.shape, &r.blocks);
     }
 
+    /// Re-labels a request's KV under a new key without touching the pool
+    /// (no bytes move; ownership transfers). Used to retain a finished
+    /// turn's KV under its session's reserved handle for prefix reuse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `old` holds no KV or `new` already does.
+    pub fn rekey(&mut self, old: RequestId, new: RequestId) {
+        assert!(
+            !self.requests.contains_key(&new),
+            "rekey target {new:?} already holds KV"
+        );
+        let r = self.requests.remove(&old).expect("rekey source holds KV");
+        self.requests.insert(new, r);
+    }
+
+    /// Merges `src`'s blocks into `dst` (both must hold KV of the same
+    /// shape): `dst` ends up owning both block lists and the summed token
+    /// count; `src` disappears. Used when a turn's fresh-delta KV joins the
+    /// session's cached prefix into one per-request entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either request holds no KV or the shapes differ.
+    pub fn absorb(&mut self, dst: RequestId, src: RequestId) {
+        let s = self.requests.remove(&src).expect("absorb source holds KV");
+        let d = self.requests.get_mut(&dst).expect("absorb target holds KV");
+        assert_eq!(d.shape, s.shape, "absorb across KV shapes");
+        d.blocks.extend(s.blocks);
+        d.tokens += s.tokens;
+    }
+
     /// Removes a request's KV *without* freeing the blocks — the caller
     /// parks them in a move list (§5.3 rule ❸) and frees them later via
     /// [`Self::free_blocks`].
@@ -176,6 +208,12 @@ impl KvCache {
     /// Tokens currently stored for a request (0 if absent).
     pub fn tokens_of(&self, req: RequestId) -> u32 {
         self.requests.get(&req).map(|r| r.tokens).unwrap_or(0)
+    }
+
+    /// Every key currently holding KV, in unspecified order (audit use;
+    /// callers wanting determinism must sort).
+    pub fn request_ids(&self) -> impl Iterator<Item = RequestId> + '_ {
+        self.requests.keys().copied()
     }
 
     /// Tokens' worth of KV still allocatable for `model` right now.
@@ -349,5 +387,49 @@ mod tests {
         let (mut c, ids) = cache_with(&[("Qwen-7B", 1)]);
         c.alloc(RequestId(1), ids[0], 16).unwrap();
         let _ = c.alloc(RequestId(1), ids[0], 16);
+    }
+
+    #[test]
+    fn rekey_transfers_ownership_without_pool_traffic() {
+        let (mut c, ids) = cache_with(&[("Qwen-7B", 1)]);
+        c.alloc(RequestId(1), ids[0], 160).unwrap();
+        let bytes = c.bytes_of(RequestId(1));
+        let cap = c.token_capacity(ids[0]);
+        let handle = RequestId(1 << 63 | 7);
+        c.rekey(RequestId(1), handle);
+        assert!(!c.holds(RequestId(1)));
+        assert!(c.holds(handle));
+        assert_eq!(c.bytes_of(handle), bytes);
+        assert_eq!(c.tokens_of(handle), 160);
+        assert_eq!(c.token_capacity(ids[0]), cap);
+        assert!(c.audit(&HashMap::new()).is_none());
+        c.free(handle);
+    }
+
+    #[test]
+    fn absorb_merges_blocks_and_tokens() {
+        let (mut c, ids) = cache_with(&[("Qwen-7B", 1)]);
+        c.alloc(RequestId(1), ids[0], 33).unwrap(); // 3 blocks
+        c.alloc(RequestId(2), ids[0], 10).unwrap(); // 1 block
+        let total = c.bytes_of(RequestId(1)) + c.bytes_of(RequestId(2));
+        c.absorb(RequestId(1), RequestId(2));
+        assert!(!c.holds(RequestId(2)));
+        assert_eq!(c.tokens_of(RequestId(1)), 43);
+        assert_eq!(c.bytes_of(RequestId(1)), total);
+        assert!(c.audit(&HashMap::new()).is_none());
+        // Growth still works from the merged entry.
+        c.extend(RequestId(1), 100).unwrap();
+        assert!(c.audit(&HashMap::new()).is_none());
+        c.free(RequestId(1));
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rekey target")]
+    fn rekey_onto_held_key_panics() {
+        let (mut c, ids) = cache_with(&[("Qwen-7B", 1)]);
+        c.alloc(RequestId(1), ids[0], 16).unwrap();
+        c.alloc(RequestId(2), ids[0], 16).unwrap();
+        c.rekey(RequestId(1), RequestId(2));
     }
 }

@@ -7,6 +7,7 @@
 //! payloads are simulation artifacts.
 
 use aegaeon_model::ModelId;
+use aegaeon_workload::SessionId;
 use serde_json::Value;
 
 /// A parsed `POST /v1/completions` body.
@@ -18,6 +19,14 @@ pub struct CompletionParams {
     pub input_tokens: u32,
     /// Tokens to generate (the simulator's oracle output length).
     pub output_tokens: u32,
+    /// Agentic session this turn belongs to ([`SessionId::NONE`] for
+    /// standalone completions).
+    pub session: SessionId,
+    /// Zero-based turn index within the session.
+    pub turn_index: u32,
+    /// Leading prompt tokens shared verbatim with the session's previous
+    /// turn (clamped to leave at least one fresh token).
+    pub prefix_tokens: u32,
 }
 
 /// Why a completions body was refused.
@@ -95,21 +104,83 @@ pub fn parse_completion(body: &[u8], n_models: u32) -> Result<CompletionParams, 
         None => DEFAULT_MAX_TOKENS,
     };
 
+    // Optional agentic-session fields: `session_id` ties consecutive turns
+    // together for KV reuse; `turn_index` / `prefix_tokens` describe this
+    // turn's place in the conversation. Absent `session_id`, the other two
+    // are ignored (a standalone completion has no prefix to reuse).
+    let session = match obj.get("session_id") {
+        Some(v) => {
+            let s = match v {
+                Value::String(s) => s
+                    .parse::<u64>()
+                    .map_err(|_| ApiError::Bad("session_id must be a non-negative integer".into()))?,
+                other => as_u64(other)
+                    .ok_or_else(|| ApiError::Bad("session_id must be a non-negative integer".into()))?,
+            };
+            if s == u64::MAX {
+                return Err(ApiError::Bad("session_id is reserved".into()));
+            }
+            SessionId(s)
+        }
+        None => SessionId::NONE,
+    };
+    let (turn_index, prefix_tokens) = if session.is_some() {
+        let turn = match obj.get("turn_index") {
+            Some(v) => as_u64(v)
+                .ok_or_else(|| ApiError::Bad("turn_index must be a non-negative integer".into()))?
+                .min(u32::MAX as u64) as u32,
+            None => 0,
+        };
+        let prefix = match obj.get("prefix_tokens") {
+            Some(v) => as_u64(v)
+                .ok_or_else(|| ApiError::Bad("prefix_tokens must be a non-negative integer".into()))?
+                as u32,
+            None => 0,
+        };
+        // The prompt must keep at least one fresh token past the shared
+        // prefix (same clamp the serving system applies on admission).
+        (turn, prefix.min(input_tokens.saturating_sub(1)))
+    } else {
+        (0, 0)
+    };
+
     Ok(CompletionParams {
         model: ModelId(idx as u32),
         input_tokens,
         output_tokens,
+        session,
+        turn_index,
+        prefix_tokens,
     })
 }
 
 /// Serializes one streaming completion chunk (OpenAI `text_completion`
-/// shape; timestamps are simulated nanoseconds).
-pub fn completion_chunk(request_id: u64, model: ModelId, index: u32, at_ns: u64, done: bool) -> String {
+/// shape; timestamps are simulated nanoseconds). The final frame (`done`)
+/// additionally reports whether the turn prefilled only its delta off a
+/// retained session prefix (`prefix_hit`) — observer data copied from the
+/// token tap, so surfacing it cannot perturb the simulation.
+pub fn completion_chunk(
+    request_id: u64,
+    model: ModelId,
+    index: u32,
+    at_ns: u64,
+    done: bool,
+    prefix_hit: bool,
+) -> String {
     let finish = if done { "\"stop\"" } else { "null" };
+    let hit = if done {
+        if prefix_hit {
+            ",\"prefix_hit\":true"
+        } else {
+            ",\"prefix_hit\":false"
+        }
+    } else {
+        ""
+    };
     format!(
         "{{\"id\":\"cmpl-{request_id}\",\"object\":\"text_completion\",\"created_ns\":{at_ns},\
          \"model\":\"{model}\",\"choices\":[{{\"index\":0,\"text\":\"tok{index} \",\
-         \"finish_reason\":{finish}}}]}}"
+         \"finish_reason\":{finish}}}]{hit}}}"
     )
 }
 
@@ -134,6 +205,43 @@ mod tests {
         assert_eq!(p.model, ModelId(2));
         assert_eq!(p.input_tokens, 4);
         assert_eq!(p.output_tokens, 8);
+        assert!(p.session.is_none());
+        assert_eq!((p.turn_index, p.prefix_tokens), (0, 0));
+    }
+
+    #[test]
+    fn parses_session_fields_and_clamps_prefix() {
+        let p = parse_completion(
+            br#"{"model":"m0","input_tokens":100,"session_id":7,"turn_index":2,"prefix_tokens":60}"#,
+            1,
+        )
+        .unwrap();
+        assert_eq!(p.session, SessionId(7));
+        assert_eq!(p.turn_index, 2);
+        assert_eq!(p.prefix_tokens, 60);
+        // The prefix can never swallow the whole prompt.
+        let p = parse_completion(
+            br#"{"model":"m0","input_tokens":10,"session_id":"7","prefix_tokens":500}"#,
+            1,
+        )
+        .unwrap();
+        assert_eq!(p.prefix_tokens, 9);
+        // Without a session the turn/prefix fields are ignored.
+        let p = parse_completion(
+            br#"{"model":"m0","input_tokens":10,"turn_index":3,"prefix_tokens":5}"#,
+            1,
+        )
+        .unwrap();
+        assert!(p.session.is_none());
+        assert_eq!((p.turn_index, p.prefix_tokens), (0, 0));
+        // The reserved NONE id is refused.
+        assert!(matches!(
+            parse_completion(
+                br#"{"model":"m0","session_id":18446744073709551615}"#,
+                1
+            ),
+            Err(ApiError::Bad(_))
+        ));
     }
 
     #[test]
@@ -175,12 +283,17 @@ mod tests {
 
     #[test]
     fn chunks_are_valid_json() {
-        let c = completion_chunk(7, ModelId(2), 3, 123, false);
+        let c = completion_chunk(7, ModelId(2), 3, 123, false, false);
         let v: Value = serde_json::from_str(&c).expect("chunk must be JSON");
         let Value::Object(o) = v else { panic!("object") };
         assert!(matches!(o.get("choices"), Some(Value::Array(_))));
-        let done = completion_chunk(7, ModelId(2), 9, 456, true);
+        assert!(!c.contains("prefix_hit"), "only done frames report reuse");
+        let done = completion_chunk(7, ModelId(2), 9, 456, true, true);
         assert!(done.contains("\"finish_reason\":\"stop\""));
+        assert!(done.contains("\"prefix_hit\":true"));
+        let done_miss = completion_chunk(7, ModelId(2), 9, 456, true, false);
+        assert!(done_miss.contains("\"prefix_hit\":false"));
+        let _: Value = serde_json::from_str(&done).expect("done frame must stay JSON");
         let err: Value = serde_json::from_str(&error_body("rate_limit", "try later")).unwrap();
         assert!(matches!(err, Value::Object(_)));
     }

@@ -3,7 +3,7 @@
 //! ```text
 //! gateway [--addr HOST:PORT] [--mode realtime|timewarp] [--factor K]
 //!         [--models N] [--prefill N] [--decode N] [--horizon-secs S]
-//!         [--max-inflight N] [--seed S]
+//!         [--max-inflight N] [--seed S] [--session-affinity]
 //! ```
 //!
 //! Runs until SIGTERM/SIGINT, then drains gracefully: in-flight streams
@@ -33,6 +33,7 @@ struct Args {
     trace_out: Option<String>,
     max_connections: usize,
     reactors: usize,
+    session_affinity: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -50,6 +51,7 @@ fn parse_args() -> Result<Args, String> {
         trace_out: None,
         max_connections: 16 * 1024,
         reactors: 1,
+        session_affinity: false,
     };
     let mut factor = 10.0;
     let mut timewarp = false;
@@ -101,6 +103,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?
             }
+            "--session-affinity" => args.session_affinity = true,
             "--chaos" => args.chaos = Some(value("--chaos")?),
             "--report-out" => args.report_out = Some(value("--report-out")?),
             "--trace-out" => args.trace_out = Some(value("--trace-out")?),
@@ -127,7 +130,8 @@ fn parse_args() -> Result<Args, String> {
                     "usage: gateway [--addr HOST:PORT] [--mode realtime|timewarp] [--factor K] \
                      [--models N] [--prefill N] [--decode N] [--horizon-secs S] \
                      [--max-inflight N] [--seed S] [--chaos PLAN] [--report-out FILE] \
-                     [--trace-out FILE] [--max-connections N] [--reactors N|auto]"
+                     [--trace-out FILE] [--max-connections N] [--reactors N|auto] \
+                     [--session-affinity]"
                 );
                 std::process::exit(0);
             }
@@ -152,6 +156,7 @@ fn main() {
 
     let mut cfg = AegaeonConfig::small_testbed(args.prefill, args.decode);
     cfg.seed = args.seed;
+    cfg.session_affinity = args.session_affinity;
     if let Some(plan) = &args.chaos {
         cfg.faults = match plan.parse() {
             Ok(p) => p,

@@ -993,6 +993,9 @@ impl Reactor {
                 model: params.model,
                 input_tokens: params.input_tokens,
                 output_tokens: params.output_tokens,
+                session: params.session,
+                turn_index: params.turn_index,
+                prefix_tokens: params.prefix_tokens,
                 sink: Some(Box::new(RingSink {
                     prod,
                     board: Arc::clone(&self.board),
@@ -1076,6 +1079,7 @@ impl Reactor {
                                 tok.index,
                                 tok.at.as_nanos(),
                                 tok.done,
+                                tok.prefix_hit,
                             );
                             let mut frame = sse::event(&chunk);
                             if tok.done {

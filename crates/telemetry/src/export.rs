@@ -299,6 +299,26 @@ pub fn slo_jsonl(slo: &SloObservatory, attrib: &AttributionLedger) -> String {
         push_json_f64(&mut out, c.attainment());
         out.push_str("}\n");
     }
+    for (m, t) in slo.turn_stats().iter().enumerate() {
+        if t.turns == 0 {
+            continue;
+        }
+        let _ = write!(
+            out,
+            "{{\"type\":\"session_turns\",\"model\":{m},\"turns\":{},\"prefix_hits\":{},\"max_depth\":{},\"prefix_hit_rate\":",
+            t.turns, t.prefix_hits, t.max_depth
+        );
+        push_json_f64(&mut out, t.prefix_hit_rate());
+        for (key, q) in [
+            ("turn_latency_p50", 0.50),
+            ("turn_latency_p90", 0.90),
+            ("turn_latency_p99", 0.99),
+        ] {
+            let _ = write!(out, ",\"{key}\":");
+            push_json_f64(&mut out, t.latency_quantile(q));
+        }
+        out.push_str("}\n");
+    }
     for (inst, model, kind, secs) in attrib.rows() {
         out.push_str("{\"type\":\"attrib\",\"instance\":");
         push_json_str(&mut out, inst);
@@ -348,6 +368,32 @@ pub fn slo_json(slo: &SloObservatory, attrib: &AttributionLedger) -> String {
         ] {
             let _ = write!(out, ",\"{key}\":");
             push_json_f64(&mut out, v);
+        }
+        out.push('}');
+    }
+    out.push_str("],\"sessions\":[");
+    let mut first = true;
+    for (m, t) in slo.turn_stats().iter().enumerate() {
+        if t.turns == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"model\":\"m{m}\",\"turns\":{},\"prefix_hits\":{},\"max_depth\":{},\"prefix_hit_rate\":",
+            t.turns, t.prefix_hits, t.max_depth
+        );
+        push_json_f64(&mut out, t.prefix_hit_rate());
+        for (key, q) in [
+            ("turn_latency_p50", 0.50),
+            ("turn_latency_p90", 0.90),
+            ("turn_latency_p99", 0.99),
+        ] {
+            let _ = write!(out, ",\"{key}\":");
+            push_json_f64(&mut out, t.latency_quantile(q));
         }
         out.push('}');
     }

@@ -118,6 +118,50 @@ impl SloCum {
     }
 }
 
+/// Cumulative (whole-run) per-model agentic-turn series.
+///
+/// Turn latency is **turn-scoped**: arrival → final token of one session
+/// turn. The think gap between a turn's completion and the next turn's
+/// arrival is client time, not serving time — turns are separate requests,
+/// so inter-turn gaps never enter the TBT sketches by construction, and
+/// this series keeps them out of turn latency too (each turn's clock
+/// starts at its own arrival).
+#[derive(Debug)]
+pub struct TurnCum {
+    /// Session turns retired (requests with a session id).
+    pub turns: u64,
+    /// Turns that prefilled only their delta off a retained prefix.
+    pub prefix_hits: u64,
+    /// Deepest turn index observed, plus one (session depth reached).
+    pub max_depth: u32,
+    latency: QuantileSketch,
+}
+
+impl TurnCum {
+    fn new() -> TurnCum {
+        TurnCum {
+            turns: 0,
+            prefix_hits: 0,
+            max_depth: 0,
+            latency: QuantileSketch::new(SLO_SKETCH_ALPHA),
+        }
+    }
+
+    /// Turn-latency quantile (NaN when no turns retired).
+    pub fn latency_quantile(&self, q: f64) -> f64 {
+        self.latency.quantile(q)
+    }
+
+    /// `prefix_hits / turns` (0.0 when no turns retired).
+    pub fn prefix_hit_rate(&self) -> f64 {
+        if self.turns == 0 {
+            0.0
+        } else {
+            self.prefix_hits as f64 / self.turns as f64
+        }
+    }
+}
+
 /// Windowed per-model SLO series (see module docs).
 #[derive(Debug, Default)]
 pub struct SloObservatory {
@@ -128,6 +172,7 @@ pub struct SloObservatory {
     cur: Vec<ModelWindow>,
     cum: Vec<SloCum>,
     points: Vec<SloPoint>,
+    turns: Vec<TurnCum>,
 }
 
 impl SloObservatory {
@@ -142,6 +187,7 @@ impl SloObservatory {
             cur: (0..n_models).map(|_| ModelWindow::new()).collect(),
             cum: vec![SloCum::default(); n_models],
             points: Vec::new(),
+            turns: (0..n_models).map(|_| TurnCum::new()).collect(),
         }
     }
 
@@ -234,6 +280,35 @@ impl SloObservatory {
         c.requests += 1;
         c.tokens += tokens;
         c.tokens_met += tokens_met;
+    }
+
+    /// Records one retired **session turn** on top of its
+    /// [`SloObservatory::observe_request`] call. `latency_secs` is
+    /// turn-scoped (this turn's arrival → its final token); the preceding
+    /// think gap is excluded because the turn is its own request — see
+    /// [`TurnCum`].
+    pub fn observe_turn(
+        &mut self,
+        retired_ns: u64,
+        model: u32,
+        turn_index: u32,
+        latency_secs: f64,
+        prefix_hit: bool,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.advance(retired_ns);
+        let t = &mut self.turns[model as usize];
+        t.turns += 1;
+        t.prefix_hits += u64::from(prefix_hit);
+        t.max_depth = t.max_depth.max(turn_index + 1);
+        t.latency.insert(latency_secs);
+    }
+
+    /// Cumulative agentic-turn series per model (empty when disabled).
+    pub fn turn_stats(&self) -> &[TurnCum] {
+        &self.turns
     }
 
     /// End-of-run hook: seals the final (possibly partial) window at its
@@ -427,6 +502,37 @@ mod tests {
         assert!((p.ttft_p50 - 0.50).abs() <= 0.50 * 0.01 + 1e-9);
         assert!((p.ttft_p99 - 0.99).abs() <= 0.99 * 0.01 + 1e-9);
         assert!(p.tbt_p50.is_nan(), "no TBT samples recorded");
+    }
+
+    /// A 30-second think gap between two turns of one session must never
+    /// surface in the TBT quantiles: each turn is its own request, so TBT
+    /// only sees intra-request gaps, and the turn series carries the
+    /// turn-scoped latencies separately.
+    #[test]
+    fn think_gaps_stay_out_of_tbt_quantiles() {
+        let w = 60 * 1_000_000_000u64;
+        let mut o = SloObservatory::new(1, w);
+        // Turn 0 retires at t=2s; the client "thinks" for 30 s; turn 1
+        // arrives at t=32s and retires at t=33s. Intra-request gaps are
+        // all 50 ms.
+        o.observe_request(2_000_000_000, 0, 0.3, &[0.05, 0.05], 3, 3);
+        o.observe_turn(2_000_000_000, 0, 0, 2.0, false);
+        o.observe_request(33_000_000_000, 0, 0.2, &[0.05], 2, 2);
+        o.observe_turn(33_000_000_000, 0, 1, 1.0, true);
+        o.finish();
+        let p = &o.points()[0];
+        assert!(
+            p.tbt_p99 <= 0.05 * (1.0 + SLO_SKETCH_ALPHA) + 1e-9,
+            "think gap leaked into TBT: p99={}",
+            p.tbt_p99
+        );
+        let t = &o.turn_stats()[0];
+        assert_eq!(t.turns, 2);
+        assert_eq!(t.prefix_hits, 1);
+        assert_eq!(t.max_depth, 2);
+        assert!((t.prefix_hit_rate() - 0.5).abs() < 1e-12);
+        // Turn latency is turn-scoped: its max is 2 s, not 31 s.
+        assert!(t.latency_quantile(0.99) <= 2.0 * (1.0 + SLO_SKETCH_ALPHA));
     }
 
     #[test]

@@ -129,13 +129,13 @@ mod tests {
         use crate::request::{Request, RequestId};
         use aegaeon_model::ModelId;
         let trace = Trace {
-            requests: vec![Request {
-                id: RequestId(0),
-                model: ModelId(0),
-                arrival_ns: 1_000_000_000,
-                input_tokens: 10,
-                output_tokens: 10,
-            }],
+            requests: vec![Request::single(
+                RequestId(0),
+                ModelId(0),
+                1_000_000_000,
+                10,
+                10,
+            )],
             horizon: SimTime::from_secs_f64(10.0),
         };
         let s = active_count_series(&trace, SimDur::from_secs(3), SimDur::from_secs(1));

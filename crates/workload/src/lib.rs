@@ -14,6 +14,7 @@ pub mod diurnal;
 pub mod popularity;
 pub mod process;
 pub mod request;
+pub mod session;
 pub mod trace;
 
 pub use active::{active_count_series, expected_active};
@@ -21,5 +22,6 @@ pub use dataset::LengthDist;
 pub use diurnal::DiurnalProcess;
 pub use popularity::{head_share, zipf_weights};
 pub use process::{poisson_arrivals, BurstProcess};
-pub use request::{Request, RequestId, SloSpec};
+pub use request::{Request, RequestId, SessionId, SloSpec};
+pub use session::{AgentSession, FanOutChild, ServiceEstimate, SessionBuilder, SessionTurn, SessionWorkload};
 pub use trace::{Trace, TraceBuilder};

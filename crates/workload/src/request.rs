@@ -16,6 +16,45 @@ impl std::fmt::Display for RequestId {
     }
 }
 
+/// Identifies a multi-turn agent session. Single-shot requests carry
+/// [`SessionId::NONE`]; turns of the same conversation share an id so the
+/// scheduler can route them to the instance still holding their KV prefix.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct SessionId(pub u64);
+
+impl SessionId {
+    /// Sentinel for requests that belong to no session.
+    pub const NONE: SessionId = SessionId(u64::MAX);
+
+    /// True for real sessions (anything but the sentinel).
+    pub fn is_some(&self) -> bool {
+        *self != SessionId::NONE
+    }
+
+    /// True for the no-session sentinel.
+    pub fn is_none(&self) -> bool {
+        !self.is_some()
+    }
+}
+
+impl Default for SessionId {
+    fn default() -> Self {
+        SessionId::NONE
+    }
+}
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_some() {
+            write!(f, "s{}", self.0)
+        } else {
+            write!(f, "s-")
+        }
+    }
+}
+
 /// One inference request.
 ///
 /// `output_tokens` is the *oracle* output length: the simulation uses it to
@@ -34,9 +73,37 @@ pub struct Request {
     pub input_tokens: u32,
     /// Total output length in tokens (≥ 1; the prefill produces the first).
     pub output_tokens: u32,
+    /// Owning session, or [`SessionId::NONE`] for single-shot requests.
+    pub session: SessionId,
+    /// 0-based turn number within the session (0 for single-shot).
+    pub turn_index: u32,
+    /// Leading tokens of `input_tokens` shared with the session's prior
+    /// turns (prompt + output history). A scheduler holding the session's
+    /// KV can skip prefilling these; 0 for single-shot requests.
+    pub prefix_tokens: u32,
 }
 
 impl Request {
+    /// A single-shot (non-session) request.
+    pub fn single(
+        id: RequestId,
+        model: ModelId,
+        arrival_ns: u64,
+        input_tokens: u32,
+        output_tokens: u32,
+    ) -> Request {
+        Request {
+            id,
+            model,
+            arrival_ns,
+            input_tokens,
+            output_tokens,
+            session: SessionId::NONE,
+            turn_index: 0,
+            prefix_tokens: 0,
+        }
+    }
+
     /// Arrival instant.
     pub fn arrival(&self) -> SimTime {
         SimTime::from_nanos(self.arrival_ns)
@@ -45,6 +112,12 @@ impl Request {
     /// Tokens generated after the first one (decode steps to run).
     pub fn decode_tokens(&self) -> u32 {
         self.output_tokens.saturating_sub(1)
+    }
+
+    /// Prompt tokens beyond the shared session prefix (the fresh user delta
+    /// a prefix-cache hit still has to prefill).
+    pub fn delta_tokens(&self) -> u32 {
+        self.input_tokens.saturating_sub(self.prefix_tokens)
     }
 }
 
@@ -124,13 +197,24 @@ mod tests {
 
     #[test]
     fn decode_tokens_excludes_the_first() {
-        let r = Request {
-            id: RequestId(0),
-            model: ModelId(0),
-            arrival_ns: 0,
-            input_tokens: 100,
-            output_tokens: 1,
-        };
+        let r = Request::single(RequestId(0), ModelId(0), 0, 100, 1);
         assert_eq!(r.decode_tokens(), 0);
+    }
+
+    #[test]
+    fn session_sentinel_and_delta() {
+        let r = Request::single(RequestId(0), ModelId(0), 0, 100, 4);
+        assert!(!r.session.is_some());
+        assert_eq!(r.delta_tokens(), 100);
+        let turn = Request {
+            session: SessionId(7),
+            turn_index: 2,
+            prefix_tokens: 60,
+            ..r
+        };
+        assert!(turn.session.is_some());
+        assert_eq!(turn.delta_tokens(), 40);
+        assert_eq!(format!("{}", turn.session), "s7");
+        assert_eq!(format!("{}", SessionId::NONE), "s-");
     }
 }

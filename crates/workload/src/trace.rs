@@ -139,13 +139,14 @@ impl TraceBuilder {
         for (model, arrivals) in self.arrivals {
             for t in arrivals {
                 let (input_tokens, output_tokens) = self.dataset.sample(rng);
-                requests.push(Request {
-                    id: RequestId(0), // assigned after sorting
+                // Id 0 is a placeholder; ids are assigned after sorting.
+                requests.push(Request::single(
+                    RequestId(0),
                     model,
-                    arrival_ns: t.as_nanos(),
+                    t.as_nanos(),
                     input_tokens,
                     output_tokens,
-                });
+                ));
             }
         }
         requests.sort_by_key(|r| (r.arrival_ns, r.model));

@@ -1,0 +1,126 @@
+//! Property-based invariants for the agentic session workload generator
+//! and its lowering into the flat request stream.
+
+use proptest::prelude::*;
+
+use aegaeon_sim::{SimRng, SimTime};
+use aegaeon_workload::{SessionBuilder, SessionId};
+
+fn build(seed: u64, n_models: u32, rate: f64, depth_max: u32, gap: f64, fanout: f64) -> aegaeon_workload::SessionWorkload {
+    let mut rng = SimRng::seed_from_u64(seed);
+    SessionBuilder::new(SimTime::from_secs_f64(300.0), n_models, rate)
+        .depth(1, depth_max)
+        .think_gap(gap, 0.7)
+        .fanout(fanout, 2)
+        .generate(&mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Generation + lowering is a pure function of the seed, and the
+    /// lowered trace is well-formed: sorted arrivals, dense ids, per-turn
+    /// prompt = shared prefix + nonempty delta.
+    #[test]
+    fn lowering_is_deterministic_and_well_formed(
+        seed in 0u64..5000,
+        n_models in 1u32..6,
+        depth_max in 1u32..7,
+        gap in 0.0f64..30.0,
+    ) {
+        // Derive the remaining knobs from the seed (the vendored proptest
+        // caps strategy tuples at arity 4).
+        let rate = 0.005 + (seed % 10) as f64 * 0.004;
+        let fanout = (seed % 5) as f64 * 0.1;
+        let a = build(seed, n_models, rate, depth_max, gap, fanout);
+        let b = build(seed, n_models, rate, depth_max, gap, fanout);
+        prop_assert_eq!(&a, &b, "generation must be seed-deterministic");
+        let ta = a.lower();
+        let tb = b.lower();
+        prop_assert_eq!(&ta.requests, &tb.requests, "lowering must be deterministic");
+
+        prop_assert!(ta.requests.windows(2).all(|w| w[0].arrival_ns <= w[1].arrival_ns));
+        for (i, r) in ta.requests.iter().enumerate() {
+            prop_assert_eq!(r.id.0, i as u64, "ids are dense in arrival order");
+            prop_assert!(r.input_tokens >= 1 && r.output_tokens >= 1);
+            if r.session.is_some() {
+                // prompt = prefix + delta with delta >= 1.
+                prop_assert!(r.input_tokens > r.prefix_tokens);
+            } else {
+                prop_assert_eq!(r.turn_index, 0);
+                prop_assert_eq!(r.prefix_tokens, 0);
+            }
+            prop_assert!(r.arrival() < ta.horizon);
+        }
+        prop_assert_eq!(
+            ta.requests.iter().filter(|r| r.session.is_some()).count(),
+            a.total_turns()
+        );
+    }
+
+    /// Per session: arrivals strictly increase, turn indices are dense from
+    /// zero, the prefix chain replays the whole prior conversation, and
+    /// every DAG child arrives after its parent turn's estimated last
+    /// token.
+    #[test]
+    fn sessions_chain_prefixes_and_order_turns(
+        seed in 0u64..5000,
+        n_models in 2u32..6,
+        depth_max in 2u32..7,
+        gap in 0.1f64..20.0,
+    ) {
+        let w = build(seed, n_models, 0.03, depth_max, gap, 0.4);
+        for s in &w.sessions {
+            prop_assert!(!s.turns.is_empty());
+            prop_assert_eq!(s.turns[0].prefix_tokens, 0, "first turn has no prefix");
+            for k in 1..s.turns.len() {
+                let prev = &s.turns[k - 1];
+                let cur = &s.turns[k];
+                prop_assert!(cur.arrival > prev.arrival, "arrivals strictly increase");
+                prop_assert_eq!(
+                    cur.prefix_tokens,
+                    prev.input_tokens() + prev.output_tokens,
+                    "prefix replays the whole conversation so far"
+                );
+                prop_assert!(cur.delta_tokens >= 1);
+            }
+            for c in &s.children {
+                prop_assert!((c.after_turn as usize) < s.turns.len());
+                prop_assert!(c.model != s.model, "children fan out to other models");
+                prop_assert!(
+                    c.arrival > s.est_completion(c.after_turn as usize, &w.est),
+                    "children arrive after the parent's estimated last token"
+                );
+            }
+        }
+        // Session ids are unique across the workload.
+        let mut ids: Vec<u64> = w.sessions.iter().map(|s| s.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), w.sessions.len());
+        prop_assert!(ids.iter().all(|&i| SessionId(i).is_some()));
+    }
+
+    /// Lowered turn ordering: within one session the flat trace preserves
+    /// turn order (sorting by arrival cannot reorder strictly increasing
+    /// per-session arrivals).
+    #[test]
+    fn lowered_trace_preserves_per_session_turn_order(
+        seed in 0u64..5000,
+        depth_max in 2u32..7,
+    ) {
+        let w = build(seed, 3, 0.03, depth_max, 5.0, 0.0);
+        let t = w.lower();
+        let mut last_turn: std::collections::BTreeMap<u64, u32> = std::collections::BTreeMap::new();
+        for r in &t.requests {
+            if !r.session.is_some() {
+                continue;
+            }
+            match last_turn.get(&r.session.0) {
+                None => prop_assert_eq!(r.turn_index, 0, "turns start at zero"),
+                Some(&prev) => prop_assert_eq!(r.turn_index, prev + 1, "turn indices are dense"),
+            }
+            last_turn.insert(r.session.0, r.turn_index);
+        }
+    }
+}
